@@ -1,0 +1,40 @@
+# Convenience targets for the repro project.
+
+.PHONY: install test bench bench-light bench-heavy examples lint all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-light:
+	pytest benchmarks/test_fig2_table1_csamp.py \
+	       benchmarks/test_fig3_metric_correspondence.py \
+	       benchmarks/test_fig5_variants.py \
+	       benchmarks/test_table3_dp_selection.py \
+	       benchmarks/test_table4_port_opt.py \
+	       benchmarks/test_table5_simcount.py \
+	       benchmarks/test_ablations.py \
+	       benchmarks/test_library_survey.py \
+	       --benchmark-only -s
+
+bench-heavy:
+	pytest benchmarks/test_table6_ota_strongarm.py \
+	       benchmarks/test_table7_vco.py \
+	       benchmarks/test_table8_runtime.py \
+	       benchmarks/test_fig6_reconciliation.py \
+	       --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/render_layouts.py --outdir out
+	python examples/annotate_and_montecarlo.py
+	python examples/ota_flow.py
+	python examples/strongarm_comparator.py
+	python examples/vco_tuning_curve.py
+
+all: install test bench

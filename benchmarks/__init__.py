@@ -1,0 +1,1 @@
+"""Benchmark suite: one module per paper table/figure, plus ablations."""

@@ -1,0 +1,85 @@
+"""Shared benchmark fixtures.
+
+Heavy artifacts (full flow runs) are session-scoped and cached so the
+per-table benchmarks print their rows from one run.  Every benchmark
+prints a paper-style table next to the paper's reference numbers; see
+EXPERIMENTS.md for the recorded comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    CommonSourceAmpCircuit,
+    FiveTransistorOta,
+    RingOscillatorVco,
+    StrongArmComparator,
+)
+from repro.flow import HierarchicalFlow
+from repro.tech import Technology
+
+
+def print_table(title, headers, rows):
+    from repro.reporting import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return Technology.default()
+
+
+@pytest.fixture(scope="session")
+def flow(tech):
+    return HierarchicalFlow(tech, n_bins=3, max_wires=7, placer_iterations=600)
+
+
+@pytest.fixture(scope="session")
+def ota(tech):
+    return FiveTransistorOta(tech)
+
+
+@pytest.fixture(scope="session")
+def strongarm(tech):
+    return StrongArmComparator(tech)
+
+
+@pytest.fixture(scope="session")
+def vco(tech):
+    return RingOscillatorVco(tech, stages=8)
+
+
+@pytest.fixture(scope="session")
+def csamp(tech):
+    return CommonSourceAmpCircuit(tech)
+
+
+@pytest.fixture(scope="session")
+def ota_runs(flow, ota):
+    """Flow results for the OTA: conventional and this work."""
+    return {
+        "conventional": flow.run(ota, flavor="conventional"),
+        "this_work": flow.run(ota, flavor="this_work"),
+        "manual": flow.run(ota, flavor="manual"),
+    }
+
+
+@pytest.fixture(scope="session")
+def strongarm_runs(flow, strongarm):
+    return {
+        "conventional": flow.run(strongarm, flavor="conventional"),
+        "this_work": flow.run(strongarm, flavor="this_work"),
+        "manual": flow.run(strongarm, flavor="manual"),
+    }
+
+
+@pytest.fixture(scope="session")
+def vco_runs(flow, vco):
+    """VCO flow runs; measurement (the control sweep) happens per-bench."""
+    return {
+        "conventional": flow.run(vco, flavor="conventional", measure=False),
+        "this_work": flow.run(vco, flavor="this_work", measure=False),
+    }

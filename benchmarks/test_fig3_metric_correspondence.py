@@ -1,0 +1,104 @@
+"""Fig. 3 — relating primitive metrics to circuit metrics (StrongARM).
+
+The paper's Fig. 3 draws the correspondence between primitive-level
+performance metrics (input pair Gm/offset, regenerative pair's negative
+gm, latch output capacitance) and the comparator's top-level delay and
+offset — "nonlinear functions of the primitive performance metrics".
+
+This bench demonstrates the correspondence empirically on the schematic:
+
+* a larger regenerative pair (higher neg-gm per capacitance) resolves
+  faster,
+* an injected input-pair Vth mismatch appears as comparator input offset
+  (the smallest input the comparator still resolves correctly).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.circuits import StrongArmComparator
+from repro.errors import MeasureError
+
+
+@pytest.fixture(scope="module")
+def delay_vs_regen(tech):
+    rows = []
+    for latch_fins in (32, 64, 128):
+        comparator = StrongArmComparator(tech, latch_fins=latch_fins)
+        regen_ref = comparator.regen.schematic_reference()
+        metrics = comparator.measure(comparator.schematic(), dt=2e-12)
+        rows.append(
+            {
+                "latch_fins": latch_fins,
+                "neg_gm": regen_ref["neg_gm"],
+                "cout": regen_ref["cout"],
+                "delay": metrics["delay"],
+            }
+        )
+    return rows
+
+
+def test_fig3_latch_capacitance_costs_delay(delay_vs_regen, benchmark):
+    benchmark(lambda: list(delay_vs_regen))
+    print_table(
+        "Fig. 3 — latch metrics vs comparator delay (fixed input pair)",
+        ["latch fins", "neg_gm (mS)", "cout (fF)", "delay (ps)"],
+        [
+            [
+                r["latch_fins"],
+                f"{r['neg_gm'] * 1e3:.2f}",
+                f"{r['cout'] * 1e15:.1f}",
+                f"{r['delay'] * 1e12:.1f}",
+            ]
+            for r in delay_vs_regen
+        ],
+    )
+    # neg-gm and cout both scale with size (their ratio is constant), so
+    # with a fixed-size input pair the extra latch capacitance dominates:
+    # delay grows.  This is exactly the C_out entry of the paper's Fig. 3
+    # correspondence (delay is a nonlinear function of the latch C).
+    neg_gms = [r["neg_gm"] for r in delay_vs_regen]
+    couts = [r["cout"] for r in delay_vs_regen]
+    delays = [r["delay"] for r in delay_vs_regen]
+    assert neg_gms == sorted(neg_gms)
+    assert couts == sorted(couts)
+    assert delays == sorted(delays)
+
+
+def test_fig3_pair_gm_buys_delay(tech, benchmark):
+    """At a fixed latch, a stronger input pair resolves faster."""
+    benchmark(lambda: None)
+    delays = []
+    for pair_fins in (48, 96, 192):
+        comparator = StrongArmComparator(tech, pair_fins=pair_fins)
+        metrics = comparator.measure(comparator.schematic(), dt=2e-12)
+        delays.append(metrics["delay"])
+    print(f"\npair fins (48/96/192) -> delay (ps): "
+          + "/".join(f"{d * 1e12:.1f}" for d in delays))
+    assert delays == sorted(delays, reverse=True)
+
+
+def test_fig3_input_offset_correspondence(tech, benchmark):
+    """An input-pair Vth mismatch flips small-input decisions."""
+    from dataclasses import replace
+
+    benchmark(lambda: None)
+    mismatch = 0.02  # 20 mV on one input device
+
+    def decision(v_in_diff, inject):
+        comparator = StrongArmComparator(tech, v_in_diff=v_in_diff)
+        schematic = comparator.schematic()
+        if inject:
+            ma = schematic.element("xpair.MA")
+            schematic.replace_element(
+                "xpair.MA", replace(ma, vth_mismatch=mismatch)
+            )
+        return comparator.measure(schematic, dt=2e-12)["decision"]
+
+    # Without mismatch a +5 mV input resolves positive.
+    assert decision(+5e-3, inject=False) > 0
+    # A +20 mV Vth shift on the positive input device overwhelms +5 mV:
+    # the comparator now decides negative — input-referred offset.
+    assert decision(+5e-3, inject=True) < 0
+    # A large input still wins over the offset.
+    assert decision(+50e-3, inject=True) > 0

@@ -1,0 +1,63 @@
+"""Fig. 5 — layout options for a DP with a fixed fin budget.
+
+The paper's Fig. 5(c) shows three transistor configurations for a 96-
+FinFET DP at different (nfin, nf, m); the full Table III search uses
+960 fins with nfin*nf*m constant.  This bench enumerates the variant
+space and shows the aspect-ratio spread the binning step works with.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.cellgen.sizing import enumerate_sizings
+from repro.primitives import DifferentialPair
+
+
+@pytest.fixture(scope="module")
+def dp(tech):
+    return DifferentialPair(tech, base_fins=960)
+
+
+def test_fig5_variant_enumeration(dp, benchmark):
+    variants = benchmark(dp.variants)
+    rows = []
+    for base in variants[:14]:
+        layout = dp.generate(base, "ABAB")
+        rows.append(
+            [
+                f"({base.nfin}, {base.nf}, {base.m})",
+                f"{layout.width / 1000:.1f}",
+                f"{layout.height / 1000:.1f}",
+                f"{layout.aspect_ratio:.2f}",
+            ]
+        )
+    print_table(
+        f"Fig. 5 — {len(variants)} variants of a 960-fin DP "
+        "(first 14 shown; nfin*nf*m preserved)",
+        ["(nfin, nf, m)", "W (um)", "H (um)", "aspect"],
+        rows,
+    )
+    assert all(v.nfins_total == 960 for v in variants)
+    # The variant space spans a wide aspect-ratio range for binning.
+    ars = []
+    for base in variants:
+        ars.append(dp.generate(base, "ABAB").aspect_ratio)
+    assert max(ars) / min(ars) > 3.0
+
+
+def test_fig5_96_finfet_example(tech, benchmark):
+    # The figure's example: 96 FinFETs per device.
+    variants = benchmark(enumerate_sizings, 96, min_nfin=4, max_nfin=32)
+    assert len(variants) >= 3
+    for v in variants:
+        assert v.nfins_total == 96
+
+
+def test_bench_variant_generation(benchmark, dp):
+    variants = dp.variants()
+
+    def run():
+        return [dp.generate(base, "ABAB").aspect_ratio for base in variants[:5]]
+
+    ars = benchmark(run)
+    assert len(ars) == 5

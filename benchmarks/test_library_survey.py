@@ -1,0 +1,111 @@
+"""Library-wide survey: Algorithm 1 over every primitive family.
+
+Not a paper table, but the paper's Section II-A claim in benchmark form:
+augmenting and optimizing "20-30 primitives in a primitive library …
+constitutes a manageable overhead".  One row per family: option count,
+simulations, best cost, and the winning configuration.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import PrimitiveOptimizer
+from repro.primitives import PrimitiveLibrary
+
+FAMILIES = [
+    "differential_pair",
+    "pmos_differential_pair",
+    "cascode_differential_pair",
+    "switched_differential_pair",
+    "current_mirror",
+    "pmos_current_mirror",
+    "active_current_mirror",
+    "cascode_current_mirror",
+    "lv_cascode_current_mirror",
+    "common_source_amplifier",
+    "common_gate_amplifier",
+    "common_drain_amplifier",
+    "current_source",
+    "pmos_current_source",
+    "cascode_current_source",
+    "diode_load",
+    "cascode_diode_load",
+    "current_starved_inverter",
+    "cross_coupled_pair",
+    "pmos_cross_coupled_pair",
+    "cross_coupled_inverters",
+    "regenerative_pair",
+    "switch",
+    "pmos_switch",
+]
+
+
+@pytest.fixture(scope="module")
+def survey(tech):
+    library = PrimitiveLibrary()
+    optimizer = PrimitiveOptimizer(n_bins=2, max_wires=3)
+    results = {}
+    for family in FAMILIES:
+        primitive = library.create(family, tech, base_fins=48)
+        results[family] = optimizer.optimize(
+            primitive, variants=primitive.variants()[:4]
+        )
+    return results
+
+
+def test_survey_table(survey, benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for family, report in survey.items():
+        best = report.best
+        rows.append(
+            [
+                family,
+                len(report.options),
+                report.total_simulations,
+                f"({best.base.nfin},{best.base.nf},{best.base.m})",
+                best.pattern,
+                f"{best.cost:.2f}",
+            ]
+        )
+    print_table(
+        "Library survey — Algorithm 1 on every MOS primitive family "
+        "(48 fins, first 4 variants)",
+        ["family", "options", "sims", "best sizing", "pattern", "cost"],
+        rows,
+    )
+    assert len(survey) == len(FAMILIES)
+
+
+def test_survey_costs_finite(survey, benchmark):
+    benchmark(lambda: None)
+    for family, report in survey.items():
+        assert 0.0 <= report.best.cost < 1e4, family
+
+
+def test_matched_families_prefer_symmetric_patterns(survey, benchmark):
+    benchmark(lambda: None)
+    # Families whose metric set punishes mismatch (input offset or
+    # current ratio) never pick the clustered pattern.  Cross-coupled
+    # structures have no mismatch metric in Table II, so they are free
+    # to cluster.
+    sensitive = [
+        f
+        for f in FAMILIES
+        if ("differential_pair" in f or "mirror" in f)
+        and "cross" not in f
+    ]
+    for family in sensitive:
+        assert survey[family].best.pattern != "AABB", family
+
+
+def test_bench_one_family(benchmark, tech):
+    library = PrimitiveLibrary()
+    optimizer = PrimitiveOptimizer(n_bins=2, max_wires=2)
+
+    def run():
+        primitive = library.create("diode_load", tech, base_fins=48)
+        return optimizer.optimize(primitive, variants=primitive.variants()[:2])
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.best.cost >= 0

@@ -1,0 +1,88 @@
+"""Table III — cost components for the DP layout options.
+
+Paper: a W/L = 46um/14nm differential pair (960 fins per side), 11
+layouts over (nfin, nf, m) in {(8,20,6), (16,12,5), (24,20,2),
+(12,20,4)} and patterns {ABBA, ABAB, AABB}, binned into three aspect
+ratios.  Headline shapes: ABAB edges out ABBA on dGm/dC_total, one AABB
+row blows up on offset (92% -> cost 101.7), and the boldfaced minimum-
+cost option per bin goes to the placer.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import PrimitiveOptimizer
+from repro.core.selection import select_best_per_bin
+from repro.devices.mosfet import MosGeometry
+from repro.primitives import DifferentialPair
+
+VARIANTS = [
+    MosGeometry(8, 20, 6),
+    MosGeometry(16, 12, 5),
+    MosGeometry(24, 20, 2),
+    MosGeometry(12, 20, 4),
+]
+PATTERNS = ["ABBA", "ABAB", "AABB"]
+
+
+@pytest.fixture(scope="module")
+def report(tech):
+    dp = DifferentialPair(tech, base_fins=960)
+    optimizer = PrimitiveOptimizer(n_bins=3, max_wires=7)
+    return dp, optimizer.optimize(dp, variants=VARIANTS, patterns=PATTERNS, tune=False)
+
+
+def test_table3_rows(report, benchmark):
+    dp, rep = benchmark(lambda: report)
+    rows = []
+    for o in sorted(rep.options, key=lambda o: (o.aspect_ratio, o.pattern)):
+        d = o.breakdown.deviations
+        rows.append(
+            [
+                f"nfin={o.base.nfin} nf={o.base.nf} m={o.base.m}",
+                o.pattern,
+                f"{o.aspect_ratio:.2f}",
+                f"{d['gm']:.1f}%",
+                f"{d['gm_over_ctotal']:.1f}%",
+                f"{d['offset']:.1f}%",
+                f"{o.cost:.1f}",
+            ]
+        )
+    print_table(
+        "Table III — DP layout option costs "
+        "(paper: best rows cost 3.0-4.3; AABB blow-up 101.7)",
+        ["sizing", "pattern", "AR", "dGm", "dGm/Ct", "dOffset", "cost"],
+        rows,
+    )
+
+    # Shape 1: at least one AABB option is catastrophically penalized.
+    aabb_costs = [o.cost for o in rep.options if o.pattern == "AABB"]
+    other_costs = [o.cost for o in rep.options if o.pattern != "AABB"]
+    assert max(aabb_costs) > 3 * max(other_costs)
+
+    # Shape 2: three bins, one winner each, none of them AABB.
+    selected = select_best_per_bin(rep.options, 3)
+    assert len(selected) == 3
+    assert all(o.pattern != "AABB" for o in selected)
+
+    # Shape 3: symmetric patterns have (near-)zero offset deviation.
+    for o in rep.options:
+        if o.pattern in ("ABBA", "ABAB"):
+            assert o.breakdown.deviations["offset"] < 5.0
+
+
+def test_table3_selection_count(report, benchmark):
+    _, rep = benchmark(lambda: report)
+    # 4 sizings x 3 patterns, minus infeasible (ABBA needs even m: m=5
+    # works through the 2D alternating arrangement) = 12 options.
+    assert len(rep.options) == 12
+    # 3 metrics per option, like the paper's "20 x 3" accounting.
+    assert rep.stages[0].simulations == len(rep.options) * 3
+
+
+def test_bench_one_selection_evaluation(benchmark, tech):
+    dp = DifferentialPair(tech, base_fins=960)
+    from repro.core.selection import evaluate_option
+
+    result = benchmark(evaluate_option, dp, MosGeometry(8, 20, 6), "ABAB")
+    assert result.cost > 0

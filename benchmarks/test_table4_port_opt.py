@@ -1,0 +1,131 @@
+"""Table IV — DP and passive-CM cost during primitive port optimization.
+
+Paper: with 2um global routes on metal 3, the DP's drain-route sweep has
+its cost minimum at 4 wires with interval [w_min=3, w_max=5]; the CM's
+cost keeps improving to 6-7 wires.  The shapes to reproduce: an
+initially-improving, eventually-worsening (or saturating) cost curve and
+a meaningful [w_min, w_max] interval per primitive.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import GlobalRouteInfo
+from repro.core.port_constraints import derive_port_constraint
+from repro.core.selection import evaluate_option
+from repro.devices.mosfet import MosGeometry
+from repro.primitives import DifferentialPair, PassiveCurrentMirror
+
+ROUTE_LENGTH = 2000.0  # the paper's 2um M3 routes
+
+
+def dp_constraint(tech, max_wires=7):
+    dp = DifferentialPair(tech, base_fins=960)
+    option = evaluate_option(dp, MosGeometry(8, 20, 6), "ABAB")
+    dut = dp.extract(dp.generate(option.base, option.pattern), option.base)
+    route = GlobalRouteInfo(
+        "outp", "M3", ROUTE_LENGTH, via_cuts=2, via_resistance=20.0,
+        symmetric_with=("outn",),
+    )
+    return dp, derive_port_constraint(dp, dut.build_circuit(), route, max_wires)
+
+
+def cm_constraint(tech, max_wires=7):
+    cm = PassiveCurrentMirror(tech, base_fins=240, ratio=1)
+    option = evaluate_option(cm, MosGeometry(8, 6, 5), "ABAB")
+    dut = cm.extract(cm.generate(option.base, option.pattern), option.base)
+    route = GlobalRouteInfo(
+        "out", "M3", ROUTE_LENGTH, via_cuts=2, via_resistance=20.0
+    )
+    return cm, derive_port_constraint(cm, dut.build_circuit(), route, max_wires)
+
+
+@pytest.fixture(scope="module")
+def constraints(tech):
+    dp, (dp_c, dp_sims) = dp_constraint(tech)
+    cm, (cm_c, cm_sims) = cm_constraint(tech)
+    return {"dp": (dp, dp_c, dp_sims), "cm": (cm, cm_c, cm_sims)}
+
+
+def test_table4_dp_sweep(constraints, benchmark):
+    dp, constraint, _ = benchmark(lambda: constraints["dp"])
+    ref = dp.schematic_reference()
+    rows = []
+    for p in constraint.sweep:
+        dgm = abs(ref["gm"] - p.values["gm"]) / ref["gm"] * 100
+        dgc = (
+            abs(ref["gm_over_ctotal"] - p.values["gm_over_ctotal"])
+            / ref["gm_over_ctotal"]
+            * 100
+        )
+        rows.append([p.wires, f"{dgm:.2f}%", f"{dgc:.2f}%", f"{p.cost:.2f}"])
+    print_table(
+        "Table IV (DP) — paper: dGm 3.4->1.1%, cost min at 4 wires, "
+        "interval [3, 5]",
+        ["# wires", "dGm", "dGm/Ctotal", "cost"],
+        rows,
+    )
+    costs = constraint.costs if hasattr(constraint, "costs") else [
+        p.cost for p in constraint.sweep
+    ]
+    # dGm improves monotonically with added route wires.
+    dgms = [abs(ref["gm"] - p.values["gm"]) for p in constraint.sweep]
+    assert dgms[-1] < dgms[0]
+    # The interval is non-trivial.
+    assert constraint.w_min >= 1
+    if constraint.w_max is not None:
+        assert constraint.w_max >= constraint.w_min
+
+
+def test_table4_cm_sweep(constraints, benchmark):
+    cm, constraint, _ = benchmark(lambda: constraints["cm"])
+    ref = cm.schematic_reference()
+    rows = []
+    for p in constraint.sweep:
+        dr = (
+            abs(ref["current_ratio"] - p.values["current_ratio"])
+            / ref["current_ratio"]
+            * 100
+        )
+        dc = abs(ref["cout"] - p.values["cout"]) / ref["cout"] * 100
+        rows.append([p.wires, f"{dr:.2f}%", f"{dc:.2f}%", f"{p.cost:.2f}"])
+    print_table(
+        "Table IV (CM) — paper: cost decreasing to ~6-7 wires",
+        ["# wires", "dRatio", "dCtotal", "cost"],
+        rows,
+    )
+    # Capacitance deviation grows with wires (route C accumulates).
+    dcs = [abs(ref["cout"] - p.values["cout"]) for p in constraint.sweep]
+    assert dcs[-1] > dcs[0]
+
+
+def test_table4_wmin_shifts_with_gm_weight(tech, benchmark):
+    """Paper: '[3,5] becomes [4,6] if dGm is weighted higher'."""
+    dp = benchmark(lambda: DifferentialPair(tech, base_fins=960))
+    option = evaluate_option(dp, MosGeometry(8, 20, 6), "ABAB")
+    dut = dp.extract(
+        dp.generate(option.base, option.pattern), option.base
+    ).build_circuit()
+    route = GlobalRouteInfo(
+        "outp", "M3", ROUTE_LENGTH, via_cuts=2, via_resistance=20.0,
+        symmetric_with=("outn",),
+    )
+    normal, _ = derive_port_constraint(dp, dut, route, max_wires=7)
+    boosted, _ = derive_port_constraint(
+        dp, dut, route, max_wires=7,
+        weight_override={"gm": 1.0, "gm_over_ctotal": 0.1},
+    )
+    print(f"\nnormal interval [{normal.w_min}, {normal.w_max}]; "
+          f"gm-weighted interval [{boosted.w_min}, {boosted.w_max}]")
+    # Weighting Gm higher never tightens the interval downward.
+    upper = lambda c: c.w_max if c.w_max is not None else 99  # noqa: E731
+    assert upper(boosted) >= upper(normal)
+
+
+def test_bench_port_constraint(benchmark, tech):
+    def run():
+        _, (constraint, sims) = cm_constraint(tech, max_wires=3)
+        return constraint
+
+    constraint = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert constraint.w_min >= 1

@@ -1,0 +1,132 @@
+"""Table VI — high-frequency 5T OTA and StrongARM comparator.
+
+Paper rows (schematic / manual / conventional / this work):
+
+* OTA current (uA):   706 / 706 / 675 / 708
+* OTA gain (dB):      22.6 / 22.4 / 21.8 / 22.4
+* OTA UGF (GHz):      5.1 / 4.8 / 4.2 / 4.8
+* OTA 3dB (MHz):      389 / 384 / 362 / 383
+* OTA PM (deg):       77.9 / 78.0 / 75.5 / 77.2
+* SA delay (ps):      19.2 / 25.4 / 35.0 / 31.5
+* SA power (uW):      145 / 161 / 172 / 168
+
+The claim to reproduce is the *ordering*: this work sits between manual
+(best) and conventional (worst) on every parasitic-sensitive metric, and
+recovers most of the schematic-to-conventional gap.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+
+def closer(sch, a, b):
+    """True if a is at least as close to the schematic value as b."""
+    return abs(sch - a) <= abs(sch - b) + 1e-12
+
+
+@pytest.fixture(scope="module")
+def ota_table(ota, ota_runs):
+    sch = ota.measure(ota.schematic())
+    return {
+        "schematic": sch,
+        "manual": ota_runs["manual"].metrics,
+        "conventional": ota_runs["conventional"].metrics,
+        "this_work": ota_runs["this_work"].metrics,
+    }
+
+
+@pytest.fixture(scope="module")
+def sa_table(strongarm, strongarm_runs):
+    sch = strongarm.measure(strongarm.schematic())
+    return {
+        "schematic": sch,
+        "manual": strongarm_runs["manual"].metrics,
+        "conventional": strongarm_runs["conventional"].metrics,
+        "this_work": strongarm_runs["this_work"].metrics,
+    }
+
+
+def test_table6_ota(ota_table, benchmark):
+    benchmark(lambda: dict(ota_table))
+    rows = [
+        [
+            name,
+            f"{m['current'] * 1e6:.0f}",
+            f"{m['gain_db']:.1f}",
+            f"{m['ugf'] / 1e9:.2f}",
+            f"{m['f3db'] / 1e6:.0f}",
+            f"{m['phase_margin']:.1f}",
+        ]
+        for name, m in ota_table.items()
+    ]
+    print_table(
+        "Table VI (OTA) — paper: 706/675/708 uA, 22.6/21.8/22.4 dB, "
+        "5.1/4.2/4.8 GHz",
+        ["row", "current (uA)", "gain (dB)", "UGF (GHz)", "3dB (MHz)", "PM (deg)"],
+        rows,
+    )
+    sch, tw, conv = (
+        ota_table["schematic"],
+        ota_table["this_work"],
+        ota_table["conventional"],
+    )
+    # This work recovers more of the schematic performance than the
+    # conventional flow on every parasitic-sensitive metric.
+    for key in ("current", "ugf", "f3db"):
+        assert closer(sch[key], tw[key], conv[key]), key
+
+
+def test_table6_ota_manual_vs_this_work(ota_table, benchmark):
+    benchmark(lambda: dict(ota_table))
+    sch, tw, man = (
+        ota_table["schematic"],
+        ota_table["this_work"],
+        ota_table["manual"],
+    )
+    # The paper finds this work competitive with manual layout: within
+    # a factor of two of the oracle's deviation on UGF.
+    dev_tw = abs(sch["ugf"] - tw["ugf"])
+    dev_man = abs(sch["ugf"] - man["ugf"])
+    assert dev_tw <= 2.0 * dev_man + 0.05 * sch["ugf"]
+
+
+def test_table6_strongarm(sa_table, benchmark):
+    benchmark(lambda: dict(sa_table))
+    rows = [
+        [name, f"{m['delay'] * 1e12:.1f}", f"{m['power'] * 1e6:.2f}"]
+        for name, m in sa_table.items()
+    ]
+    print_table(
+        "Table VI (StrongARM) — paper delay: 19.2/25.4/35.0/31.5 ps",
+        ["row", "delay (ps)", "power (uW)"],
+        rows,
+    )
+    sch, tw, conv = (
+        sa_table["schematic"],
+        sa_table["this_work"],
+        sa_table["conventional"],
+    )
+    # Delay ordering: schematic fastest, conventional slowest, this work
+    # in between (the paper's 19.2 < 31.5 < 35.0).
+    assert sch["delay"] < tw["delay"]
+    assert tw["delay"] < conv["delay"]
+
+
+def test_table8_style_runtimes(ota_runs, strongarm_runs, benchmark):
+    benchmark(lambda: None)
+    rows = [
+        ["OTA", f"{ota_runs['this_work'].modeled_runtime:.0f}s", "(paper 80s)"],
+        [
+            "StrongARM",
+            f"{strongarm_runs['this_work'].modeled_runtime:.0f}s",
+            "(paper 85s)",
+        ],
+    ]
+    print_table("Modeled flow runtimes", ["circuit", "modeled", "paper"], rows)
+
+
+def test_bench_ota_measurement(benchmark, ota):
+    schematic = ota.schematic()
+    metrics = benchmark(ota.measure, schematic)
+    assert metrics["gain_db"] > 0

@@ -1,0 +1,105 @@
+"""Table VII — eight-stage differential RO-VCO.
+
+Paper (schematic / conventional / this work):
+
+* max frequency (GHz): 7.5 / 3.8 / 5.5
+* min frequency (GHz): 0.20 / 0.26 / 0.25
+* voltage range (V):   0-0.5 / 0.1-0.5 / 0-0.5
+
+The shape: the conventional layout loses roughly half the maximum
+frequency and part of the usable control range; the optimized flow
+recovers a large fraction of both.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+SWEEP = [0.38, 0.45, 0.6, 0.8]
+
+
+@pytest.fixture(scope="module")
+def vco_tables(vco, vco_runs):
+    results = {}
+    results["schematic"] = vco.frequency_sweep(vco.schematic(), SWEEP)
+    results["conventional"] = vco.frequency_sweep(
+        vco_runs["conventional"].assembled, SWEEP
+    )
+    results["this_work"] = vco.frequency_sweep(
+        vco_runs["this_work"].assembled, SWEEP
+    )
+    return results
+
+
+def summarize(sweep):
+    osc = {v: f for v, f in sweep.items() if f > 0}
+    if not osc:
+        return {"f_max": 0.0, "f_min": 0.0, "v_lo": None, "v_hi": None}
+    return {
+        "f_max": max(osc.values()),
+        "f_min": min(osc.values()),
+        "v_lo": min(osc),
+        "v_hi": max(osc),
+    }
+
+
+def test_table7(vco_tables, benchmark):
+    benchmark(lambda: dict(vco_tables))
+    rows = []
+    for name, sweep in vco_tables.items():
+        s = summarize(sweep)
+        rng = (
+            f"{s['v_lo']:.2f}-{s['v_hi']:.2f}" if s["v_lo"] is not None else "none"
+        )
+        rows.append(
+            [
+                name,
+                f"{s['f_max'] / 1e9:.2f}",
+                f"{s['f_min'] / 1e9:.2f}",
+                rng,
+            ]
+        )
+    print_table(
+        "Table VII — RO-VCO (paper fmax: 7.5/3.8/5.5 GHz; "
+        "range 0-0.5 / 0.1-0.5 / 0-0.5 V)",
+        ["row", "f_max (GHz)", "f_min (GHz)", "ctrl range (V)"],
+        rows,
+    )
+    sch = summarize(vco_tables["schematic"])
+    conv = summarize(vco_tables["conventional"])
+    tw = summarize(vco_tables["this_work"])
+    assert sch["f_max"] > 0
+    # Conventional loses max frequency; this work recovers part of it.
+    assert conv["f_max"] < sch["f_max"]
+    assert tw["f_max"] > conv["f_max"]
+    # This work's usable range is at least as wide as conventional's.
+    count = lambda s: sum(1 for f in s.values() if f > 0)  # noqa: E731
+    assert count(vco_tables["this_work"]) >= count(vco_tables["conventional"])
+
+
+def test_per_point_frequencies(vco_tables, benchmark):
+    benchmark(lambda: dict(vco_tables))
+    rows = []
+    for v in SWEEP:
+        rows.append(
+            [f"{v:.2f}"]
+            + [
+                f"{vco_tables[k][v] / 1e9:.2f}" if vco_tables[k][v] else "-"
+                for k in ("schematic", "conventional", "this_work")
+            ]
+        )
+    print_table(
+        "RO-VCO frequency vs control voltage (GHz)",
+        ["v_ctrl", "schematic", "conventional", "this work"],
+        rows,
+    )
+
+
+def test_bench_vco_single_point(benchmark, vco):
+    schematic = vco.schematic()
+
+    def run():
+        return vco.measure(schematic, v_ctrl=0.6, periods=8, steps_per_period=150)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["frequency"] > 0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Automatic annotation and Monte-Carlo offset analysis.
+
+Two supporting capabilities of the flow:
+
+1. **Annotation** — the paper assumes netlists arrive annotated into
+   primitives "manually or automatically"; this example runs the
+   automatic recognizer on a flat 5T OTA transistor netlist.
+2. **Monte Carlo** — the DP's offset *spec* is defined as 10% of the
+   random offset; this example samples the random offset distribution and
+   compares it against the analytic sigma the spec uses.
+
+Run with::
+
+    python examples/annotate_and_montecarlo.py
+"""
+
+from repro import Technology
+from repro.devices.mosfet import MosGeometry
+from repro.flow import annotation_report
+from repro.primitives import DifferentialPair
+from repro.spice import Circuit, run_monte_carlo
+
+
+def flat_ota(tech) -> Circuit:
+    c = Circuit("flat_ota")
+    g = MosGeometry(8, 6, 2)
+    c.add_mosfet("m1", "nx", "vinp", "ntail", "0", tech.nmos, g)
+    c.add_mosfet("m2", "vout", "vinn", "ntail", "0", tech.nmos, g)
+    c.add_mosfet("m3", "nx", "nx", "vdd", "vdd", tech.pmos, g)
+    c.add_mosfet("m4", "vout", "nx", "vdd", "vdd", tech.pmos, g)
+    c.add_mosfet("m5", "ntail", "vbn", "0", "0", tech.nmos, g)
+    return c
+
+
+def main() -> None:
+    tech = Technology.default()
+
+    print("=== automatic annotation of a flat 5T OTA netlist ===")
+    print(annotation_report(flat_ota(tech)))
+
+    print("\n=== Monte-Carlo random offset of a differential pair ===")
+    dp = DifferentialPair(tech, base_fins=192)
+    dut = dp.schematic_circuit()
+
+    def offset_of(circuit):
+        values, _ = dp.evaluate(circuit)
+        return values["offset"]
+
+    result = run_monte_carlo(
+        dut, tech.rules, offset_of, n_samples=40, seed=2,
+        match_groups=[("MA", "MB")],
+    )
+    sigma = dp.random_offset_sigma()
+    print(f"samples: {len(result)}")
+    print(f"mean |offset|      = {result.mean * 1e3:.3f} mV")
+    print(f"95th percentile    = {result.percentile(95) * 1e3:.3f} mV")
+    print(f"analytic sigma     = {sigma * 1e3:.3f} mV")
+    print(f"offset spec (10%)  = {0.1 * sigma * 1e3:.3f} mV")
+    print("\nThe offset spec used by the cost function (Eq. 6's zero-"
+          "schematic case) sits at 10% of this random-offset sigma; the "
+          "AABB pattern's systematic offset exceeds it, symmetric "
+          "patterns stay far below.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Full hierarchical flow on the high-frequency 5T OTA (paper Table VI).
+
+Runs the complete Fig. 1 flow — bias calibration, primitive optimization,
+placement, global routing, port optimization with reconciliation, final
+assembly — for both the conventional baseline and this work, and prints
+the Table VI comparison.
+
+Run with::
+
+    python examples/ota_flow.py
+"""
+
+from repro import HierarchicalFlow, Technology
+from repro.circuits import FiveTransistorOta
+from repro.reporting import format_table
+
+
+def main() -> None:
+    tech = Technology.default()
+    ota = FiveTransistorOta(tech)
+    flow = HierarchicalFlow(tech, n_bins=3, max_wires=7)
+
+    print("Measuring the schematic...")
+    schematic = ota.measure(ota.schematic())
+
+    print("Running the conventional flow (geometric constraints only)...")
+    conventional = flow.run(ota, flavor="conventional")
+
+    print("Running this work (Algorithms 1 + 2)...")
+    this_work = flow.run(ota, flavor="this_work")
+
+    rows = []
+    for name, metrics in (
+        ("schematic", schematic),
+        ("conventional", conventional.metrics),
+        ("this work", this_work.metrics),
+    ):
+        rows.append(
+            [
+                name,
+                f"{metrics['current'] * 1e6:.0f}",
+                f"{metrics['gain_db']:.1f}",
+                f"{metrics['ugf'] / 1e9:.2f}",
+                f"{metrics['f3db'] / 1e6:.0f}",
+                f"{metrics['phase_margin']:.1f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["row", "current (uA)", "gain (dB)", "UGF (GHz)", "3dB (MHz)",
+             "PM (deg)"],
+            rows,
+            title="Table VI reproduction — high-frequency 5T OTA:",
+        )
+    )
+
+    print("\nLayout decisions (this work):")
+    for name, choice in this_work.choices.items():
+        print(
+            f"  {name}: (nfin, nf, m) = ({choice.base.nfin}, "
+            f"{choice.base.nf}, {choice.base.m}), pattern {choice.pattern}"
+        )
+    print("\nReconciled parallel-route counts:")
+    for net, rec in this_work.reconciled.items():
+        mode = "overlap" if rec.overlapped else "gap search"
+        print(f"  {net}: {rec.wires} wires ({mode}, "
+              f"{len(rec.constraints)} constraining primitives)")
+    print(f"\nModeled runtime: {this_work.modeled_runtime:.0f}s "
+          f"(paper: 80s); actual wall time {this_work.wall_time:.1f}s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""StrongARM comparator: primitive annotation and transient evaluation.
+
+Demonstrates the paper's Fig. 3: a clocked comparator decomposed into
+five primitive classes (input pair, regenerative pair, PMOS cross-coupled
+pair, precharge switches, tail switch), with top-level delay/power
+measured by transient simulation — schematic vs the optimized flow.
+
+Run with::
+
+    python examples/strongarm_comparator.py
+"""
+
+from repro import HierarchicalFlow, Technology
+from repro.circuits import StrongArmComparator
+from repro.reporting import format_table
+
+
+def main() -> None:
+    tech = Technology.default()
+    comparator = StrongArmComparator(tech, v_in_diff=50e-3)
+
+    print("Primitive annotation (the shaded boxes of the paper's Fig. 3):")
+    for binding in comparator.bindings():
+        ports = ", ".join(f"{p}->{n}" for p, n in binding.port_map.items())
+        print(f"  {binding.name}: {binding.primitive.family} ({ports})")
+
+    print("\nTransient decision on the schematic...")
+    schematic = comparator.measure(comparator.schematic(), dt=2e-12)
+
+    flow = HierarchicalFlow(tech, n_bins=2, max_wires=5)
+    print("Running the hierarchical flow (this work)...")
+    result = flow.run(comparator, flavor="this_work")
+
+    print()
+    print(
+        format_table(
+            ["row", "delay (ps)", "power (uW)", "decision"],
+            [
+                [
+                    "schematic",
+                    f"{schematic['delay'] * 1e12:.1f}",
+                    f"{schematic['power'] * 1e6:.2f}",
+                    "+1" if schematic["decision"] > 0 else "-1",
+                ],
+                [
+                    "this work",
+                    f"{result.metrics['delay'] * 1e12:.1f}",
+                    f"{result.metrics['power'] * 1e6:.2f}",
+                    "+1" if result.metrics["decision"] > 0 else "-1",
+                ],
+            ],
+            title="StrongARM comparator (paper Table VI: 19.2 ps schematic, "
+            "31.5 ps this work):",
+        )
+    )
+
+    print("\nOffset sensitivity: sweeping the input difference...")
+    for v_diff in (5e-3, 20e-3, 50e-3):
+        comparator.v_in_diff = v_diff
+        metrics = comparator.measure(comparator.schematic(), dt=2e-12)
+        print(f"  vin_diff = {v_diff * 1e3:4.0f} mV -> "
+              f"delay {metrics['delay'] * 1e12:6.1f} ps")
+
+
+if __name__ == "__main__":
+    main()

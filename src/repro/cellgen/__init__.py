@@ -1,0 +1,39 @@
+"""Parameterized analog primitive cell generator.
+
+Replaces the ALIGN-style procedural cell generator the paper builds on.
+Given a set of matched FinFET devices with a (nfin, nf, m) sizing, a
+placement pattern and a per-net wire configuration, it produces a
+:class:`~repro.geometry.layout.Layout` with:
+
+* device unit placements on the fin/poly grid (one row, or two rows for
+  the 2D common-centroid pattern), with optional dummy fingers,
+* within-cell mesh wiring — M1 finger stubs rising to stacked M2 straps,
+  with a configurable number of parallel straps per net (the paper's
+  *effective wire width*),
+* ports on the strap ends, and the well rectangle used by WPE extraction.
+
+The stacked-strap track model is what gives primitive tuning its
+characteristic cost curve: the first added strap halves the strap
+resistance, while every added strap raises the cell's track stack and
+lengthens all finger stubs, so cost is convex in the strap count.
+"""
+
+from repro.cellgen.patterns import pattern_sequence, available_patterns
+from repro.cellgen.sizing import enumerate_sizings, aspect_ratio_of_sizing
+from repro.cellgen.generator import (
+    CellDevice,
+    CellSpec,
+    WireConfig,
+    generate_layout,
+)
+
+__all__ = [
+    "pattern_sequence",
+    "available_patterns",
+    "enumerate_sizings",
+    "aspect_ratio_of_sizing",
+    "CellDevice",
+    "CellSpec",
+    "WireConfig",
+    "generate_layout",
+]

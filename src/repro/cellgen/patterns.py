@@ -1,0 +1,236 @@
+"""Placement patterns for matched device groups.
+
+A pattern turns per-device unit counts into a linear (or two-row)
+arrangement of units.  The paper's three one-dimensional patterns are
+
+* ``ABAB`` — interdigitated,
+* ``ABBA`` — common centroid,
+* ``AABB`` — clustered (non-common-centroid),
+
+plus ``CC2D``, a two-row cross-coupled common-centroid arrangement
+(``AB…/BA…``) provided as the natural 2D extension.
+
+Patterns generalize beyond two equal devices: unit counts may differ (the
+1:8 current mirror interleaves one reference unit among eight output
+units using a Bresenham-style spread), and any number of devices may be
+grouped.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LayoutError
+
+#: Unit entry: (device name, unit index within that device).
+PatternUnit = tuple[str, int]
+
+#: A placed pattern: rows of units (one row for 1D patterns).
+PatternRows = list[list[PatternUnit]]
+
+
+def _normalize_units(
+    devices: list[str], units_per_device: int | dict[str, int]
+) -> dict[str, int]:
+    if not devices:
+        raise LayoutError("pattern needs at least one device")
+    if len(set(devices)) != len(devices):
+        raise LayoutError("duplicate device names in pattern group")
+    if isinstance(units_per_device, int):
+        counts = {d: units_per_device for d in devices}
+    else:
+        missing = [d for d in devices if d not in units_per_device]
+        if missing:
+            raise LayoutError(f"missing unit counts for {missing}")
+        counts = {d: units_per_device[d] for d in devices}
+    for device, count in counts.items():
+        if count < 1:
+            raise LayoutError(f"device {device!r} needs at least one unit")
+    return counts
+
+
+def available_patterns(
+    devices: list[str], units_per_device: int | dict[str, int]
+) -> list[str]:
+    """Pattern names applicable to a matched group of this shape."""
+    counts = _normalize_units(devices, units_per_device)
+    values = list(counts.values())
+    names = ["ABAB", "AABB"]
+    if all(v % 2 == 0 for v in values) or all(v == 1 for v in values):
+        names.insert(1, "ABBA")
+    if len(devices) == 2 and all(v % 2 == 0 for v in values):
+        names.append("CC2D")
+    return names
+
+
+def _round_robin(counts: dict[str, int]) -> list[PatternUnit]:
+    total = sum(counts.values())
+    placed = {d: 0 for d in counts}
+    sequence: list[PatternUnit] = []
+    while len(sequence) < total:
+        progressed = False
+        for device, count in counts.items():
+            if placed[device] < count:
+                deficit = count * (len(sequence) + 1) / total - placed[device]
+                if deficit > 0 or all(
+                    placed[d] >= counts[d] for d in counts if d != device
+                ):
+                    sequence.append((device, placed[device]))
+                    placed[device] += 1
+                    progressed = True
+        if not progressed:  # pragma: no cover - safeguarded by counts >= 1
+            raise LayoutError("interleave failed to progress")
+    return sequence
+
+
+def _clustered(counts: dict[str, int]) -> list[PatternUnit]:
+    sequence: list[PatternUnit] = []
+    for device, count in counts.items():
+        sequence.extend((device, k) for k in range(count))
+    return sequence
+
+
+def _common_centroid(counts: dict[str, int]) -> list[PatternUnit]:
+    values = list(counts.values())
+    if all(v == 1 for v in values):
+        return _round_robin(counts)
+    if any(v % 2 != 0 for v in values):
+        raise LayoutError("ABBA needs even unit counts per device")
+    half_counts = {d: c // 2 for d, c in counts.items()}
+    half = _round_robin(half_counts)
+    indices = dict(half_counts)
+    mirrored: list[PatternUnit] = []
+    for device, _ in reversed(half):
+        mirrored.append((device, indices[device]))
+        indices[device] += 1
+    return half + mirrored
+
+
+def pattern_sequence(
+    name: str,
+    devices: list[str],
+    units_per_device: int | dict[str, int],
+) -> PatternRows:
+    """Arrange device units per the named pattern.
+
+    Args:
+        name: One of :func:`available_patterns`.
+        devices: Matched device names, in interleave order.
+        units_per_device: Multiplicity ``m`` per device — one int for
+            equal counts, or a per-device dict for ratioed groups.
+
+    Returns:
+        Rows of (device, unit_index) entries; 1D patterns return one row.
+
+    Raises:
+        LayoutError: If the pattern is unknown or infeasible.
+    """
+    counts = _normalize_units(devices, units_per_device)
+    key = name.upper()
+    if key == "ABAB":
+        return [_round_robin(counts)]
+    if key == "AABB":
+        return [_clustered(counts)]
+    if key == "ABBA":
+        return [_common_centroid(counts)]
+    if key == "CC2D":
+        if len(devices) != 2:
+            raise LayoutError("CC2D is defined for exactly two devices")
+        if any(c % 2 != 0 for c in counts.values()):
+            raise LayoutError("CC2D needs even unit counts per device")
+        half_counts = {d: c // 2 for d, c in counts.items()}
+        a, b = devices
+        top = _round_robin(half_counts)
+        bottom_order = _round_robin({b: half_counts[b], a: half_counts[a]})
+        indices = dict(half_counts)
+        bottom: list[PatternUnit] = []
+        for device, _ in bottom_order:
+            bottom.append((device, indices[device]))
+            indices[device] += 1
+        return [top, bottom]
+    raise LayoutError(f"unknown placement pattern {name!r}")
+
+
+def pattern_rows(
+    name: str,
+    devices: list[str],
+    units_per_device: int | dict[str, int],
+) -> PatternRows:
+    """2D arrangement: the pattern sequence wrapped into device-wide rows.
+
+    This is the arrangement the generator actually places: each row holds
+    one unit per matched device (``len(devices)`` columns), stacked over
+    ``m`` rows.  The classic 1D pattern names then read as:
+
+    * ``ABAB`` — same column order every row (A column next to B column),
+    * ``ABBA`` — column order alternates per row (checkerboard common
+      centroid; works for odd ``m`` too, with a half-unit residue),
+    * ``AABB`` — rows clustered per device (A rows above B rows),
+    * ``CC2D`` — alias of ``ABBA`` (the two-row cross-coupled case).
+
+    Unequal unit counts (ratioed mirrors) are wrapped row-major from the
+    1D sequence.
+    """
+    counts = _normalize_units(devices, units_per_device)
+    key = name.upper()
+    ncols = len(devices)
+    values = set(counts.values())
+
+    if values == {counts[devices[0]]} and len(values) == 1:
+        m = counts[devices[0]]
+        if key == "ABAB":
+            rows: PatternRows = []
+            for r in range(m):
+                rows.append([(d, r) for d in devices])
+            return rows
+        if key in ("ABBA", "CC2D"):
+            rows = []
+            for r in range(m):
+                order = devices if r % 2 == 0 else list(reversed(devices))
+                rows.append([(d, r) for d in order])
+            return rows
+        if key == "AABB":
+            rows = []
+            for device in devices:
+                for r in range(0, m, ncols):
+                    row = [
+                        (device, r + k) for k in range(min(ncols, m - r))
+                    ]
+                    rows.append(row)
+            return rows
+
+    # Ratioed groups: wrap the 1D sequence row-major.
+    flat = pattern_sequence(key if key != "CC2D" else "ABBA", devices, counts)[0]
+    rows = [flat[i : i + ncols] for i in range(0, len(flat), ncols)]
+    return rows
+
+
+def centroid_offsets(rows: PatternRows) -> dict[str, float]:
+    """Per-device unit-centroid x position, in unit pitches.
+
+    Used to verify pattern symmetry: ABBA and CC2D have equal centroids
+    for all devices; AABB does not.
+    """
+    positions: dict[str, list[float]] = {}
+    for row in rows:
+        for col, (device, _idx) in enumerate(row):
+            positions.setdefault(device, []).append(float(col))
+    return {d: sum(p) / len(p) for d, p in positions.items()}
+
+
+def centroid_offsets_2d(rows: PatternRows) -> dict[str, tuple[float, float]]:
+    """Per-device unit-centroid (x, y) position, in unit pitches.
+
+    For the 2D arrangements of :func:`pattern_rows`: ``ABBA`` matches
+    centroids in both axes (even ``m``); ``ABAB`` differs in x by one
+    column; ``AABB`` differs in y by half the stack.
+    """
+    positions: dict[str, list[tuple[float, float]]] = {}
+    for r, row in enumerate(rows):
+        for col, (device, _idx) in enumerate(row):
+            positions.setdefault(device, []).append((float(col), float(r)))
+    return {
+        d: (
+            sum(x for x, _ in p) / len(p),
+            sum(y for _, y in p) / len(p),
+        )
+        for d, p in positions.items()
+    }

@@ -1,0 +1,82 @@
+"""Enumeration of (nfin, nf, m) layout variants.
+
+A schematic device fixes the total fin count ``nfin * nf * m``; the cell
+generator is free to redistribute fins between fins-per-finger, fingers
+and multiplicity (paper Fig. 5).  Each factorization lands at a different
+bounding-box aspect ratio and a different parasitic/LDE operating point,
+which is exactly the search space of primitive selection.
+"""
+
+from __future__ import annotations
+
+from repro.devices.mosfet import MosGeometry
+from repro.errors import LayoutError
+from repro.tech.rules import DesignRules
+
+
+def enumerate_sizings(
+    total_fins: int,
+    min_nfin: int = 4,
+    max_nfin: int = 32,
+    min_nf: int = 2,
+    max_nf: int = 32,
+    max_m: int = 8,
+    even_nf: bool = True,
+) -> list[MosGeometry]:
+    """All (nfin, nf, m) factorizations of ``total_fins`` within bounds.
+
+    Args:
+        total_fins: The schematic fin count to preserve.
+        min_nfin, max_nfin: Fin-count range per finger (device rows).
+        min_nf, max_nf: Finger-count range per unit.
+        max_m: Maximum multiplicity.
+        even_nf: Require an even finger count (keeps source diffusions on
+            both unit ends, the usual analog convention).
+
+    Returns:
+        Geometries sorted by (nfin, nf, m).
+
+    Raises:
+        LayoutError: If no factorization exists within the bounds.
+    """
+    if total_fins < 1:
+        raise LayoutError("total_fins must be >= 1")
+    found: list[MosGeometry] = []
+    for nfin in range(min_nfin, max_nfin + 1):
+        if total_fins % nfin != 0:
+            continue
+        rest = total_fins // nfin
+        for m in range(1, max_m + 1):
+            if rest % m != 0:
+                continue
+            nf = rest // m
+            if nf < min_nf or nf > max_nf:
+                continue
+            if even_nf and nf % 2 != 0:
+                continue
+            found.append(MosGeometry(nfin=nfin, nf=nf, m=m))
+    if not found:
+        raise LayoutError(
+            f"no (nfin, nf, m) factorization of {total_fins} fins within bounds"
+        )
+    found.sort(key=lambda g: (g.nfin, g.nf, g.m))
+    return found
+
+
+def aspect_ratio_of_sizing(
+    geometry: MosGeometry,
+    rules: DesignRules,
+    units_in_row: int | None = None,
+    rows: int = 1,
+) -> float:
+    """Estimated cell aspect ratio (width/height) for a sizing.
+
+    ``units_in_row`` defaults to the geometry's own multiplicity — i.e.
+    one matched device's units; a matched pair doubles it.
+    """
+    units = geometry.m if units_in_row is None else units_in_row
+    width = units * rules.finger_footprint(geometry.nf)
+    height = rows * rules.row_footprint(geometry.nfin)
+    if height == 0:
+        raise LayoutError("zero-height sizing")
+    return width / height

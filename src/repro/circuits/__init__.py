@@ -1,0 +1,36 @@
+"""Evaluation circuits.
+
+The paper's four benchmark circuits, expressed as *annotated* netlists —
+compositions of primitive instances, exactly what the hierarchical flow
+of Fig. 1 consumes:
+
+* :mod:`repro.circuits.csamp` — the common-source amplifier of Fig. 2 /
+  Table I (CS stage + PMOS current-source load),
+* :mod:`repro.circuits.ota` — the high-frequency five-transistor OTA
+  (differential pair + active current-mirror load + tail current source),
+* :mod:`repro.circuits.strongarm` — the StrongARM comparator of Fig. 3
+  (input pair, regenerative NMOS pair, PMOS cross-coupled pair, precharge
+  switches, clock tail switch),
+* :mod:`repro.circuits.vco` — the eight-stage differential
+  ring-oscillator VCO built from current-starved inverters with
+  cross-coupled latch keepers.
+
+Each circuit class knows its primitive bindings, builds schematic or
+post-layout assemblies, and measures the paper's top-level metrics.
+"""
+
+from repro.circuits.base import CompositeCircuit, PrimitiveBinding, RouteBudget
+from repro.circuits.csamp import CommonSourceAmpCircuit
+from repro.circuits.ota import FiveTransistorOta
+from repro.circuits.strongarm import StrongArmComparator
+from repro.circuits.vco import RingOscillatorVco
+
+__all__ = [
+    "CompositeCircuit",
+    "PrimitiveBinding",
+    "RouteBudget",
+    "CommonSourceAmpCircuit",
+    "FiveTransistorOta",
+    "StrongArmComparator",
+    "RingOscillatorVco",
+]

@@ -1,0 +1,201 @@
+"""Composite-circuit framework.
+
+A :class:`CompositeCircuit` is the flow's view of a top-level design: a
+set of :class:`PrimitiveBinding` instances (the *annotated hierarchy* of
+Fig. 1) plus testbench stimuli and top-level measurements.
+
+Assembly modes:
+
+* ``schematic()`` — every binding contributes its ideal netlist,
+  connected directly (the designer's pre-layout view),
+* ``assembled(choices, route_budgets)`` — every binding contributes an
+  extracted post-layout netlist (a chosen variant/pattern/wire config)
+  and inter-primitive nets carry global-route RC scaled by the chosen
+  parallel-route counts.
+
+Both return a flat :class:`~repro.spice.netlist.Circuit` ready for the
+circuit's measurement testbench.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.cellgen.generator import WireConfig
+from repro.core.port_constraints import GlobalRouteInfo, route_rc
+from repro.devices.mosfet import MosGeometry
+from repro.errors import OptimizationError
+from repro.spice.netlist import Circuit, is_ground
+from repro.tech.pdk import Technology
+
+
+@dataclass
+class PrimitiveBinding:
+    """One primitive instance inside a composite circuit.
+
+    Attributes:
+        name: Instance name (e.g. ``"xdp"``).
+        primitive: The primitive object (bias fields set for this
+            circuit's context).
+        port_map: Primitive port net → top-level net.
+        symmetric_ports: Groups of primitive ports that the detailed
+            router keeps matched (sized together during port
+            optimization).
+        optimize_ports: Primitive ports whose external routes take part
+            in Algorithm 2 (defaults to all mapped ports).
+    """
+
+    name: str
+    primitive: object
+    port_map: dict[str, str]
+    symmetric_ports: list[tuple[str, ...]] = field(default_factory=list)
+    optimize_ports: list[str] | None = None
+
+    def ports_to_optimize(self) -> list[str]:
+        if self.optimize_ports is not None:
+            return list(self.optimize_ports)
+        return [p for p in self.port_map if not is_ground(self.port_map[p])]
+
+
+@dataclass
+class LayoutChoice:
+    """The layout decision for one binding in an assembly."""
+
+    base: MosGeometry
+    pattern: str
+    wires: WireConfig = field(default_factory=WireConfig)
+
+
+@dataclass
+class RouteBudget:
+    """Route RC applied to one top-level net during assembly.
+
+    Attributes:
+        route: The global-route description.
+        n_wires: Parallel-route count chosen by reconciliation.
+    """
+
+    route: GlobalRouteInfo
+    n_wires: int = 1
+
+
+class CompositeCircuit(ABC):
+    """Base class for the benchmark circuits."""
+
+    name = "composite"
+
+    def __init__(self, tech: Technology):
+        self.tech = tech
+
+    # -- structure ---------------------------------------------------------
+
+    @abstractmethod
+    def bindings(self) -> list[PrimitiveBinding]:
+        """The annotated primitive hierarchy."""
+
+    @abstractmethod
+    def finish_testbench(self, tb: Circuit, ac: bool = False) -> None:
+        """Add stimuli/bias/load elements for the top-level testbench."""
+
+    @abstractmethod
+    def measure(self, dut: Circuit) -> dict[str, float]:
+        """Measure the paper's top-level metrics on an assembly."""
+
+    def placement_rows(self) -> list[list[str]] | None:
+        """Optional floorplan hint: rows of binding names.
+
+        Circuits with a strong natural topology (ring oscillators) return
+        a snake-ordered floorplan here; the flow then places rows
+        directly instead of annealing, exactly as a layout engineer would
+        constrain the placer.  ``None`` (default) means anneal freely.
+        """
+        return None
+
+    # -- assembly ----------------------------------------------------------
+
+    def schematic(self) -> Circuit:
+        """Flat pre-layout netlist of the whole circuit."""
+        top = Circuit(f"{self.name}_schematic")
+        for binding in self.bindings():
+            child = binding.primitive.schematic_circuit()
+            missing = [p for p in child.ports if p not in binding.port_map]
+            if missing:
+                raise OptimizationError(
+                    f"{self.name}/{binding.name}: unmapped ports {missing}"
+                )
+            port_map = {p: binding.port_map[p] for p in child.ports}
+            top.instantiate(child, binding.name, port_map)
+        return top
+
+    def assembled(
+        self,
+        choices: dict[str, LayoutChoice],
+        route_budgets: dict[str, RouteBudget] | None = None,
+    ) -> Circuit:
+        """Flat post-layout netlist.
+
+        Args:
+            choices: Layout decision per binding name.
+            route_budgets: Per-top-net global-route RC (keyed by top net);
+                nets without a budget connect directly.
+        """
+        route_budgets = route_budgets or {}
+        top = Circuit(f"{self.name}_assembled")
+
+        # Inter-primitive route RC: the net is split into a trunk node
+        # plus per-pin tap; the trunk carries the route C and each pin
+        # reaches it through half the route R (a symmetric pi).
+        routed_nets = set(route_budgets)
+        for net, budget in route_budgets.items():
+            r, c = route_rc(budget.route, self.tech, budget.n_wires)
+            if c > 0:
+                top.add_capacitor(f"c_route_{net}", f"{net}__trunk", "0", c)
+
+        pin_counter: dict[str, int] = {}
+        for binding in self.bindings():
+            choice = choices.get(binding.name)
+            if choice is None:
+                raise OptimizationError(
+                    f"{self.name}: no layout choice for binding {binding.name!r}"
+                )
+            child = binding.primitive.extract(
+                binding.primitive.generate(choice.base, choice.pattern, choice.wires),
+                choice.base,
+            ).build_circuit()
+
+            port_map: dict[str, str] = {}
+            for port, net in binding.port_map.items():
+                if port not in child.ports:
+                    continue
+                if net in routed_nets:
+                    pin_counter[net] = pin_counter.get(net, 0) + 1
+                    pin_node = f"{net}__pin{pin_counter[net]}"
+                    budget = route_budgets[net]
+                    r, _c = route_rc(budget.route, self.tech, budget.n_wires)
+                    top.add_resistor(
+                        f"r_route_{net}_{binding.name}_{port}",
+                        f"{net}__trunk",
+                        pin_node,
+                        max(r / 2.0, 1e-3),
+                    )
+                    port_map[port] = pin_node
+                else:
+                    port_map[port] = net
+            top.instantiate(child, binding.name, port_map)
+
+        # Routed nets keep a zero-ish impedance link from trunk to the
+        # canonical net name so testbench stimuli attach naturally.
+        for net in routed_nets:
+            top.add_resistor(f"r_tap_{net}", net, f"{net}__trunk", 1e-3)
+        return top
+
+    # -- testbench helper -----------------------------------------------
+
+    def testbench(self, dut: Circuit, ac: bool = False) -> Circuit:
+        """Wrap an assembly (or the schematic) with the circuit stimuli."""
+        tb = Circuit(f"{self.name}_tb")
+        for element in dut.elements:
+            tb.add(element)
+        self.finish_testbench(tb, ac=ac)
+        return tb

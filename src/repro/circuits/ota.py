@@ -1,0 +1,144 @@
+"""The high-frequency five-transistor OTA (paper Table VI, Fig. 6a).
+
+Three primitives, matching the paper's Fig. 6 annotation:
+
+* the NMOS input differential pair (M1/M2),
+* the PMOS active current-mirror load (M3/M4),
+* the NMOS tail current source (M5, mirrored from an external bias).
+
+Nets follow Fig. 6(a): net ``nx`` is the mirror's diode node, ``vout``
+the single-ended output, ``ntail`` the common source.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.base import CompositeCircuit, PrimitiveBinding
+from repro.primitives.diffpair import DifferentialPair
+from repro.primitives.loads import CurrentSourceLoad
+from repro.primitives.mirrors import ActiveCurrentMirror
+from repro.spice import measure
+from repro.spice.ac import ac_analysis
+from repro.spice.dc import dc_operating_point
+from repro.spice.mna import CompiledCircuit
+from repro.spice.netlist import Circuit
+from repro.tech.pdk import Technology
+
+
+class FiveTransistorOta(CompositeCircuit):
+    """High-frequency 5T OTA.
+
+    Args:
+        tech: Technology node.
+        i_tail: Tail current (A).
+        c_load: Output load capacitance (F).
+        pair_fins: Fins per input-pair side.
+        mirror_fins: Fins per load-mirror device.
+        tail_fins: Fins of the tail current source.
+        vcm: Input common-mode voltage (V).
+    """
+
+    name = "ota5t"
+
+    def __init__(
+        self,
+        tech: Technology,
+        i_tail: float = 700.0e-6,
+        c_load: float = 200.0e-15,
+        pair_fins: int = 240,
+        mirror_fins: int = 240,
+        tail_fins: int = 480,
+        vcm: float | None = None,
+    ):
+        super().__init__(tech)
+        self.i_tail = i_tail
+        self.c_load = c_load
+        # Enough common-mode headroom that the tail device stays safely
+        # saturated even under layout-induced source IR drop.
+        self.vcm = vcm if vcm is not None else 0.72 * tech.vdd
+
+        half = i_tail / 2.0
+        vout_est = tech.vdd - 0.25 * tech.vdd  # mirror diode drop estimate
+        self.pair = DifferentialPair(
+            tech, base_fins=pair_fins, name="ota_dp",
+            vcm=self.vcm, vout=vout_est, i_tail=i_tail,
+        )
+        self.mirror = ActiveCurrentMirror(
+            tech, base_fins=mirror_fins, ratio=1, name="ota_mirror",
+            i_ref=half, vout=vout_est,
+        )
+        self.tail = CurrentSourceLoad(
+            tech, base_fins=tail_fins, name="ota_tail",
+            i_target=i_tail, vout=0.15 * tech.vdd,
+        )
+
+    def bindings(self) -> list[PrimitiveBinding]:
+        return [
+            PrimitiveBinding(
+                name="xdp",
+                primitive=self.pair,
+                port_map={
+                    "inp": "vinp",
+                    "inn": "vinn",
+                    "outp": "nx",
+                    "outn": "vout",
+                    "tail": "ntail",
+                },
+                symmetric_ports=[("outp", "outn"), ("inp", "inn")],
+            ),
+            PrimitiveBinding(
+                name="xmirror",
+                primitive=self.mirror,
+                port_map={"in": "nx", "out": "vout", "vdd!": "vdd!"},
+            ),
+            PrimitiveBinding(
+                name="xtail",
+                primitive=self.tail,
+                port_map={"out": "ntail", "vb": "vbn"},
+            ),
+        ]
+
+    def calibrate_biases(self) -> None:
+        """Refresh primitive bias points from the schematic OP.
+
+        Mirrors Algorithm 1 line 3: the primitives' testbench biases come
+        from a circuit-level schematic simulation.
+        """
+        tb = self.testbench(self.schematic(), ac=False)
+        compiled = CompiledCircuit(tb, self.tech.rules)
+        op = dc_operating_point(compiled)
+        self.pair.vout = op.v("nx")
+        self.mirror.vout = op.v("vout")
+        self.tail.vout = op.v("ntail")
+
+    def finish_testbench(self, tb: Circuit, ac: bool = False) -> None:
+        vdd = self.tech.vdd
+        tb.add_vsource("vdd", "vdd!", "0", vdd)
+        tb.add_vsource("vbn", "vbn", "0", self.tail.v_bias)
+        tb.add_vsource(
+            "vinp", "vinp", "0", self.vcm, ac_magnitude=0.5 if ac else 0.0
+        )
+        tb.add_vsource(
+            "vinn",
+            "vinn",
+            "0",
+            self.vcm,
+            ac_magnitude=0.5 if ac else 0.0,
+            ac_phase_deg=180.0,
+        )
+        tb.add_capacitor("cl", "vout", "0", self.c_load)
+
+    def measure(self, dut: Circuit) -> dict[str, float]:
+        """The Table VI row: current, gain, UGF, 3dB freq, phase margin."""
+        tb = self.testbench(dut, ac=True)
+        compiled = CompiledCircuit(tb, self.tech.rules)
+        op = dc_operating_point(compiled)
+        ac = ac_analysis(compiled, op, 1.0e5, 1.0e11, 12)
+        h = ac.v("vout")
+        current = abs(op.i("vdd"))
+        return {
+            "current": current,
+            "gain_db": measure.low_frequency_gain_db(h),
+            "ugf": measure.unity_gain_frequency(ac.freqs, h),
+            "f3db": measure.bandwidth_3db(ac.freqs, h),
+            "phase_margin": measure.phase_margin(ac.freqs, h),
+        }

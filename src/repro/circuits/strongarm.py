@@ -1,0 +1,186 @@
+"""The StrongARM comparator (paper Fig. 3, Table VI).
+
+Primitive annotation (the shaded boxes of Fig. 3):
+
+* input differential pair M1/M2 (sources on the clocked tail node),
+* regenerative NMOS pair M3/M4 (sources on the pair's drains P/Q),
+* PMOS cross-coupled pair M5/M6 (output latch),
+* PMOS precharge switches on the output nodes,
+* NMOS clock tail switch M7.
+
+Top-level metrics (Table VI): clock-to-output delay and average power,
+measured with a transient simulation of one decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.base import CompositeCircuit, PrimitiveBinding
+from repro.errors import MeasureError
+from repro.primitives.diffpair import DifferentialPair
+from repro.primitives.digital import (
+    PmosCrossCoupledPair,
+    PmosSwitch,
+    RegenerativePair,
+    TransmissionSwitch,
+)
+from repro.spice import measure
+from repro.spice.dc import dc_operating_point
+from repro.spice.mna import CompiledCircuit
+from repro.spice.netlist import Circuit
+from repro.spice.tran import transient
+from repro.spice.waveforms import Pulse
+from repro.tech.pdk import Technology
+
+
+class StrongArmComparator(CompositeCircuit):
+    """StrongARM latch comparator.
+
+    Args:
+        tech: Technology node.
+        v_in_diff: Differential input applied during the measurement (V).
+        vcm: Input common mode (V).
+        pair_fins: Fins per input-pair side.
+        latch_fins: Fins of the regenerative/cross-coupled devices.
+        clock_period: Clock period for the transient (s).
+    """
+
+    name = "strongarm"
+
+    def __init__(
+        self,
+        tech: Technology,
+        v_in_diff: float = 50.0e-3,
+        vcm: float | None = None,
+        pair_fins: int = 96,
+        latch_fins: int = 64,
+        switch_fins: int = 48,
+        tail_fins: int = 192,
+        clock_period: float = 2.0e-9,
+    ):
+        super().__init__(tech)
+        self.v_in_diff = v_in_diff
+        self.vcm = vcm if vcm is not None else 0.6 * tech.vdd
+        self.clock_period = clock_period
+
+        self.pair = DifferentialPair(
+            tech, base_fins=pair_fins, name="sa_pair",
+            vcm=self.vcm, vout=0.3 * tech.vdd, i_tail=0.5e-6 * pair_fins,
+        )
+        self.regen = RegenerativePair(tech, base_fins=latch_fins, name="sa_regen")
+        self.latch_p = PmosCrossCoupledPair(
+            tech, base_fins=latch_fins, name="sa_latchp"
+        )
+        self.pre_p = PmosSwitch(tech, base_fins=switch_fins, name="sa_prep")
+        self.pre_n = PmosSwitch(tech, base_fins=switch_fins, name="sa_pren")
+        self.tail_sw = TransmissionSwitch(
+            tech, base_fins=tail_fins, name="sa_tail", v_signal=0.05 * tech.vdd
+        )
+
+    def bindings(self) -> list[PrimitiveBinding]:
+        return [
+            PrimitiveBinding(
+                name="xpair",
+                primitive=self.pair,
+                port_map={
+                    "inp": "vinp",
+                    "inn": "vinn",
+                    "outp": "np",
+                    "outn": "nq",
+                    "tail": "ntail",
+                },
+                symmetric_ports=[("outp", "outn")],
+            ),
+            PrimitiveBinding(
+                name="xregen",
+                primitive=self.regen,
+                # The positive output rides on the *negative* input's
+                # drain (the StrongARM inverts through the first stage).
+                port_map={
+                    "outp": "voutp",
+                    "outn": "voutn",
+                    "srcp": "nq",
+                    "srcn": "np",
+                },
+                symmetric_ports=[("outp", "outn"), ("srcp", "srcn")],
+            ),
+            PrimitiveBinding(
+                name="xlatchp",
+                primitive=self.latch_p,
+                port_map={"outp": "voutp", "outn": "voutn", "vdd!": "vdd!"},
+                symmetric_ports=[("outp", "outn")],
+            ),
+            PrimitiveBinding(
+                name="xprep",
+                primitive=self.pre_p,
+                port_map={"a": "voutp", "en": "clk", "b": "vdd!", "vdd!": "vdd!"},
+            ),
+            PrimitiveBinding(
+                name="xpren",
+                primitive=self.pre_n,
+                port_map={"a": "voutn", "en": "clk", "b": "vdd!", "vdd!": "vdd!"},
+            ),
+            PrimitiveBinding(
+                name="xtail",
+                primitive=self.tail_sw,
+                port_map={"a": "ntail", "en": "clk", "b": "0"},
+                optimize_ports=["a"],
+            ),
+        ]
+
+    def finish_testbench(self, tb: Circuit, ac: bool = False) -> None:
+        vdd = self.tech.vdd
+        tb.add_vsource("vdd", "vdd!", "0", vdd)
+        tb.add_vsource("vinp", "vinp", "0", self.vcm + self.v_in_diff / 2.0)
+        tb.add_vsource("vinn", "vinn", "0", self.vcm - self.v_in_diff / 2.0)
+        tb.add_vsource(
+            "vclk",
+            "clk",
+            "0",
+            Pulse(
+                v1=0.0,
+                v2=vdd,
+                delay=0.2e-9,
+                rise=10e-12,
+                fall=10e-12,
+                width=self.clock_period / 2.0,
+                period=self.clock_period,
+            ),
+        )
+        tb.add_capacitor("clp", "voutp", "0", 2.0e-15)
+        tb.add_capacitor("cln", "voutn", "0", 2.0e-15)
+
+    def measure(self, dut: Circuit, dt: float = 1.0e-12) -> dict[str, float]:
+        """Delay (s) from clock edge to decision, and average power (W)."""
+        vdd = self.tech.vdd
+        tb = self.testbench(dut)
+        compiled = CompiledCircuit(tb, self.tech.rules)
+        op = dc_operating_point(compiled)
+        t_stop = 0.2e-9 + self.clock_period / 2.0
+        result = transient(compiled, t_stop=t_stop, dt=dt, op=op)
+
+        diff = result.v("voutp") - result.v("voutn")
+        # Decision: |differential output| crosses half the supply — in
+        # either direction (offset can flip the nominal polarity).
+        level = vdd / 2.0
+        clk_rise = measure.crossing_times(
+            result.t, result.v("clk"), vdd / 2.0, "rise"
+        )
+        if len(clk_rise) == 0:
+            raise MeasureError("clock never rises")
+        pos = measure.crossing_times(result.t, diff, +level, "rise")
+        neg = measure.crossing_times(result.t, diff, -level, "fall")
+        candidates = [t for t in list(pos) + list(neg) if t > clk_rise[0]]
+        if not candidates:
+            raise MeasureError("comparator never resolves")
+        delay = float(min(candidates) - clk_rise[0])
+
+        power = measure.average_power(
+            result.t, result.i("vdd"), vdd, settle_fraction=0.0
+        )
+        return {
+            "delay": delay,
+            "power": abs(power),
+            "decision": float(np.sign(diff[-1])),
+        }

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``optimize <primitive>`` — run Algorithm 1 on a library primitive and
+  print the binned/tuned options,
+* ``flow <circuit> [--flavor ...]`` — run the hierarchical flow on one of
+  the paper's circuits and print the measured metrics,
+* ``render <primitive>`` — generate a layout variant and write SVG +
+  extracted SPICE to disk,
+* ``list`` — list the primitive library and the benchmark circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import HierarchicalFlow, PrimitiveOptimizer, Technology
+from repro.primitives import PrimitiveLibrary
+from repro.reporting import format_table
+
+CIRCUITS = {
+    "csamp": "CommonSourceAmpCircuit",
+    "ota": "FiveTransistorOta",
+    "strongarm": "StrongArmComparator",
+    "vco": "RingOscillatorVco",
+}
+
+
+def _build_circuit(name: str, tech: Technology):
+    import repro.circuits as circuits
+
+    try:
+        cls = getattr(circuits, CIRCUITS[name])
+    except KeyError:
+        raise SystemExit(
+            f"unknown circuit {name!r}; choose from {', '.join(CIRCUITS)}"
+        )
+    return cls(tech)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List the primitive library and the benchmark circuits."""
+    library = PrimitiveLibrary()
+    print("Primitives:")
+    for name in library.names():
+        print(f"  {name}")
+    print("\nCircuits:")
+    for name in CIRCUITS:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Run Algorithm 1 on a library primitive and print the options."""
+    tech = Technology.default()
+    library = PrimitiveLibrary()
+    primitive = library.create(args.primitive, tech, base_fins=args.fins)
+    optimizer = PrimitiveOptimizer(n_bins=args.bins, max_wires=args.max_wires)
+    report = optimizer.optimize(primitive)
+    rows = []
+    for result in report.tuned:
+        o = result.option
+        rows.append(
+            [
+                f"({o.base.nfin}, {o.base.nf}, {o.base.m})",
+                o.pattern,
+                f"{o.aspect_ratio:.2f}",
+                f"{o.cost:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["(nfin, nf, m)", "pattern", "aspect", "cost"],
+            rows,
+            title=f"{args.primitive} ({args.fins} fins): "
+            f"{report.total_simulations} simulations",
+        )
+    )
+    return 0
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    """Run the hierarchical flow on a benchmark circuit."""
+    tech = Technology.default()
+    circuit = _build_circuit(args.circuit, tech)
+    flow = HierarchicalFlow(tech, n_bins=args.bins, max_wires=args.max_wires)
+    measure = args.circuit != "vco"  # the VCO needs a control sweep
+    result = flow.run(circuit, flavor=args.flavor, measure=measure)
+    print(f"{args.circuit} / {args.flavor}: "
+          f"modeled runtime {result.modeled_runtime:.0f}s, "
+          f"wall {result.wall_time:.1f}s")
+    for key, value in result.metrics.items():
+        print(f"  {key} = {value:.6g}")
+    if result.reconciled:
+        print("  reconciled routes: "
+              + ", ".join(f"{n}={r.wires}" for n, r in result.reconciled.items()))
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    """Render a primitive layout to SVG and SPICE files."""
+    from pathlib import Path
+
+    from repro.io import layout_to_svg, write_spice
+
+    tech = Technology.default()
+    library = PrimitiveLibrary()
+    primitive = library.create(args.primitive, tech, base_fins=args.fins)
+    base = primitive.variants()[0]
+    layout = primitive.generate(base, args.pattern)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    tag = f"{args.primitive}_{base.nfin}x{base.nf}x{base.m}_{args.pattern.lower()}"
+    (outdir / f"{tag}.svg").write_text(layout_to_svg(layout))
+    circuit = primitive.extract(layout, base).build_circuit()
+    (outdir / f"{tag}.sp").write_text(write_spice(circuit))
+    print(f"wrote {outdir / tag}.svg and .sp "
+          f"({layout.width / 1000:.1f} x {layout.height / 1000:.1f} um)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list primitives and circuits")
+
+    p_opt = sub.add_parser("optimize", help="run Algorithm 1 on a primitive")
+    p_opt.add_argument("primitive")
+    p_opt.add_argument("--fins", type=int, default=96)
+    p_opt.add_argument("--bins", type=int, default=3)
+    p_opt.add_argument("--max-wires", type=int, default=5)
+
+    p_flow = sub.add_parser("flow", help="run the hierarchical flow")
+    p_flow.add_argument("circuit", choices=sorted(CIRCUITS))
+    p_flow.add_argument(
+        "--flavor",
+        default="this_work",
+        choices=["this_work", "conventional", "manual"],
+    )
+    p_flow.add_argument("--bins", type=int, default=2)
+    p_flow.add_argument("--max-wires", type=int, default=5)
+
+    p_render = sub.add_parser("render", help="render a primitive layout")
+    p_render.add_argument("primitive")
+    p_render.add_argument("--fins", type=int, default=96)
+    p_render.add_argument("--pattern", default="ABAB")
+    p_render.add_argument("--outdir", default="out")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "optimize": cmd_optimize,
+        "flow": cmd_flow,
+        "render": cmd_render,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

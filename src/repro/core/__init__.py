@@ -1,0 +1,48 @@
+"""The paper's core methodology.
+
+* :mod:`repro.core.cost` — the weighted relative-deviation cost of
+  Eqs. (5)-(6),
+* :mod:`repro.core.binning` — aspect-ratio binning of layout options,
+* :mod:`repro.core.selection` — primitive selection (Algorithm 1 step 1),
+* :mod:`repro.core.tuning` — primitive tuning (Algorithm 1 step 2),
+* :mod:`repro.core.port_constraints` — per-port wire-count intervals from
+  global-route parasitics (Algorithm 2 step 1),
+* :mod:`repro.core.reconcile` — combining interval constraints per net
+  (Algorithm 2 step 2),
+* :mod:`repro.core.optimizer` — the
+  :class:`~repro.core.optimizer.PrimitiveOptimizer` facade tying the steps
+  together and accounting simulations (Table V).
+"""
+
+from repro.core.cost import CostBreakdown, layout_cost, metric_deviation
+from repro.core.binning import bin_by_aspect_ratio
+from repro.core.selection import LayoutOption, evaluate_options, select_best_per_bin
+from repro.core.tuning import TuningResult, tune_option
+from repro.core.port_constraints import (
+    GlobalRouteInfo,
+    PortConstraint,
+    attach_route,
+    derive_port_constraint,
+)
+from repro.core.reconcile import ReconciledNet, reconcile_net
+from repro.core.optimizer import OptimizationReport, PrimitiveOptimizer
+
+__all__ = [
+    "CostBreakdown",
+    "metric_deviation",
+    "layout_cost",
+    "bin_by_aspect_ratio",
+    "LayoutOption",
+    "evaluate_options",
+    "select_best_per_bin",
+    "TuningResult",
+    "tune_option",
+    "GlobalRouteInfo",
+    "PortConstraint",
+    "attach_route",
+    "derive_port_constraint",
+    "ReconciledNet",
+    "reconcile_net",
+    "OptimizationReport",
+    "PrimitiveOptimizer",
+]

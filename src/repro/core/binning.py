@@ -1,0 +1,63 @@
+"""Aspect-ratio binning of layout options.
+
+"To keep the number of options manageable, we bin options of similar
+layout (bounding box) aspect ratio and provide one option per bin."
+
+Options are sorted by log aspect ratio and split at the ``n - 1`` largest
+gaps, which groups genuinely similar shapes together regardless of how
+the ratios are distributed (the paper's Table III has bins of size 3, 2
+and 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import OptimizationError
+
+T = TypeVar("T")
+
+
+def bin_by_aspect_ratio(
+    options: Sequence[T],
+    n_bins: int,
+    aspect_of: Callable[[T], float],
+) -> list[list[T]]:
+    """Split options into ``n_bins`` groups of similar aspect ratio.
+
+    Args:
+        options: The layout options.
+        n_bins: Number of bins requested; capped at the number of
+            distinct options.
+        aspect_of: Accessor returning an option's aspect ratio.
+
+    Returns:
+        Bins ordered by increasing aspect ratio; every bin is non-empty.
+    """
+    if not options:
+        raise OptimizationError("cannot bin an empty option list")
+    if n_bins < 1:
+        raise OptimizationError("n_bins must be >= 1")
+
+    annotated = sorted(
+        ((math.log(max(aspect_of(o), 1e-9)), o) for o in options),
+        key=lambda pair: pair[0],
+    )
+    n_bins = min(n_bins, len(annotated))
+    if n_bins == 1:
+        return [[o for _, o in annotated]]
+
+    gaps = [
+        (annotated[i + 1][0] - annotated[i][0], i)
+        for i in range(len(annotated) - 1)
+    ]
+    cut_indices = sorted(i for _gap, i in sorted(gaps, reverse=True)[: n_bins - 1])
+
+    bins: list[list[T]] = []
+    start = 0
+    for cut in cut_indices:
+        bins.append([o for _, o in annotated[start : cut + 1]])
+        start = cut + 1
+    bins.append([o for _, o in annotated[start:]])
+    return [b for b in bins if b]

@@ -1,0 +1,185 @@
+"""The primitive optimizer facade (Algorithms 1 and 2 end to end).
+
+Runs primitive selection, binning, per-bin tuning and (given global-route
+information) port-constraint generation for one primitive, while keeping
+the simulation accounting the paper reports in Table V: each stage's
+simulations are independent, so with enough parallel SPICE licenses a
+stage costs one simulation wall-time; the effective runtime is
+``stages x sim_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.port_constraints import (
+    GlobalRouteInfo,
+    PortConstraint,
+    derive_port_constraint,
+)
+from repro.core.selection import (
+    LayoutOption,
+    evaluate_options,
+    select_best_per_bin,
+)
+from repro.core.tuning import TuningResult, tune_option
+from repro.devices.mosfet import MosGeometry
+from repro.errors import OptimizationError
+
+#: Wall time the paper attributes to one primitive simulation (seconds).
+PAPER_SIM_TIME = 10.0
+
+
+@dataclass
+class StageCount:
+    """Simulation accounting for one optimization stage."""
+
+    name: str
+    simulations: int
+
+    @property
+    def parallel_time(self) -> float:
+        """Wall time with unlimited parallelism (one batch)."""
+        return PAPER_SIM_TIME if self.simulations else 0.0
+
+
+@dataclass
+class OptimizationReport:
+    """Full record of one primitive's optimization.
+
+    Attributes:
+        primitive_name: The optimized primitive.
+        options: Every evaluated (sizing x pattern) option.
+        selected: Best option per aspect-ratio bin (input to the placer).
+        tuned: Tuning results, parallel to ``selected``.
+        port_constraints: Per-net constraints from Algorithm 2 step 1.
+        stages: Simulation counts per stage (Table V rows).
+    """
+
+    primitive_name: str
+    options: list[LayoutOption] = field(default_factory=list)
+    selected: list[LayoutOption] = field(default_factory=list)
+    tuned: list[TuningResult] = field(default_factory=list)
+    port_constraints: dict[str, PortConstraint] = field(default_factory=dict)
+    stages: list[StageCount] = field(default_factory=list)
+
+    @property
+    def best(self) -> LayoutOption:
+        """The minimum-cost tuned option."""
+        if self.tuned:
+            return min((t.option for t in self.tuned), key=lambda o: o.cost)
+        if self.selected:
+            return min(self.selected, key=lambda o: o.cost)
+        raise OptimizationError("report has no options")
+
+    @property
+    def total_simulations(self) -> int:
+        return sum(stage.simulations for stage in self.stages)
+
+    @property
+    def effective_time(self) -> float:
+        """Paper-style effective wall time (stages x 10s)."""
+        return sum(stage.parallel_time for stage in self.stages)
+
+    def placer_options(self) -> list[LayoutOption]:
+        """The tuned options handed to the placer (one per bin)."""
+        return [t.option for t in self.tuned] if self.tuned else list(self.selected)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report of the optimization."""
+        lines = [
+            f"primitive {self.primitive_name}: "
+            f"{len(self.options)} options, "
+            f"{self.total_simulations} simulations, "
+            f"effective {self.effective_time:.0f}s"
+        ]
+        for stage in self.stages:
+            lines.append(f"  {stage.name}: {stage.simulations} simulations")
+        for option in self.placer_options():
+            lines.append(f"  -> {option.describe()}")
+        for net, constraint in self.port_constraints.items():
+            upper = constraint.w_max if constraint.w_max is not None else "inf"
+            lines.append(
+                f"  port {net}: [{constraint.w_min}, {upper}] parallel routes"
+            )
+        return "\n".join(lines)
+
+
+class PrimitiveOptimizer:
+    """Primitive-level layout optimization engine.
+
+    Args:
+        n_bins: Number of aspect-ratio bins (options given to the placer).
+        max_wires: Upper bound for tuning and port-constraint sweeps.
+        weight_override: Optional per-metric weight replacement (ablation
+            and what-if studies).
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 3,
+        max_wires: int = 8,
+        weight_override: dict[str, float] | None = None,
+    ):
+        self.n_bins = n_bins
+        self.max_wires = max_wires
+        self.weight_override = weight_override
+
+    def optimize(
+        self,
+        primitive,
+        variants: list[MosGeometry] | None = None,
+        patterns: list[str] | None = None,
+        routes: list[GlobalRouteInfo] | None = None,
+        tune: bool = True,
+    ) -> OptimizationReport:
+        """Run Algorithm 1 (and Algorithm 2 step 1 when routes given)."""
+        report = OptimizationReport(primitive_name=primitive.name)
+
+        # Stage 1: primitive selection.
+        report.options = evaluate_options(
+            primitive,
+            variants=variants,
+            patterns=patterns,
+            weight_override=self.weight_override,
+        )
+        selection_sims = sum(o.simulations for o in report.options)
+        report.selected = select_best_per_bin(report.options, self.n_bins)
+        report.stages.append(StageCount("selection", selection_sims))
+
+        # Stage 2: primitive tuning.
+        if tune:
+            tuning_sims = 0
+            for option in report.selected:
+                result = tune_option(
+                    primitive,
+                    option,
+                    max_wires=self.max_wires,
+                    weight_override=self.weight_override,
+                )
+                tuning_sims += result.simulations
+                report.tuned.append(result)
+            report.stages.append(StageCount("tuning", tuning_sims))
+
+        # Stage 3: port constraints (Algorithm 2 step 1).
+        if routes:
+            dut = self._best_circuit(primitive, report)
+            port_sims = 0
+            for route in routes:
+                constraint, sims = derive_port_constraint(
+                    primitive,
+                    dut,
+                    route,
+                    max_wires=self.max_wires,
+                    weight_override=self.weight_override,
+                )
+                port_sims += sims
+                report.port_constraints[route.net] = constraint
+            report.stages.append(StageCount("port_constraints", port_sims))
+
+        return report
+
+    def _best_circuit(self, primitive, report: OptimizationReport):
+        best = report.best
+        layout = primitive.generate(best.base, best.pattern, best.wires)
+        return primitive.extract(layout, best.base).build_circuit()

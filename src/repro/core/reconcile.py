@@ -1,0 +1,105 @@
+"""Port-constraint reconciliation — Algorithm 2, step 2.
+
+Several primitives may constrain the same net.  When the interval
+constraints overlap, the smallest wire count inside the overlap —
+``max(w_min_i)`` — is chosen for low routing congestion.  When they do
+not overlap, the gap range ``[min(w_max_i), max(w_min_i)]`` is
+re-simulated for all constraining primitives and the count minimizing the
+summed cost wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.port_constraints import PortConstraint
+from repro.errors import OptimizationError
+
+
+@dataclass
+class ReconciledNet:
+    """Outcome of reconciling one net's constraints.
+
+    Attributes:
+        net: Net name.
+        wires: Chosen number of parallel routes.
+        overlapped: Whether the constraint intervals overlapped.
+        constraints: The input constraints.
+        extra_simulations: Simulations spent resolving a non-overlap.
+        gap_costs: Total cost per candidate wire count (non-overlap case).
+    """
+
+    net: str
+    wires: int
+    overlapped: bool
+    constraints: list[PortConstraint]
+    extra_simulations: int = 0
+    gap_costs: dict[int, float] = field(default_factory=dict)
+
+
+def intervals_overlap(constraints: list[PortConstraint]) -> bool:
+    """True if all ``[w_min, w_max]`` intervals share a common point."""
+    lo = max(c.w_min for c in constraints)
+    hi = min(
+        (c.w_max for c in constraints if c.w_max is not None),
+        default=None,
+    )
+    return hi is None or lo <= hi
+
+
+def reconcile_net(
+    net: str,
+    constraints: list[PortConstraint],
+    cost_at: Callable[[PortConstraint, int], float] | None = None,
+) -> ReconciledNet:
+    """Combine the interval constraints of all primitives on one net.
+
+    Args:
+        net: Net name (for reporting).
+        constraints: One constraint per primitive touching the net.
+        cost_at: Optional ``(constraint, wires) -> cost`` evaluator for
+            the non-overlap case; defaults to reading the constraint's
+            recorded sweep (counts as "further simulations" — the caller
+            may substitute fresh simulations for wire counts outside the
+            explored range).
+
+    Returns:
+        The chosen wire count with bookkeeping.
+    """
+    if not constraints:
+        raise OptimizationError(f"net {net!r}: no constraints to reconcile")
+
+    if intervals_overlap(constraints):
+        return ReconciledNet(
+            net=net,
+            wires=max(c.w_min for c in constraints),
+            overlapped=True,
+            constraints=list(constraints),
+        )
+
+    # Non-overlap: search the gap between the most constrained bounds.
+    bounded_maxima = [c.w_max for c in constraints if c.w_max is not None]
+    lo = min(bounded_maxima)
+    hi = max(c.w_min for c in constraints)
+    if lo > hi:
+        lo, hi = hi, lo
+
+    evaluator = cost_at or (lambda c, w: c.cost_at(w))
+    gap_costs: dict[int, float] = {}
+    extra = 0
+    for wires in range(lo, hi + 1):
+        total = 0.0
+        for constraint in constraints:
+            total += evaluator(constraint, wires)
+            extra += 1
+        gap_costs[wires] = total
+    chosen = min(gap_costs, key=gap_costs.get)
+    return ReconciledNet(
+        net=net,
+        wires=chosen,
+        overlapped=False,
+        constraints=list(constraints),
+        extra_simulations=extra,
+        gap_costs=gap_costs,
+    )

@@ -1,0 +1,146 @@
+"""Primitive selection — Algorithm 1, step 1.
+
+For every (nfin, nf, m) factorization and placement pattern, generate the
+layout, extract it (wire parasitics + LDEs + diffusion sharing), run the
+primitive's metric testbenches on the extracted netlist, and score the
+weighted deviation cost.  Options are then binned by bounding-box aspect
+ratio and the cheapest option per bin is handed to the placer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cellgen.generator import WireConfig
+from repro.cellgen.patterns import available_patterns
+from repro.core.binning import bin_by_aspect_ratio
+from repro.core.cost import CostBreakdown, layout_cost
+from repro.devices.mosfet import MosGeometry
+from repro.errors import LayoutError, OptimizationError
+from repro.geometry.layout import Layout
+
+
+@dataclass
+class LayoutOption:
+    """One evaluated primitive layout candidate.
+
+    Attributes:
+        base: The unit-device sizing (nfin, nf, m).
+        pattern: Placement pattern name.
+        layout: The generated layout.
+        values: Measured metric values on the extracted netlist.
+        breakdown: Weighted cost breakdown.
+        simulations: Number of simulations spent evaluating this option.
+        wires: The wire configuration used (tuning updates this).
+    """
+
+    base: MosGeometry
+    pattern: str
+    layout: Layout
+    values: dict[str, float]
+    breakdown: CostBreakdown
+    simulations: int
+    wires: WireConfig = field(default_factory=WireConfig)
+
+    @property
+    def cost(self) -> float:
+        return self.breakdown.cost
+
+    @property
+    def aspect_ratio(self) -> float:
+        return self.layout.aspect_ratio
+
+    def describe(self) -> str:
+        g = self.base
+        return (
+            f"nfin={g.nfin} nf={g.nf} m={g.m} {self.pattern} "
+            f"AR={self.aspect_ratio:.2f} cost={self.cost:.2f}"
+        )
+
+
+def evaluate_option(
+    primitive,
+    base: MosGeometry,
+    pattern: str,
+    wires: WireConfig | None = None,
+    weight_override: dict[str, float] | None = None,
+) -> LayoutOption:
+    """Generate, extract and score a single layout option."""
+    wires = wires or WireConfig()
+    layout = primitive.generate(base, pattern, wires)
+    circuit = primitive.extract(layout, base).build_circuit()
+    values, sims = primitive.evaluate(circuit)
+    breakdown = layout_cost(primitive, values, weight_override=weight_override)
+    return LayoutOption(
+        base=base,
+        pattern=pattern,
+        layout=layout,
+        values=values,
+        breakdown=breakdown,
+        simulations=sims,
+        wires=wires,
+    )
+
+
+def evaluate_options(
+    primitive,
+    variants: list[MosGeometry] | None = None,
+    patterns: list[str] | None = None,
+    wires: WireConfig | None = None,
+    weight_override: dict[str, float] | None = None,
+) -> list[LayoutOption]:
+    """Evaluate all requested (sizing x pattern) layout options.
+
+    ``variants`` defaults to every (nfin, nf, m) factorization of the
+    primitive's fin budget; ``patterns`` defaults to every pattern
+    feasible for the matched group at each multiplicity.  Infeasible
+    combinations are skipped silently (e.g. ABBA at odd ratioed counts).
+    """
+    variants = variants if variants is not None else primitive.variants()
+    options: list[LayoutOption] = []
+    matched = list(primitive.matched_group())
+    for base in variants:
+        if patterns is None:
+            counts = {
+                t.name: base.m * t.m_ratio
+                for t in primitive.templates()
+                if t.name in matched
+            }
+            todo = available_patterns(matched, counts)
+        else:
+            todo = patterns
+        for pattern in todo:
+            try:
+                options.append(
+                    evaluate_option(
+                        primitive, base, pattern, wires, weight_override
+                    )
+                )
+            except LayoutError:
+                continue
+    if not options:
+        raise OptimizationError(
+            f"{primitive.name}: no feasible layout options"
+        )
+    return options
+
+
+def select_best_per_bin(
+    options: list[LayoutOption],
+    n_bins: int = 3,
+    quality_factor: float = 1.5,
+) -> list[LayoutOption]:
+    """Bin options by aspect ratio and keep the cheapest of each bin.
+
+    Every option handed to the placer must be *usable*: a bin whose best
+    still costs more than ``quality_factor`` times the global best (plus
+    a small absolute allowance) is dropped — the placer optimizes area
+    and wirelength and must be free to pick any offered option without
+    wrecking performance.  The global best always survives.
+    """
+    bins = bin_by_aspect_ratio(options, n_bins, lambda o: o.aspect_ratio)
+    winners = [min(group, key=lambda o: o.cost) for group in bins]
+    best_cost = min(o.cost for o in winners)
+    threshold = quality_factor * best_cost + 5.0
+    kept = [o for o in winners if o.cost <= threshold]
+    return kept

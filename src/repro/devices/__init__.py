@@ -1,0 +1,25 @@
+"""Device models.
+
+* :mod:`repro.devices.mosfet` — smooth EKV-style FinFET DC model with
+  channel-length modulation and velocity saturation, plus Meyer-style
+  capacitances; fully vectorized over device arrays for the MNA engine.
+* :mod:`repro.devices.lde` — per-device layout-dependent-effect context
+  (threshold shift, mobility factor) produced by extraction.
+* :mod:`repro.devices.passives` — models for precision resistors, MOM
+  capacitors and spiral inductors.
+"""
+
+from repro.devices.lde import LdeContext
+from repro.devices.mosfet import MosGeometry, MosEval, evaluate_mosfets, mos_small_signal
+from repro.devices.passives import MomCapacitor, PolyResistor, SpiralInductor
+
+__all__ = [
+    "LdeContext",
+    "MosGeometry",
+    "MosEval",
+    "evaluate_mosfets",
+    "mos_small_signal",
+    "MomCapacitor",
+    "PolyResistor",
+    "SpiralInductor",
+]

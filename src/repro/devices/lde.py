@@ -1,0 +1,49 @@
+"""Per-device layout-dependent-effect context.
+
+Extraction (see :mod:`repro.extraction.lde_extract`) analyses the generated
+layout geometry and reduces the LOD and WPE effects of every finger to a
+single per-device :class:`LdeContext` — a threshold shift and a mobility
+factor — which the compact model then applies.  A schematic (pre-layout)
+device uses :meth:`LdeContext.ideal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LdeContext:
+    """Layout-induced deviations applied to one device.
+
+    Attributes:
+        vth_shift: Additive threshold shift in volts (positive raises the
+            threshold magnitude for either polarity).
+        mobility_factor: Multiplicative factor on the transconductance
+            parameter (1.0 means unshifted).
+        sa: Average gate-to-diffusion-edge distance on the source side
+            (nm), recorded for reporting.
+        sb: Average gate-to-diffusion-edge distance on the drain side (nm).
+        sc: Distance to the nearest well edge (nm).
+    """
+
+    vth_shift: float = 0.0
+    mobility_factor: float = 1.0
+    sa: float = float("inf")
+    sb: float = float("inf")
+    sc: float = float("inf")
+
+    @classmethod
+    def ideal(cls) -> "LdeContext":
+        """The no-shift context used for schematic devices."""
+        return cls()
+
+    def combined_with(self, other: "LdeContext") -> "LdeContext":
+        """Compose two contexts (shifts add, mobility factors multiply)."""
+        return LdeContext(
+            vth_shift=self.vth_shift + other.vth_shift,
+            mobility_factor=self.mobility_factor * other.mobility_factor,
+            sa=min(self.sa, other.sa),
+            sb=min(self.sb, other.sb),
+            sc=min(self.sc, other.sc),
+        )

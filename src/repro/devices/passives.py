@@ -1,0 +1,114 @@
+"""Passive device models: poly resistors, MOM capacitors, spiral inductors.
+
+These primitives are simple enough to be described by a nominal value plus
+layout-induced parasitics; they exist so the primitive library covers the
+paper's full primitive taxonomy (Section II-A lists *Passives* as a
+primitive class with RC trade-offs at their terminals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class PolyResistor:
+    """Precision polysilicon resistor.
+
+    Attributes:
+        value: Nominal resistance (ohm).
+        segments: Number of series segments the layout folds the resistor
+            into; more segments make the layout squarer but add contact
+            resistance and parasitic capacitance.
+        contact_resistance: Resistance per segment end contact (ohm).
+        cap_per_segment: Parasitic capacitance to substrate per segment (F).
+    """
+
+    value: float
+    segments: int = 1
+    contact_resistance: float = 5.0
+    cap_per_segment: float = 2.0e-16
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise NetlistError("resistor value must be > 0")
+        if self.segments < 1:
+            raise NetlistError("resistor needs at least one segment")
+
+    @property
+    def effective_resistance(self) -> float:
+        """Nominal value plus layout contact resistance."""
+        return self.value + 2.0 * self.segments * self.contact_resistance
+
+    @property
+    def parasitic_capacitance(self) -> float:
+        """Total parasitic capacitance to substrate."""
+        return self.segments * self.cap_per_segment
+
+
+@dataclass(frozen=True)
+class MomCapacitor:
+    """Metal-oxide-metal finger capacitor.
+
+    Attributes:
+        value: Nominal capacitance (F).
+        q_factor: Quality factor at ``f_ref``; sets the series resistance.
+        f_ref: Reference frequency for the quality factor (Hz).
+        bottom_plate_ratio: Parasitic bottom-plate capacitance as a
+            fraction of the nominal value.
+    """
+
+    value: float
+    q_factor: float = 50.0
+    f_ref: float = 1.0e9
+    bottom_plate_ratio: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise NetlistError("capacitor value must be > 0")
+        if self.q_factor <= 0:
+            raise NetlistError("capacitor q_factor must be > 0")
+
+    @property
+    def series_resistance(self) -> float:
+        """Equivalent series resistance from the quality factor (ohm)."""
+        import math
+
+        return 1.0 / (2.0 * math.pi * self.f_ref * self.value * self.q_factor)
+
+    @property
+    def bottom_plate_capacitance(self) -> float:
+        """Parasitic bottom-plate capacitance to substrate (F)."""
+        return self.value * self.bottom_plate_ratio
+
+
+@dataclass(frozen=True)
+class SpiralInductor:
+    """Planar spiral inductor with a series-R / shunt-C parasitic model.
+
+    Attributes:
+        value: Nominal inductance (H).
+        q_factor: Quality factor at ``f_ref``.
+        f_ref: Reference frequency (Hz).
+        shunt_capacitance: Port-to-substrate capacitance (F).
+    """
+
+    value: float
+    q_factor: float = 12.0
+    f_ref: float = 5.0e9
+    shunt_capacitance: float = 2.0e-14
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise NetlistError("inductor value must be > 0")
+        if self.q_factor <= 0:
+            raise NetlistError("inductor q_factor must be > 0")
+
+    @property
+    def series_resistance(self) -> float:
+        """Equivalent series resistance from the quality factor (ohm)."""
+        import math
+
+        return 2.0 * math.pi * self.f_ref * self.value / self.q_factor

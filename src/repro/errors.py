@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at flow boundaries while still being able
+to discriminate simulator convergence problems from layout rule problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TechnologyError(ReproError):
+    """Raised for inconsistent or missing technology data (layers, rules)."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed circuit netlists (unknown nodes, bad values)."""
+
+
+class SimulationError(ReproError):
+    """Raised when an analysis cannot be completed."""
+
+
+class ConvergenceError(SimulationError):
+    """Raised when Newton iteration fails to converge after all homotopies."""
+
+
+class LayoutError(ReproError):
+    """Raised when a layout cannot be generated (infeasible parameters)."""
+
+
+class DesignRuleError(LayoutError):
+    """Raised when a requested geometry violates the technology rules."""
+
+
+class ExtractionError(ReproError):
+    """Raised when parasitic extraction encounters inconsistent geometry."""
+
+
+class OptimizationError(ReproError):
+    """Raised when the primitive optimizer cannot produce a valid result."""
+
+
+class PlacementError(ReproError):
+    """Raised when the placer cannot satisfy the geometric constraints."""
+
+
+class RoutingError(ReproError):
+    """Raised when global or detailed routing fails."""
+
+
+class MeasureError(SimulationError):
+    """Raised when a measurement cannot be evaluated from waveform data."""

@@ -1,0 +1,29 @@
+"""Parasitic and layout-dependent-effect extraction.
+
+Replaces the commercial extractor in the paper's flow.  Given a generated
+:class:`~repro.geometry.layout.Layout` and the :class:`~repro.cellgen.CellSpec`
+that produced it, extraction yields:
+
+* per-net wire parasitics (:mod:`repro.extraction.rc`) — series resistance
+  from the device mesh to the net's star point and onward to the port,
+  plus the total wire capacitance; parallel straps divide R and multiply C,
+* per-device LDE contexts (:mod:`repro.extraction.lde_extract`) — LOD and
+  WPE threshold/mobility shifts plus the systematic process gradient,
+* diffusion-sharing-aware junction capacitances,
+* and an extracted SPICE netlist builder
+  (:mod:`repro.extraction.netlist_builder`) that assembles everything into
+  a :class:`~repro.spice.netlist.Circuit` ready for testbench simulation.
+"""
+
+from repro.extraction.rc import NetParasitics, extract_net_parasitics
+from repro.extraction.lde_extract import extract_lde, junction_capacitances
+from repro.extraction.netlist_builder import ExtractedPrimitive, extract_primitive
+
+__all__ = [
+    "NetParasitics",
+    "extract_net_parasitics",
+    "extract_lde",
+    "junction_capacitances",
+    "ExtractedPrimitive",
+    "extract_primitive",
+]

@@ -1,0 +1,187 @@
+"""Automatic primitive recognition (netlist annotation).
+
+The paper's flow assumes the netlist is "annotated, either manually or
+automatically [4]-[6]" into a primitive hierarchy.  The benchmark
+circuits in this repository are annotated manually (their
+``bindings()``); this module provides the *automatic* path for flat
+transistor netlists: structural pattern matching for the most common
+primitives, in the spirit of the sizing-rules method [4].
+
+Recognized structures (checked in this order, devices consumed greedily):
+
+* differential pair — two same-polarity FETs sharing a source net, gates
+  on distinct nets, distinct drains;
+* cross-coupled pair — like a DP but each gate ties to the *other*
+  drain;
+* current mirror — a diode-connected FET plus same-polarity FETs sharing
+  its gate net and source net;
+* inverter — an N/P pair sharing gate and drain;
+* diode load — a remaining diode-connected FET;
+* switch — a FET whose gate net drives nothing else and whose channel
+  connects two signal nets (fallback class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spice.elements import Mosfet
+from repro.spice.netlist import Circuit, is_ground
+
+
+@dataclass
+class RecognizedPrimitive:
+    """One recognized structure.
+
+    Attributes:
+        family: Primitive family tag (matches the library's names where
+            possible).
+        devices: The member device names.
+        nets: Role → net mapping (e.g. ``{"tail": "ntail"}``).
+    """
+
+    family: str
+    devices: tuple[str, ...]
+    nets: dict[str, str] = field(default_factory=dict)
+
+
+def _is_diode(m: Mosfet) -> bool:
+    return m.d == m.g
+
+
+def recognize_primitives(circuit: Circuit) -> list[RecognizedPrimitive]:
+    """Annotate a flat transistor netlist with primitive structures."""
+    remaining: dict[str, Mosfet] = {m.name: m for m in circuit.mosfets()}
+    found: list[RecognizedPrimitive] = []
+
+    # --- cross-coupled pairs (check before DPs: they also share sources) --
+    names = list(remaining)
+    for i, a_name in enumerate(names):
+        for b_name in names[i + 1 :]:
+            if a_name not in remaining or b_name not in remaining:
+                continue
+            a, b = remaining[a_name], remaining[b_name]
+            if a.card.polarity != b.card.polarity:
+                continue
+            if a.s != b.s:
+                continue
+            if a.g == b.d and b.g == a.d and a.d != b.d:
+                found.append(
+                    RecognizedPrimitive(
+                        family="cross_coupled_pair",
+                        devices=(a_name, b_name),
+                        nets={"tail": a.s, "outp": a.d, "outn": b.d},
+                    )
+                )
+                del remaining[a_name], remaining[b_name]
+
+    # --- differential pairs ------------------------------------------------
+    names = list(remaining)
+    for i, a_name in enumerate(names):
+        for b_name in names[i + 1 :]:
+            if a_name not in remaining or b_name not in remaining:
+                continue
+            a, b = remaining[a_name], remaining[b_name]
+            if a.card.polarity != b.card.polarity:
+                continue
+            if a.s != b.s or is_ground(a.s):
+                continue
+            if _is_diode(a) or _is_diode(b):
+                continue
+            if a.g != b.g and a.d != b.d and a.g not in (b.d,) and b.g not in (a.d,):
+                found.append(
+                    RecognizedPrimitive(
+                        family="differential_pair",
+                        devices=(a_name, b_name),
+                        nets={
+                            "tail": a.s,
+                            "inp": a.g,
+                            "inn": b.g,
+                            "outp": a.d,
+                            "outn": b.d,
+                        },
+                    )
+                )
+                del remaining[a_name], remaining[b_name]
+
+    # --- current mirrors ---------------------------------------------------
+    diodes = [n for n, m in remaining.items() if _is_diode(m)]
+    for diode_name in diodes:
+        if diode_name not in remaining:
+            continue
+        diode = remaining[diode_name]
+        outputs = [
+            n
+            for n, m in remaining.items()
+            if n != diode_name
+            and not _is_diode(m)
+            and m.g == diode.g
+            and m.s == diode.s
+            and m.card.polarity == diode.card.polarity
+        ]
+        if outputs:
+            members = (diode_name, *outputs)
+            found.append(
+                RecognizedPrimitive(
+                    family="current_mirror",
+                    devices=members,
+                    nets={
+                        "in": diode.d,
+                        "source": diode.s,
+                        "outs": ",".join(remaining[o].d for o in outputs),
+                    },
+                )
+            )
+            for name in members:
+                del remaining[name]
+
+    # --- inverters ----------------------------------------------------------
+    names = list(remaining)
+    for i, a_name in enumerate(names):
+        for b_name in names[i + 1 :]:
+            if a_name not in remaining or b_name not in remaining:
+                continue
+            a, b = remaining[a_name], remaining[b_name]
+            if a.card.polarity == b.card.polarity:
+                continue
+            if a.g == b.g and a.d == b.d:
+                found.append(
+                    RecognizedPrimitive(
+                        family="inverter",
+                        devices=(a_name, b_name),
+                        nets={"in": a.g, "out": a.d},
+                    )
+                )
+                del remaining[a_name], remaining[b_name]
+
+    # --- leftovers: diode loads, then switches/single devices ---------------
+    for name in list(remaining):
+        m = remaining[name]
+        if _is_diode(m):
+            found.append(
+                RecognizedPrimitive(
+                    family="diode_load", devices=(name,), nets={"out": m.d}
+                )
+            )
+            del remaining[name]
+    for name in list(remaining):
+        m = remaining[name]
+        found.append(
+            RecognizedPrimitive(
+                family="switch" if not is_ground(m.s) else "current_source",
+                devices=(name,),
+                nets={"a": m.d, "b": m.s, "en": m.g},
+            )
+        )
+        del remaining[name]
+
+    return found
+
+
+def annotation_report(circuit: Circuit) -> str:
+    """Human-readable annotation summary of a flat netlist."""
+    lines = [f"annotation of {circuit.name!r}:"]
+    for prim in recognize_primitives(circuit):
+        nets = ", ".join(f"{k}={v}" for k, v in prim.nets.items())
+        lines.append(f"  {prim.family}: {'/'.join(prim.devices)} ({nets})")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Flow-result serialization.
+
+Writes a :class:`~repro.flow.hierarchical.FlowResult` as a JSON document
+— the artifact a downstream team would archive per flow run: layout
+decisions, tuned wire configurations, port-constraint intervals,
+reconciled route counts, measured metrics and runtime accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.flow.hierarchical import FlowResult
+
+
+def flow_result_to_dict(result: FlowResult) -> dict[str, Any]:
+    """Reduce a flow result to JSON-serializable data."""
+    doc: dict[str, Any] = {
+        "circuit": result.circuit_name,
+        "flavor": result.flavor,
+        "metrics": dict(result.metrics),
+        "wall_time_s": result.wall_time,
+        "modeled_runtime_s": result.modeled_runtime,
+        "choices": {},
+        "routes": {},
+        "reconciled": {},
+        "primitives": {},
+    }
+    for name, choice in result.choices.items():
+        doc["choices"][name] = {
+            "nfin": choice.base.nfin,
+            "nf": choice.base.nf,
+            "m": choice.base.m,
+            "pattern": choice.pattern,
+            "wires": dict(choice.wires.parallel),
+            "dummies": choice.wires.dummies,
+        }
+    for net, budget in result.route_budgets.items():
+        doc["routes"][net] = {
+            "layer": budget.route.layer,
+            "length_nm": budget.route.length_nm,
+            "n_wires": budget.n_wires,
+        }
+    for net, rec in result.reconciled.items():
+        doc["reconciled"][net] = {
+            "wires": rec.wires,
+            "overlapped": rec.overlapped,
+            "constraints": [
+                {
+                    "primitive": c.primitive_name,
+                    "net": c.net,
+                    "w_min": c.w_min,
+                    "w_max": c.w_max,
+                }
+                for c in rec.constraints
+            ],
+        }
+    if result.placement is not None:
+        doc["placement"] = {
+            "width_nm": result.placement.width,
+            "height_nm": result.placement.height,
+            "hpwl_nm": result.placement.hpwl,
+            "positions": {
+                name: list(pos)
+                for name, pos in result.placement.positions.items()
+            },
+        }
+    for name, report in result.reports.items():
+        doc["primitives"][name] = {
+            "options_evaluated": len(report.options),
+            "total_simulations": report.total_simulations,
+            "effective_time_s": report.effective_time,
+            "best": {
+                "cost": report.best.cost,
+                "deviations_pct": dict(report.best.breakdown.deviations),
+            },
+        }
+    return doc
+
+
+def write_flow_report(result: FlowResult, path: str) -> None:
+    """Write the flow report as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(flow_result_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,30 @@
+"""Layout geometry primitives.
+
+Integer-nanometre rectilinear geometry: :class:`~repro.geometry.shapes.Point`,
+:class:`~repro.geometry.shapes.Rect` and the layout container classes
+(:class:`~repro.geometry.layout.Layout`, wires, vias, ports, device
+placements) that the primitive cell generator emits and the extractor and
+placer consume.
+"""
+
+from repro.geometry.shapes import Point, Rect, bounding_box
+from repro.geometry.layout import (
+    DevicePlacement,
+    Instance,
+    Layout,
+    Port,
+    Via,
+    Wire,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "bounding_box",
+    "Wire",
+    "Via",
+    "Port",
+    "DevicePlacement",
+    "Instance",
+    "Layout",
+]

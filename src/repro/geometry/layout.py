@@ -1,0 +1,199 @@
+"""Layout container classes.
+
+A :class:`Layout` is what the primitive cell generator produces: device
+placements, wires, vias and ports, all in cell-local integer-nanometre
+coordinates.  The extractor walks these shapes; the placer treats layouts
+as black boxes with a bounding box and ports; assembled blocks reference
+child layouts through :class:`Instance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LayoutError
+from repro.geometry.shapes import Point, Rect, bounding_box
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A rectangular wire segment on a metal layer.
+
+    Attributes:
+        net: Net name the wire belongs to.
+        layer: Metal layer name (e.g. ``"M2"``).
+        rect: Geometry (nm).
+        role: Structural tag used by extraction, one of
+            ``"finger_stub"``, ``"strap"`` (horizontal row strap),
+            ``"rail"`` (vertical trunk) or ``"route"``.
+        owner: For finger stubs and straps, the schematic device (and
+            terminal, as ``"MA.s"``) the shape serves; empty for shared
+            shapes such as rails.
+    """
+
+    net: str
+    layer: str
+    rect: Rect
+    role: str = "route"
+    owner: str = ""
+
+    @property
+    def length(self) -> int:
+        """The long dimension of the wire (nm)."""
+        return max(self.rect.width, self.rect.height)
+
+    @property
+    def width(self) -> int:
+        """The short dimension of the wire (nm)."""
+        return min(self.rect.width, self.rect.height)
+
+
+@dataclass(frozen=True)
+class Via:
+    """A via (or via array) between two adjacent metal layers."""
+
+    net: str
+    lower_layer: str
+    upper_layer: str
+    position: Point
+    cuts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cuts < 1:
+            raise LayoutError("via needs at least one cut")
+
+
+@dataclass(frozen=True)
+class Port:
+    """An externally-visible pin of a layout."""
+
+    net: str
+    layer: str
+    rect: Rect
+
+
+@dataclass(frozen=True)
+class DevicePlacement:
+    """Placement record for one transistor (one (nfin x nf) unit).
+
+    Attributes:
+        device: Schematic device name this unit belongs to (e.g. ``"M1"``).
+        unit_index: Which of the device's ``m`` units this is.
+        rect: Active-area footprint (nm), excluding dummies.
+        nfin: Fins per finger.
+        nf: Active fingers in this unit.
+        dummy_fingers: Dummy gates on each side of this unit (extend the
+            diffusion and relax the LOD effect).
+        flipped: True if mirrored horizontally (common-centroid style).
+    """
+
+    device: str
+    unit_index: int
+    rect: Rect
+    nfin: int
+    nf: int
+    dummy_fingers: int = 0
+    flipped: bool = False
+
+
+@dataclass
+class Layout:
+    """A generated cell layout.
+
+    Attributes:
+        name: Cell name.
+        devices: Transistor unit placements.
+        wires: Wire shapes.
+        vias: Via shapes.
+        ports: External pins.
+        well_rect: The well boundary (used for WPE extraction); defaults
+            to the bounding box expanded by the well enclosure.
+        metadata: Free-form annotations (pattern name, variant parameters).
+    """
+
+    name: str
+    devices: list[DevicePlacement] = field(default_factory=list)
+    wires: list[Wire] = field(default_factory=list)
+    vias: list[Via] = field(default_factory=list)
+    ports: list[Port] = field(default_factory=list)
+    well_rect: Rect | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def bbox(self) -> Rect:
+        """Bounding box over all shapes."""
+        rects = [d.rect for d in self.devices]
+        rects += [w.rect for w in self.wires]
+        rects += [p.rect for p in self.ports]
+        if not rects:
+            raise LayoutError(f"layout {self.name!r} is empty")
+        return bounding_box(rects)
+
+    @property
+    def width(self) -> int:
+        return self.bbox().width
+
+    @property
+    def height(self) -> int:
+        return self.bbox().height
+
+    @property
+    def area(self) -> int:
+        return self.bbox().area
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Bounding-box width / height."""
+        return self.bbox().aspect_ratio
+
+    def wires_on_net(self, net: str) -> list[Wire]:
+        """All wire shapes belonging to ``net``."""
+        return [w for w in self.wires if w.net == net]
+
+    def vias_on_net(self, net: str) -> list[Via]:
+        """All vias belonging to ``net``."""
+        return [v for v in self.vias if v.net == net]
+
+    def port(self, net: str) -> Port:
+        """The port for ``net`` (first if several)."""
+        for port in self.ports:
+            if port.net == net:
+                return port
+        raise LayoutError(f"layout {self.name!r} has no port on net {net!r}")
+
+    def port_nets(self) -> list[str]:
+        """Names of all nets with ports, in declaration order."""
+        seen: list[str] = []
+        for port in self.ports:
+            if port.net not in seen:
+                seen.append(port.net)
+        return seen
+
+    def nets(self) -> list[str]:
+        """All net names referenced by wires or ports, sorted."""
+        names = {w.net for w in self.wires} | {p.net for p in self.ports}
+        return sorted(names)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A placed reference to a child layout inside an assembled block."""
+
+    name: str
+    layout: Layout
+    offset: Point
+    flipped_x: bool = False
+
+    def placed_bbox(self) -> Rect:
+        """The child's bounding box in parent coordinates."""
+        box = self.layout.bbox()
+        return box.translated(self.offset.x - box.x0, self.offset.y - box.y0)
+
+    def port_center(self, net: str) -> Point:
+        """Center of the child's port for ``net``, in parent coordinates."""
+        box = self.layout.bbox()
+        port = self.layout.port(net)
+        center = port.rect.center
+        local_x = center.x - box.x0
+        if self.flipped_x:
+            local_x = box.width - local_x
+        return Point(self.offset.x + local_x, self.offset.y + (center.y - box.y0))

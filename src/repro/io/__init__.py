@@ -1,0 +1,13 @@
+"""Interchange utilities.
+
+* :mod:`repro.io.spice_writer` — serialize a
+  :class:`~repro.spice.netlist.Circuit` to SPICE-dialect text, so
+  extracted netlists can be inspected or fed to an external simulator.
+* :mod:`repro.io.svg` — render a :class:`~repro.geometry.layout.Layout`
+  to SVG for visual inspection of generated primitive cells.
+"""
+
+from repro.io.spice_writer import write_spice
+from repro.io.svg import layout_to_svg
+
+__all__ = ["write_spice", "layout_to_svg"]

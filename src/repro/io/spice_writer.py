@@ -1,0 +1,118 @@
+"""SPICE netlist serialization.
+
+Writes a :class:`~repro.spice.netlist.Circuit` in a SPICE-compatible
+dialect: R/C/L/V/I/E/G cards plus ``M`` cards carrying the FinFET sizing
+as ``nfin/nf/m`` parameters and the LDE context as ``dvth``/``kmu``
+comments — enough to diff extracted netlists or hand them to an external
+simulator with a matching model deck.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.errors import NetlistError
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Dc, Pulse, Pwl, Sin
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _waveform(w) -> str:
+    if isinstance(w, Dc):
+        return _fmt(w.level)
+    if isinstance(w, Pulse):
+        return (
+            f"PULSE({_fmt(w.v1)} {_fmt(w.v2)} {_fmt(w.delay)} {_fmt(w.rise)} "
+            f"{_fmt(w.fall)} {_fmt(w.width)} {_fmt(w.period)})"
+        )
+    if isinstance(w, Sin):
+        return (
+            f"SIN({_fmt(w.offset)} {_fmt(w.amplitude)} {_fmt(w.frequency)} "
+            f"{_fmt(w.delay)} {_fmt(w.damping)})"
+        )
+    if isinstance(w, Pwl):
+        points = " ".join(f"{_fmt(t)} {_fmt(v)}" for t, v in w.points)
+        return f"PWL({points})"
+    raise NetlistError(f"unknown waveform type {type(w).__name__}")
+
+
+def _node(name: str) -> str:
+    # SPICE node names cannot contain spaces; ours never do, but dots
+    # from hierarchy flattening are kept (ngspice accepts them).
+    return name
+
+
+def write_spice(circuit: Circuit, title: str | None = None) -> str:
+    """Serialize ``circuit`` to SPICE text.
+
+    Returns the netlist as a string (with a ``.end`` terminator).
+    """
+    out = StringIO()
+    out.write(f"* {title or circuit.name}\n")
+    if circuit.ports:
+        out.write(f"* ports: {' '.join(circuit.ports)}\n")
+    for elem in circuit.elements:
+        if isinstance(elem, Resistor):
+            out.write(
+                f"R{elem.name} {_node(elem.a)} {_node(elem.b)} {_fmt(elem.value)}\n"
+            )
+        elif isinstance(elem, Capacitor):
+            out.write(
+                f"C{elem.name} {_node(elem.a)} {_node(elem.b)} {_fmt(elem.value)}\n"
+            )
+        elif isinstance(elem, Inductor):
+            out.write(
+                f"L{elem.name} {_node(elem.a)} {_node(elem.b)} {_fmt(elem.value)}\n"
+            )
+        elif isinstance(elem, VoltageSource):
+            ac = f" AC {_fmt(elem.ac_magnitude)} {_fmt(elem.ac_phase_deg)}" if elem.ac_magnitude else ""
+            out.write(
+                f"V{elem.name} {_node(elem.plus)} {_node(elem.minus)} "
+                f"{_waveform(elem.waveform)}{ac}\n"
+            )
+        elif isinstance(elem, CurrentSource):
+            ac = f" AC {_fmt(elem.ac_magnitude)} {_fmt(elem.ac_phase_deg)}" if elem.ac_magnitude else ""
+            out.write(
+                f"I{elem.name} {_node(elem.a)} {_node(elem.b)} "
+                f"{_waveform(elem.waveform)}{ac}\n"
+            )
+        elif isinstance(elem, Vcvs):
+            out.write(
+                f"E{elem.name} {_node(elem.plus)} {_node(elem.minus)} "
+                f"{_node(elem.ctrl_plus)} {_node(elem.ctrl_minus)} {_fmt(elem.gain)}\n"
+            )
+        elif isinstance(elem, Vccs):
+            out.write(
+                f"G{elem.name} {_node(elem.b)} {_node(elem.a)} "
+                f"{_node(elem.ctrl_plus)} {_node(elem.ctrl_minus)} {_fmt(elem.gain)}\n"
+            )
+        elif isinstance(elem, Mosfet):
+            g = elem.geometry
+            out.write(
+                f"M{elem.name} {_node(elem.d)} {_node(elem.g)} {_node(elem.s)} "
+                f"{_node(elem.b)} {elem.card.name} nfin={g.nfin} nf={g.nf} "
+                f"m={g.m}"
+            )
+            if elem.lde.vth_shift or elem.lde.mobility_factor != 1.0:
+                out.write(
+                    f" * dvth={_fmt(elem.lde.vth_shift)} "
+                    f"kmu={_fmt(elem.lde.mobility_factor)}"
+                )
+            out.write("\n")
+        else:
+            raise NetlistError(f"unserializable element {type(elem).__name__}")
+    out.write(".end\n")
+    return out.getvalue()

@@ -1,0 +1,93 @@
+"""SVG rendering of generated layouts.
+
+Draws device active areas, wires (colored per metal layer), vias and
+port markers so a generated primitive cell can be inspected visually —
+the closest this repository gets to a layout viewer.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.geometry.layout import Layout
+from repro.geometry.shapes import Rect
+
+#: Fill colors per layer (loosely following common PDK palettes).
+LAYER_COLORS = {
+    "active": "#76c043",
+    "M1": "#4d8fd1",
+    "M2": "#d14d4d",
+    "M3": "#3fb8af",
+    "M4": "#b26cc5",
+    "M5": "#e0a030",
+    "M6": "#808080",
+}
+
+#: Draw order, bottom-up.
+LAYER_ORDER = ["active", "M1", "M2", "M3", "M4", "M5", "M6"]
+
+
+def _rect_svg(rect: Rect, color: str, opacity: float, flip_height: int) -> str:
+    # SVG's y axis points down; layouts' points up.
+    y = flip_height - rect.y1
+    return (
+        f'<rect x="{rect.x0}" y="{y}" width="{max(rect.width, 1)}" '
+        f'height="{max(rect.height, 1)}" fill="{color}" '
+        f'fill-opacity="{opacity}" stroke="{color}" stroke-width="4"/>'
+    )
+
+
+def layout_to_svg(layout: Layout, scale: float = 0.02) -> str:
+    """Render ``layout`` as an SVG document string.
+
+    Args:
+        layout: The layout to draw.
+        scale: Display pixels per nanometre (0.02 = 50 nm/px).
+    """
+    box = layout.bbox().expanded(200)
+    width = box.width
+    height = box.height
+    flip = box.y1 + box.y0  # mirror around the box's vertical centre
+    out = StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'viewBox="{box.x0} {box.y0} {width} {height}" '
+        f'width="{width * scale:.0f}" height="{height * scale:.0f}">\n'
+    )
+    out.write(
+        f'<rect x="{box.x0}" y="{box.y0}" width="{width}" height="{height}" '
+        f'fill="#181818"/>\n'
+    )
+
+    shapes: dict[str, list[str]] = {layer: [] for layer in LAYER_ORDER}
+    for placement in layout.devices:
+        shapes["active"].append(
+            _rect_svg(placement.rect, LAYER_COLORS["active"], 0.9, flip)
+        )
+    for wire in layout.wires:
+        color = LAYER_COLORS.get(wire.layer, "#cccccc")
+        bucket = wire.layer if wire.layer in shapes else "M6"
+        shapes[bucket].append(_rect_svg(wire.rect, color, 0.55, flip))
+    for layer in LAYER_ORDER:
+        out.write("\n".join(shapes[layer]))
+        out.write("\n")
+
+    for via in layout.vias:
+        y = flip - via.position.y - 20
+        out.write(
+            f'<rect x="{via.position.x - 10}" y="{y}" width="20" height="20" '
+            f'fill="#ffffff" fill-opacity="0.8"/>\n'
+        )
+    for port in layout.ports:
+        center = port.rect.center
+        y = flip - center.y
+        out.write(
+            f'<circle cx="{center.x}" cy="{y}" r="60" fill="none" '
+            f'stroke="#ffe14d" stroke-width="20"/>\n'
+        )
+        out.write(
+            f'<text x="{center.x + 80}" y="{y}" fill="#ffe14d" '
+            f'font-size="160">{port.net}</text>\n'
+        )
+    out.write("</svg>\n")
+    return out.getvalue()

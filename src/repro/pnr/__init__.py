@@ -1,0 +1,32 @@
+"""Place & route substrate.
+
+Replaces the ALIGN placer/router the paper plugs into:
+
+* :mod:`repro.pnr.placer` — simulated-annealing placement over sequence
+  pairs.  Each block may offer several layout options (the per-bin
+  outputs of primitive selection); the annealer picks the option and the
+  location together, which is exactly why the paper hands the placer one
+  option per aspect-ratio bin.
+* :mod:`repro.pnr.global_router` — grid-based global router (A* search
+  over a coarse routing graph, MST decomposition for multi-pin nets)
+  producing per-net segment lists with layer and via information — the
+  inputs of primitive port optimization.
+* :mod:`repro.pnr.detailed` — detailed-route constraint realization: the
+  reconciled parallel-route counts become bundles of parallel wires, with
+  symmetric nets kept geometrically matched.
+"""
+
+from repro.pnr.placer import Block, Placement, SaPlacer
+from repro.pnr.global_router import GlobalRoute, GlobalRouter, RouteSegment
+from repro.pnr.detailed import DetailedRoute, realize_routes
+
+__all__ = [
+    "Block",
+    "Placement",
+    "SaPlacer",
+    "GlobalRouter",
+    "GlobalRoute",
+    "RouteSegment",
+    "DetailedRoute",
+    "realize_routes",
+]

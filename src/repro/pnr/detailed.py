@@ -1,0 +1,127 @@
+"""Detailed-route constraint realization.
+
+The output of port-constraint reconciliation is a parallel-route count
+per net; the detailed router's job in this flow is to realize each global
+route as that many parallel wires — and to keep symmetric nets
+geometrically matched (the constraint the paper cites from [19], which
+preserves input offset).
+
+:func:`realize_routes` turns global routes plus wire counts into concrete
+:class:`~repro.geometry.layout.Wire` bundles and reports the effective RC
+per net, which the flow's final assembly uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.geometry.layout import Wire
+from repro.geometry.shapes import Rect
+from repro.pnr.global_router import GlobalRoute
+from repro.tech.pdk import Technology
+
+
+@dataclass
+class DetailedRoute:
+    """Realized detailed route for one net.
+
+    Attributes:
+        net: Net name.
+        wires: The parallel wire shapes.
+        n_parallel: Number of parallel copies realized.
+        resistance: Effective end-to-end resistance (ohm).
+        capacitance: Total wire capacitance (F).
+        matched_with: Net this route is geometrically matched to, if any.
+    """
+
+    net: str
+    wires: list[Wire] = field(default_factory=list)
+    n_parallel: int = 1
+    resistance: float = 0.0
+    capacitance: float = 0.0
+    matched_with: str | None = None
+
+
+def _bundle_wires(
+    route: GlobalRoute, tech: Technology, n_parallel: int
+) -> list[Wire]:
+    wires: list[Wire] = []
+    for segment in route.segments:
+        layer = tech.stack.metal(segment.layer)
+        for copy in range(n_parallel):
+            offset = copy * layer.pitch
+            if segment.y0 == segment.y1:  # horizontal
+                x0, x1 = sorted((segment.x0, segment.x1))
+                rect = Rect(
+                    x0,
+                    segment.y0 + offset,
+                    max(x1, x0 + layer.min_width),
+                    segment.y0 + offset + layer.min_width,
+                )
+            else:
+                y0, y1 = sorted((segment.y0, segment.y1))
+                rect = Rect(
+                    segment.x0 + offset,
+                    y0,
+                    segment.x0 + offset + layer.min_width,
+                    max(y1, y0 + layer.min_width),
+                )
+            wires.append(
+                Wire(net=route.net, layer=segment.layer, rect=rect, role="route")
+            )
+    return wires
+
+
+def realize_routes(
+    routes: dict[str, GlobalRoute],
+    wire_counts: dict[str, int],
+    tech: Technology,
+    matched_pairs: list[tuple[str, str]] | None = None,
+) -> dict[str, DetailedRoute]:
+    """Realize every global route as a parallel-wire bundle.
+
+    Args:
+        routes: Global routes keyed by net.
+        wire_counts: Reconciled parallel-route count per net (nets not
+            listed get 1).
+        tech: Technology node.
+        matched_pairs: Net pairs that must stay geometrically matched;
+            both nets receive the larger of their two wire counts and the
+            same segment shape.
+
+    Returns:
+        Detailed routes keyed by net.
+    """
+    counts = {net: wire_counts.get(net, 1) for net in routes}
+    for a, b in matched_pairs or []:
+        if a not in routes or b not in routes:
+            raise RoutingError(f"matched pair ({a}, {b}): missing route")
+        shared = max(counts[a], counts[b])
+        counts[a] = shared
+        counts[b] = shared
+
+    matched_lookup: dict[str, str] = {}
+    for a, b in matched_pairs or []:
+        matched_lookup[a] = b
+        matched_lookup[b] = a
+
+    detailed: dict[str, DetailedRoute] = {}
+    for net, route in routes.items():
+        n = max(1, counts[net])
+        wires = _bundle_wires(route, tech, n)
+        resistance = 0.0
+        capacitance = 0.0
+        for segment in route.segments:
+            layer = tech.stack.metal(segment.layer)
+            resistance += layer.wire_resistance(max(segment.length, 1)) / n
+            capacitance += layer.wire_capacitance(max(segment.length, 1)) * n
+        detailed[net] = DetailedRoute(
+            net=net,
+            wires=wires,
+            n_parallel=n,
+            resistance=resistance,
+            capacitance=capacitance,
+            matched_with=matched_lookup.get(net),
+        )
+    return detailed

@@ -1,0 +1,229 @@
+"""Grid-based global router.
+
+Routes nets between primitive ports over a coarse grid graph: horizontal
+segments on M3, vertical segments on M4, a via stack wherever direction
+changes or a pin is reached.  Multi-pin nets are decomposed with a
+minimum spanning tree (Steiner points fall on existing route cells, and —
+as the paper prescribes — every branch of the tree later uses the same
+number of parallel wires).
+
+Congestion is handled with a per-cell history cost so overlapping nets
+spread out.  The output per net is a :class:`GlobalRoute`: segment list,
+wirelength per layer and via count — exactly the information primitive
+port optimization consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.port_constraints import GlobalRouteInfo
+from repro.errors import RoutingError
+from repro.tech.pdk import Technology
+
+
+@dataclass(frozen=True)
+class RouteSegment:
+    """One straight global-route segment."""
+
+    layer: str
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    @property
+    def length(self) -> int:
+        return abs(self.x1 - self.x0) + abs(self.y1 - self.y0)
+
+
+@dataclass
+class GlobalRoute:
+    """Global-route result for one net."""
+
+    net: str
+    segments: list[RouteSegment] = field(default_factory=list)
+    via_count: int = 0
+
+    def length_on(self, layer: str) -> int:
+        return sum(s.length for s in self.segments if s.layer == layer)
+
+    @property
+    def total_length(self) -> int:
+        return sum(s.length for s in self.segments)
+
+    def dominant_layer(self) -> str:
+        """The layer carrying most of the wirelength."""
+        if not self.segments:
+            return "M3"
+        layers: dict[str, int] = {}
+        for seg in self.segments:
+            layers[seg.layer] = layers.get(seg.layer, 0) + seg.length
+        return max(layers, key=layers.get)
+
+    def to_route_info(
+        self, tech: Technology, symmetric_with: tuple[str, ...] = ()
+    ) -> GlobalRouteInfo:
+        """Reduce to the per-port route description of Algorithm 2.
+
+        Long nets are promoted to upper metals (standard analog-router
+        practice: the grid's M3/M4 carry short hops, M5 carries long
+        spans), which keeps long-route resistance physical.
+        """
+        length = max(self.total_length, 1)
+        if length > 30_000:
+            layer = "M5"
+        elif length > 10_000:
+            layer = "M4"
+        else:
+            layer = self.dominant_layer()
+        # Via stack from the cell's M3 port level up to the route layer.
+        via_stack = tech.stack.via_stack_resistance("M3", layer) + (
+            tech.stack.via_between("M3", "M4").resistance
+        )
+        return GlobalRouteInfo(
+            net=self.net,
+            layer=layer,
+            length_nm=float(length),
+            via_cuts=max(1, self.via_count),
+            via_resistance=via_stack * max(1, self.via_count),
+            symmetric_with=symmetric_with,
+        )
+
+
+class GlobalRouter:
+    """A* router over a uniform grid.
+
+    Args:
+        width: Routing region width (nm).
+        height: Routing region height (nm).
+        pitch: Grid pitch (nm); 1000 nm default.
+        h_layer: Layer for horizontal segments.
+        v_layer: Layer for vertical segments.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        pitch: int = 1000,
+        h_layer: str = "M3",
+        v_layer: str = "M4",
+    ):
+        if width <= 0 or height <= 0 or pitch <= 0:
+            raise RoutingError("router region and pitch must be positive")
+        self.pitch = pitch
+        self.cols = max(2, width // pitch + 2)
+        self.rows = max(2, height // pitch + 2)
+        self.h_layer = h_layer
+        self.v_layer = v_layer
+        self._usage: dict[tuple[int, int], int] = {}
+
+    def _snap(self, x: int, y: int) -> tuple[int, int]:
+        return (
+            min(self.cols - 1, max(0, round(x / self.pitch))),
+            min(self.rows - 1, max(0, round(y / self.pitch))),
+        )
+
+    def _astar(
+        self, start: tuple[int, int], goal: tuple[int, int]
+    ) -> list[tuple[int, int]]:
+        """Shortest congestion-aware path between two grid cells."""
+        frontier: list[tuple[float, tuple[int, int]]] = [(0.0, start)]
+        came: dict[tuple[int, int], tuple[int, int]] = {}
+        g_cost = {start: 0.0}
+        while frontier:
+            _, current = heapq.heappop(frontier)
+            if current == goal:
+                break
+            cx, cy = current
+            for nx, ny in ((cx + 1, cy), (cx - 1, cy), (cx, cy + 1), (cx, cy - 1)):
+                if not (0 <= nx < self.cols and 0 <= ny < self.rows):
+                    continue
+                step = 1.0 + 0.5 * self._usage.get((nx, ny), 0)
+                cost = g_cost[current] + step
+                if cost < g_cost.get((nx, ny), float("inf")):
+                    g_cost[(nx, ny)] = cost
+                    came[(nx, ny)] = current
+                    heuristic = abs(nx - goal[0]) + abs(ny - goal[1])
+                    heapq.heappush(frontier, (cost + heuristic, (nx, ny)))
+        if goal not in g_cost:
+            raise RoutingError(f"no path from {start} to {goal}")
+        path = [goal]
+        while path[-1] != start:
+            path.append(came[path[-1]])
+        path.reverse()
+        return path
+
+    def route_net(self, net: str, pins: list[tuple[int, int]]) -> GlobalRoute:
+        """Route one net over its pins (nm coordinates).
+
+        Multi-pin nets use an MST over the pins; each MST edge is routed
+        with A*.
+        """
+        if len(pins) < 2:
+            return GlobalRoute(net=net)
+        cells = [self._snap(x, y) for x, y in pins]
+
+        # Prim's MST over Manhattan distance.
+        in_tree = {0}
+        edges: list[tuple[int, int]] = []
+        while len(in_tree) < len(cells):
+            best = None
+            for i in in_tree:
+                for j in range(len(cells)):
+                    if j in in_tree:
+                        continue
+                    d = abs(cells[i][0] - cells[j][0]) + abs(
+                        cells[i][1] - cells[j][1]
+                    )
+                    if best is None or d < best[0]:
+                        best = (d, i, j)
+            assert best is not None
+            edges.append((best[1], best[2]))
+            in_tree.add(best[2])
+
+        route = GlobalRoute(net=net)
+        for i, j in edges:
+            path = self._astar(cells[i], cells[j])
+            for cell in path:
+                self._usage[cell] = self._usage.get(cell, 0) + 1
+            route.segments.extend(self._path_segments(path))
+            route.via_count += self._count_bends(path) + 2
+        return route
+
+    def _path_segments(self, path: list[tuple[int, int]]) -> list[RouteSegment]:
+        segments: list[RouteSegment] = []
+        k = 0
+        while k < len(path) - 1:
+            j = k + 1
+            if path[j][1] == path[k][1]:  # horizontal run
+                while j + 1 < len(path) and path[j + 1][1] == path[k][1]:
+                    j += 1
+                layer = self.h_layer
+            else:  # vertical run
+                while j + 1 < len(path) and path[j + 1][0] == path[k][0]:
+                    j += 1
+                layer = self.v_layer
+            segments.append(
+                RouteSegment(
+                    layer=layer,
+                    x0=path[k][0] * self.pitch,
+                    y0=path[k][1] * self.pitch,
+                    x1=path[j][0] * self.pitch,
+                    y1=path[j][1] * self.pitch,
+                )
+            )
+            k = j
+        return segments
+
+    @staticmethod
+    def _count_bends(path: list[tuple[int, int]]) -> int:
+        bends = 0
+        for a, b, c in zip(path, path[1:], path[2:]):
+            dir1 = (b[0] - a[0], b[1] - a[1])
+            dir2 = (c[0] - b[0], c[1] - b[1])
+            if dir1 != dir2:
+                bends += 1
+        return bends

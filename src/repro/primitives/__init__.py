@@ -1,0 +1,111 @@
+"""The primitive library.
+
+Encodes Section II of the paper: each primitive class carries its
+performance metrics with importance weights (Table II), its tuning
+terminals with correlation annotations, and a SPICE testbench per metric.
+These augmentations are topology-dependent and technology-independent —
+every primitive takes the :class:`~repro.tech.Technology` at construction.
+
+Families (paper Section II-A):
+
+* differential pairs — :mod:`repro.primitives.diffpair`
+  (simple, cascoded, switched, PMOS),
+* current mirrors — :mod:`repro.primitives.mirrors`
+  (passive, active, cascode, low-voltage cascode, ratioed, PMOS),
+* amplifiers — :mod:`repro.primitives.amplifiers`
+  (common source, common gate, common drain),
+* loads — :mod:`repro.primitives.loads`
+  (current source, cascode current source, diode load, cascode diode),
+* digital-like structures — :mod:`repro.primitives.digital`
+  (current-starved inverter, cross-coupled pair, cross-coupled
+  inverters, switch),
+* passives — :mod:`repro.primitives.passive_prims`
+  (MOM capacitor, poly resistor, spiral inductor).
+
+:class:`~repro.primitives.library.PrimitiveLibrary` registers all of them
+by name.
+"""
+
+from repro.primitives.base import (
+    MetricSpec,
+    MosPrimitive,
+    DeviceTemplate,
+    TuningTerminal,
+)
+from repro.primitives.diffpair import (
+    CascodeDifferentialPair,
+    DifferentialPair,
+    PmosDifferentialPair,
+    SwitchedDifferentialPair,
+)
+from repro.primitives.mirrors import (
+    ActiveCurrentMirror,
+    CascodeCurrentMirror,
+    LowVoltageCascodeMirror,
+    PassiveCurrentMirror,
+    PmosCurrentMirror,
+)
+from repro.primitives.amplifiers import (
+    CommonDrainAmplifier,
+    CommonGateAmplifier,
+    CommonSourceAmplifier,
+)
+from repro.primitives.loads import (
+    CascodeCurrentSource,
+    CascodeDiodeLoad,
+    CurrentSourceLoad,
+    DiodeLoad,
+    PmosCurrentSource,
+)
+from repro.primitives.digital import (
+    CrossCoupledInverters,
+    CrossCoupledPair,
+    CurrentStarvedInverter,
+    DifferentialDelayCell,
+    PmosCrossCoupledPair,
+    PmosSwitch,
+    RegenerativePair,
+    TransmissionSwitch,
+)
+from repro.primitives.passive_prims import (
+    MomCapacitorPrimitive,
+    PolyResistorPrimitive,
+    SpiralInductorPrimitive,
+)
+from repro.primitives.library import PrimitiveLibrary
+
+__all__ = [
+    "MetricSpec",
+    "TuningTerminal",
+    "DeviceTemplate",
+    "MosPrimitive",
+    "DifferentialPair",
+    "PmosDifferentialPair",
+    "CascodeDifferentialPair",
+    "SwitchedDifferentialPair",
+    "PassiveCurrentMirror",
+    "ActiveCurrentMirror",
+    "CascodeCurrentMirror",
+    "LowVoltageCascodeMirror",
+    "PmosCurrentMirror",
+    "CommonSourceAmplifier",
+    "CommonGateAmplifier",
+    "CommonDrainAmplifier",
+    "CurrentSourceLoad",
+    "PmosCurrentSource",
+    "CascodeCurrentSource",
+    "DiodeLoad",
+    "CascodeDiodeLoad",
+    "CurrentStarvedInverter",
+    "DifferentialDelayCell",
+    "CrossCoupledPair",
+    "CrossCoupledInverters",
+    "PmosCrossCoupledPair",
+    "RegenerativePair",
+    "PmosSwitch",
+    "TransmissionSwitch",
+    "MomCapacitorPrimitive",
+    "PolyResistorPrimitive",
+    "SpiralInductorPrimitive",
+    "PrimitiveLibrary",
+]

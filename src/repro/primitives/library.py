@@ -1,0 +1,125 @@
+"""The primitive library registry.
+
+The paper's flow assumes "a primitive library [containing] 20-30 primitive
+netlists and procedural layout generation code" augmented with metrics,
+weights, tuning terminals and testbenches.  :class:`PrimitiveLibrary`
+registers every family in this package by name and builds instances bound
+to a technology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import OptimizationError
+from repro.primitives.amplifiers import (
+    CommonDrainAmplifier,
+    CommonGateAmplifier,
+    CommonSourceAmplifier,
+)
+from repro.primitives.diffpair import (
+    CascodeDifferentialPair,
+    DifferentialPair,
+    PmosDifferentialPair,
+    SwitchedDifferentialPair,
+)
+from repro.primitives.digital import (
+    CrossCoupledInverters,
+    CrossCoupledPair,
+    CurrentStarvedInverter,
+    DifferentialDelayCell,
+    PmosCrossCoupledPair,
+    PmosSwitch,
+    RegenerativePair,
+    TransmissionSwitch,
+)
+from repro.primitives.loads import (
+    CascodeCurrentSource,
+    CascodeDiodeLoad,
+    CurrentSourceLoad,
+    DiodeLoad,
+    PmosCurrentSource,
+)
+from repro.primitives.mirrors import (
+    ActiveCurrentMirror,
+    CascodeCurrentMirror,
+    LowVoltageCascodeMirror,
+    PassiveCurrentMirror,
+    PmosCurrentMirror,
+)
+from repro.primitives.passive_prims import (
+    MomCapacitorPrimitive,
+    PolyResistorPrimitive,
+    SpiralInductorPrimitive,
+)
+from repro.tech.pdk import Technology
+
+_DEFAULT_FACTORIES: dict[str, Callable] = {
+    "differential_pair": DifferentialPair,
+    "pmos_differential_pair": PmosDifferentialPair,
+    "cascode_differential_pair": CascodeDifferentialPair,
+    "switched_differential_pair": SwitchedDifferentialPair,
+    "current_mirror": PassiveCurrentMirror,
+    "pmos_current_mirror": PmosCurrentMirror,
+    "active_current_mirror": ActiveCurrentMirror,
+    "cascode_current_mirror": CascodeCurrentMirror,
+    "lv_cascode_current_mirror": LowVoltageCascodeMirror,
+    "common_source_amplifier": CommonSourceAmplifier,
+    "common_gate_amplifier": CommonGateAmplifier,
+    "common_drain_amplifier": CommonDrainAmplifier,
+    "current_source": CurrentSourceLoad,
+    "pmos_current_source": PmosCurrentSource,
+    "cascode_current_source": CascodeCurrentSource,
+    "diode_load": DiodeLoad,
+    "cascode_diode_load": CascodeDiodeLoad,
+    "current_starved_inverter": CurrentStarvedInverter,
+    "differential_delay_cell": DifferentialDelayCell,
+    "cross_coupled_pair": CrossCoupledPair,
+    "cross_coupled_inverters": CrossCoupledInverters,
+    "switch": TransmissionSwitch,
+    "pmos_switch": PmosSwitch,
+    "regenerative_pair": RegenerativePair,
+    "pmos_cross_coupled_pair": PmosCrossCoupledPair,
+    "capacitor": MomCapacitorPrimitive,
+    "resistor": PolyResistorPrimitive,
+    "inductor": SpiralInductorPrimitive,
+}
+
+
+class PrimitiveLibrary:
+    """Registry of primitive families, bound to a technology at build time.
+
+    Example:
+        >>> lib = PrimitiveLibrary()
+        >>> dp = lib.create("differential_pair", Technology.default(),
+        ...                 base_fins=960)
+    """
+
+    def __init__(self, factories: dict[str, Callable] | None = None):
+        self._factories = dict(_DEFAULT_FACTORIES if factories is None else factories)
+
+    def names(self) -> list[str]:
+        """All registered primitive family names, sorted."""
+        return sorted(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def register(self, name: str, factory: Callable) -> None:
+        """Register an additional primitive family."""
+        if name in self._factories:
+            raise OptimizationError(f"primitive {name!r} is already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, tech: Technology, **kwargs):
+        """Build a primitive instance bound to ``tech``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise OptimizationError(
+                f"unknown primitive {name!r}; known: {', '.join(self.names())}"
+            ) from None
+        return factory(tech, **kwargs)

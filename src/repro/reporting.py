@@ -1,0 +1,48 @@
+"""Paper-style table formatting.
+
+The benchmarks print their results as aligned text tables mirroring the
+paper's tables; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.units import si_format
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_metric(value: float, unit: str) -> str:
+    """One metric with an SI prefix (e.g. ``"4.8 GHz"``)."""
+    return si_format(value, unit)
+
+
+def percent(reference: float, value: float) -> float:
+    """Relative deviation in percent."""
+    if reference == 0:
+        return 0.0 if value == 0 else float("inf")
+    return abs(reference - value) / abs(reference) * 100.0

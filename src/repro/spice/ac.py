@@ -1,0 +1,105 @@
+"""Small-signal AC analysis.
+
+The circuit is linearized at a DC operating point: MOSFETs contribute
+their ``gm``/``gds`` as conductances and their Meyer capacitances to the
+susceptance matrix; inductors contribute ``jwL`` branch impedances.  The
+complex system ``(G + jwC) x = b`` is solved at each frequency of a
+logarithmic sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError, SimulationError
+from repro.spice.dc import OperatingPoint
+from repro.spice.mna import CompiledCircuit
+
+
+@dataclass
+class AcResult:
+    """Result of an AC sweep.
+
+    Attributes:
+        compiled: The compiled circuit.
+        freqs: Sweep frequencies (Hz).
+        solutions: Complex solution matrix, shape (nfreq, size).
+    """
+
+    compiled: CompiledCircuit
+    freqs: np.ndarray
+    solutions: np.ndarray
+
+    def v(self, node: str) -> np.ndarray:
+        """Complex node voltage across the sweep (zeros for ground)."""
+        idx = self.compiled.index_of(node)
+        if idx == self.compiled.ghost:
+            return np.zeros(len(self.freqs), dtype=complex)
+        return self.solutions[:, idx]
+
+    def i(self, branch_name: str) -> np.ndarray:
+        """Complex branch current (voltage source / VCVS / inductor)."""
+        try:
+            idx = self.compiled.branch_index[branch_name]
+        except KeyError:
+            raise NetlistError(f"{branch_name!r} is not a branch element") from None
+        return self.solutions[:, idx]
+
+    def vdiff(self, plus: str, minus: str) -> np.ndarray:
+        """Complex differential voltage ``v(plus) - v(minus)``."""
+        return self.v(plus) - self.v(minus)
+
+
+def ac_analysis(
+    compiled: CompiledCircuit,
+    op: OperatingPoint,
+    f_start: float = 1.0e3,
+    f_stop: float = 1.0e11,
+    points_per_decade: int = 10,
+) -> AcResult:
+    """Run a logarithmic AC sweep around the given operating point."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise SimulationError("need 0 < f_start < f_stop")
+    if points_per_decade < 1:
+        raise SimulationError("points_per_decade must be >= 1")
+
+    decades = np.log10(f_stop / f_start)
+    n_points = max(2, int(np.ceil(decades * points_per_decade)) + 1)
+    freqs = np.logspace(np.log10(f_start), np.log10(f_stop), n_points)
+
+    size = compiled.size
+    g = compiled.conductance_linear().astype(complex)
+    if op.mos_eval is not None:
+        compiled.stamp_mosfets_ac(g, op.mos_eval)
+
+    c = compiled.capacitance_linear().astype(complex)
+    c += compiled.mos_capacitance(op.mos_eval, dtype=complex)
+
+    rhs = compiled.ac_source_rhs()
+
+    # Inductor branch rows: v_a - v_b - jwL * i = 0 (the jwL part is
+    # frequency dependent; the topology entries are constant).
+    ind_rows: list[tuple[int, int, int, float]] = []
+    for ind in compiled.inductors:
+        br = compiled.branch_index[ind.name]
+        na, nb = compiled.index_of(ind.a), compiled.index_of(ind.b)
+        g[na, br] += 1.0
+        g[nb, br] -= 1.0
+        g[br, na] += 1.0
+        g[br, nb] -= 1.0
+        ind_rows.append((br, na, nb, ind.value))
+
+    solutions = np.zeros((len(freqs), size), dtype=complex)
+    for k, freq in enumerate(freqs):
+        omega = 2.0 * np.pi * freq
+        a = g + 1j * omega * c
+        for br, _na, _nb, value in ind_rows:
+            a[br, br] -= 1j * omega * value
+        try:
+            solutions[k] = np.linalg.solve(a[:size, :size], rhs[:size])
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(f"AC solve failed at {freq:.3g} Hz") from exc
+
+    return AcResult(compiled=compiled, freqs=freqs, solutions=solutions)

@@ -1,0 +1,267 @@
+"""DC operating-point analysis and DC sweeps.
+
+The solver is damped Newton-Raphson on the MNA system with two standard
+homotopies layered on top:
+
+1. **gmin stepping** — a shunt conductance from every node to ground is
+   swept from large to negligible, each solve warm-starting the next;
+2. **source stepping** — if gmin stepping fails, all independent sources
+   are ramped from 10% to 100%.
+
+``force`` lets callers pin chosen nodes near given voltages through a
+large conductance during the solve — the *nodeset* mechanism used to break
+the symmetry of oscillators before transient analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.mosfet import MosEval
+from repro.errors import ConvergenceError, NetlistError
+from repro.spice.mna import CompiledCircuit
+
+#: Maximum node-voltage update per Newton iteration (V).
+VOLTAGE_LIMIT = 0.3
+
+#: Convergence tolerance on node voltages (V).
+VNTOL = 1.0e-9
+
+#: Relative convergence tolerance.
+RELTOL = 1.0e-6
+
+#: Conductance used to pin nodes listed in ``force`` (S).
+FORCE_CONDUCTANCE = 1.0e3
+
+#: Residual gmin left on every node for numerical robustness (S).
+GMIN_FLOOR = 1.0e-12
+
+
+@dataclass
+class OperatingPoint:
+    """Converged DC solution.
+
+    Attributes:
+        compiled: The compiled circuit the solution belongs to.
+        x: Solution vector (node voltages then branch currents).
+        mos_eval: Vectorized MOSFET evaluation at the solution (or None).
+    """
+
+    compiled: CompiledCircuit
+    x: np.ndarray
+    mos_eval: MosEval | None
+
+    def v(self, node: str) -> float:
+        """Voltage of ``node`` (0.0 for ground)."""
+        idx = self.compiled.index_of(node)
+        if idx == self.compiled.ghost:
+            return 0.0
+        return float(self.x[idx])
+
+    def i(self, branch_name: str) -> float:
+        """Branch current of a voltage source, VCVS or inductor.
+
+        For a voltage source the current flows from its positive terminal
+        through the source to its negative terminal (SPICE convention).
+        """
+        try:
+            return float(self.x[self.compiled.branch_index[branch_name]])
+        except KeyError:
+            raise NetlistError(
+                f"{branch_name!r} is not a branch element (vsource/vcvs/inductor)"
+            ) from None
+
+    def mos(self, name: str) -> dict[str, float]:
+        """Per-device operating point (id, gm, gds, capacitances)."""
+        if self.mos_eval is None:
+            raise NetlistError("circuit has no MOSFETs")
+        return self.compiled.mos_eval_by_name(self.mos_eval, name)
+
+
+def _newton_solve(
+    compiled: CompiledCircuit,
+    g_linear: np.ndarray,
+    x0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    force: dict[str, float] | None,
+    max_iterations: int | None = None,
+) -> np.ndarray | None:
+    """One damped Newton solve; returns the solution or None."""
+    size = compiled.size
+    if max_iterations is None:
+        # Large circuits under heavy damping need more iterations: the
+        # voltage limiter advances at most VOLTAGE_LIMIT per step.
+        max_iterations = max(120, 2 * compiled.num_nodes)
+    x = x0.copy()
+    rhs_src = compiled.source_rhs(t=None, scale=source_scale)
+
+    force_items: list[tuple[int, float]] = []
+    if force:
+        for node, value in force.items():
+            idx = compiled.index_of(node)
+            if idx != compiled.ghost:
+                force_items.append((idx, value))
+
+    limit = VOLTAGE_LIMIT
+    prev_dv: np.ndarray | None = None
+    for _ in range(max_iterations):
+        a = g_linear.copy()
+        rhs = rhs_src.copy()
+
+        diag = np.arange(compiled.num_nodes)
+        a[diag, diag] += gmin + GMIN_FLOOR
+
+        for idx, value in force_items:
+            a[idx, idx] += FORCE_CONDUCTANCE
+            # Scale the pinned target with the sources so source stepping
+            # ramps a consistent bias.
+            rhs[idx] += FORCE_CONDUCTANCE * value * source_scale
+
+        ev = compiled.eval_mosfets(x)
+        if ev is not None:
+            compiled.stamp_mosfets(a, rhs, ev, x)
+
+        try:
+            x_new = np.linalg.solve(a[:size, :size], rhs[:size])
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(x_new)):
+            return None
+
+        delta = x_new - x
+        dv = delta[: compiled.num_nodes]
+        max_dv = np.max(np.abs(dv)) if len(dv) else 0.0
+
+        # Oscillation-aware damping: when the update direction flips
+        # (Newton cycling between basins, e.g. a near-metastable latch),
+        # shrink the step limit so the iteration settles into one basin.
+        if prev_dv is not None and len(dv) and float(np.dot(dv, prev_dv)) < 0.0:
+            limit = max(0.01, limit * 0.6)
+        else:
+            limit = min(VOLTAGE_LIMIT, limit * 1.3)
+        prev_dv = dv.copy()
+
+        if max_dv > limit:
+            delta = delta * (limit / max_dv)
+            x = x + delta
+            continue
+        x = x_new
+        if max_dv < VNTOL + RELTOL * np.max(np.abs(x[: compiled.num_nodes]), initial=0.0):
+            return x
+    return None
+
+
+def dc_operating_point(
+    compiled: CompiledCircuit,
+    x0: np.ndarray | None = None,
+    force: dict[str, float] | None = None,
+) -> OperatingPoint:
+    """Compute the DC operating point.
+
+    Args:
+        compiled: The compiled circuit.
+        x0: Optional initial guess (warm start).
+        force: Optional nodeset, mapping node names to voltages that are
+            softly pinned during the solve (used to bias oscillators off
+            their metastable point).
+
+    Raises:
+        ConvergenceError: If Newton fails even after gmin and source
+            stepping.
+    """
+    g_linear = compiled.conductance_linear()
+    compiled.stamp_inductors_dc(g_linear)
+
+    x = x0.copy() if x0 is not None else np.zeros(compiled.size)
+
+    # Plain Newton first: cheap and usually sufficient with a warm start.
+    solution = _newton_solve(compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force)
+    if solution is not None:
+        return _finish(compiled, solution)
+
+    # gmin stepping.
+    for exponent in range(3, 13):
+        gmin = 10.0 ** (-exponent)
+        solution = _newton_solve(
+            compiled, g_linear, x, gmin=gmin, source_scale=1.0, force=force
+        )
+        if solution is None:
+            break
+        x = solution
+    else:
+        solution = _newton_solve(
+            compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force
+        )
+        if solution is not None:
+            return _finish(compiled, solution)
+
+    # Source stepping fallback, with a supporting gmin that relaxes as
+    # the sources ramp up.
+    x = np.zeros(compiled.size)
+    for scale in np.linspace(0.1, 1.0, 10):
+        stepped = _newton_solve(
+            compiled,
+            g_linear,
+            x,
+            gmin=1e-9 * (1.0 - scale) + 1e-12,
+            source_scale=float(scale),
+            force=force,
+        )
+        if stepped is None:
+            raise ConvergenceError(
+                f"DC operating point failed for circuit "
+                f"{compiled.circuit.name!r} at source scale {scale:.2f}"
+            )
+        x = stepped
+    final = _newton_solve(compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force)
+    if final is None:
+        raise ConvergenceError(
+            f"DC operating point failed for circuit "
+            f"{compiled.circuit.name!r} after source stepping"
+        )
+    return _finish(compiled, final)
+
+
+def _finish(compiled: CompiledCircuit, x: np.ndarray) -> OperatingPoint:
+    return OperatingPoint(compiled=compiled, x=x, mos_eval=compiled.eval_mosfets(x))
+
+
+def dc_sweep(
+    compiled: CompiledCircuit,
+    source_name: str,
+    values: np.ndarray,
+) -> list[OperatingPoint]:
+    """Sweep the DC level of one source, warm-starting each point.
+
+    The named element must be a :class:`VoltageSource` or
+    :class:`CurrentSource`; its waveform is replaced by a DC level and the
+    circuit recompiled per sweep point (compilation is linear in element
+    count, so this stays cheap for primitive-scale circuits).
+    """
+    from dataclasses import replace
+
+    from repro.spice.elements import CurrentSource, VoltageSource
+    from repro.spice.waveforms import Dc
+
+    circuit = compiled.circuit
+    element = circuit.element(source_name)
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise NetlistError(f"{source_name!r} is not an independent source")
+
+    results: list[OperatingPoint] = []
+    x_prev: np.ndarray | None = None
+    try:
+        for value in values:
+            circuit.replace_element(
+                source_name, replace(element, waveform=Dc(float(value)))
+            )
+            point_compiled = CompiledCircuit(circuit, compiled.rules)
+            point = dc_operating_point(point_compiled, x0=x_prev)
+            results.append(point)
+            x_prev = point.x
+    finally:
+        circuit.replace_element(source_name, element)
+    return results

@@ -1,0 +1,159 @@
+"""Circuit element definitions.
+
+Elements are plain dataclasses holding node *names*; the MNA compiler
+(:mod:`repro.spice.mna`) resolves names to matrix indices.  Current sign
+conventions follow SPICE: a voltage source's branch current flows from its
+positive node through the source to its negative node; a current source
+pushes current from node ``a`` through itself into node ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.lde import LdeContext
+from repro.devices.mosfet import MosGeometry
+from repro.errors import NetlistError
+from repro.spice.waveforms import Dc, Waveform
+from repro.tech.finfet import MosModelCard
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Linear resistor between nodes ``a`` and ``b``."""
+
+    name: str
+    a: str
+    b: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise NetlistError(f"resistor {self.name}: value must be > 0")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor between nodes ``a`` and ``b``."""
+
+    name: str
+    a: str
+    b: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise NetlistError(f"capacitor {self.name}: value must be >= 0")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """Linear inductor between nodes ``a`` and ``b`` (adds a branch current)."""
+
+    name: str
+    a: str
+    b: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise NetlistError(f"inductor {self.name}: value must be > 0")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Independent voltage source from ``plus`` to ``minus``.
+
+    ``ac_magnitude``/``ac_phase_deg`` define the small-signal stimulus used
+    by AC analysis (they do not affect DC or transient).
+    """
+
+    name: str
+    plus: str
+    minus: str
+    waveform: Waveform = field(default_factory=Dc)
+    ac_magnitude: float = 0.0
+    ac_phase_deg: float = 0.0
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source pushing current from ``a`` into ``b``."""
+
+    name: str
+    a: str
+    b: str
+    waveform: Waveform = field(default_factory=Dc)
+    ac_magnitude: float = 0.0
+    ac_phase_deg: float = 0.0
+
+
+@dataclass(frozen=True)
+class Vcvs:
+    """Voltage-controlled voltage source (SPICE E element)."""
+
+    name: str
+    plus: str
+    minus: str
+    ctrl_plus: str
+    ctrl_minus: str
+    gain: float
+
+
+@dataclass(frozen=True)
+class Vccs:
+    """Voltage-controlled current source (SPICE G element).
+
+    Pushes ``gain * (v(ctrl_plus) - v(ctrl_minus))`` from ``a`` into ``b``.
+    """
+
+    name: str
+    a: str
+    b: str
+    ctrl_plus: str
+    ctrl_minus: str
+    gain: float
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """FinFET instance.
+
+    Attributes:
+        name: Instance name.
+        d, g, s, b: Drain, gate, source and bulk node names (bulk is
+            accepted for netlist fidelity; the fully-depleted model has no
+            body effect, and junction capacitances connect to ``b``).
+        card: Technology model card.
+        geometry: (nfin, nf, m) sizing.
+        lde: Layout-dependent-effect context (ideal for schematics).
+        cdb_override: Drain junction capacitance override from extraction
+            (accounts for diffusion sharing); None keeps the card default.
+        csb_override: Source junction capacitance override.
+        vth_mismatch: Additional deterministic threshold offset (V), used
+            by Monte-Carlo/offset analyses.
+    """
+
+    name: str
+    d: str
+    g: str
+    s: str
+    b: str
+    card: MosModelCard
+    geometry: MosGeometry
+    lde: LdeContext = field(default_factory=LdeContext.ideal)
+    cdb_override: float | None = None
+    csb_override: float | None = None
+    vth_mismatch: float = 0.0
+
+
+Element = (
+    Resistor
+    | Capacitor
+    | Inductor
+    | VoltageSource
+    | CurrentSource
+    | Vcvs
+    | Vccs
+    | Mosfet
+)

@@ -1,0 +1,240 @@
+"""Measurement post-processing (the library's ``.measure`` statements).
+
+All functions operate on :class:`~repro.spice.ac.AcResult` /
+:class:`~repro.spice.tran.TranResult` data (or raw arrays) and raise
+:class:`~repro.errors.MeasureError` when the requested feature does not
+exist in the data (no crossing, no unity-gain point, ...).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MeasureError
+
+# --- AC measures -----------------------------------------------------------
+
+
+def magnitude_db(h: np.ndarray) -> np.ndarray:
+    """Magnitude of a complex transfer function in dB."""
+    return 20.0 * np.log10(np.abs(h) + 1e-300)
+
+
+def phase_deg(h: np.ndarray) -> np.ndarray:
+    """Unwrapped phase of a complex transfer function in degrees."""
+    return np.rad2deg(np.unwrap(np.angle(h)))
+
+
+def low_frequency_gain(h: np.ndarray) -> float:
+    """Gain magnitude at the first (lowest) sweep point."""
+    return float(np.abs(h[0]))
+
+
+def low_frequency_gain_db(h: np.ndarray) -> float:
+    """Gain in dB at the first (lowest) sweep point."""
+    return 20.0 * math.log10(low_frequency_gain(h) + 1e-300)
+
+
+def _log_interp_crossing(
+    freqs: np.ndarray, values: np.ndarray, target: float
+) -> float:
+    """Frequency where ``values`` first crosses ``target`` (log-f interp)."""
+    above = values >= target
+    if not above[0]:
+        raise MeasureError("response starts below the target level")
+    for k in range(1, len(freqs)):
+        if not above[k]:
+            f0, f1 = freqs[k - 1], freqs[k]
+            v0, v1 = values[k - 1], values[k]
+            if v0 == v1:
+                return float(f0)
+            frac = (v0 - target) / (v0 - v1)
+            return float(10 ** (np.log10(f0) + frac * (np.log10(f1) - np.log10(f0))))
+    raise MeasureError("response never crosses the target level in the sweep")
+
+
+def unity_gain_frequency(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Frequency where ``|h|`` crosses 1 (requires |h(f_min)| > 1)."""
+    return _log_interp_crossing(np.asarray(freqs), np.abs(h), 1.0)
+
+
+def bandwidth_3db(freqs: np.ndarray, h: np.ndarray) -> float:
+    """-3dB bandwidth relative to the low-frequency gain."""
+    mag = np.abs(h)
+    return _log_interp_crossing(np.asarray(freqs), mag, mag[0] / math.sqrt(2.0))
+
+
+def phase_margin(freqs: np.ndarray, h: np.ndarray) -> float:
+    """Phase margin in degrees: ``180 + phase`` at the unity-gain frequency."""
+    freqs = np.asarray(freqs)
+    fu = unity_gain_frequency(freqs, h)
+    phase = phase_deg(h)
+    ph_u = float(np.interp(np.log10(fu), np.log10(freqs), phase))
+    return 180.0 + ph_u
+
+
+def input_admittance(v_port: np.ndarray, i_port: np.ndarray) -> np.ndarray:
+    """Complex admittance seen at a port, ``I/V``."""
+    return i_port / v_port
+
+
+def capacitance_from_admittance(freqs: np.ndarray, y: np.ndarray, at_index: int = 0) -> float:
+    """Extract capacitance from ``Im(Y)/omega`` at one sweep point."""
+    omega = 2.0 * math.pi * float(np.asarray(freqs)[at_index])
+    return float(np.imag(y[at_index]) / omega)
+
+
+def resistance_from_admittance(y: np.ndarray, at_index: int = 0) -> float:
+    """Extract parallel resistance from ``1/Re(Y)`` at one sweep point."""
+    real = float(np.real(y[at_index]))
+    if real == 0.0:
+        raise MeasureError("port has zero real admittance")
+    return 1.0 / real
+
+
+# --- transient measures ------------------------------------------------------
+
+
+def crossing_times(
+    t: np.ndarray,
+    wave: np.ndarray,
+    level: float,
+    direction: str = "rise",
+) -> np.ndarray:
+    """All times where ``wave`` crosses ``level`` in the given direction.
+
+    ``direction`` is ``"rise"``, ``"fall"`` or ``"both"``.  Crossing times
+    are linearly interpolated between samples.
+    """
+    t = np.asarray(t)
+    wave = np.asarray(wave)
+    above = wave >= level
+    changes = np.nonzero(above[1:] != above[:-1])[0]
+    times = []
+    for k in changes:
+        rising = not above[k]
+        if direction == "rise" and not rising:
+            continue
+        if direction == "fall" and rising:
+            continue
+        v0, v1 = wave[k], wave[k + 1]
+        frac = (level - v0) / (v1 - v0)
+        times.append(t[k] + frac * (t[k + 1] - t[k]))
+    return np.asarray(times)
+
+
+def delay_between(
+    t: np.ndarray,
+    wave_from: np.ndarray,
+    wave_to: np.ndarray,
+    level_from: float,
+    level_to: float,
+    direction_from: str = "rise",
+    direction_to: str = "rise",
+    occurrence: int = 0,
+) -> float:
+    """Delay from a crossing of one waveform to the next crossing of another."""
+    from_times = crossing_times(t, wave_from, level_from, direction_from)
+    if len(from_times) <= occurrence:
+        raise MeasureError("reference waveform has no such crossing")
+    t_ref = from_times[occurrence]
+    to_times = crossing_times(t, wave_to, level_to, direction_to)
+    later = to_times[to_times > t_ref]
+    if len(later) == 0:
+        raise MeasureError("target waveform never crosses after the reference")
+    return float(later[0] - t_ref)
+
+
+def oscillation_frequency(
+    t: np.ndarray,
+    wave: np.ndarray,
+    settle_fraction: float = 0.5,
+    min_cycles: int = 3,
+) -> float:
+    """Oscillation frequency from rising zero crossings of ``wave - mean``.
+
+    Only the trailing ``1 - settle_fraction`` of the record is used, so
+    start-up transients are excluded.  Raises
+    :class:`~repro.errors.MeasureError` if fewer than ``min_cycles``
+    periods are observed (i.e. the circuit is not oscillating).
+    """
+    t = np.asarray(t)
+    wave = np.asarray(wave)
+    start = int(len(t) * settle_fraction)
+    tt, ww = t[start:], wave[start:]
+    if len(tt) < 4:
+        raise MeasureError("record too short for frequency measurement")
+    swing = float(np.max(ww) - np.min(ww))
+    if swing < 1e-6:
+        raise MeasureError("waveform is flat; no oscillation")
+    level = float(np.mean(ww))
+    rises = crossing_times(tt, ww, level, "rise")
+    if len(rises) < min_cycles + 1:
+        raise MeasureError(
+            f"only {max(0, len(rises) - 1)} full periods observed "
+            f"(need {min_cycles})"
+        )
+    periods = np.diff(rises)
+    return float(1.0 / np.mean(periods))
+
+
+def average_power(
+    t: np.ndarray, supply_current: np.ndarray, vdd: float, settle_fraction: float = 0.0
+) -> float:
+    """Average power drawn from a supply: ``vdd * mean(-i_source)``.
+
+    By SPICE convention the current of a supply *source* flows from its
+    positive terminal through the source, so a sourcing supply has a
+    negative branch current; the sign flip makes the result positive.
+    """
+    t = np.asarray(t)
+    i = np.asarray(supply_current)
+    start = int(len(t) * settle_fraction)
+    if len(t[start:]) < 2:
+        raise MeasureError("record too short for power measurement")
+    avg_current = float(np.trapezoid(i[start:], t[start:]) / (t[-1] - t[start]))
+    return -avg_current * vdd
+
+
+def peak_to_peak(wave: np.ndarray) -> float:
+    """Peak-to-peak amplitude of a waveform."""
+    wave = np.asarray(wave)
+    return float(np.max(wave) - np.min(wave))
+
+
+def find_dc_zero(
+    evaluate,
+    lo: float,
+    hi: float,
+    tolerance: float = 1e-7,
+    max_iterations: int = 60,
+) -> float:
+    """Bisection root finder used by offset measurements.
+
+    ``evaluate`` maps a scalar input (e.g. differential input voltage) to a
+    scalar response (e.g. differential output current); the root of the
+    response in ``[lo, hi]`` is returned.
+    """
+    f_lo = evaluate(lo)
+    f_hi = evaluate(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo * f_hi > 0:
+        raise MeasureError(
+            f"no sign change in [{lo:.4g}, {hi:.4g}] "
+            f"(f={f_lo:.4g} .. {f_hi:.4g})"
+        )
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        f_mid = evaluate(mid)
+        if f_mid == 0.0 or (hi - lo) < tolerance:
+            return mid
+        if f_lo * f_mid < 0:
+            hi, f_hi = mid, f_mid
+        else:
+            lo, f_lo = mid, f_mid
+    return 0.5 * (lo + hi)

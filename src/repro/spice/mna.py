@@ -1,0 +1,374 @@
+"""Modified nodal analysis (MNA) assembly.
+
+:class:`CompiledCircuit` resolves a :class:`~repro.spice.netlist.Circuit`
+into index arrays and vectorized parameter arrays so the analyses can
+assemble system matrices quickly.  Unknowns are ordered as
+
+``[node voltages (0..N-1), branch currents (N..N+M-1)]``
+
+where branches exist for voltage sources, VCVS elements and inductors.
+Ground is mapped to a ghost index equal to ``size`` — matrices are built
+one row/column larger and the ghost row/column is simply ignored — which
+keeps every stamp a branch-free vectorized ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.mosfet import MosEval, evaluate_mosfets, resolve_params
+from repro.errors import NetlistError
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit, is_ground
+from repro.tech.rules import DesignRules
+
+
+class CompiledCircuit:
+    """A circuit compiled to MNA index/parameter arrays.
+
+    Args:
+        circuit: The netlist to compile.
+        rules: Design rules used to resolve MOSFET geometry into model
+            parameters (fin width, gate length).
+    """
+
+    def __init__(self, circuit: Circuit, rules: DesignRules):
+        self.circuit = circuit
+        self.rules = rules
+
+        self.nodes: list[str] = circuit.nodes()
+        self.node_index: dict[str, int] = {n: i for i, n in enumerate(self.nodes)}
+        self.num_nodes = len(self.nodes)
+
+        self.vsources: list[VoltageSource] = []
+        self.vcvs_elements: list[Vcvs] = []
+        self.inductors: list[Inductor] = []
+        self.isources: list[CurrentSource] = []
+        self.resistors: list[Resistor] = []
+        self.capacitors: list[Capacitor] = []
+        self.vccs_elements: list[Vccs] = []
+        self.mos_elements: list[Mosfet] = []
+
+        for elem in circuit:
+            if isinstance(elem, Resistor):
+                self.resistors.append(elem)
+            elif isinstance(elem, Capacitor):
+                self.capacitors.append(elem)
+            elif isinstance(elem, VoltageSource):
+                self.vsources.append(elem)
+            elif isinstance(elem, CurrentSource):
+                self.isources.append(elem)
+            elif isinstance(elem, Vcvs):
+                self.vcvs_elements.append(elem)
+            elif isinstance(elem, Vccs):
+                self.vccs_elements.append(elem)
+            elif isinstance(elem, Inductor):
+                self.inductors.append(elem)
+            elif isinstance(elem, Mosfet):
+                self.mos_elements.append(elem)
+            else:
+                raise NetlistError(f"unsupported element type {type(elem).__name__}")
+
+        self.num_branches = (
+            len(self.vsources) + len(self.vcvs_elements) + len(self.inductors)
+        )
+        self.size = self.num_nodes + self.num_branches
+        self.ghost = self.size  # index used for ground stamps
+
+        self.branch_index: dict[str, int] = {}
+        offset = self.num_nodes
+        for src in self.vsources:
+            self.branch_index[src.name] = offset
+            offset += 1
+        for e in self.vcvs_elements:
+            self.branch_index[e.name] = offset
+            offset += 1
+        for ind in self.inductors:
+            self.branch_index[ind.name] = offset
+            offset += 1
+
+        self._build_linear_arrays()
+        self._build_mos_arrays()
+
+    # -- indexing --------------------------------------------------------
+
+    def index_of(self, node: str) -> int:
+        """Matrix index of a node (ground maps to the ghost index)."""
+        if is_ground(node):
+            return self.ghost
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def voltage(self, x: np.ndarray, node: str) -> float | np.ndarray:
+        """Voltage of ``node`` from a solution vector (0 for ground)."""
+        idx = self.index_of(node)
+        if idx == self.ghost:
+            return x[..., 0] * 0.0
+        return x[..., idx]
+
+    # -- precomputation ---------------------------------------------------
+
+    def _build_linear_arrays(self) -> None:
+        idx = self.index_of
+        self._res_a = np.array([idx(r.a) for r in self.resistors], dtype=int)
+        self._res_b = np.array([idx(r.b) for r in self.resistors], dtype=int)
+        self._res_g = np.array([1.0 / r.value for r in self.resistors])
+
+        self._cap_a = np.array([idx(c.a) for c in self.capacitors], dtype=int)
+        self._cap_b = np.array([idx(c.b) for c in self.capacitors], dtype=int)
+        self._cap_c = np.array([c.value for c in self.capacitors])
+
+    def _build_mos_arrays(self) -> None:
+        idx = self.index_of
+        mos = self.mos_elements
+        self._mos_d = np.array([idx(m.d) for m in mos], dtype=int)
+        self._mos_g = np.array([idx(m.g) for m in mos], dtype=int)
+        self._mos_s = np.array([idx(m.s) for m in mos], dtype=int)
+        self._mos_b = np.array([idx(m.b) for m in mos], dtype=int)
+
+        params = [
+            resolve_params(
+                m.card,
+                self.rules,
+                m.geometry,
+                m.lde,
+                m.cdb_override,
+                m.csb_override,
+            )
+            for m in mos
+        ]
+        self._mos_pol = np.array([p.polarity for p in params], dtype=int)
+        self._mos_vth = np.array(
+            [p.vth + m.vth_mismatch for p, m in zip(params, mos)]
+        )
+        self._mos_n = np.array([p.slope_factor for p in params])
+        self._mos_ispec = np.array([p.ispec for p in params])
+        self._mos_lam = np.array([p.lambda_clm for p in params])
+        self._mos_theta = np.array([p.theta for p in params])
+        self._mos_coxwl = np.array([p.cox_wl for p in params])
+        self._mos_cov = np.array([p.cov for p in params])
+        self._mos_cdb = np.array([p.cdb for p in params])
+        self._mos_csb = np.array([p.csb for p in params])
+        self.mos_params = params
+
+    # -- linear matrices ----------------------------------------------------
+
+    def _empty_matrix(self, dtype=float) -> np.ndarray:
+        return np.zeros((self.size + 1, self.size + 1), dtype=dtype)
+
+    def _empty_vector(self, dtype=float) -> np.ndarray:
+        return np.zeros(self.size + 1, dtype=dtype)
+
+    def conductance_linear(self) -> np.ndarray:
+        """Constant conductance/branch-topology matrix.
+
+        Contains resistor stamps, VCCS stamps, and the topology rows of
+        voltage sources and VCVS elements.  Inductor branch rows are
+        analysis-dependent and stamped by each analysis.
+        """
+        a = self._empty_matrix()
+        _stamp_two_terminal(a, self._res_a, self._res_b, self._res_g)
+
+        idx = self.index_of
+        for e in self.vccs_elements:
+            na, nb = idx(e.a), idx(e.b)
+            cp, cm = idx(e.ctrl_plus), idx(e.ctrl_minus)
+            a[na, cp] += e.gain
+            a[na, cm] -= e.gain
+            a[nb, cp] -= e.gain
+            a[nb, cm] += e.gain
+
+        for src in self.vsources:
+            br = self.branch_index[src.name]
+            p, n = idx(src.plus), idx(src.minus)
+            a[p, br] += 1.0
+            a[n, br] -= 1.0
+            a[br, p] += 1.0
+            a[br, n] -= 1.0
+
+        for e in self.vcvs_elements:
+            br = self.branch_index[e.name]
+            p, n = idx(e.plus), idx(e.minus)
+            cp, cm = idx(e.ctrl_plus), idx(e.ctrl_minus)
+            a[p, br] += 1.0
+            a[n, br] -= 1.0
+            a[br, p] += 1.0
+            a[br, n] -= 1.0
+            a[br, cp] -= e.gain
+            a[br, cm] += e.gain
+
+        return a
+
+    def capacitance_linear(self) -> np.ndarray:
+        """Capacitance matrix of the fixed (element) capacitors."""
+        c = self._empty_matrix()
+        _stamp_two_terminal(c, self._cap_a, self._cap_b, self._cap_c)
+        return c
+
+    def stamp_inductors_dc(self, a: np.ndarray) -> None:
+        """Stamp inductors as shorts (their branch rows) for DC analysis."""
+        idx = self.index_of
+        for ind in self.inductors:
+            br = self.branch_index[ind.name]
+            na, nb = idx(ind.a), idx(ind.b)
+            a[na, br] += 1.0
+            a[nb, br] -= 1.0
+            a[br, na] += 1.0
+            a[br, nb] -= 1.0
+
+    def source_rhs(self, t: float | None = None, scale: float = 1.0) -> np.ndarray:
+        """Right-hand side from independent sources.
+
+        ``t=None`` uses DC values; otherwise waveforms are evaluated at
+        ``t``.  ``scale`` multiplies all source values (source stepping).
+        """
+        rhs = self._empty_vector()
+        idx = self.index_of
+        for src in self.isources:
+            value = src.waveform.dc_value if t is None else src.waveform.value(t)
+            value *= scale
+            rhs[idx(src.a)] -= value
+            rhs[idx(src.b)] += value
+        for src in self.vsources:
+            value = src.waveform.dc_value if t is None else src.waveform.value(t)
+            rhs[self.branch_index[src.name]] += value * scale
+        return rhs
+
+    def ac_source_rhs(self) -> np.ndarray:
+        """Complex RHS from the AC magnitudes/phases of all sources."""
+        rhs = self._empty_vector(dtype=complex)
+        idx = self.index_of
+        for src in self.isources:
+            if src.ac_magnitude:
+                phasor = src.ac_magnitude * np.exp(
+                    1j * np.deg2rad(src.ac_phase_deg)
+                )
+                rhs[idx(src.a)] -= phasor
+                rhs[idx(src.b)] += phasor
+        for src in self.vsources:
+            if src.ac_magnitude:
+                phasor = src.ac_magnitude * np.exp(
+                    1j * np.deg2rad(src.ac_phase_deg)
+                )
+                rhs[self.branch_index[src.name]] += phasor
+        return rhs
+
+    # -- MOSFET evaluation and stamping ------------------------------------
+
+    def eval_mosfets(self, x: np.ndarray) -> MosEval | None:
+        """Evaluate all MOSFETs at the solution vector ``x``."""
+        if not self.mos_elements:
+            return None
+        xg = np.append(x, 0.0)  # ghost ground entry
+        vg = xg[self._mos_g]
+        vd = xg[self._mos_d]
+        vs = xg[self._mos_s]
+        return evaluate_mosfets(
+            self._mos_pol,
+            self._mos_vth,
+            self._mos_n,
+            self._mos_ispec,
+            self._mos_lam,
+            self._mos_theta,
+            self._mos_coxwl,
+            self._mos_cov,
+            self._mos_cdb,
+            self._mos_csb,
+            vg,
+            vd,
+            vs,
+        )
+
+    def stamp_mosfets(
+        self,
+        a: np.ndarray,
+        rhs: np.ndarray,
+        ev: MosEval,
+        x: np.ndarray,
+    ) -> None:
+        """Stamp the Newton companion model of every MOSFET.
+
+        ``a`` receives the conductances (gm, gds, gms) and ``rhs`` the
+        linearization-equivalent current sources, evaluated at ``x``.
+        """
+        if ev is None:
+            return
+        d, g, s = self._mos_d, self._mos_g, self._mos_s
+        gm, gds = ev.gm, ev.gds
+        gms = ev.gms
+
+        np.add.at(a, (d, d), gds)
+        np.add.at(a, (d, g), gm)
+        np.add.at(a, (d, s), gms)
+        np.add.at(a, (s, d), -gds)
+        np.add.at(a, (s, g), -gm)
+        np.add.at(a, (s, s), -gms)
+
+        xg = np.append(x, 0.0)
+        ieq = ev.ids - gm * xg[g] - gds * xg[d] - gms * xg[s]
+        np.add.at(rhs, d, -ieq)
+        np.add.at(rhs, s, ieq)
+
+    def stamp_mosfets_ac(self, a: np.ndarray, ev: MosEval) -> None:
+        """Stamp only the small-signal conductances (for AC analysis)."""
+        if ev is None:
+            return
+        d, g, s = self._mos_d, self._mos_g, self._mos_s
+        np.add.at(a, (d, d), ev.gds.astype(a.dtype))
+        np.add.at(a, (d, g), ev.gm.astype(a.dtype))
+        np.add.at(a, (d, s), ev.gms.astype(a.dtype))
+        np.add.at(a, (s, d), -ev.gds.astype(a.dtype))
+        np.add.at(a, (s, g), -ev.gm.astype(a.dtype))
+        np.add.at(a, (s, s), -ev.gms.astype(a.dtype))
+
+    def mos_capacitance(self, ev: MosEval, dtype=float) -> np.ndarray:
+        """Capacitance matrix contribution of all MOSFETs at a bias point."""
+        c = self._empty_matrix(dtype=dtype)
+        if ev is None:
+            return c
+        d, g, s, b = self._mos_d, self._mos_g, self._mos_s, self._mos_b
+        _stamp_two_terminal(c, g, s, ev.cgs.astype(dtype))
+        _stamp_two_terminal(c, g, d, ev.cgd.astype(dtype))
+        _stamp_two_terminal(c, g, b, ev.cgb.astype(dtype))
+        _stamp_two_terminal(c, d, b, ev.cdb.astype(dtype))
+        _stamp_two_terminal(c, s, b, ev.csb.astype(dtype))
+        return c
+
+    def mos_eval_by_name(self, ev: MosEval, name: str) -> dict[str, float]:
+        """Per-device operating-point data for the MOSFET called ``name``."""
+        for i, m in enumerate(self.mos_elements):
+            if m.name == name:
+                return {
+                    "id": float(ev.ids[i]),
+                    "gm": float(ev.gm[i]),
+                    "gds": float(ev.gds[i]),
+                    "cgs": float(ev.cgs[i]),
+                    "cgd": float(ev.cgd[i]),
+                    "cgb": float(ev.cgb[i]),
+                    "cdb": float(ev.cdb[i]),
+                    "csb": float(ev.csb[i]),
+                }
+        raise NetlistError(f"no MOSFET named {name!r}")
+
+
+def _stamp_two_terminal(
+    a: np.ndarray, ia: np.ndarray, ib: np.ndarray, values: np.ndarray
+) -> None:
+    """Stamp two-terminal admittance-like values into matrix ``a``."""
+    if len(np.atleast_1d(values)) == 0:
+        return
+    np.add.at(a, (ia, ia), values)
+    np.add.at(a, (ib, ib), values)
+    np.add.at(a, (ia, ib), -values)
+    np.add.at(a, (ib, ia), -values)

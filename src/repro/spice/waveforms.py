@@ -1,0 +1,139 @@
+"""Source waveforms: DC, PULSE, SIN and PWL.
+
+Each waveform exposes ``dc_value`` (the value used during operating-point
+analysis, i.e. the value at t=0) and ``value(t)`` for transient analysis.
+Semantics follow SPICE conventions.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Dc:
+    """A constant source value."""
+
+    level: float = 0.0
+
+    @property
+    def dc_value(self) -> float:
+        return self.level
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """SPICE PULSE source.
+
+    Attributes:
+        v1: Initial value.
+        v2: Pulsed value.
+        delay: Time before the first edge (s).
+        rise: Rise time (s).
+        fall: Fall time (s).
+        width: Pulse width at ``v2`` (s).
+        period: Repetition period (s); 0 means a single pulse.
+    """
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 1e-12
+    fall: float = 1e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rise <= 0 or self.fall <= 0:
+            raise NetlistError("pulse rise/fall must be > 0")
+        if self.width < 0:
+            raise NetlistError("pulse width must be >= 0")
+
+    @property
+    def dc_value(self) -> float:
+        return self.v1
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        local = t - self.delay
+        if self.period > 0:
+            local = math.fmod(local, self.period)
+        if local < self.rise:
+            return self.v1 + (self.v2 - self.v1) * local / self.rise
+        local -= self.rise
+        if local < self.width:
+            return self.v2
+        local -= self.width
+        if local < self.fall:
+            return self.v2 + (self.v1 - self.v2) * local / self.fall
+        return self.v1
+
+
+@dataclass(frozen=True)
+class Sin:
+    """SPICE SIN source: ``offset + amplitude*sin(2*pi*freq*(t-delay))``."""
+
+    offset: float
+    amplitude: float
+    frequency: float
+    delay: float = 0.0
+    damping: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise NetlistError("sin frequency must be > 0")
+
+    @property
+    def dc_value(self) -> float:
+        return self.offset
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.offset
+        dt = t - self.delay
+        envelope = math.exp(-self.damping * dt) if self.damping else 1.0
+        return self.offset + self.amplitude * envelope * math.sin(
+            2.0 * math.pi * self.frequency * dt
+        )
+
+
+@dataclass(frozen=True)
+class Pwl:
+    """Piecewise-linear source defined by (time, value) breakpoints."""
+
+    points: tuple[tuple[float, float], ...]
+    _times: tuple[float, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise NetlistError("PWL needs at least one point")
+        times = [p[0] for p in self.points]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise NetlistError("PWL times must be strictly increasing")
+        object.__setattr__(self, "_times", tuple(times))
+
+    @property
+    def dc_value(self) -> float:
+        return self.value(0.0)
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        idx = bisect_right(self._times, t)
+        t0, v0 = pts[idx - 1]
+        t1, v1 = pts[idx]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+
+Waveform = Dc | Pulse | Sin | Pwl

@@ -1,0 +1,31 @@
+"""Synthetic FinFET process design kit (PDK).
+
+This package replaces the commercial 14nm-class FinFET PDK used in the
+paper.  It provides everything the rest of the library consumes from a
+technology:
+
+* :class:`~repro.tech.stack.MetalStack` — the back-end-of-line metal and
+  via stack with per-layer sheet resistance and capacitance coefficients,
+* :class:`~repro.tech.rules.DesignRules` — gridded front-end rules (fin
+  pitch, poly pitch, diffusion extensions, well enclosures),
+* :class:`~repro.tech.finfet.MosModelCard` — compact-model cards for the
+  n/p FinFETs, including layout-dependent-effect (LDE) coefficients,
+* :class:`~repro.tech.pdk.Technology` — the bundle tying these together,
+  with :meth:`~repro.tech.pdk.Technology.default` returning the synthetic
+  ``FF14`` node used throughout the experiments.
+"""
+
+from repro.tech.stack import MetalLayer, ViaLayer, MetalStack
+from repro.tech.rules import DesignRules
+from repro.tech.finfet import MosModelCard, LdeCoefficients
+from repro.tech.pdk import Technology
+
+__all__ = [
+    "MetalLayer",
+    "ViaLayer",
+    "MetalStack",
+    "DesignRules",
+    "MosModelCard",
+    "LdeCoefficients",
+    "Technology",
+]

@@ -1,0 +1,173 @@
+"""FinFET compact-model cards and layout-dependent-effect coefficients.
+
+The cards here parameterize the EKV-style model in
+:mod:`repro.devices.mosfet`.  They are *synthetic* — chosen to give
+14nm-class magnitudes (tens of microamps per fin, sub-volt thresholds,
+attofarad-scale per-fin capacitances) — because the real foundry model is
+unavailable.  The methodology only depends on the model being smooth and
+physically monotone; see DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class LdeCoefficients:
+    """Coefficients of the layout-dependent-effect (LDE) models.
+
+    Two effects are modelled, matching the paper:
+
+    * **LOD** (length of diffusion, stress): fingers close to a diffusion
+      edge see a threshold shift and mobility change proportional to
+      ``1/SA + 1/SB`` where SA/SB are gate-to-diffusion-edge distances.
+    * **WPE** (well proximity): devices close to a well edge see a
+      threshold shift proportional to ``1/SC`` where SC is the distance to
+      the nearest well edge.
+
+    Attributes:
+        kvth_lod: LOD threshold coefficient (V * nm); ``dVth = kvth_lod *
+            (1/SA + 1/SB - 2/sa_ref)``.
+        kmu_lod: LOD relative-mobility coefficient (nm); ``dmu/mu =
+            -kmu_lod * (1/SA + 1/SB - 2/sa_ref)``.
+        sa_ref: Reference diffusion-edge distance (nm) at which the model
+            card was characterized (zero shift).
+        kvth_wpe: WPE threshold coefficient (V * nm); ``dVth = kvth_wpe *
+            (1/SC - 1/sc_ref)``.
+        sc_ref: Reference well-edge distance (nm).
+    """
+
+    kvth_lod: float = 0.8
+    kmu_lod: float = 3.0
+    sa_ref: float = 500.0
+    kvth_wpe: float = 1.5
+    sc_ref: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.sa_ref <= 0 or self.sc_ref <= 0:
+            raise TechnologyError("LDE reference distances must be > 0")
+
+    def lod_vth_shift(self, sa_nm: float, sb_nm: float) -> float:
+        """Threshold shift (V) for gate-to-diffusion-edge distances SA, SB."""
+        if sa_nm <= 0 or sb_nm <= 0:
+            raise TechnologyError("SA/SB distances must be > 0")
+        return self.kvth_lod * (1.0 / sa_nm + 1.0 / sb_nm - 2.0 / self.sa_ref)
+
+    def lod_mobility_factor(self, sa_nm: float, sb_nm: float) -> float:
+        """Multiplicative mobility factor for distances SA, SB (about 1.0)."""
+        if sa_nm <= 0 or sb_nm <= 0:
+            raise TechnologyError("SA/SB distances must be > 0")
+        shift = self.kmu_lod * (1.0 / sa_nm + 1.0 / sb_nm - 2.0 / self.sa_ref)
+        return max(0.5, 1.0 - shift)
+
+    def wpe_vth_shift(self, sc_nm: float) -> float:
+        """Threshold shift (V) for a well-edge distance SC."""
+        if sc_nm <= 0:
+            raise TechnologyError("SC distance must be > 0")
+        return self.kvth_wpe * (1.0 / sc_nm - 1.0 / self.sc_ref)
+
+
+@dataclass(frozen=True)
+class MosModelCard:
+    """Compact-model card for one FinFET polarity.
+
+    The DC model is the symmetric EKV formulation (see
+    :mod:`repro.devices.mosfet`): it is smooth across all operating
+    regions, which the Newton solver relies on.
+
+    Attributes:
+        name: Card name, e.g. ``"nfet"``.
+        polarity: ``+1`` for n-type, ``-1`` for p-type.
+        vth0: Long-channel threshold voltage (V, positive for both types).
+        slope_factor: Subthreshold slope factor ``n`` (dimensionless).
+        kp: Transconductance parameter ``mu * Cox`` (A/V^2).
+        lambda_clm: Channel-length-modulation coefficient (1/V).
+        vsat_field: Velocity-saturation critical field parameter expressed
+            as a voltage (V); larger means weaker velocity saturation.
+        cox_area: Gate oxide capacitance per area (F/m^2).
+        cov_per_fin: Gate-source/drain overlap+fringe capacitance per fin
+            per side (F).
+        cj_per_fin: Source/drain junction capacitance per fin for an
+            unshared diffusion (F).
+        cj_shared_factor: Junction-capacitance multiplier when a diffusion
+            is shared between two fingers (0..1).
+        sigma_vth_fin: Random threshold mismatch per fin (V); total device
+            mismatch scales as ``sigma_vth_fin / sqrt(nfins)``.
+        lde: Layout-dependent-effect coefficients.
+    """
+
+    name: str
+    polarity: int
+    vth0: float
+    slope_factor: float
+    kp: float
+    lambda_clm: float
+    vsat_field: float
+    cox_area: float
+    cov_per_fin: float
+    cj_per_fin: float
+    cj_shared_factor: float
+    sigma_vth_fin: float
+    lde: LdeCoefficients
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (+1, -1):
+            raise TechnologyError("polarity must be +1 (n) or -1 (p)")
+        if self.vth0 <= 0:
+            raise TechnologyError("vth0 must be > 0 (magnitude convention)")
+        if self.slope_factor < 1.0:
+            raise TechnologyError("slope_factor must be >= 1")
+        if self.kp <= 0:
+            raise TechnologyError("kp must be > 0")
+        if not 0.0 <= self.cj_shared_factor <= 1.0:
+            raise TechnologyError("cj_shared_factor must be in [0, 1]")
+
+    @property
+    def is_nmos(self) -> bool:
+        """True for the n-type card."""
+        return self.polarity == +1
+
+
+def default_nmos(lde: LdeCoefficients | None = None) -> MosModelCard:
+    """Synthetic 14nm-class n-FinFET card."""
+    return MosModelCard(
+        name="nfet",
+        polarity=+1,
+        vth0=0.35,
+        slope_factor=1.15,
+        kp=2.4e-4,
+        lambda_clm=0.12,
+        vsat_field=0.6,
+        cox_area=0.0384,
+        cov_per_fin=3.2e-17,
+        cj_per_fin=3.5e-17,
+        cj_shared_factor=0.45,
+        sigma_vth_fin=0.030,
+        lde=lde or LdeCoefficients(),
+    )
+
+
+def default_pmos(lde: LdeCoefficients | None = None) -> MosModelCard:
+    """Synthetic 14nm-class p-FinFET card.
+
+    FinFET hole mobility is close to electron mobility thanks to strained
+    SiGe fins, so ``kp`` is only modestly lower than the n-card.
+    """
+    return MosModelCard(
+        name="pfet",
+        polarity=-1,
+        vth0=0.35,
+        slope_factor=1.18,
+        kp=2.0e-4,
+        lambda_clm=0.14,
+        vsat_field=0.55,
+        cox_area=0.0384,
+        cov_per_fin=3.4e-17,
+        cj_per_fin=3.8e-17,
+        cj_shared_factor=0.45,
+        sigma_vth_fin=0.032,
+        lde=lde or LdeCoefficients(),
+    )

@@ -1,0 +1,120 @@
+"""The :class:`Technology` bundle and the default synthetic ``FF14`` node.
+
+A :class:`Technology` ties together design rules, the metal/via stack and
+the device model cards, and is threaded through every layer of the library
+(cell generation, extraction, simulation).  ``Technology.default()``
+returns the synthetic 14nm-class FinFET node used by all experiments.
+
+The BEOL numbers encode the FinFET reality the paper leans on: lower
+metals (M1/M2) are thin and very resistive, upper metals progressively
+wider and lower-resistance, and every wire carries area + fringe
+capacitance, so widening a route trades R for C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import TechnologyError
+from repro.tech.finfet import (
+    LdeCoefficients,
+    MosModelCard,
+    default_nmos,
+    default_pmos,
+)
+from repro.tech.rules import DesignRules
+from repro.tech.stack import MetalLayer, MetalStack, ViaLayer
+
+
+def _ff14_stack() -> MetalStack:
+    """Six-layer metal stack with 14nm-class RC coefficients."""
+    metals = [
+        MetalLayer("M1", 1, "h", 32, 64, 12.0, 2.2e-5, 2.4e-11),
+        MetalLayer("M2", 2, "v", 32, 64, 10.0, 2.0e-5, 2.4e-11),
+        MetalLayer("M3", 3, "h", 40, 80, 8.0, 1.8e-5, 2.2e-11),
+        MetalLayer("M4", 4, "v", 48, 96, 5.0, 1.6e-5, 2.0e-11),
+        MetalLayer("M5", 5, "h", 80, 160, 2.0, 1.4e-5, 1.9e-11),
+        MetalLayer("M6", 6, "v", 120, 240, 1.0, 1.2e-5, 1.8e-11),
+    ]
+    vias = [
+        ViaLayer("V1", "M1", "M2", 16.0, 2.0e-17, 32),
+        ViaLayer("V2", "M2", "M3", 12.0, 2.2e-17, 32),
+        ViaLayer("V3", "M3", "M4", 9.0, 2.5e-17, 40),
+        ViaLayer("V4", "M4", "M5", 5.0, 3.0e-17, 48),
+        ViaLayer("V5", "M5", "M6", 3.0, 4.0e-17, 80),
+    ]
+    return MetalStack(metals=metals, vias=vias)
+
+
+@dataclass
+class Technology:
+    """A complete synthetic technology node.
+
+    Attributes:
+        name: Node name, e.g. ``"FF14"``.
+        rules: Front-end design rules.
+        stack: Metal/via stack.
+        nmos: N-FinFET model card.
+        pmos: P-FinFET model card.
+        vdd: Nominal supply voltage (V).
+        contact_resistance: Source/drain contact resistance per fin (ohm);
+            divided by the number of contacted fins during extraction.
+        device_metal: Name of the metal used for within-primitive device
+            strapping (source/drain mesh wires).
+        routing_metals: Names of the metals available to the global router.
+        vth_gradient_x: Systematic threshold gradient along x (V/nm).
+            Models across-die process variation; symmetric placement
+            patterns cancel it, clustered (AABB) patterns do not.
+        vth_gradient_y: Systematic threshold gradient along y (V/nm).
+    """
+
+    name: str
+    rules: DesignRules
+    stack: MetalStack
+    nmos: MosModelCard
+    pmos: MosModelCard
+    vdd: float = 0.8
+    contact_resistance: float = 90.0
+    device_metal: str = "M1"
+    routing_metals: tuple[str, ...] = ("M2", "M3", "M4", "M5")
+    vth_gradient_x: float = 2.0e-8
+    vth_gradient_y: float = 5.0e-8
+
+    def __post_init__(self) -> None:
+        self.stack.metal(self.device_metal)
+        for name in self.routing_metals:
+            self.stack.metal(name)
+        if self.vdd <= 0:
+            raise TechnologyError("vdd must be > 0")
+        if self.contact_resistance <= 0:
+            raise TechnologyError("contact_resistance must be > 0")
+
+    @classmethod
+    def default(cls) -> "Technology":
+        """The synthetic ``FF14`` node used by all experiments."""
+        return cls(
+            name="FF14",
+            rules=DesignRules(),
+            stack=_ff14_stack(),
+            nmos=default_nmos(),
+            pmos=default_pmos(),
+        )
+
+    @classmethod
+    def without_lde(cls) -> "Technology":
+        """An ``FF14`` variant with LDEs disabled (for ablation studies)."""
+        zero = LdeCoefficients(kvth_lod=0.0, kmu_lod=0.0, kvth_wpe=0.0)
+        tech = cls.default()
+        tech.name = "FF14-noLDE"
+        tech.nmos = replace(tech.nmos, lde=zero)
+        tech.pmos = replace(tech.pmos, lde=zero)
+        return tech
+
+    def card(self, polarity: str) -> MosModelCard:
+        """Return the model card for ``"nmos"``/``"n"`` or ``"pmos"``/``"p"``."""
+        key = polarity.lower()
+        if key in ("n", "nmos", "nfet"):
+            return self.nmos
+        if key in ("p", "pmos", "pfet"):
+            return self.pmos
+        raise TechnologyError(f"unknown device polarity {polarity!r}")

@@ -1,0 +1,97 @@
+"""Gridded FinFET front-end design rules.
+
+FinFET layout is gridded: fins sit on a fixed vertical pitch and gates on a
+fixed horizontal (poly) pitch, so a transistor's footprint is fully
+determined by its fin count and finger count.  The rules here are the
+subset the primitive cell generator needs: pitches, fin dimensions,
+diffusion extensions, dummy requirements and well enclosures.
+
+All lengths are integer nanometres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Front-end rule set for a gridded FinFET node.
+
+    Attributes:
+        fin_pitch: Vertical pitch between fins (nm).
+        fin_height: Physical fin height (nm); enters the effective width.
+        fin_thickness: Fin body thickness (nm); enters the effective width.
+        poly_pitch: Contacted poly (gate) pitch, CPP (nm).
+        gate_length: Drawn channel length (nm).
+        diffusion_extension: Diffusion past the outermost gate (nm).
+        row_height: Height of one device row excluding fins (guard spacing,
+            gate endcaps) (nm); total row height is
+            ``nfin * fin_pitch + row_height``.
+        row_spacing: Vertical spacing between stacked device rows (nm).
+        well_enclosure: N/P-well enclosure of the diffusion (nm); sets the
+            well-proximity distance for edge devices.
+        dummy_fingers: Number of dummy gates placed on each side of a
+            device stack when dummies are requested.
+        m1_track_offset: Offset of the first M1 routing track from the cell
+            boundary (nm).
+    """
+
+    fin_pitch: int = 48
+    fin_height: int = 42
+    fin_thickness: int = 8
+    poly_pitch: int = 90
+    gate_length: int = 14
+    diffusion_extension: int = 60
+    row_height: int = 180
+    row_spacing: int = 120
+    well_enclosure: int = 150
+    dummy_fingers: int = 2
+    m1_track_offset: int = 32
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fin_pitch",
+            "fin_height",
+            "fin_thickness",
+            "poly_pitch",
+            "gate_length",
+        ):
+            if getattr(self, name) <= 0:
+                raise TechnologyError(f"design rule {name} must be > 0")
+        if self.gate_length >= self.poly_pitch:
+            raise TechnologyError("gate_length must be smaller than poly_pitch")
+        if self.dummy_fingers < 0:
+            raise TechnologyError("dummy_fingers must be >= 0")
+
+    @property
+    def fin_width_effective(self) -> int:
+        """Electrical width contributed by one fin (nm): ``2*Hfin + Tfin``."""
+        return 2 * self.fin_height + self.fin_thickness
+
+    def device_width(self, nfin: int, nf: int, m: int) -> int:
+        """Total quoted device width in nm for a (nfin, nf, m) device.
+
+        Following designer convention for FinFET nodes, the quoted width is
+        the number of fins times the fin pitch (not the wrapped electrical
+        width), so the paper's ``W/L = 46um/14nm`` device corresponds to
+        960 fins at a 48nm fin pitch.
+        """
+        if nfin <= 0 or nf <= 0 or m <= 0:
+            raise TechnologyError("nfin, nf and m must all be >= 1")
+        return nfin * nf * m * self.fin_pitch
+
+    def finger_footprint(self, nf: int, with_dummies: bool = False) -> int:
+        """Horizontal extent of an ``nf``-finger device stack (nm)."""
+        if nf <= 0:
+            raise TechnologyError("nf must be >= 1")
+        fingers = nf + (2 * self.dummy_fingers if with_dummies else 0)
+        return fingers * self.poly_pitch + 2 * self.diffusion_extension
+
+    def row_footprint(self, nfin: int) -> int:
+        """Vertical extent of one device row with ``nfin`` fins (nm)."""
+        if nfin <= 0:
+            raise TechnologyError("nfin must be >= 1")
+        return nfin * self.fin_pitch + self.row_height

@@ -1,0 +1,184 @@
+"""Back-end-of-line metal/via stack description.
+
+FinFET nodes have strongly resistive lower metals; the paper's whole
+premise (trading wire R against wire C by choosing the number of parallel
+min-width wires) rests on that.  Each :class:`MetalLayer` therefore carries
+a sheet resistance and simple two-term capacitance model
+
+``C(wire) = c_area * width * length + c_fringe * 2 * length``
+
+which is what the extractor evaluates.  Geometry is in integer nanometres;
+resistances in ohms, capacitances in farads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TechnologyError
+from repro.units import meters
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """One routing metal layer.
+
+    Attributes:
+        name: Layer name, e.g. ``"M1"``.
+        index: 1-based position in the stack (M1 is 1).
+        direction: Preferred routing direction, ``"h"`` or ``"v"``.
+        min_width: Minimum (and default) wire width in nm.
+        pitch: Track pitch in nm (wire width plus spacing).
+        sheet_res: Sheet resistance in ohms per square.
+        c_area: Parallel-plate capacitance to neighbouring planes, F/m^2.
+        c_fringe: Fringe/coupling capacitance per edge length, F/m.
+    """
+
+    name: str
+    index: int
+    direction: str
+    min_width: int
+    pitch: int
+    sheet_res: float
+    c_area: float
+    c_fringe: float
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("h", "v"):
+            raise TechnologyError(
+                f"layer {self.name}: direction must be 'h' or 'v', "
+                f"got {self.direction!r}"
+            )
+        if self.min_width <= 0 or self.pitch < self.min_width:
+            raise TechnologyError(
+                f"layer {self.name}: need 0 < min_width <= pitch "
+                f"(got width={self.min_width}, pitch={self.pitch})"
+            )
+        if self.sheet_res <= 0:
+            raise TechnologyError(f"layer {self.name}: sheet_res must be > 0")
+
+    def wire_resistance(self, length_nm: float, width_nm: float | None = None) -> float:
+        """Resistance of a wire of the given length and width, in ohms."""
+        width = self.min_width if width_nm is None else width_nm
+        if width <= 0:
+            raise TechnologyError(f"layer {self.name}: wire width must be > 0")
+        if length_nm < 0:
+            raise TechnologyError(f"layer {self.name}: wire length must be >= 0")
+        return self.sheet_res * length_nm / width
+
+    def wire_capacitance(self, length_nm: float, width_nm: float | None = None) -> float:
+        """Capacitance of a wire of the given length and width, in farads."""
+        width = self.min_width if width_nm is None else width_nm
+        if width <= 0:
+            raise TechnologyError(f"layer {self.name}: wire width must be > 0")
+        if length_nm < 0:
+            raise TechnologyError(f"layer {self.name}: wire length must be >= 0")
+        length_m = meters(length_nm)
+        width_m = meters(width)
+        return self.c_area * width_m * length_m + self.c_fringe * 2.0 * length_m
+
+
+@dataclass(frozen=True)
+class ViaLayer:
+    """A via layer connecting ``lower`` metal to ``upper`` metal.
+
+    Attributes:
+        name: Via layer name, e.g. ``"V1"``.
+        lower: Name of the metal layer below.
+        upper: Name of the metal layer above.
+        resistance: Resistance per via cut in ohms.
+        capacitance: Parasitic capacitance per cut in farads.
+        size: Cut edge length in nm (square cuts).
+    """
+
+    name: str
+    lower: str
+    upper: str
+    resistance: float
+    capacitance: float
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise TechnologyError(f"via {self.name}: resistance must be > 0")
+        if self.size <= 0:
+            raise TechnologyError(f"via {self.name}: size must be > 0")
+
+    def array_resistance(self, cuts: int) -> float:
+        """Resistance of ``cuts`` parallel via cuts, in ohms."""
+        if cuts < 1:
+            raise TechnologyError(f"via {self.name}: need at least one cut")
+        return self.resistance / cuts
+
+
+@dataclass
+class MetalStack:
+    """Ordered collection of metal and via layers.
+
+    Layers are addressed by name (``stack.metal("M3")``) or by index
+    (``stack.metal_by_index(3)``).  Vias are addressed by the pair of
+    metals they join.
+    """
+
+    metals: list[MetalLayer] = field(default_factory=list)
+    vias: list[ViaLayer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._metal_by_name = {layer.name: layer for layer in self.metals}
+        self._metal_by_index = {layer.index: layer for layer in self.metals}
+        if len(self._metal_by_name) != len(self.metals):
+            raise TechnologyError("duplicate metal layer names in stack")
+        if len(self._metal_by_index) != len(self.metals):
+            raise TechnologyError("duplicate metal layer indices in stack")
+        self._via_by_pair: dict[tuple[str, str], ViaLayer] = {}
+        for via in self.vias:
+            if via.lower not in self._metal_by_name:
+                raise TechnologyError(f"via {via.name}: unknown lower metal {via.lower}")
+            if via.upper not in self._metal_by_name:
+                raise TechnologyError(f"via {via.name}: unknown upper metal {via.upper}")
+            self._via_by_pair[(via.lower, via.upper)] = via
+
+    @property
+    def num_metals(self) -> int:
+        """Number of metal layers in the stack."""
+        return len(self.metals)
+
+    def metal(self, name: str) -> MetalLayer:
+        """Return the metal layer with the given name."""
+        try:
+            return self._metal_by_name[name]
+        except KeyError:
+            raise TechnologyError(f"unknown metal layer {name!r}") from None
+
+    def metal_by_index(self, index: int) -> MetalLayer:
+        """Return the metal layer with the given 1-based index."""
+        try:
+            return self._metal_by_index[index]
+        except KeyError:
+            raise TechnologyError(f"no metal layer with index {index}") from None
+
+    def via_between(self, lower: str, upper: str) -> ViaLayer:
+        """Return the via layer joining two adjacent metals (either order)."""
+        if (lower, upper) in self._via_by_pair:
+            return self._via_by_pair[(lower, upper)]
+        if (upper, lower) in self._via_by_pair:
+            return self._via_by_pair[(upper, lower)]
+        raise TechnologyError(f"no via between {lower} and {upper}")
+
+    def via_stack_resistance(self, from_metal: str, to_metal: str, cuts: int = 1) -> float:
+        """Total resistance of a via stack from one metal up/down to another.
+
+        The stack is traversed one layer at a time; ``cuts`` parallel cuts
+        are assumed at every level.
+        """
+        lo = self.metal(from_metal).index
+        hi = self.metal(to_metal).index
+        if lo == hi:
+            return 0.0
+        step = 1 if hi > lo else -1
+        total = 0.0
+        for idx in range(lo, hi, step):
+            a = self.metal_by_index(min(idx, idx + step))
+            b = self.metal_by_index(max(idx, idx + step))
+            total += self.via_between(a.name, b.name).array_resistance(cuts)
+        return total

@@ -1,0 +1,86 @@
+"""Unit conventions and helpers.
+
+Electrical quantities are plain SI floats (volts, amperes, ohms, farads,
+hertz, seconds).  Geometry is integer nanometres, which keeps layout
+arithmetic exact on the FinFET placement grid.
+
+The helpers here convert between the two worlds and provide the handful of
+physical constants the device models need.
+"""
+
+from __future__ import annotations
+
+# --- physical constants ----------------------------------------------------
+
+#: Boltzmann constant times room temperature over electron charge (volts).
+THERMAL_VOLTAGE = 0.02585
+
+#: Vacuum permittivity (F/m).
+EPS0 = 8.854e-12
+
+#: Relative permittivity of SiO2.
+EPS_SIO2 = 3.9
+
+#: Relative permittivity of a low-k inter-metal dielectric.
+EPS_LOWK = 2.9
+
+# --- geometry scale --------------------------------------------------------
+
+#: Number of integer geometry units per metre (1 unit = 1 nm).
+UNITS_PER_M = 1_000_000_000
+
+
+def nm(value_m: float) -> int:
+    """Convert a length in metres to integer nanometres (rounded)."""
+    return int(round(value_m * UNITS_PER_M))
+
+
+def meters(value_nm: float) -> float:
+    """Convert a length in nanometres to metres."""
+    return value_nm / UNITS_PER_M
+
+
+def um(value_nm: float) -> float:
+    """Convert a length in nanometres to micrometres."""
+    return value_nm / 1000.0
+
+
+def nm_from_um(value_um: float) -> int:
+    """Convert a length in micrometres to integer nanometres."""
+    return int(round(value_um * 1000.0))
+
+
+# --- formatting helpers ----------------------------------------------------
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def si_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix, e.g. ``1.96 mA/V``.
+
+    Zero and non-finite values are printed without a prefix.
+    """
+    if value == 0 or not _is_finite(value):
+        return f"{value:.{digits}g} {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def _is_finite(value: float) -> bool:
+    return value == value and value not in (float("inf"), float("-inf"))

@@ -1,0 +1,168 @@
+"""Placement patterns: structure and symmetry invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cellgen.patterns import (
+    available_patterns,
+    centroid_offsets,
+    centroid_offsets_2d,
+    pattern_rows,
+    pattern_sequence,
+)
+from repro.errors import LayoutError
+
+
+def flatten(rows):
+    return [unit for row in rows for unit in row]
+
+
+def test_abab_round_robin():
+    rows = pattern_sequence("ABAB", ["A", "B"], 2)
+    assert rows == [[("A", 0), ("B", 0), ("A", 1), ("B", 1)]]
+
+
+def test_aabb_clustered():
+    rows = pattern_sequence("AABB", ["A", "B"], 2)
+    assert rows == [[("A", 0), ("A", 1), ("B", 0), ("B", 1)]]
+
+
+def test_abba_mirror():
+    (row,) = pattern_sequence("ABBA", ["A", "B"], 2)
+    assert [d for d, _ in row] == ["A", "B", "B", "A"]
+
+
+def test_abba_odd_count_rejected_1d():
+    with pytest.raises(LayoutError):
+        pattern_sequence("ABBA", ["A", "B"], 3)
+
+
+def test_abba_single_unit_degenerates():
+    (row,) = pattern_sequence("ABBA", ["A", "B"], 1)
+    assert len(row) == 2
+
+
+def test_cc2d_two_rows():
+    rows = pattern_sequence("CC2D", ["A", "B"], 2)
+    assert len(rows) == 2
+    assert [d for d, _ in rows[0]] != [d for d, _ in rows[1]]
+
+
+def test_cc2d_validation():
+    with pytest.raises(LayoutError):
+        pattern_sequence("CC2D", ["A", "B", "C"], 2)
+    with pytest.raises(LayoutError):
+        pattern_sequence("CC2D", ["A", "B"], 3)
+
+
+def test_unknown_pattern():
+    with pytest.raises(LayoutError):
+        pattern_sequence("XYZW", ["A", "B"], 2)
+
+
+def test_duplicate_devices_rejected():
+    with pytest.raises(LayoutError):
+        pattern_sequence("ABAB", ["A", "A"], 2)
+
+
+def test_ratioed_counts():
+    (row,) = pattern_sequence("ABAB", ["R", "O"], {"R": 1, "O": 3})
+    devices = [d for d, _ in row]
+    assert devices.count("R") == 1
+    assert devices.count("O") == 3
+
+
+def test_available_patterns_even_counts():
+    names = available_patterns(["A", "B"], 4)
+    assert "ABAB" in names and "ABBA" in names and "AABB" in names
+    assert "CC2D" in names
+
+
+def test_available_patterns_odd_counts():
+    names = available_patterns(["A", "B"], 5)
+    assert "ABBA" not in names
+    assert "CC2D" not in names
+
+
+def test_centroids_abba_matched():
+    rows = pattern_sequence("ABBA", ["A", "B"], 4)
+    cent = centroid_offsets(rows)
+    assert cent["A"] == pytest.approx(cent["B"])
+
+
+def test_centroids_aabb_mismatched():
+    rows = pattern_sequence("AABB", ["A", "B"], 4)
+    cent = centroid_offsets(rows)
+    assert abs(cent["A"] - cent["B"]) == pytest.approx(4.0)
+
+
+# --- 2D arrangement (the generator's view) -----------------------------------
+
+
+def test_pattern_rows_abab_columns():
+    rows = pattern_rows("ABAB", ["A", "B"], 3)
+    assert len(rows) == 3
+    for row in rows:
+        assert [d for d, _ in row] == ["A", "B"]
+
+
+def test_pattern_rows_abba_alternates():
+    rows = pattern_rows("ABBA", ["A", "B"], 4)
+    assert [d for d, _ in rows[0]] == ["A", "B"]
+    assert [d for d, _ in rows[1]] == ["B", "A"]
+
+
+def test_pattern_rows_abba_odd_supported():
+    rows = pattern_rows("ABBA", ["A", "B"], 5)
+    assert len(rows) == 5
+
+
+def test_pattern_rows_aabb_clusters_rows():
+    rows = pattern_rows("AABB", ["A", "B"], 4)
+    devices_by_row = [{d for d, _ in row} for row in rows]
+    assert devices_by_row[0] == {"A"}
+    assert devices_by_row[-1] == {"B"}
+
+
+def test_pattern_rows_unit_conservation():
+    rows = pattern_rows("ABBA", ["A", "B"], 6)
+    units = flatten(rows)
+    assert sorted(u for d, u in units if d == "A") == list(range(6))
+    assert sorted(u for d, u in units if d == "B") == list(range(6))
+
+
+@given(
+    st.sampled_from(["ABAB", "AABB"]),
+    st.integers(min_value=1, max_value=8),
+)
+def test_pattern_rows_conserve_units(pattern, m):
+    rows = pattern_rows(pattern, ["A", "B"], m)
+    units = flatten(rows)
+    assert len(units) == 2 * m
+    assert len(set(units)) == 2 * m
+
+
+def test_centroids_2d_abba_matched_even():
+    rows = pattern_rows("ABBA", ["A", "B"], 4)
+    cent = centroid_offsets_2d(rows)
+    assert cent["A"][0] == pytest.approx(cent["B"][0])
+    assert cent["A"][1] == pytest.approx(cent["B"][1])
+
+
+def test_centroids_2d_abab_x_offset():
+    rows = pattern_rows("ABAB", ["A", "B"], 4)
+    cent = centroid_offsets_2d(rows)
+    assert abs(cent["A"][0] - cent["B"][0]) == pytest.approx(1.0)
+    assert cent["A"][1] == pytest.approx(cent["B"][1])
+
+
+def test_centroids_2d_aabb_y_offset():
+    rows = pattern_rows("AABB", ["A", "B"], 4)
+    cent = centroid_offsets_2d(rows)
+    assert abs(cent["A"][1] - cent["B"][1]) > 0.5
+
+
+def test_pattern_rows_ratioed_wraps():
+    rows = pattern_rows("ABAB", ["R", "O"], {"R": 2, "O": 6})
+    units = flatten(rows)
+    assert len([1 for d, _ in units if d == "O"]) == 6

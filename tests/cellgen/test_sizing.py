@@ -1,0 +1,79 @@
+"""Sizing variant enumeration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cellgen.sizing import aspect_ratio_of_sizing, enumerate_sizings
+from repro.devices.mosfet import MosGeometry
+from repro.errors import LayoutError
+from repro.tech import DesignRules
+
+
+def test_preserves_total_fins():
+    for g in enumerate_sizings(960):
+        assert g.nfins_total == 960
+
+
+def test_paper_variants_present():
+    sizings = {(g.nfin, g.nf, g.m) for g in enumerate_sizings(960)}
+    # The paper's Table III variants are all valid factorizations.
+    for triple in [(8, 20, 6), (16, 12, 5), (24, 20, 2), (12, 20, 4)]:
+        assert triple in sizings
+
+
+def test_respects_bounds():
+    for g in enumerate_sizings(960, min_nfin=8, max_nfin=16, max_m=4):
+        assert 8 <= g.nfin <= 16
+        assert g.m <= 4
+
+
+def test_even_nf_default():
+    assert all(g.nf % 2 == 0 for g in enumerate_sizings(960))
+
+
+def test_odd_nf_allowed_when_requested():
+    sizings = enumerate_sizings(945, even_nf=False, min_nfin=5, max_nfin=32,
+                                min_nf=3, max_nf=32)
+    assert any(g.nf % 2 == 1 for g in sizings)
+
+
+def test_no_factorization_raises():
+    with pytest.raises(LayoutError):
+        enumerate_sizings(7, min_nfin=2, max_nfin=3)
+
+
+def test_invalid_total_raises():
+    with pytest.raises(LayoutError):
+        enumerate_sizings(0)
+
+
+def test_sorted_output():
+    sizings = enumerate_sizings(960)
+    keys = [(g.nfin, g.nf, g.m) for g in sizings]
+    assert keys == sorted(keys)
+
+
+@given(
+    st.integers(min_value=4, max_value=32),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=8),
+)
+def test_enumeration_property(nfin, half_nf, m):
+    # Build a total that is guaranteed to factor within the bounds.
+    total = nfin * (2 * half_nf) * m
+    for g in enumerate_sizings(total):
+        assert g.nfin * g.nf * g.m == total
+
+
+def test_aspect_ratio_monotone_in_nfin():
+    rules = DesignRules()
+    tall = aspect_ratio_of_sizing(MosGeometry(24, 20, 2), rules)
+    short = aspect_ratio_of_sizing(MosGeometry(8, 20, 2), rules)
+    assert tall < short  # more fins per row -> taller -> lower W/H
+
+
+def test_aspect_ratio_units_in_row_override():
+    rules = DesignRules()
+    one = aspect_ratio_of_sizing(MosGeometry(8, 20, 4), rules, units_in_row=1)
+    two = aspect_ratio_of_sizing(MosGeometry(8, 20, 4), rules, units_in_row=2)
+    assert two == pytest.approx(2 * one)

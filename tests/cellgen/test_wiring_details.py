@@ -1,0 +1,89 @@
+"""Mesh wiring details: strap accounting, power nets, slot geometry."""
+
+import pytest
+
+from repro.cellgen import CellDevice, CellSpec, WireConfig, generate_layout
+from repro.devices.mosfet import MosGeometry
+
+
+def cs_spec(geo=MosGeometry(8, 6, 2)):
+    """A single-device cell with a ground-connected source."""
+    return CellSpec(
+        name="cs",
+        devices=(CellDevice("M1", "n", geo, {"d": "out", "g": "in", "s": "0"}),),
+        matched_group=("M1",),
+        port_nets=("in", "out"),
+    )
+
+
+def straps_on(layout, net):
+    return [w for w in layout.wires if w.role == "strap" and w.net == net]
+
+
+def rails_on(layout, net):
+    return [w for w in layout.wires if w.role == "rail" and w.net == net]
+
+
+def test_strap_count_matches_metadata(tech):
+    lay = generate_layout(cs_spec(), "ABAB", tech, WireConfig(parallel={"out": 3}))
+    per_row = lay.metadata["straps_per_row"]
+    rows = lay.metadata["rows"]
+    assert len(straps_on(lay, "out")) == per_row["out"] * rows
+
+
+def test_power_net_gets_denser_mesh(tech):
+    lay = generate_layout(cs_spec(), "ABAB", tech)
+    assert len(straps_on(lay, "0")) > len(straps_on(lay, "out"))
+    assert len(rails_on(lay, "0")) > len(rails_on(lay, "out"))
+
+
+def test_single_row_cell_slimmer_mesh(tech):
+    one_row = generate_layout(cs_spec(MosGeometry(8, 12, 1)), "ABAB", tech)
+    two_rows = generate_layout(cs_spec(MosGeometry(8, 6, 2)), "ABAB", tech)
+    per_row_1 = one_row.metadata["straps_per_row"]["out"]
+    per_row_2 = two_rows.metadata["straps_per_row"]["out"]
+    assert per_row_1 < per_row_2
+
+
+def test_straps_span_to_rail_region(tech):
+    lay = generate_layout(cs_spec(), "ABAB", tech)
+    rails = rails_on(lay, "out")
+    strap_right = max(w.rect.x1 for w in lay.wires if "strap" in w.role)
+    rail_left = min(r.rect.x0 for r in rails)
+    # The strap region reaches the rails (jumpers bridge the gap).
+    assert strap_right >= rail_left
+
+
+def test_vias_connect_stub_to_every_strap(tech):
+    lay = generate_layout(cs_spec(), "ABAB", tech, WireConfig(parallel={"out": 2}))
+    stub_count = len(
+        [w for w in lay.wires if w.role == "finger_stub" and w.net == "out"]
+    )
+    per_row = lay.metadata["straps_per_row"]["out"]
+    v1_count = len(
+        [v for v in lay.vias if v.net == "out" and v.upper_layer == "M2"]
+    )
+    assert v1_count == stub_count * per_row
+
+
+def test_stub_reaches_first_strap_only(tech):
+    base = generate_layout(cs_spec(), "ABAB", tech)
+    tuned = generate_layout(cs_spec(), "ABAB", tech, WireConfig(parallel={"out": 5}))
+
+    def max_stub_len(layout):
+        return max(
+            w.length
+            for w in layout.wires
+            if w.role == "finger_stub" and w.net == "out"
+        )
+
+    # Adding straps must not lengthen the net's own stubs.
+    assert max_stub_len(tuned) <= max_stub_len(base) + 1
+
+
+def test_rails_span_full_height(tech):
+    lay = generate_layout(cs_spec(), "ABAB", tech)
+    box = lay.bbox()
+    for rail in rails_on(lay, "out"):
+        assert rail.rect.y0 <= box.y0 + 1
+        assert rail.rect.height >= 0.9 * box.height

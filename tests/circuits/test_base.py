@@ -1,0 +1,81 @@
+"""CompositeCircuit assembly mechanics."""
+
+import pytest
+
+from repro.circuits import CommonSourceAmpCircuit
+from repro.circuits.base import LayoutChoice, RouteBudget
+from repro.core.port_constraints import GlobalRouteInfo
+from repro.devices.mosfet import MosGeometry
+from repro.spice.elements import Capacitor, Resistor
+
+
+@pytest.fixture(scope="module")
+def circuit(tech):
+    return CommonSourceAmpCircuit(tech, i_bias=50e-6, stage_fins=48, load_fins=72)
+
+
+@pytest.fixture(scope="module")
+def choices():
+    return {
+        "xstage": LayoutChoice(base=MosGeometry(8, 6, 1), pattern="ABAB"),
+        "xload": LayoutChoice(base=MosGeometry(8, 9, 1), pattern="ABAB"),
+    }
+
+
+def test_schematic_flat_names(circuit):
+    sch = circuit.schematic()
+    names = {e.name for e in sch.elements}
+    assert "xstage.M1" in names
+    assert "xload.M1" in names
+
+
+def test_assembled_contains_extraction_elements(circuit, choices):
+    asm = circuit.assembled(choices)
+    resistors = [e for e in asm.elements if isinstance(e, Resistor)]
+    # Trunk + branch resistors from both extracted primitives.
+    assert any(e.name.startswith("xstage.rt_") for e in resistors)
+    assert any(e.name.startswith("xload.rb_") for e in resistors)
+
+
+def test_route_budget_splits_net(circuit, choices, tech):
+    budgets = {
+        "vout": RouteBudget(
+            route=GlobalRouteInfo("vout", "M3", 3000.0), n_wires=2
+        )
+    }
+    asm = circuit.assembled(choices, budgets)
+    names = {e.name for e in asm.elements}
+    assert "c_route_vout" in names
+    assert "r_tap_vout" in names
+    # One pin resistor per primitive touching the net.
+    pin_resistors = [n for n in names if n.startswith("r_route_vout_")]
+    assert len(pin_resistors) == 2
+
+
+def test_route_capacitance_scales_with_wires(circuit, choices, tech):
+    def route_cap(n):
+        budgets = {
+            "vout": RouteBudget(
+                route=GlobalRouteInfo("vout", "M3", 3000.0), n_wires=n
+            )
+        }
+        asm = circuit.assembled(choices, budgets)
+        cap = asm.element("c_route_vout")
+        assert isinstance(cap, Capacitor)
+        return cap.value
+
+    assert route_cap(4) == pytest.approx(4 * route_cap(1))
+
+
+def test_ports_to_optimize_excludes_ground(circuit):
+    for binding in circuit.bindings():
+        for port in binding.ports_to_optimize():
+            net = binding.port_map[port]
+            assert net != "0"
+
+
+def test_testbench_includes_dut_and_stimuli(circuit):
+    tb = circuit.testbench(circuit.schematic(), ac=True)
+    names = {e.name for e in tb.elements}
+    assert "vdd" in names and "vin" in names and "cl" in names
+    assert any(n.startswith("xstage.") for n in names)

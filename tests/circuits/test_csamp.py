@@ -1,0 +1,78 @@
+"""Common-source amplifier circuit (Fig. 2 context)."""
+
+import pytest
+
+from repro.circuits import CommonSourceAmpCircuit
+from repro.circuits.base import LayoutChoice
+from repro.devices.mosfet import MosGeometry
+
+
+@pytest.fixture(scope="module")
+def circuit(tech):
+    return CommonSourceAmpCircuit(tech, i_bias=100e-6, stage_fins=48, load_fins=72)
+
+
+@pytest.fixture(scope="module")
+def schematic_metrics(circuit):
+    return circuit.measure(circuit.schematic())
+
+
+def test_schematic_current_matches_bias(circuit, schematic_metrics):
+    assert schematic_metrics["current"] == pytest.approx(circuit.i_bias, rel=0.05)
+
+
+def test_schematic_gain_positive_db(schematic_metrics):
+    assert schematic_metrics["gain_db"] > 10.0
+
+
+def test_power_consistent(circuit, schematic_metrics):
+    assert schematic_metrics["power"] == pytest.approx(
+        schematic_metrics["current"] * circuit.tech.vdd
+    )
+
+
+def test_ugf_above_3db(schematic_metrics):
+    assert schematic_metrics["ugf"] > schematic_metrics["f3db"]
+
+
+def test_bindings_cover_two_primitives(circuit):
+    names = [b.name for b in circuit.bindings()]
+    assert names == ["xstage", "xload"]
+
+
+def test_assembled_degrades_vs_schematic(circuit, schematic_metrics):
+    choices = {
+        "xstage": LayoutChoice(base=MosGeometry(8, 6, 1), pattern="ABAB"),
+        "xload": LayoutChoice(base=MosGeometry(8, 9, 1), pattern="ABAB"),
+    }
+    assembled = circuit.assembled(choices)
+    metrics = circuit.measure(assembled)
+    assert metrics["gain_db"] < schematic_metrics["gain_db"]
+    assert metrics["current"] < schematic_metrics["current"]
+
+
+def test_missing_choice_raises(circuit):
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError):
+        circuit.assembled({})
+
+
+def test_route_budget_applies_rc(circuit, tech):
+    from repro.circuits.base import RouteBudget
+    from repro.core.port_constraints import GlobalRouteInfo
+
+    choices = {
+        "xstage": LayoutChoice(base=MosGeometry(8, 6, 1), pattern="ABAB"),
+        "xload": LayoutChoice(base=MosGeometry(8, 9, 1), pattern="ABAB"),
+    }
+    budgets = {
+        "vout": RouteBudget(
+            route=GlobalRouteInfo("vout", "M3", 5000.0), n_wires=1
+        )
+    }
+    with_route = circuit.measure(circuit.assembled(choices, budgets))
+    without = circuit.measure(circuit.assembled(choices))
+    # The route RC loads the output: lower gain and unity-gain frequency.
+    assert with_route["gain_db"] < without["gain_db"]
+    assert with_route["ugf"] < without["ugf"]

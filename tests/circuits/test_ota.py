@@ -1,0 +1,75 @@
+"""Five-transistor OTA (Table VI circuit)."""
+
+import pytest
+
+from repro.circuits import FiveTransistorOta
+from repro.circuits.base import LayoutChoice
+from repro.devices.mosfet import MosGeometry
+
+
+@pytest.fixture(scope="module")
+def ota(tech):
+    return FiveTransistorOta(
+        tech, i_tail=200e-6, c_load=100e-15,
+        pair_fins=96, mirror_fins=96, tail_fins=192,
+    )
+
+
+@pytest.fixture(scope="module")
+def schematic_metrics(ota):
+    return ota.measure(ota.schematic())
+
+
+def test_schematic_current_near_tail(ota, schematic_metrics):
+    # Total supply current ~ the tail current (mirror branch included).
+    assert schematic_metrics["current"] == pytest.approx(ota.i_tail, rel=0.25)
+
+
+def test_schematic_gain_and_margin(schematic_metrics):
+    assert schematic_metrics["gain_db"] > 20.0
+    assert 45.0 < schematic_metrics["phase_margin"] < 120.0
+
+
+def test_frequency_ordering(schematic_metrics):
+    assert schematic_metrics["f3db"] < schematic_metrics["ugf"]
+
+
+def test_ugf_tracks_load(tech):
+    light = FiveTransistorOta(tech, i_tail=200e-6, c_load=50e-15,
+                              pair_fins=96, mirror_fins=96, tail_fins=192)
+    heavy = FiveTransistorOta(tech, i_tail=200e-6, c_load=400e-15,
+                              pair_fins=96, mirror_fins=96, tail_fins=192)
+    assert (
+        light.measure(light.schematic())["ugf"]
+        > heavy.measure(heavy.schematic())["ugf"]
+    )
+
+
+def test_calibrate_biases_updates_primitives(ota):
+    ota.calibrate_biases()
+    # The diode node of the PMOS mirror sits below VDD by a gate drop.
+    assert 0.3 < ota.pair.vout < ota.tech.vdd
+    assert 0.0 < ota.tail.vout < 0.5
+
+
+def test_bindings_match_fig6(ota):
+    names = {b.name for b in ota.bindings()}
+    assert names == {"xdp", "xmirror", "xtail"}
+    dp_binding = next(b for b in ota.bindings() if b.name == "xdp")
+    assert ("outp", "outn") in dp_binding.symmetric_ports
+
+
+def test_assembled_ota_measures(ota, schematic_metrics):
+    choices = {
+        "xdp": LayoutChoice(base=MosGeometry(8, 6, 2), pattern="ABBA"),
+        "xmirror": LayoutChoice(base=MosGeometry(8, 6, 2), pattern="ABAB"),
+        "xtail": LayoutChoice(base=MosGeometry(8, 12, 2), pattern="ABAB"),
+    }
+    metrics = ota.measure(ota.assembled(choices))
+    # Gain can move either way (gm and gds both degrade); UGF and current
+    # reliably fall with parasitics.
+    assert metrics["gain_db"] == pytest.approx(
+        schematic_metrics["gain_db"], abs=4.0
+    )
+    assert metrics["ugf"] < schematic_metrics["ugf"]
+    assert metrics["current"] < schematic_metrics["current"]

@@ -1,0 +1,55 @@
+"""StrongARM comparator (Fig. 3 / Table VI)."""
+
+import pytest
+
+from repro.circuits import StrongArmComparator
+from repro.circuits.base import LayoutChoice
+from repro.devices.mosfet import MosGeometry
+
+
+@pytest.fixture(scope="module")
+def comparator(tech):
+    return StrongArmComparator(tech)
+
+
+@pytest.fixture(scope="module")
+def schematic_metrics(comparator):
+    return comparator.measure(comparator.schematic(), dt=2e-12)
+
+
+def test_resolves_with_positive_delay(schematic_metrics):
+    assert 1e-12 < schematic_metrics["delay"] < 1e-9
+    assert schematic_metrics["power"] > 0
+
+
+def test_decision_follows_input_sign(tech):
+    pos = StrongArmComparator(tech, v_in_diff=+50e-3)
+    neg = StrongArmComparator(tech, v_in_diff=-50e-3)
+    m_pos = pos.measure(pos.schematic(), dt=2e-12)
+    m_neg = neg.measure(neg.schematic(), dt=2e-12)
+    assert m_pos["decision"] > 0
+    assert m_neg["decision"] < 0
+
+
+def test_smaller_input_slower_decision(tech, schematic_metrics):
+    small = StrongArmComparator(tech, v_in_diff=5e-3)
+    m = small.measure(small.schematic(), dt=2e-12)
+    assert m["delay"] > schematic_metrics["delay"]
+
+
+def test_six_primitive_bindings(comparator):
+    assert len(comparator.bindings()) == 6
+
+
+def test_assembled_slower_than_schematic(comparator, schematic_metrics):
+    choices = {
+        "xpair": LayoutChoice(base=MosGeometry(8, 6, 2), pattern="ABBA"),
+        "xregen": LayoutChoice(base=MosGeometry(8, 4, 2), pattern="ABBA"),
+        "xlatchp": LayoutChoice(base=MosGeometry(8, 4, 2), pattern="ABAB"),
+        "xprep": LayoutChoice(base=MosGeometry(8, 6, 1), pattern="ABAB"),
+        "xpren": LayoutChoice(base=MosGeometry(8, 6, 1), pattern="ABAB"),
+        "xtail": LayoutChoice(base=MosGeometry(8, 12, 2), pattern="ABAB"),
+    }
+    metrics = comparator.measure(comparator.assembled(choices), dt=2e-12)
+    # Parasitics slow the decision (the Table VI delay column ordering).
+    assert metrics["delay"] > schematic_metrics["delay"]

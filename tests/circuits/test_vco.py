@@ -1,0 +1,66 @@
+"""Ring-oscillator VCO (Table VII circuit).
+
+A 4-stage ring keeps transient runtimes test-friendly; the benchmark
+reproduces the paper's 8-stage version.
+"""
+
+import pytest
+
+from repro.circuits import RingOscillatorVco
+from repro.errors import MeasureError
+
+
+@pytest.fixture(scope="module")
+def vco(tech):
+    return RingOscillatorVco(tech, stages=4)
+
+
+@pytest.fixture(scope="module")
+def schematic(vco):
+    return vco.schematic()
+
+
+def test_even_stage_validation(tech):
+    with pytest.raises(ValueError):
+        RingOscillatorVco(tech, stages=3)
+
+
+def test_bindings_count(vco):
+    # One differential delay cell per stage.
+    assert len(vco.bindings()) == vco.stages
+
+
+def test_oscillates_at_high_control(vco, schematic):
+    result = vco.measure(schematic, v_ctrl=0.55)
+    assert result["frequency"] > 1e8
+    assert result["swing"] > 0.3 * vco.tech.vdd
+
+
+def test_frequency_increases_with_control(vco, schematic):
+    f_lo = vco.measure(schematic, v_ctrl=0.5)["frequency"]
+    f_hi = vco.measure(schematic, v_ctrl=0.65)["frequency"]
+    assert f_hi > f_lo
+
+
+def test_stops_oscillating_when_starved(vco, schematic):
+    with pytest.raises(MeasureError):
+        vco.measure(schematic, v_ctrl=0.1)
+
+
+def test_frequency_sweep_and_table_metrics(vco, schematic):
+    sweep = vco.frequency_sweep(schematic, [0.1, 0.5, 0.65])
+    assert sweep[0.1] == 0.0
+    assert sweep[0.65] > sweep[0.5] > 0
+    metrics = RingOscillatorVco.table_vii_metrics(sweep)
+    assert metrics["f_max"] == sweep[0.65]
+    assert metrics["f_min"] == sweep[0.5]
+    assert metrics["v_lo"] == 0.5
+
+
+def test_table_metrics_no_oscillation_raises():
+    with pytest.raises(MeasureError):
+        RingOscillatorVco.table_vii_metrics({0.1: 0.0, 0.2: 0.0})
+
+
+def test_estimate_period_positive(vco):
+    assert vco.estimate_period() > 0

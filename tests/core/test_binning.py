@@ -1,0 +1,58 @@
+"""Aspect-ratio binning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.binning import bin_by_aspect_ratio
+from repro.errors import OptimizationError
+
+
+def test_three_clusters_split_cleanly():
+    options = [0.1, 0.11, 0.12, 1.0, 1.1, 5.0, 5.5, 6.0]
+    bins = bin_by_aspect_ratio(options, 3, lambda x: x)
+    assert [sorted(b) for b in bins] == [
+        [0.1, 0.11, 0.12],
+        [1.0, 1.1],
+        [5.0, 5.5, 6.0],
+    ]
+
+
+def test_single_bin_returns_all():
+    options = [1.0, 2.0, 3.0]
+    bins = bin_by_aspect_ratio(options, 1, lambda x: x)
+    assert len(bins) == 1
+    assert sorted(bins[0]) == options
+
+
+def test_more_bins_than_options_capped():
+    bins = bin_by_aspect_ratio([1.0, 2.0], 5, lambda x: x)
+    assert len(bins) == 2
+
+
+def test_empty_rejected():
+    with pytest.raises(OptimizationError):
+        bin_by_aspect_ratio([], 3, lambda x: x)
+
+
+def test_invalid_bin_count():
+    with pytest.raises(OptimizationError):
+        bin_by_aspect_ratio([1.0], 0, lambda x: x)
+
+
+def test_bins_ordered_by_aspect():
+    options = [3.0, 0.2, 1.0, 7.0]
+    bins = bin_by_aspect_ratio(options, 2, lambda x: x)
+    assert max(bins[0]) <= min(bins[1])
+
+
+@given(
+    st.lists(st.floats(min_value=0.05, max_value=20.0), min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=5),
+)
+def test_binning_partition_property(values, n_bins):
+    bins = bin_by_aspect_ratio(values, n_bins, lambda x: x)
+    # Every option lands in exactly one bin.
+    flattened = sorted(x for b in bins for x in b)
+    assert flattened == sorted(values)
+    assert all(b for b in bins)
+    assert len(bins) <= n_bins

@@ -1,0 +1,88 @@
+"""The cost function of Eqs. (5)-(6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cost import CostBreakdown, layout_cost, metric_deviation
+from repro.errors import OptimizationError
+
+
+def test_deviation_relative_percent():
+    assert metric_deviation(2.0, 1.9) == pytest.approx(5.0)
+    assert metric_deviation(2.0, 2.1) == pytest.approx(5.0)
+
+
+def test_deviation_zero_for_match():
+    assert metric_deviation(1.0, 1.0) == 0.0
+
+
+def test_zero_schematic_uses_spec_only_above():
+    # Below the spec: no penalty (the Table III zero entries).
+    assert metric_deviation(0.0, 0.05e-3, x_spec=0.1e-3) == 0.0
+    # Above the spec: penalize the excess.
+    assert metric_deviation(0.0, 0.192e-3, x_spec=0.1e-3) == pytest.approx(92.0)
+
+
+def test_zero_schematic_without_spec_raises():
+    with pytest.raises(OptimizationError):
+        metric_deviation(0.0, 1.0)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1e6),
+    st.floats(min_value=0.0, max_value=1e6),
+)
+def test_deviation_nonnegative(sch, lay):
+    assert metric_deviation(sch, lay) >= 0.0
+
+
+@given(st.floats(min_value=0.01, max_value=1e3))
+def test_deviation_symmetric(sch):
+    assert metric_deviation(sch, sch * 1.2) == pytest.approx(
+        metric_deviation(sch, sch * 0.8)
+    )
+
+
+def test_cost_breakdown_weighted_sum():
+    bd = CostBreakdown(
+        deviations={"gm": 0.8, "gm_over_ctotal": 5.2, "offset": 0.0},
+        weights={"gm": 0.5, "gm_over_ctotal": 0.5, "offset": 1.0},
+    )
+    # The paper's Table III best row: cost 3.0.
+    assert bd.cost == pytest.approx(3.0)
+
+
+def test_cost_breakdown_str():
+    bd = CostBreakdown(deviations={"gm": 1.0}, weights={"gm": 0.5})
+    assert "Cost=0.50" in str(bd)
+
+
+def test_layout_cost_uses_primitive_weights(small_dp):
+    ref = small_dp.schematic_reference()
+    values = {k: v for k, v in ref.items()}
+    bd = layout_cost(small_dp, values)
+    assert bd.cost == pytest.approx(0.0, abs=1e-9)
+
+
+def test_layout_cost_weight_override(small_dp):
+    ref = small_dp.schematic_reference()
+    values = dict(ref)
+    values["gm"] = ref["gm"] * 0.9  # 10% deviation
+    base = layout_cost(small_dp, values)
+    boosted = layout_cost(small_dp, values, weight_override={"gm": 1.0})
+    assert boosted.cost > base.cost
+
+
+def test_layout_cost_missing_metric_raises(small_dp):
+    with pytest.raises(OptimizationError):
+        layout_cost(small_dp, {"gm": 1.0})
+
+
+def test_catastrophic_offset_dominates(small_dp):
+    ref = small_dp.schematic_reference()
+    spec = 0.1 * small_dp.random_offset_sigma()
+    values = dict(ref)
+    values["offset"] = 2.0 * spec
+    bd = layout_cost(small_dp, values)
+    assert bd.deviations["offset"] == pytest.approx(100.0)
+    assert bd.cost >= 100.0

@@ -1,0 +1,92 @@
+"""The PrimitiveOptimizer facade and Table-V-style accounting."""
+
+import pytest
+
+from repro.core import GlobalRouteInfo, PrimitiveOptimizer
+from repro.core.optimizer import PAPER_SIM_TIME
+from repro.devices.mosfet import MosGeometry
+
+
+def test_report_structure(small_dp_report):
+    report = small_dp_report
+    assert report.options
+    assert len(report.selected) <= 2
+    assert len(report.tuned) == len(report.selected)
+    assert report.best.cost <= min(o.cost for o in report.selected) + 1e-9
+
+
+def test_stage_accounting(small_dp_report):
+    names = [s.name for s in small_dp_report.stages]
+    assert names == ["selection", "tuning"]
+    assert small_dp_report.total_simulations == sum(
+        s.simulations for s in small_dp_report.stages
+    )
+    assert small_dp_report.effective_time == 2 * PAPER_SIM_TIME
+
+
+def test_selection_simulations_match_paper_structure(small_dp):
+    # N configs x 3 metrics, like Table V's "20 x 3".
+    opt = PrimitiveOptimizer(n_bins=2, max_wires=3)
+    report = opt.optimize(
+        small_dp,
+        variants=[MosGeometry(8, 4, 3), MosGeometry(8, 6, 2)],
+        patterns=["ABAB"],
+        tune=False,
+    )
+    assert report.stages[0].simulations == 2 * 3
+
+
+def test_placer_options_tuned(small_dp_report):
+    options = small_dp_report.placer_options()
+    assert options
+    aspect_ratios = [o.aspect_ratio for o in options]
+    assert len(set(round(a, 3) for a in aspect_ratios)) == len(options)
+
+
+def test_optimize_with_routes(small_dp):
+    opt = PrimitiveOptimizer(n_bins=1, max_wires=3)
+    report = opt.optimize(
+        small_dp,
+        variants=[MosGeometry(8, 4, 3)],
+        patterns=["ABAB"],
+        routes=[
+            GlobalRouteInfo(
+                "outp", "M3", 2000.0, via_cuts=2, via_resistance=20.0,
+                symmetric_with=("outn",),
+            )
+        ],
+    )
+    assert "outp" in report.port_constraints
+    assert [s.name for s in report.stages] == [
+        "selection",
+        "tuning",
+        "port_constraints",
+    ]
+    assert report.effective_time == 3 * PAPER_SIM_TIME  # the paper's 30 s
+
+
+def test_weight_override_changes_selection(small_dp):
+    # Weighting dGm higher can move the chosen option (Table IV remark).
+    opt_hi = PrimitiveOptimizer(
+        n_bins=1, max_wires=3, weight_override={"gm": 1.0, "gm_over_ctotal": 0.1}
+    )
+    report = opt_hi.optimize(
+        small_dp, variants=[MosGeometry(8, 4, 3)], patterns=["ABAB"], tune=False
+    )
+    bd = report.best.breakdown
+    assert bd.weights["gm"] == 1.0
+
+
+def test_empty_report_best_raises():
+    from repro.core.optimizer import OptimizationReport
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError):
+        OptimizationReport(primitive_name="x").best
+
+
+def test_report_summary_text(small_dp_report):
+    text = small_dp_report.summary()
+    assert "primitive" in text
+    assert "selection" in text
+    assert "->" in text

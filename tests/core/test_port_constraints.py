@@ -1,0 +1,101 @@
+"""Port-constraint generation (Algorithm 2, step 1)."""
+
+import pytest
+
+from repro.core.port_constraints import (
+    GlobalRouteInfo,
+    attach_route,
+    derive_port_constraint,
+    route_rc,
+)
+from repro.core.selection import evaluate_option
+from repro.devices.mosfet import MosGeometry
+from repro.errors import OptimizationError
+
+
+def route(net="outp", length=2000.0, **kw):
+    return GlobalRouteInfo(net=net, layer="M3", length_nm=length, **kw)
+
+
+def test_route_rc_scaling(tech):
+    r1, c1 = route_rc(route(), tech, 1)
+    r2, c2 = route_rc(route(), tech, 2)
+    assert r2 == pytest.approx(r1 / 2)
+    assert c2 == pytest.approx(2 * c1)
+
+
+def test_route_rc_via_contribution(tech):
+    r_plain, _ = route_rc(route(), tech, 1)
+    r_via, _ = route_rc(route(via_resistance=50.0, via_cuts=1), tech, 1)
+    assert r_via == pytest.approx(r_plain + 50.0)
+
+
+def test_route_rc_invalid_wires(tech):
+    with pytest.raises(OptimizationError):
+        route_rc(route(), tech, 0)
+
+
+def test_attach_route_preserves_ports(small_dp, tech):
+    dut = small_dp.schematic_circuit()
+    wrapped = attach_route(dut, route(), tech, 2)
+    assert wrapped.ports == dut.ports
+    # The route resistor exists.
+    assert any(e.name == "r_route_outp" for e in wrapped.elements)
+
+
+def test_attach_route_symmetric_partners(small_dp, tech):
+    dut = small_dp.schematic_circuit()
+    wrapped = attach_route(
+        dut, route(symmetric_with=("outn",)), tech, 1
+    )
+    names = {e.name for e in wrapped.elements}
+    assert "r_route_outp" in names and "r_route_outn" in names
+
+
+def test_attach_route_unknown_port(small_dp, tech):
+    with pytest.raises(OptimizationError):
+        attach_route(small_dp.schematic_circuit(), route(net="zz"), tech, 1)
+
+
+@pytest.fixture(scope="module")
+def dp_constraint(small_dp):
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    dut = small_dp.extract(
+        small_dp.generate(option.base, option.pattern), option.base
+    ).build_circuit()
+    constraint, sims = derive_port_constraint(
+        small_dp,
+        dut,
+        route(net="outp", symmetric_with=("outn",), via_cuts=2,
+              via_resistance=20.0),
+        max_wires=6,
+    )
+    return constraint, sims
+
+
+def test_constraint_interval_well_formed(dp_constraint):
+    constraint, sims = dp_constraint
+    assert constraint.w_min >= 1
+    if constraint.w_max is not None:
+        assert constraint.w_min <= constraint.w_max
+    assert len(constraint.sweep) == 6
+    assert sims == 6 * 3  # 3 metrics per wire count
+
+
+def test_constraint_cost_lookup(dp_constraint):
+    constraint, _ = dp_constraint
+    assert constraint.cost_at(1) == constraint.sweep[0].cost
+    with pytest.raises(OptimizationError):
+        constraint.cost_at(99)
+
+
+def test_insensitive_net_gets_wmin_one(small_dp):
+    # The tail port barely reacts to route R: w_min collapses to 1.
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    dut = small_dp.extract(
+        small_dp.generate(option.base, option.pattern), option.base
+    ).build_circuit()
+    constraint, _ = derive_port_constraint(
+        small_dp, dut, route(net="tail", length=500.0), max_wires=4
+    )
+    assert constraint.w_min == 1

@@ -1,0 +1,108 @@
+"""Port-constraint reconciliation (Algorithm 2, step 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.port_constraints import PortConstraint
+from repro.core.reconcile import intervals_overlap, reconcile_net
+from repro.core.tuning import SweepPoint
+from repro.errors import OptimizationError
+
+
+def constraint(name, net, w_min, w_max, costs=None):
+    sweep = []
+    if costs:
+        sweep = [SweepPoint(i + 1, c, {}) for i, c in enumerate(costs)]
+    return PortConstraint(
+        primitive_name=name, net=net, w_min=w_min, w_max=w_max, sweep=sweep
+    )
+
+
+def test_paper_example_overlap():
+    # Fig. 6 net 3: DP w_min=1 unbounded, CM w_min=4 unbounded -> choose 4.
+    dp = constraint("dp", "net3", 1, None)
+    cm = constraint("cm", "net3", 4, None)
+    result = reconcile_net("net3", [dp, cm])
+    assert result.overlapped
+    assert result.wires == 4
+    assert result.extra_simulations == 0
+
+
+def test_overlapping_bounded_intervals():
+    a = constraint("a", "n", 2, 5)
+    b = constraint("b", "n", 3, 6)
+    result = reconcile_net("n", [a, b])
+    assert result.overlapped
+    assert result.wires == 3  # max of the lower bounds, inside [3, 5]
+
+
+def test_disjoint_intervals_minimize_total_cost():
+    costs_a = [10.0, 6.0, 3.0, 2.0, 2.5, 3.5]  # min at 4
+    costs_b = [1.0, 2.0, 4.0, 7.0, 9.0, 12.0]  # min at 1
+    a = constraint("a", "n", 4, 5, costs_a)
+    b = constraint("b", "n", 1, 1, costs_b)
+    result = reconcile_net("n", [a, b])
+    assert not result.overlapped
+    # Gap range [min(w_max)=1, max(w_min)=4]: totals 11, 8, 7, 9 -> pick 3.
+    assert result.wires == 3
+    assert result.gap_costs[3] == pytest.approx(7.0)
+    assert result.extra_simulations > 0
+
+
+def test_custom_cost_evaluator():
+    a = constraint("a", "n", 3, 4)
+    b = constraint("b", "n", 1, 1)
+    result = reconcile_net("n", [a, b], cost_at=lambda c, w: float(w))
+    assert result.wires == 1  # evaluator prefers fewer wires
+
+
+def test_single_constraint_passthrough():
+    a = constraint("a", "n", 2, 5)
+    result = reconcile_net("n", [a])
+    assert result.wires == 2
+
+
+def test_no_constraints_raises():
+    with pytest.raises(OptimizationError):
+        reconcile_net("n", [])
+
+
+def test_intervals_overlap_unbounded():
+    assert intervals_overlap(
+        [constraint("a", "n", 1, None), constraint("b", "n", 9, None)]
+    )
+
+
+def test_intervals_disjoint():
+    assert not intervals_overlap(
+        [constraint("a", "n", 5, 7), constraint("b", "n", 1, 2)]
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=6),
+            st.integers(min_value=0, max_value=4),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_overlap_choice_inside_every_interval(bounds):
+    constraints = [
+        constraint(f"p{i}", "n", lo, lo + extra)
+        for i, (lo, extra) in enumerate(bounds)
+    ]
+    if intervals_overlap(constraints):
+        result = reconcile_net("n", constraints)
+        for c in constraints:
+            assert result.wires >= c.w_min
+            assert result.wires <= c.w_max
+    else:
+        result = reconcile_net(
+            "n", constraints, cost_at=lambda c, w: abs(w - c.w_min)
+        )
+        lo = min(c.w_max for c in constraints)
+        hi = max(c.w_min for c in constraints)
+        assert min(lo, hi) <= result.wires <= max(lo, hi)

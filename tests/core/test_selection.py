@@ -1,0 +1,106 @@
+"""Primitive selection (Algorithm 1, step 1)."""
+
+import pytest
+
+from repro.core.selection import (
+    evaluate_option,
+    evaluate_options,
+    select_best_per_bin,
+)
+from repro.devices.mosfet import MosGeometry
+
+
+def test_evaluate_single_option(small_dp):
+    opt = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABBA")
+    assert opt.cost > 0
+    assert opt.simulations == 3
+    assert opt.pattern == "ABBA"
+    assert set(opt.values) == {"gm", "gm_over_ctotal", "offset"}
+
+
+def test_describe_mentions_sizing(small_dp):
+    opt = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    text = opt.describe()
+    assert "nfin=8" in text and "ABAB" in text
+
+
+def test_evaluate_options_covers_patterns(small_dp):
+    options = evaluate_options(
+        small_dp, variants=[MosGeometry(8, 4, 3)], patterns=None
+    )
+    patterns = {o.pattern for o in options}
+    assert "ABAB" in patterns and "AABB" in patterns
+    # m=3 is odd: 1D ABBA infeasible in available_patterns.
+    assert "ABBA" not in patterns
+
+
+def test_evaluate_options_explicit_patterns(small_dp):
+    options = evaluate_options(
+        small_dp,
+        variants=[MosGeometry(8, 4, 3), MosGeometry(8, 6, 2)],
+        patterns=["ABAB"],
+    )
+    assert len(options) == 2
+
+
+def test_aabb_never_selected_for_paper_dp(paper_dp):
+    # At the paper's device size the gradient-induced offset makes the
+    # clustered pattern uncompetitive (Table III's 101.7-cost row).
+    options = evaluate_options(
+        paper_dp,
+        variants=[MosGeometry(8, 20, 6), MosGeometry(12, 20, 4)],
+        patterns=["ABAB", "ABBA", "AABB"],
+    )
+    selected = select_best_per_bin(options, 2)
+    assert all(o.pattern != "AABB" for o in selected)
+
+
+def test_select_one_per_bin(small_dp):
+    options = evaluate_options(
+        small_dp,
+        variants=[MosGeometry(4, 12, 2), MosGeometry(8, 6, 2), MosGeometry(12, 4, 2)],
+        patterns=["ABAB"],
+    )
+    selected = select_best_per_bin(options, 3)
+    assert len(selected) == 3
+    # Each selected option is the cheapest of its bin.
+    for sel in selected:
+        assert sel in options
+
+
+def test_selected_costs_minimal_within_bins(small_dp):
+    from repro.core.binning import bin_by_aspect_ratio
+
+    options = evaluate_options(
+        small_dp,
+        variants=[MosGeometry(4, 12, 2), MosGeometry(8, 6, 2), MosGeometry(12, 4, 2)],
+    )
+    bins = bin_by_aspect_ratio(options, 3, lambda o: o.aspect_ratio)
+    selected = select_best_per_bin(options, 3)
+    for group, sel in zip(bins, selected):
+        assert sel.cost == min(o.cost for o in group)
+
+
+def test_quality_gate_drops_unusable_bins(small_dp):
+    """A bin whose best is far worse than the global best is dropped."""
+    from types import SimpleNamespace
+
+    def fake(cost, aspect):
+        return SimpleNamespace(cost=cost, aspect_ratio=aspect)
+
+    options = [
+        fake(5.0, 0.2), fake(6.0, 0.25),   # bin 1 (good)
+        fake(5.5, 1.0),                    # bin 2 (good)
+        fake(80.0, 5.0), fake(90.0, 6.0),  # bin 3 (unusable)
+    ]
+    kept = select_best_per_bin(options, 3)
+    costs = sorted(o.cost for o in kept)
+    assert costs == [5.0, 5.5]
+
+
+def test_quality_gate_keeps_global_best_always(small_dp):
+    from types import SimpleNamespace
+
+    options = [SimpleNamespace(cost=100.0, aspect_ratio=1.0)]
+    kept = select_best_per_bin(options, 3)
+    assert len(kept) == 1

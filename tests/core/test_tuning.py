@@ -1,0 +1,75 @@
+"""Primitive tuning (Algorithm 1, step 2)."""
+
+import pytest
+
+from repro.core.selection import evaluate_option
+from repro.core.tuning import choose_stop_point, tune_option
+from repro.devices.mosfet import MosGeometry
+from repro.errors import OptimizationError
+
+
+def test_stop_at_minimum():
+    idx, reason = choose_stop_point([5.0, 4.0, 3.5, 3.8, 4.5])
+    assert idx == 2
+    assert reason == "minimum"
+
+
+def test_stop_at_curvature_for_monotone():
+    # Monotone decreasing: stop where the discrete second difference
+    # (curvature) peaks — the knee of the curve.
+    costs = [10.0, 6.0, 4.0, 3.8, 3.7, 3.65]
+    idx, reason = choose_stop_point(costs)
+    assert reason == "curvature"
+    assert idx == 1  # second difference 2.0 at index 1 beats 1.8 at 2
+    # A curve with its knee later stops later.
+    idx2, reason2 = choose_stop_point([10.0, 9.5, 9.0, 5.0, 4.8, 4.7])
+    assert reason2 == "curvature"
+    assert idx2 == 3
+
+
+def test_stop_short_curves():
+    idx, reason = choose_stop_point([3.0, 2.0])
+    assert idx == 1
+    assert reason == "exhausted"
+
+
+def test_stop_empty_raises():
+    with pytest.raises(OptimizationError):
+        choose_stop_point([])
+
+
+def test_tuning_never_worsens_cost(small_dp):
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    result = tune_option(small_dp, option, max_wires=4)
+    assert result.option.cost <= option.cost + 1e-9
+    assert result.simulations > 0
+
+
+def test_tuning_records_sweeps(small_dp):
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    result = tune_option(small_dp, option, max_wires=3)
+    names = {s.terminal for s in result.sweeps}
+    assert names == {"source", "drain"}
+    for sweep in result.sweeps:
+        assert sweep.points
+        assert sweep.chosen >= 1
+
+
+def test_tuning_wire_config_applied(small_dp):
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    result = tune_option(small_dp, option, max_wires=4)
+    by_name = {s.terminal: s for s in result.sweeps}
+    assert result.option.wires.straps("tail") == by_name["source"].chosen
+
+
+def test_correlated_terminals_swept_jointly(tech):
+    from repro.primitives import CascodeCurrentSource
+
+    prim = CascodeCurrentSource(tech, base_fins=48)
+    option = evaluate_option(prim, MosGeometry(8, 6, 1), "ABAB")
+    result = tune_option(prim, option, max_wires=2)
+    joint = [s for s in result.sweeps if "+" in s.terminal]
+    assert len(joint) == 1
+    assert joint[0].stopped_by == "joint"
+    # A 2-terminal joint sweep at limit 2 explores 4 combinations.
+    assert len(joint[0].points) == 4

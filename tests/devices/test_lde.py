@@ -1,0 +1,35 @@
+"""LdeContext composition."""
+
+import pytest
+
+from repro.devices.lde import LdeContext
+
+
+def test_ideal_is_neutral():
+    ctx = LdeContext.ideal()
+    assert ctx.vth_shift == 0.0
+    assert ctx.mobility_factor == 1.0
+
+
+def test_combined_shifts_add():
+    a = LdeContext(vth_shift=0.01, mobility_factor=0.95)
+    b = LdeContext(vth_shift=0.02, mobility_factor=0.90)
+    c = a.combined_with(b)
+    assert c.vth_shift == pytest.approx(0.03)
+    assert c.mobility_factor == pytest.approx(0.855)
+
+
+def test_combined_keeps_min_distances():
+    a = LdeContext(sa=100.0, sb=200.0, sc=500.0)
+    b = LdeContext(sa=150.0, sb=50.0, sc=900.0)
+    c = a.combined_with(b)
+    assert c.sa == 100.0
+    assert c.sb == 50.0
+    assert c.sc == 500.0
+
+
+def test_combined_with_ideal_is_identity():
+    a = LdeContext(vth_shift=0.005, mobility_factor=0.97)
+    c = a.combined_with(LdeContext.ideal())
+    assert c.vth_shift == a.vth_shift
+    assert c.mobility_factor == a.mobility_factor

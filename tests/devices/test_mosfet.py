@@ -1,0 +1,191 @@
+"""The EKV FinFET model: physics sanity and analytic derivatives.
+
+The derivative checks are the load-bearing tests here: the Newton solver
+trusts ``gm``/``gds`` to be the exact partials of ``ids``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.lde import LdeContext
+from repro.devices.mosfet import (
+    MosGeometry,
+    mos_small_signal,
+    resolve_params,
+)
+from repro.errors import NetlistError
+from repro.tech import Technology
+
+TECH = Technology.default()
+
+
+def nmos_params(nfin=8, nf=4, m=1, lde=None, **kw):
+    return resolve_params(
+        TECH.nmos, TECH.rules, MosGeometry(nfin, nf, m), lde, **kw
+    )
+
+
+def pmos_params(nfin=8, nf=4, m=1):
+    return resolve_params(TECH.pmos, TECH.rules, MosGeometry(nfin, nf, m))
+
+
+# --- geometry -----------------------------------------------------------
+
+
+def test_geometry_totals():
+    g = MosGeometry(8, 20, 6)
+    assert g.nfins_total == 960
+
+
+def test_geometry_scaled():
+    assert MosGeometry(8, 4, 2).scaled(3).nfins_total == 8 * 4 * 6
+
+
+def test_geometry_rejects_zero():
+    with pytest.raises(NetlistError):
+        MosGeometry(0, 1, 1)
+    with pytest.raises(NetlistError):
+        MosGeometry(1, 1, 1).scaled(0)
+
+
+# --- DC physics ----------------------------------------------------------
+
+
+def test_cutoff_current_negligible():
+    out = mos_small_signal(nmos_params(), vg=0.0, vd=0.8, vs=0.0)
+    assert abs(out["id"]) < 1e-7
+
+
+def test_saturation_current_positive():
+    out = mos_small_signal(nmos_params(), vg=0.6, vd=0.8, vs=0.0)
+    assert out["id"] > 1e-5
+
+
+def test_current_increases_with_vgs():
+    p = nmos_params()
+    i1 = mos_small_signal(p, 0.4, 0.8, 0.0)["id"]
+    i2 = mos_small_signal(p, 0.6, 0.8, 0.0)["id"]
+    assert i2 > i1 > 0
+
+
+def test_current_scales_with_fins():
+    small = mos_small_signal(nmos_params(8, 4, 1), 0.6, 0.8, 0.0)["id"]
+    big = mos_small_signal(nmos_params(8, 4, 4), 0.6, 0.8, 0.0)["id"]
+    assert big == pytest.approx(4 * small, rel=1e-9)
+
+
+def test_zero_vds_zero_current():
+    out = mos_small_signal(nmos_params(), vg=0.6, vd=0.0, vs=0.0)
+    assert out["id"] == pytest.approx(0.0, abs=1e-15)
+
+
+def test_symmetry_swap_drain_source():
+    p = nmos_params()
+    fwd = mos_small_signal(p, vg=0.6, vd=0.3, vs=0.0)["id"]
+    rev = mos_small_signal(p, vg=0.3, vd=-0.3, vs=0.0)  # vd < vs
+    # With gate-to-source(=old drain) 0.6-0.3... construct true mirror:
+    mirrored = mos_small_signal(p, vg=0.6, vd=0.0, vs=0.3)["id"]
+    assert mirrored == pytest.approx(-fwd, rel=1e-9)
+
+
+def test_pmos_mirror_of_nmos_sign():
+    out = mos_small_signal(pmos_params(), vg=0.2, vd=0.0, vs=0.8)
+    # PMOS with source high and gate low conducts; drain current is
+    # negative (current flows out of the drain node).
+    assert out["id"] < -1e-6
+
+
+def test_clm_increases_current_with_vds():
+    p = nmos_params()
+    i1 = mos_small_signal(p, 0.6, 0.5, 0.0)["id"]
+    i2 = mos_small_signal(p, 0.6, 0.8, 0.0)["id"]
+    assert i2 > i1
+
+
+def test_subthreshold_slope_reasonable():
+    p = nmos_params()
+    i1 = mos_small_signal(p, 0.15, 0.8, 0.0)["id"]
+    i2 = mos_small_signal(p, 0.25, 0.8, 0.0)["id"]
+    decade_mv = 100.0 / np.log10(i2 / i1)
+    # 60mV/dec ideal; slope factor 1.15 gives ~68mV/dec.
+    assert 55.0 < decade_mv < 90.0
+
+
+def test_lde_vth_shift_reduces_current():
+    base = mos_small_signal(nmos_params(), 0.5, 0.8, 0.0)["id"]
+    shifted = mos_small_signal(
+        nmos_params(lde=LdeContext(vth_shift=0.02)), 0.5, 0.8, 0.0
+    )["id"]
+    assert shifted < base
+
+
+def test_lde_mobility_scales_current():
+    base = mos_small_signal(nmos_params(), 0.6, 0.8, 0.0)["id"]
+    degraded = mos_small_signal(
+        nmos_params(lde=LdeContext(mobility_factor=0.9)), 0.6, 0.8, 0.0
+    )["id"]
+    assert degraded == pytest.approx(0.9 * base, rel=0.02)
+
+
+def test_gms_equals_negative_sum():
+    out = mos_small_signal(nmos_params(), 0.55, 0.6, 0.1)
+    assert out["gms"] == pytest.approx(-(out["gm"] + out["gds"]), rel=1e-12)
+
+
+# --- derivative correctness (property-based) --------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vg=st.floats(min_value=-0.2, max_value=1.0),
+    vd=st.floats(min_value=-0.9, max_value=0.9),
+    vs=st.floats(min_value=-0.3, max_value=0.5),
+    polarity=st.sampled_from(["n", "p"]),
+)
+def test_analytic_derivatives_match_finite_difference(vg, vd, vs, polarity):
+    params = nmos_params() if polarity == "n" else pmos_params()
+    h = 1e-6
+
+    def ids(vg_, vd_, vs_):
+        return mos_small_signal(params, vg_, vd_, vs_)["id"]
+
+    out = mos_small_signal(params, vg, vd, vs)
+    gm_fd = (ids(vg + h, vd, vs) - ids(vg - h, vd, vs)) / (2 * h)
+    gds_fd = (ids(vg, vd + h, vs) - ids(vg, vd - h, vs)) / (2 * h)
+    scale = max(abs(out["gm"]), abs(out["gds"]), 1e-9)
+    assert out["gm"] == pytest.approx(gm_fd, rel=2e-3, abs=2e-4 * scale)
+    assert out["gds"] == pytest.approx(gds_fd, rel=2e-3, abs=2e-4 * scale)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    vg=st.floats(min_value=0.0, max_value=0.8),
+    vd=st.floats(min_value=0.0, max_value=0.8),
+)
+def test_capacitances_positive_and_bounded(vg, vd):
+    params = nmos_params()
+    out = mos_small_signal(params, vg, vd, 0.0)
+    for key in ("cgs", "cgd", "cgb", "cdb", "csb"):
+        assert out[key] >= 0
+        assert out[key] < 1e-12  # under a picofarad for this size
+
+
+def test_cgs_larger_in_saturation_than_cutoff():
+    p = nmos_params()
+    sat = mos_small_signal(p, 0.7, 0.8, 0.0)["cgs"]
+    off = mos_small_signal(p, 0.0, 0.8, 0.0)["cgs"]
+    assert sat > off
+
+
+def test_junction_overrides():
+    p = nmos_params(cdb_override=1e-15, csb_override=2e-15)
+    out = mos_small_signal(p, 0.5, 0.5, 0.0)
+    assert out["cdb"] == pytest.approx(1e-15)
+    assert out["csb"] == pytest.approx(2e-15)
+
+
+def test_sigma_vth_scales_with_fins():
+    small = nmos_params(8, 1, 1)
+    large = nmos_params(8, 4, 4)
+    assert large.sigma_vth == pytest.approx(small.sigma_vth / 4.0)

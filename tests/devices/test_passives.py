@@ -1,0 +1,53 @@
+"""Passive device models."""
+
+import math
+
+import pytest
+
+from repro.devices.passives import MomCapacitor, PolyResistor, SpiralInductor
+from repro.errors import NetlistError
+
+
+def test_resistor_effective_resistance():
+    r = PolyResistor(value=10e3, segments=4, contact_resistance=5.0)
+    assert r.effective_resistance == pytest.approx(10e3 + 40.0)
+
+
+def test_resistor_parasitic_scales_with_segments():
+    r1 = PolyResistor(value=1e3, segments=1)
+    r4 = PolyResistor(value=1e3, segments=4)
+    assert r4.parasitic_capacitance == pytest.approx(4 * r1.parasitic_capacitance)
+
+
+def test_resistor_validation():
+    with pytest.raises(NetlistError):
+        PolyResistor(value=0.0)
+    with pytest.raises(NetlistError):
+        PolyResistor(value=1e3, segments=0)
+
+
+def test_capacitor_esr_from_q():
+    c = MomCapacitor(value=100e-15, q_factor=50.0, f_ref=1e9)
+    expected = 1.0 / (2 * math.pi * 1e9 * 100e-15 * 50.0)
+    assert c.series_resistance == pytest.approx(expected)
+
+
+def test_capacitor_bottom_plate():
+    c = MomCapacitor(value=100e-15, bottom_plate_ratio=0.05)
+    assert c.bottom_plate_capacitance == pytest.approx(5e-15)
+
+
+def test_capacitor_validation():
+    with pytest.raises(NetlistError):
+        MomCapacitor(value=-1e-15)
+
+
+def test_inductor_esr_from_q():
+    ind = SpiralInductor(value=1e-9, q_factor=10.0, f_ref=5e9)
+    expected = 2 * math.pi * 5e9 * 1e-9 / 10.0
+    assert ind.series_resistance == pytest.approx(expected)
+
+
+def test_inductor_validation():
+    with pytest.raises(NetlistError):
+        SpiralInductor(value=1e-9, q_factor=0.0)

@@ -1,0 +1,123 @@
+"""LDE extraction: LOD, WPE, gradients, junction sharing."""
+
+import pytest
+
+from repro.cellgen import CellDevice, CellSpec, WireConfig, generate_layout
+from repro.devices.mosfet import MosGeometry
+from repro.errors import ExtractionError
+from repro.extraction.lde_extract import extract_lde, junction_capacitances
+
+
+def dp_spec(geo=MosGeometry(8, 8, 4)):
+    return CellSpec(
+        name="dp",
+        devices=(
+            CellDevice("MA", "n", geo, {"d": "outp", "g": "inp", "s": "tail"}),
+            CellDevice("MB", "n", geo, {"d": "outn", "g": "inn", "s": "tail"}),
+        ),
+        matched_group=("MA", "MB"),
+        port_nets=("inp", "inn", "outp", "outn", "tail"),
+        symmetric_pairs=(("outp", "outn"), ("inp", "inn")),
+    )
+
+
+def test_vth_shift_nonzero(tech):
+    lay = generate_layout(dp_spec(), "ABAB", tech)
+    ctx = extract_lde(lay, "MA", tech.nmos, tech)
+    assert ctx.vth_shift != 0.0
+    assert 0.5 <= ctx.mobility_factor <= 1.0
+
+
+def test_unknown_device_raises(tech):
+    lay = generate_layout(dp_spec(), "ABAB", tech)
+    with pytest.raises(ExtractionError):
+        extract_lde(lay, "MX", tech.nmos, tech)
+
+
+def test_abba_matches_devices_exactly(tech):
+    lay = generate_layout(dp_spec(), "ABBA", tech)
+    a = extract_lde(lay, "MA", tech.nmos, tech)
+    b = extract_lde(lay, "MB", tech.nmos, tech)
+    assert a.vth_shift == pytest.approx(b.vth_shift, abs=1e-9)
+
+
+def test_aabb_mismatches_devices(tech):
+    lay = generate_layout(dp_spec(), "AABB", tech)
+    a = extract_lde(lay, "MA", tech.nmos, tech)
+    b = extract_lde(lay, "MB", tech.nmos, tech)
+    assert abs(a.vth_shift - b.vth_shift) > 1e-5
+
+
+def test_aabb_worse_than_abab_mismatch(tech):
+    spec = dp_spec()
+    lay_abab = generate_layout(spec, "ABAB", tech)
+    lay_aabb = generate_layout(spec, "AABB", tech)
+    mm_abab = abs(
+        extract_lde(lay_abab, "MA", tech.nmos, tech).vth_shift
+        - extract_lde(lay_abab, "MB", tech.nmos, tech).vth_shift
+    )
+    mm_aabb = abs(
+        extract_lde(lay_aabb, "MA", tech.nmos, tech).vth_shift
+        - extract_lde(lay_aabb, "MB", tech.nmos, tech).vth_shift
+    )
+    assert mm_aabb > mm_abab
+
+
+def test_dummies_reduce_lod_shift(tech):
+    spec = dp_spec()
+    plain = generate_layout(spec, "ABAB", tech)
+    dummied = generate_layout(spec, "ABAB", tech, WireConfig(dummies=True))
+    shift_plain = extract_lde(plain, "MA", tech.nmos, tech)
+    shift_dummy = extract_lde(dummied, "MA", tech.nmos, tech)
+    # Dummies extend the diffusion: higher mobility factor (less stress).
+    assert shift_dummy.mobility_factor > shift_plain.mobility_factor
+
+
+def test_more_fingers_less_lod(tech):
+    few = generate_layout(dp_spec(MosGeometry(8, 4, 8)), "ABAB", tech)
+    many = generate_layout(dp_spec(MosGeometry(8, 16, 2)), "ABAB", tech)
+    mu_few = extract_lde(few, "MA", tech.nmos, tech).mobility_factor
+    mu_many = extract_lde(many, "MA", tech.nmos, tech).mobility_factor
+    assert mu_many > mu_few  # long diffusion islands relax the stress
+
+
+def test_no_lde_technology_still_has_gradient(tech_no_lde):
+    lay = generate_layout(dp_spec(), "AABB", tech_no_lde)
+    a = extract_lde(lay, "MA", tech_no_lde.nmos, tech_no_lde)
+    b = extract_lde(lay, "MB", tech_no_lde.nmos, tech_no_lde)
+    assert a.mobility_factor == 1.0
+    # Gradient-induced mismatch survives the LDE ablation.
+    assert abs(a.vth_shift - b.vth_shift) > 0
+
+
+# --- junction capacitances -------------------------------------------------
+
+
+def test_junctions_smaller_than_unshared(tech):
+    lay = generate_layout(dp_spec(), "ABAB", tech)
+    cdb, csb = junction_capacitances(lay, "MA", tech.nmos)
+    unshared = tech.nmos.cj_per_fin * 8 * 8 * 4
+    assert cdb < unshared
+    assert csb < unshared
+
+
+def test_sources_have_more_junction_than_drains(tech):
+    # Even finger counts put sources on both unit ends (full-size caps).
+    lay = generate_layout(dp_spec(), "ABAB", tech)
+    cdb, csb = junction_capacitances(lay, "MA", tech.nmos)
+    assert csb > cdb
+
+
+def test_dummies_shrink_end_junctions(tech):
+    spec = dp_spec()
+    plain = generate_layout(spec, "ABAB", tech)
+    dummied = generate_layout(spec, "ABAB", tech, WireConfig(dummies=True))
+    _, csb_plain = junction_capacitances(plain, "MA", tech.nmos)
+    _, csb_dummy = junction_capacitances(dummied, "MA", tech.nmos)
+    assert csb_dummy < csb_plain
+
+
+def test_junction_unknown_device(tech):
+    lay = generate_layout(dp_spec(), "ABAB", tech)
+    with pytest.raises(ExtractionError):
+        junction_capacitances(lay, "MX", tech.nmos)

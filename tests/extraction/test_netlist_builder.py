@@ -1,0 +1,84 @@
+"""Extracted-netlist construction."""
+
+import pytest
+
+from repro.cellgen import CellDevice, CellSpec, generate_layout
+from repro.devices.mosfet import MosGeometry
+from repro.extraction import extract_primitive
+from repro.spice import CompiledCircuit, dc_operating_point
+from repro.spice.elements import Mosfet, Resistor
+
+
+def dp_spec(geo=MosGeometry(8, 8, 2)):
+    return CellSpec(
+        name="dp",
+        devices=(
+            CellDevice("MA", "n", geo, {"d": "outp", "g": "inp", "s": "tail"}),
+            CellDevice("MB", "n", geo, {"d": "outn", "g": "inn", "s": "tail"}),
+        ),
+        matched_group=("MA", "MB"),
+        port_nets=("inp", "inn", "outp", "outn", "tail"),
+        symmetric_pairs=(("outp", "outn"), ("inp", "inn")),
+    )
+
+
+@pytest.fixture(scope="module")
+def extracted(tech):
+    spec = dp_spec()
+    return extract_primitive(generate_layout(spec, "ABAB", tech), spec, tech)
+
+
+def test_extraction_covers_all(extracted):
+    assert set(extracted.device_lde) == {"MA", "MB"}
+    assert set(extracted.device_junctions) == {"MA", "MB"}
+    assert {"inp", "inn", "outp", "outn", "tail"} <= set(extracted.net_parasitics)
+
+
+def test_circuit_ports(extracted):
+    circuit = extracted.build_circuit()
+    assert circuit.ports == ["inp", "inn", "outp", "outn", "tail"]
+
+
+def test_circuit_has_trunk_and_branch_resistors(extracted):
+    circuit = extracted.build_circuit()
+    names = [e.name for e in circuit.elements if isinstance(e, Resistor)]
+    assert "rt_tail" in names
+    assert "rb_tail_MA.s" in names
+    assert "rb_tail_MB.s" in names
+
+
+def test_devices_carry_lde_and_junction_overrides(extracted):
+    circuit = extracted.build_circuit()
+    ma = circuit.element("MA")
+    assert isinstance(ma, Mosfet)
+    assert ma.lde.vth_shift == extracted.device_lde["MA"].vth_shift
+    assert ma.cdb_override == extracted.device_junctions["MA"][0]
+
+
+def test_device_terminals_on_branch_nodes(extracted):
+    circuit = extracted.build_circuit()
+    ma = circuit.element("MA")
+    assert ma.s == "tail__MA.s"
+    assert ma.d == "outp__MA.d"
+    assert ma.g == "inp__MA.g"
+
+
+def test_extracted_circuit_simulates(tech, extracted):
+    # Wrap with bias sources and check the DC point is sane.
+    tb = extracted.build_circuit().copy("tb")
+    tb.add_vsource("vp", "inp", "0", 0.55)
+    tb.add_vsource("vn", "inn", "0", 0.55)
+    tb.add_vsource("vop", "outp", "0", 0.6)
+    tb.add_vsource("von", "outn", "0", 0.6)
+    tb.add_isource("it", "tail", "0", 50e-6)
+    op = dc_operating_point(CompiledCircuit(tb, tech.rules))
+    # The tail current splits between the matched halves.
+    assert -op.i("vop") == pytest.approx(25e-6, rel=0.05)
+    assert -op.i("vop") - op.mos("MA")["id"] == pytest.approx(0.0, abs=1e-7)
+
+
+def test_summary_structure(extracted):
+    info = extracted.summary()
+    assert info["pattern"] == "ABAB"
+    assert "tail" in info["nets"]
+    assert "MA" in info["devices"]

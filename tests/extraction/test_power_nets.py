@@ -1,0 +1,60 @@
+"""Power-net extraction behavior."""
+
+import pytest
+
+from repro.cellgen import CellDevice, CellSpec, generate_layout
+from repro.devices.mosfet import MosGeometry
+from repro.extraction.rc import MIN_RESISTANCE, extract_net_parasitics
+
+
+def cell(tech):
+    spec = CellSpec(
+        name="inv",
+        devices=(
+            CellDevice("MP", "p", MosGeometry(8, 6, 2),
+                       {"d": "out", "g": "in", "s": "vdd!", "b": "vdd!"}),
+            CellDevice("MN", "n", MosGeometry(8, 6, 2),
+                       {"d": "out", "g": "in", "s": "0"}),
+        ),
+        matched_group=("MP", "MN"),
+        port_nets=("in", "out", "vdd!"),
+    )
+    return generate_layout(spec, "ABAB", tech), spec
+
+
+def test_power_trunk_near_ideal(tech):
+    layout, _ = cell(tech)
+    gnd = extract_net_parasitics(layout, "0", tech)
+    vdd = extract_net_parasitics(layout, "vdd!", tech)
+    assert gnd.r_trunk == MIN_RESISTANCE
+    assert vdd.r_trunk == MIN_RESISTANCE
+
+
+def test_signal_trunk_resistive(tech):
+    layout, _ = cell(tech)
+    out = extract_net_parasitics(layout, "out", tech)
+    assert out.r_trunk > 10 * MIN_RESISTANCE
+
+
+def test_power_branches_still_resistive(tech):
+    """Local supply mesh resistance (in-cell IR drop) stays modeled."""
+    layout, _ = cell(tech)
+    gnd = extract_net_parasitics(layout, "0", tech)
+    assert gnd.branch("MN", "s") > 1.0
+
+
+def test_supply_ir_drop_visible_in_circuit(tech):
+    """The assembled inverter sees a real source-side IR drop."""
+    from repro.extraction import extract_primitive
+    from repro.spice import CompiledCircuit, dc_operating_point
+
+    layout, spec = cell(tech)
+    dut = extract_primitive(layout, spec, tech).build_circuit()
+    tb = dut.copy("tb")
+    tb.add_vsource("vdd", "vdd!", "0", tech.vdd)
+    tb.add_vsource("vin", "in", "0", tech.vdd / 2.0)
+    tb.add_vsource("vout", "out", "0", tech.vdd / 2.0)
+    op = dc_operating_point(CompiledCircuit(tb, tech.rules))
+    source_node = op.v("0__MN.s")
+    assert source_node > 0.0  # lifted off ground by the mesh resistance
+    assert source_node < 0.05  # but only by millivolts

@@ -1,0 +1,120 @@
+"""Automatic primitive recognition on flat netlists."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.flow.annotate import annotation_report, recognize_primitives
+from repro.spice import Circuit
+
+
+def flat_ota(tech):
+    """The 5T OTA as a flat transistor netlist."""
+    c = Circuit("flat_ota")
+    g = MosGeometry(8, 4, 2)
+    c.add_mosfet("m1", "nx", "vinp", "ntail", "0", tech.nmos, g)
+    c.add_mosfet("m2", "vout", "vinn", "ntail", "0", tech.nmos, g)
+    c.add_mosfet("m3", "nx", "nx", "vdd", "vdd", tech.pmos, g)  # diode
+    c.add_mosfet("m4", "vout", "nx", "vdd", "vdd", tech.pmos, g)
+    c.add_mosfet("m5", "ntail", "vbn", "0", "0", tech.nmos, g)
+    return c
+
+
+def by_family(prims):
+    out = {}
+    for p in prims:
+        out.setdefault(p.family, []).append(p)
+    return out
+
+
+def test_ota_annotation(tech):
+    prims = by_family(recognize_primitives(flat_ota(tech)))
+    assert len(prims["differential_pair"]) == 1
+    dp = prims["differential_pair"][0]
+    assert set(dp.devices) == {"m1", "m2"}
+    assert dp.nets["tail"] == "ntail"
+    assert len(prims["current_mirror"]) == 1
+    cm = prims["current_mirror"][0]
+    assert cm.devices[0] == "m3"  # the diode is the reference
+    assert prims["current_source"][0].devices == ("m5",)
+
+
+def test_every_device_annotated_once(tech):
+    prims = recognize_primitives(flat_ota(tech))
+    members = [d for p in prims for d in p.devices]
+    assert sorted(members) == ["m1", "m2", "m3", "m4", "m5"]
+
+
+def test_cross_coupled_recognized_before_dp(tech):
+    c = Circuit("xcp")
+    g = MosGeometry(8, 2, 1)
+    c.add_mosfet("ma", "outp", "outn", "tail", "0", tech.nmos, g)
+    c.add_mosfet("mb", "outn", "outp", "tail", "0", tech.nmos, g)
+    prims = recognize_primitives(c)
+    assert prims[0].family == "cross_coupled_pair"
+
+
+def test_ratioed_mirror_groups_all_outputs(tech):
+    c = Circuit("cm8")
+    g = MosGeometry(8, 2, 1)
+    c.add_mosfet("mref", "nin", "nin", "0", "0", tech.nmos, g)
+    for k in range(3):
+        c.add_mosfet(f"mo{k}", f"out{k}", "nin", "0", "0", tech.nmos, g)
+    prims = recognize_primitives(c)
+    assert len(prims) == 1
+    assert len(prims[0].devices) == 4
+
+
+def test_inverter_recognized(tech):
+    c = Circuit("inv")
+    g = MosGeometry(8, 2, 1)
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", tech.pmos, g)
+    c.add_mosfet("mn", "out", "in", "0", "0", tech.nmos, g)
+    prims = recognize_primitives(c)
+    assert prims[0].family == "inverter"
+    assert prims[0].nets == {"in": "in", "out": "out"}
+
+
+def test_diode_load_fallback(tech):
+    c = Circuit("dl")
+    c.add_mosfet("md", "out", "out", "0", "0", tech.nmos, MosGeometry(8))
+    prims = recognize_primitives(c)
+    assert prims[0].family == "diode_load"
+
+
+def test_polarity_mismatch_never_pairs(tech):
+    c = Circuit("np")
+    g = MosGeometry(8, 2, 1)
+    # Same source net but opposite polarity: not a DP.
+    c.add_mosfet("ma", "o1", "i1", "s", "0", tech.nmos, g)
+    c.add_mosfet("mb", "o2", "i2", "s", "vdd", tech.pmos, g)
+    prims = recognize_primitives(c)
+    assert all(p.family != "differential_pair" for p in prims)
+
+
+def test_report_format(tech):
+    text = annotation_report(flat_ota(tech))
+    assert "differential_pair" in text
+    assert "m1/m2" in text
+
+
+def test_empty_circuit_annotates_empty(tech):
+    assert recognize_primitives(Circuit("empty")) == []
+
+
+def test_pmos_pair_recognized(tech):
+    c = Circuit("pdp")
+    g = MosGeometry(8, 2, 1)
+    c.add_mosfet("ma", "op", "ip", "tail", "vdd", tech.pmos, g)
+    c.add_mosfet("mb", "on", "in_", "tail", "vdd", tech.pmos, g)
+    prims = recognize_primitives(c)
+    assert prims[0].family == "differential_pair"
+
+
+def test_ground_sourced_pair_not_a_dp(tech):
+    # Two FETs sharing *ground* as source are not a differential pair.
+    c = Circuit("nodp")
+    g = MosGeometry(8, 2, 1)
+    c.add_mosfet("ma", "o1", "i1", "0", "0", tech.nmos, g)
+    c.add_mosfet("mb", "o2", "i2", "0", "0", tech.nmos, g)
+    prims = recognize_primitives(c)
+    assert all(p.family != "differential_pair" for p in prims)

@@ -1,0 +1,56 @@
+"""Floorplan hints and row placement in the flow."""
+
+import pytest
+
+from repro.circuits import CommonSourceAmpCircuit, RingOscillatorVco
+from repro.flow import HierarchicalFlow
+
+
+def test_default_circuits_have_no_hint(tech):
+    cs = CommonSourceAmpCircuit(tech, stage_fins=48, load_fins=72)
+    assert cs.placement_rows() is None
+
+
+def test_vco_hint_is_a_snake(tech):
+    vco = RingOscillatorVco(tech, stages=4)
+    rows = vco.placement_rows()
+    assert len(rows) == 2
+    names = [n for row in rows for n in row]
+    binding_names = {b.name for b in vco.bindings()}
+    assert set(names) == binding_names
+    assert len(names) == len(set(names))
+    # Top row holds the first half in order, bottom the second reversed.
+    assert rows[0][0] == "xstage0"
+    assert rows[1][0] == "xstage3"
+
+
+def test_row_placement_no_overlaps(tech):
+    vco = RingOscillatorVco(tech, stages=4)
+    flow = HierarchicalFlow(tech, n_bins=1, max_wires=2)
+    result = flow.run(vco, flavor="conventional", measure=False)
+    placement = result.placement
+    assert placement is not None
+    # Two distinct y levels (two rows).
+    ys = {pos[1] for pos in placement.positions.values()}
+    assert len(ys) == 2
+    # Within each row, x positions strictly increase without overlap.
+    for y_level in ys:
+        row = sorted(
+            (pos[0], name)
+            for name, pos in placement.positions.items()
+            if pos[1] == y_level
+        )
+        xs = [x for x, _ in row]
+        assert xs == sorted(set(xs))
+
+
+def test_adjacent_stage_routes_short(tech):
+    """The snake keeps consecutive-stage nets far shorter than the span."""
+    vco = RingOscillatorVco(tech, stages=4)
+    flow = HierarchicalFlow(tech, n_bins=1, max_wires=2)
+    result = flow.run(vco, flavor="conventional", measure=False)
+    span = result.placement.width + result.placement.height
+    stage_nets = [b for n, b in result.route_budgets.items() if n.startswith("na")]
+    assert stage_nets
+    for budget in stage_nets:
+        assert budget.route.length_nm < 0.8 * span

@@ -1,0 +1,49 @@
+"""Flow-result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.circuits import CommonSourceAmpCircuit
+from repro.flow import HierarchicalFlow
+from repro.flow.report import flow_result_to_dict, write_flow_report
+
+
+@pytest.fixture(scope="module")
+def result(tech):
+    circuit = CommonSourceAmpCircuit(tech, i_bias=50e-6, stage_fins=48,
+                                     load_fins=72)
+    flow = HierarchicalFlow(tech, n_bins=2, max_wires=3, placer_iterations=150)
+    return flow.run(circuit, flavor="this_work")
+
+
+def test_dict_structure(result):
+    doc = flow_result_to_dict(result)
+    assert doc["circuit"] == "cs_amplifier"
+    assert doc["flavor"] == "this_work"
+    assert "gain_db" in doc["metrics"]
+    assert set(doc["choices"]) == {"xstage", "xload"}
+    for choice in doc["choices"].values():
+        assert choice["nfin"] * choice["nf"] * choice["m"] > 0
+    assert doc["primitives"]
+
+
+def test_reconciled_constraints_serialized(result):
+    doc = flow_result_to_dict(result)
+    for net, rec in doc["reconciled"].items():
+        assert rec["wires"] >= 1
+        for c in rec["constraints"]:
+            assert c["w_min"] >= 1
+
+
+def test_json_roundtrip(result, tmp_path):
+    path = tmp_path / "flow.json"
+    write_flow_report(result, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == flow_result_to_dict(result)
+
+
+def test_placement_serialized(result):
+    doc = flow_result_to_dict(result)
+    assert doc["placement"]["width_nm"] > 0
+    assert len(doc["placement"]["positions"]) == 2

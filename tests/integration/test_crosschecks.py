@@ -1,0 +1,93 @@
+"""Cross-module integration invariants.
+
+These tie independent subsystems together: geometry vs extraction,
+extraction vs simulation, optimizer vs flow.
+"""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.extraction.rc import extract_net_parasitics
+
+
+def test_extracted_capacitance_matches_geometry(tech, small_dp):
+    """The extractor's net C equals the sum over the net's shapes."""
+    geo = MosGeometry(8, 4, 3)
+    layout = small_dp.generate(geo, "ABAB")
+    for net in ("tail", "outp"):
+        par = extract_net_parasitics(layout, net, tech)
+        manual = 0.0
+        for wire in layout.wires_on_net(net):
+            layer = tech.stack.metal(wire.layer)
+            manual += layer.wire_capacitance(wire.length, wire.width)
+        for via in layout.vias_on_net(net):
+            manual += tech.stack.via_between(
+                via.lower_layer, via.upper_layer
+            ).capacitance
+        assert par.c_wire == pytest.approx(manual, rel=1e-12)
+
+
+def test_offset_testbench_reads_back_lde_mismatch(tech, small_dp):
+    """An injected Vth mismatch appears 1:1 as measured input offset."""
+    from dataclasses import replace
+
+    circuit = small_dp.schematic_circuit()
+    ma = circuit.element("MA")
+    for delta in (0.002, -0.004):
+        trial = circuit.copy(f"mm_{delta}")
+        trial.replace_element("MA", replace(ma, vth_mismatch=delta))
+        values, _ = small_dp.evaluate(trial)
+        assert values["offset"] == pytest.approx(abs(delta), rel=0.12)
+
+
+def test_pattern_offset_traceable_to_extraction(tech, paper_dp):
+    """The AABB offset measured by SPICE matches the extracted dVth gap."""
+    geo = MosGeometry(12, 20, 4)
+    extracted = paper_dp.extract(paper_dp.generate(geo, "AABB"), geo)
+    dvth = abs(
+        extracted.device_lde["MA"].vth_shift
+        - extracted.device_lde["MB"].vth_shift
+    )
+    values, _ = paper_dp.evaluate(extracted.build_circuit())
+    assert values["offset"] == pytest.approx(dvth, rel=0.25)
+
+
+def test_flow_assembly_contains_all_devices(tech):
+    from repro.circuits import CommonSourceAmpCircuit
+    from repro.flow import HierarchicalFlow
+
+    circuit = CommonSourceAmpCircuit(tech, i_bias=50e-6, stage_fins=48,
+                                     load_fins=72)
+    flow = HierarchicalFlow(tech, n_bins=1, max_wires=2, placer_iterations=100)
+    result = flow.run(circuit, flavor="conventional")
+    mosfets = {m.name for m in result.assembled.mosfets()}
+    assert "xstage.M1" in mosfets
+    assert "xload.M1" in mosfets
+
+
+def test_optimizer_deterministic(tech, small_dp):
+    from repro.core import PrimitiveOptimizer
+    from repro.devices.mosfet import MosGeometry
+
+    variants = [MosGeometry(8, 4, 3), MosGeometry(8, 6, 2)]
+    r1 = PrimitiveOptimizer(n_bins=2, max_wires=3).optimize(
+        small_dp, variants=variants, patterns=["ABAB"]
+    )
+    r2 = PrimitiveOptimizer(n_bins=2, max_wires=3).optimize(
+        small_dp, variants=variants, patterns=["ABAB"]
+    )
+    assert [o.cost for o in r1.options] == [o.cost for o in r2.options]
+    assert r1.best.base == r2.best.base
+
+
+def test_tuned_wire_config_survives_regeneration(tech, small_dp):
+    """Regenerating a tuned option reproduces its exact cost."""
+    from repro.core.selection import evaluate_option
+    from repro.core.tuning import tune_option
+
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    tuned = tune_option(small_dp, option, max_wires=3)
+    regenerated = evaluate_option(
+        small_dp, tuned.option.base, tuned.option.pattern, tuned.option.wires
+    )
+    assert regenerated.cost == pytest.approx(tuned.option.cost, rel=1e-9)

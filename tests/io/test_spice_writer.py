@@ -1,0 +1,89 @@
+"""SPICE netlist serialization."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.io import write_spice
+from repro.spice import Circuit
+from repro.spice.waveforms import Pulse, Pwl, Sin
+
+
+def test_rlc_cards(tech):
+    c = Circuit("rlc")
+    c.ports = ["a"]
+    c.add_resistor("r1", "a", "b", 1000.0)
+    c.add_capacitor("c1", "b", "0", 1e-15)
+    c.add_inductor("l1", "b", "0", 1e-9)
+    text = write_spice(c)
+    assert "* rlc" in text
+    assert "* ports: a" in text
+    assert "Rr1 a b 1000" in text
+    assert "Cc1 b 0 1e-15" in text
+    assert "Ll1 b 0 1e-09" in text
+    assert text.rstrip().endswith(".end")
+
+
+def test_source_waveforms(tech):
+    c = Circuit("src")
+    c.add_vsource("vp", "a", "0", Pulse(0.0, 0.8, delay=1e-9), ac_magnitude=1.0)
+    c.add_isource("is", "a", "0", Sin(0.1, 0.2, 1e9))
+    c.add_vsource("vw", "b", "0", Pwl(points=((0.0, 0.0), (1e-9, 1.0))))
+    c.add_resistor("r", "a", "b", 1.0)
+    text = write_spice(c)
+    assert "PULSE(0 0.8 1e-09" in text
+    assert "AC 1 0" in text
+    assert "SIN(0.1 0.2 1e+09" in text
+    assert "PWL(0 0 1e-09 1)" in text
+
+
+def test_mosfet_card_with_lde(tech):
+    from repro.devices.lde import LdeContext
+
+    c = Circuit("m")
+    c.add_mosfet(
+        "m1", "d", "g", "s", "0", tech.nmos, MosGeometry(8, 4, 2),
+        lde=LdeContext(vth_shift=0.003, mobility_factor=0.98),
+    )
+    c.add_vsource("vd", "d", "0", 0.8)
+    text = write_spice(c)
+    assert "Mm1 d g s 0 nfet nfin=8 nf=4 m=2" in text
+    assert "dvth=0.003" in text
+
+
+def test_controlled_sources(tech):
+    c = Circuit("es")
+    c.add_vcvs("e1", "o", "0", "i", "0", 2.0)
+    c.add_vccs("g1", "0", "o", "i", "0", 1e-3)
+    c.add_resistor("r", "o", "i", 1.0)
+    text = write_spice(c)
+    assert "Ee1 o 0 i 0 2" in text
+    assert "Gg1" in text
+
+
+def test_extracted_primitive_roundtrippable(tech, small_dp):
+    geo = MosGeometry(8, 4, 3)
+    circuit = small_dp.layout_circuit(geo, "ABBA")
+    text = write_spice(circuit, title="extracted DP")
+    assert "* extracted DP" in text
+    assert "Rrt_tail" in text
+    assert "MMA" in text and "MMB" in text
+
+
+def test_full_assembly_serializes(tech):
+    """A complete post-layout circuit assembly exports cleanly."""
+    from repro.circuits import CommonSourceAmpCircuit
+    from repro.circuits.base import LayoutChoice
+    from repro.devices.mosfet import MosGeometry
+
+    circuit = CommonSourceAmpCircuit(tech, i_bias=50e-6, stage_fins=48,
+                                     load_fins=72)
+    choices = {
+        "xstage": LayoutChoice(base=MosGeometry(8, 6, 1), pattern="ABAB"),
+        "xload": LayoutChoice(base=MosGeometry(8, 9, 1), pattern="ABAB"),
+    }
+    asm = circuit.assembled(choices)
+    text = write_spice(asm, title="csamp assembly")
+    # One card per element, plus the title line and the .end terminator
+    # (the assembly has no ports, so no ports comment line).
+    assert len(text.splitlines()) == len(asm.elements) + 2
+    assert ".end" in text

@@ -1,0 +1,45 @@
+"""SVG layout rendering."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.io import layout_to_svg
+
+
+@pytest.fixture(scope="module")
+def dp_layout(small_dp):
+    return small_dp.generate(MosGeometry(8, 4, 3), "ABBA")
+
+
+def test_svg_well_formed(dp_layout):
+    svg = layout_to_svg(dp_layout)
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count("<rect") > 10
+
+
+def test_svg_contains_all_layers(dp_layout):
+    svg = layout_to_svg(dp_layout)
+    # Active, M1 stubs, M2 straps, M3 rails are all drawn.
+    from repro.io.svg import LAYER_COLORS
+
+    for layer in ("active", "M1", "M2", "M3"):
+        assert LAYER_COLORS[layer] in svg
+
+
+def test_svg_port_labels(dp_layout):
+    svg = layout_to_svg(dp_layout)
+    for net in ("inp", "inn", "outp", "outn", "tail"):
+        assert f">{net}</text>" in svg
+
+
+def test_svg_scale_controls_size(dp_layout):
+    small = layout_to_svg(dp_layout, scale=0.01)
+    large = layout_to_svg(dp_layout, scale=0.04)
+
+    def width_of(svg):
+        key = 'width="'
+        start = svg.index(key, svg.index("viewBox")) + len(key)
+        return float(svg[start : svg.index('"', start)])
+
+    assert width_of(large) > width_of(small)

@@ -1,0 +1,63 @@
+"""Detailed-route realization."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.pnr.detailed import realize_routes
+from repro.pnr.global_router import GlobalRoute, RouteSegment
+
+
+def simple_route(net, length=4000):
+    route = GlobalRoute(net=net)
+    route.segments.append(RouteSegment("M3", 0, 0, length, 0))
+    return route
+
+
+def test_single_wire_realization(tech):
+    detailed = realize_routes({"n1": simple_route("n1")}, {"n1": 1}, tech)
+    d = detailed["n1"]
+    assert d.n_parallel == 1
+    assert len(d.wires) == 1
+    assert d.resistance > 0
+    assert d.capacitance > 0
+
+
+def test_parallel_wires_divide_r_multiply_c(tech):
+    d1 = realize_routes({"n": simple_route("n")}, {"n": 1}, tech)["n"]
+    d4 = realize_routes({"n": simple_route("n")}, {"n": 4}, tech)["n"]
+    assert d4.resistance == pytest.approx(d1.resistance / 4)
+    assert d4.capacitance == pytest.approx(4 * d1.capacitance)
+    assert len(d4.wires) == 4
+
+
+def test_default_wire_count_is_one(tech):
+    detailed = realize_routes({"n": simple_route("n")}, {}, tech)
+    assert detailed["n"].n_parallel == 1
+
+
+def test_matched_pairs_share_count(tech):
+    routes = {"outp": simple_route("outp"), "outn": simple_route("outn")}
+    detailed = realize_routes(
+        routes, {"outp": 3, "outn": 1}, tech, matched_pairs=[("outp", "outn")]
+    )
+    assert detailed["outp"].n_parallel == 3
+    assert detailed["outn"].n_parallel == 3
+    assert detailed["outp"].matched_with == "outn"
+
+
+def test_matched_pair_missing_route_raises(tech):
+    with pytest.raises(RoutingError):
+        realize_routes(
+            {"outp": simple_route("outp")},
+            {},
+            tech,
+            matched_pairs=[("outp", "outn")],
+        )
+
+
+def test_vertical_segment_geometry(tech):
+    route = GlobalRoute(net="v")
+    route.segments.append(RouteSegment("M4", 0, 0, 0, 3000))
+    detailed = realize_routes({"v": route}, {"v": 2}, tech)
+    for wire in detailed["v"].wires:
+        assert wire.rect.height >= wire.rect.width  # vertical shape

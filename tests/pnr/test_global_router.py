@@ -1,0 +1,104 @@
+"""Grid global router."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.pnr import GlobalRouter
+from repro.pnr.global_router import GlobalRoute, RouteSegment
+
+
+def test_two_pin_route_length():
+    router = GlobalRouter(width=10_000, height=10_000, pitch=1000)
+    route = router.route_net("n1", [(0, 0), (5000, 3000)])
+    # Manhattan distance in grid units.
+    assert route.total_length == 8000
+    assert route.segments
+
+
+def test_route_layers_by_direction():
+    router = GlobalRouter(width=10_000, height=10_000, pitch=1000)
+    route = router.route_net("n1", [(0, 0), (5000, 0)])
+    assert all(s.layer == "M3" for s in route.segments)
+    route_v = router.route_net("n2", [(0, 0), (0, 5000)])
+    assert all(s.layer == "M4" for s in route_v.segments)
+
+
+def test_multi_pin_uses_mst():
+    router = GlobalRouter(width=20_000, height=20_000, pitch=1000)
+    route = router.route_net("n1", [(0, 0), (10_000, 0), (5000, 5000)])
+    # MST beats a naive star through every pair.
+    assert route.total_length <= 10_000 + 10_000
+    assert route.via_count >= 2
+
+
+def test_single_pin_empty_route():
+    router = GlobalRouter(width=5000, height=5000)
+    route = router.route_net("n1", [(100, 100)])
+    assert route.segments == []
+    assert route.total_length == 0
+
+
+def test_congestion_spreads_routes():
+    router = GlobalRouter(width=20_000, height=20_000, pitch=1000)
+    first = router.route_net("n1", [(0, 5000), (19_000, 5000)])
+    second = router.route_net("n2", [(0, 5000), (19_000, 5000)])
+    # The second route pays history cost; it may detour (same or longer).
+    assert second.total_length >= first.total_length
+
+
+def test_length_on_layer():
+    route = GlobalRoute(net="n")
+    route.segments.append(RouteSegment("M3", 0, 0, 3000, 0))
+    route.segments.append(RouteSegment("M4", 3000, 0, 3000, 2000))
+    assert route.length_on("M3") == 3000
+    assert route.length_on("M4") == 2000
+    assert route.dominant_layer() == "M3"
+
+
+def test_to_route_info(tech):
+    route = GlobalRoute(net="out")
+    route.segments.append(RouteSegment("M3", 0, 0, 2000, 0))
+    route.via_count = 2
+    info = route.to_route_info(tech, symmetric_with=("outn",))
+    assert info.net == "out"
+    assert info.layer == "M3"
+    assert info.length_nm == 2000.0
+    assert info.symmetric_with == ("outn",)
+    assert info.via_resistance > 0
+
+
+def test_invalid_region():
+    with pytest.raises(RoutingError):
+        GlobalRouter(width=0, height=100)
+
+
+def test_pins_outside_region_snap_inside():
+    router = GlobalRouter(width=5000, height=5000, pitch=1000)
+    route = router.route_net("n1", [(-2000, 0), (9000, 9000)])
+    assert route.total_length > 0
+
+
+def test_layer_promotion_by_length(tech):
+    def info_for(length):
+        route = GlobalRoute(net="n")
+        route.segments.append(RouteSegment("M3", 0, 0, length, 0))
+        route.via_count = 2
+        return route.to_route_info(tech)
+
+    assert info_for(5_000).layer == "M3"
+    assert info_for(20_000).layer == "M4"
+    assert info_for(50_000).layer == "M5"
+
+
+def test_layer_promotion_reduces_resistance(tech):
+    from repro.core.port_constraints import route_rc
+
+    short = GlobalRoute(net="n")
+    short.segments.append(RouteSegment("M3", 0, 0, 50_000, 0))
+    short.via_count = 1
+    promoted = short.to_route_info(tech)
+    r_promoted, _ = route_rc(promoted, tech, 1)
+    # The same 50um on min-ish M3 would be far more resistive.
+    m3 = tech.stack.metal("M3")
+    r_m3 = m3.wire_resistance(50_000, 2 * m3.min_width)
+    assert r_promoted < r_m3 / 2

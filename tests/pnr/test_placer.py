@@ -1,0 +1,98 @@
+"""Sequence-pair SA placer."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.pnr import Block, SaPlacer
+
+
+def blocks_grid(n, w=1000, h=1000):
+    return [Block(name=f"b{i}", options=[(w, h)]) for i in range(n)]
+
+
+def overlapping(placement, blocks):
+    """Check every pair of placed blocks for overlap."""
+    rects = []
+    by_name = {b.name: b for b in blocks}
+    for name, (x, y) in placement.positions.items():
+        w, h = by_name[name].options[placement.chosen_option[name]]
+        rects.append((x, y, x + w, y + h))
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            a, b = rects[i], rects[j]
+            if a[2] > b[0] and b[2] > a[0] and a[3] > b[1] and b[3] > a[1]:
+                return True
+    return False
+
+
+def test_single_block(tech):
+    placer = SaPlacer(blocks_grid(1))
+    placement = placer.place(iterations=10)
+    assert placement.positions["b0"] == (0, 0)
+
+
+def test_no_overlaps_small(tech):
+    blocks = blocks_grid(5)
+    placement = SaPlacer(blocks, seed=3).place(iterations=300)
+    assert not overlapping(placement, blocks)
+
+
+def test_no_overlaps_mixed_sizes(tech):
+    blocks = [
+        Block("a", [(3000, 1000)]),
+        Block("b", [(1000, 3000)]),
+        Block("c", [(2000, 2000)]),
+        Block("d", [(500, 500)]),
+    ]
+    placement = SaPlacer(blocks, seed=7).place(iterations=500)
+    assert not overlapping(placement, blocks)
+
+
+def test_deterministic_given_seed():
+    blocks = blocks_grid(4)
+    p1 = SaPlacer(blocks, seed=42).place(iterations=200)
+    p2 = SaPlacer(blocks, seed=42).place(iterations=200)
+    assert p1.positions == p2.positions
+
+
+def test_option_selection_explored():
+    # One block offers a huge and a tiny option; SA should find the tiny.
+    blocks = [
+        Block("big", [(10_000, 10_000), (1000, 1000)]),
+        Block("other", [(1000, 1000)]),
+    ]
+    placement = SaPlacer(blocks, seed=5).place(iterations=800)
+    assert placement.chosen_option["big"] == 1
+
+
+def test_connected_blocks_pulled_together():
+    blocks = [
+        Block("a", [(1000, 1000)], nets=["n1"]),
+        Block("b", [(1000, 1000)], nets=["n1"]),
+        Block("c", [(1000, 1000)], nets=["n2"]),
+        Block("d", [(1000, 1000)], nets=["n2"]),
+        Block("e", [(1000, 1000)]),
+    ]
+    placement = SaPlacer(blocks, seed=11, wirelength_weight=10.0).place(
+        iterations=1500
+    )
+    assert placement.hpwl >= 0
+    assert not overlapping(placement, blocks)
+
+
+def test_area_reported(tech):
+    blocks = blocks_grid(4)
+    placement = SaPlacer(blocks, seed=1).place(iterations=300)
+    assert placement.area >= 4 * 1000 * 1000
+    assert placement.width > 0 and placement.height > 0
+
+
+def test_validation():
+    with pytest.raises(PlacementError):
+        SaPlacer([])
+    with pytest.raises(PlacementError):
+        Block("x", options=[])
+    with pytest.raises(PlacementError):
+        Block("x", options=[(0, 10)])
+    with pytest.raises(PlacementError):
+        SaPlacer([Block("a", [(1, 1)]), Block("a", [(1, 1)])])

@@ -1,0 +1,75 @@
+"""Property-based checks of sequence-pair packing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pnr import Block, SaPlacer
+
+
+def overlapping(positions, sizes):
+    rects = [
+        (x, y, x + sizes[name][0], y + sizes[name][1])
+        for name, (x, y) in positions.items()
+    ]
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            a, b = rects[i], rects[j]
+            if a[2] > b[0] and b[2] > a[0] and a[3] > b[1] and b[3] > a[1]:
+                return True
+    return False
+
+
+block_sizes = st.lists(
+    st.tuples(
+        st.integers(min_value=100, max_value=5000),
+        st.integers(min_value=100, max_value=5000),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(block_sizes, st.randoms(use_true_random=False))
+def test_packing_never_overlaps(sizes, rng):
+    blocks = [Block(f"b{i}", [wh]) for i, wh in enumerate(sizes)]
+    placer = SaPlacer(blocks, spacing=0, seed=1)
+    names = [b.name for b in blocks]
+    seq1 = names[:]
+    seq2 = names[:]
+    rng.shuffle(seq1)
+    rng.shuffle(seq2)
+    options = {n: 0 for n in names}
+    positions, width, height = placer._pack(seq1, seq2, options)
+    size_map = {b.name: b.options[0] for b in blocks}
+    assert not overlapping(positions, size_map)
+    # Every block fits inside the reported bounding box.
+    for name, (x, y) in positions.items():
+        w, h = size_map[name]
+        assert 0 <= x and 0 <= y
+        assert x + w <= width
+        assert y + h <= height
+
+
+@settings(max_examples=30, deadline=None)
+@given(block_sizes)
+def test_packed_area_at_least_sum(sizes):
+    blocks = [Block(f"b{i}", [wh]) for i, wh in enumerate(sizes)]
+    placer = SaPlacer(blocks, spacing=0, seed=1)
+    names = [b.name for b in blocks]
+    positions, width, height = placer._pack(names, names, {n: 0 for n in names})
+    total = sum(w * h for w, h in sizes)
+    assert width * height >= total
+
+
+@settings(max_examples=20, deadline=None)
+@given(block_sizes)
+def test_identity_sequences_pack_in_a_row(sizes):
+    """seq1 == seq2 means every block is right-of the previous one."""
+    blocks = [Block(f"b{i}", [wh]) for i, wh in enumerate(sizes)]
+    placer = SaPlacer(blocks, spacing=0, seed=1)
+    names = [b.name for b in blocks]
+    positions, _w, _h = placer._pack(names, names, {n: 0 for n in names})
+    xs = [positions[n][0] for n in names]
+    assert xs == sorted(xs)
+    assert all(positions[n][1] == 0 for n in names)

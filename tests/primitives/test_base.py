@@ -1,0 +1,145 @@
+"""MosPrimitive interface invariants over the whole library."""
+
+import pytest
+
+from repro.primitives import MosPrimitive, PrimitiveLibrary
+from repro.primitives.base import WEIGHT_HIGH, WEIGHT_LOW, WEIGHT_MEDIUM
+
+MOS_FAMILIES = [
+    "differential_pair",
+    "pmos_differential_pair",
+    "cascode_differential_pair",
+    "switched_differential_pair",
+    "current_mirror",
+    "pmos_current_mirror",
+    "active_current_mirror",
+    "cascode_current_mirror",
+    "lv_cascode_current_mirror",
+    "common_source_amplifier",
+    "common_gate_amplifier",
+    "common_drain_amplifier",
+    "current_source",
+    "pmos_current_source",
+    "cascode_current_source",
+    "diode_load",
+    "cascode_diode_load",
+    "current_starved_inverter",
+    "cross_coupled_pair",
+    "pmos_cross_coupled_pair",
+    "cross_coupled_inverters",
+    "regenerative_pair",
+    "switch",
+    "pmos_switch",
+]
+
+
+@pytest.fixture(scope="module")
+def library():
+    return PrimitiveLibrary()
+
+
+def make(library, tech, family):
+    return library.create(family, tech, base_fins=48)
+
+
+def test_library_size(library):
+    # The paper cites 20-30 primitives; we register 27.
+    assert 20 <= len(library) <= 30
+
+
+def test_library_unknown_name(library, tech):
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError):
+        library.create("bogus", tech)
+
+
+def test_library_register_duplicate(library):
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError):
+        library.register("differential_pair", lambda tech: None)
+
+
+@pytest.mark.parametrize("family", MOS_FAMILIES)
+def test_templates_well_formed(library, tech, family):
+    prim = make(library, tech, family)
+    templates = prim.templates()
+    assert templates
+    names = [t.name for t in templates]
+    assert len(set(names)) == len(names)
+    for t in templates:
+        assert t.polarity in ("n", "p")
+        assert {"d", "g", "s"} <= set(t.terminals)
+
+
+@pytest.mark.parametrize("family", MOS_FAMILIES)
+def test_metrics_use_paper_weights(library, tech, family):
+    prim = make(library, tech, family)
+    metrics = prim.metrics()
+    assert metrics
+    for m in metrics:
+        assert m.weight in (WEIGHT_HIGH, WEIGHT_MEDIUM, WEIGHT_LOW)
+
+
+@pytest.mark.parametrize("family", MOS_FAMILIES)
+def test_tuning_terminals_reference_real_nets(library, tech, family):
+    prim = make(library, tech, family)
+    nets = set()
+    for t in prim.templates():
+        nets.update(t.terminals.values())
+    for terminal in prim.tuning_terminals():
+        for net in terminal.nets:
+            assert net in nets, f"{family}: tuning net {net} unknown"
+
+
+@pytest.mark.parametrize("family", MOS_FAMILIES)
+def test_matched_group_nonempty(library, tech, family):
+    prim = make(library, tech, family)
+    assert prim.matched_group()
+
+
+@pytest.mark.parametrize("family", MOS_FAMILIES)
+def test_schematic_circuit_ports(library, tech, family):
+    prim = make(library, tech, family)
+    circuit = prim.schematic_circuit()
+    assert circuit.ports == list(prim.port_nets())
+    assert len(circuit.mosfets()) == len(prim.templates())
+
+
+@pytest.mark.parametrize("family", MOS_FAMILIES)
+def test_variants_preserve_fins(library, tech, family):
+    prim = make(library, tech, family)
+    for base in prim.variants():
+        assert base.nfins_total == prim.base_fins
+
+
+def test_internal_nets_not_ports(tech, small_dp):
+    from repro.primitives import CascodeDifferentialPair
+
+    prim = CascodeDifferentialPair(tech, base_fins=96)
+    assert not any(p.startswith("int_") for p in prim.port_nets())
+
+
+def test_random_offset_scales(tech):
+    from repro.primitives import DifferentialPair
+
+    small = DifferentialPair(tech, base_fins=96)
+    large = DifferentialPair(tech, base_fins=384)
+    assert large.random_offset_sigma() == pytest.approx(
+        small.random_offset_sigma() / 2.0
+    )
+
+
+def test_metric_lookup(small_dp):
+    assert small_dp.metric("gm").weight == WEIGHT_MEDIUM
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError):
+        small_dp.metric("bogus")
+
+
+def test_schematic_reference_cached(small_dp):
+    a = small_dp.schematic_reference()
+    b = small_dp.schematic_reference()
+    assert a is b

@@ -1,0 +1,103 @@
+"""Differential-pair metric testbenches."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.primitives import (
+    CascodeDifferentialPair,
+    DifferentialPair,
+    PmosDifferentialPair,
+    SwitchedDifferentialPair,
+)
+
+
+@pytest.fixture(scope="module")
+def dp(tech):
+    return DifferentialPair(tech, base_fins=96)
+
+
+@pytest.fixture(scope="module")
+def reference(dp):
+    return dp.schematic_reference()
+
+
+def test_schematic_gm_sane(dp, reference):
+    # gm of a weakly-inverted pair: within (Id/2)/(n*Ut) of the WI limit.
+    gm_max = dp.i_tail / 2.0 / (dp.tech.nmos.slope_factor * 0.02585)
+    assert 0.2 * gm_max < reference["gm"] <= 1.05 * gm_max
+
+
+def test_schematic_offset_zero(reference):
+    assert reference["offset"] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_gm_over_ctotal_consistent(dp, reference):
+    assert reference["gm_over_ctotal"] > 0
+    ct = reference["gm"] / reference["gm_over_ctotal"]
+    assert dp.c_load < ct < 50 * dp.c_load
+
+
+def test_layout_degrades_gm(dp, reference):
+    vals, _ = dp.evaluate(dp.layout_circuit(MosGeometry(8, 4, 3), "ABBA"))
+    assert vals["gm"] < reference["gm"]
+
+
+def test_layout_abba_offset_small(dp):
+    vals, _ = dp.evaluate(dp.layout_circuit(MosGeometry(8, 4, 3), "ABBA"))
+    assert vals["offset"] < 0.1 * dp.random_offset_sigma()
+
+
+def test_layout_aabb_offset_large(dp):
+    vals, _ = dp.evaluate(dp.layout_circuit(MosGeometry(8, 6, 2), "AABB"))
+    abba, _ = dp.evaluate(dp.layout_circuit(MosGeometry(8, 6, 2), "ABBA"))
+    assert vals["offset"] > 5 * abba["offset"]
+
+
+def test_evaluation_uses_three_simulations(dp):
+    _, sims = dp.evaluate(dp.schematic_circuit())
+    assert sims == 3  # Gm, Cout, offset (Table V: 3 metrics per config)
+
+
+def test_injected_mismatch_measured_as_offset(dp, tech):
+    from dataclasses import replace
+
+    circuit = dp.schematic_circuit()
+    ma = circuit.element("MA")
+    circuit.replace_element("MA", replace(ma, vth_mismatch=0.005))
+    vals, _ = dp.evaluate(circuit)
+    # The input-referred offset of a Vth mismatch is the mismatch itself.
+    assert vals["offset"] == pytest.approx(0.005, rel=0.1)
+
+
+def test_pmos_variant_evaluates(tech):
+    pdp = PmosDifferentialPair(tech, base_fins=96)
+    ref = pdp.schematic_reference()
+    assert ref["gm"] > 0
+    assert ref["offset"] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_cascode_variant_evaluates(tech):
+    cdp = CascodeDifferentialPair(tech, base_fins=96)
+    ref = cdp.schematic_reference()
+    assert ref["gm"] > 0
+
+
+def test_cascode_has_correlated_terminals(tech):
+    cdp = CascodeDifferentialPair(tech, base_fins=96)
+    terminals = {t.name: t for t in cdp.tuning_terminals()}
+    assert "drain" in terminals["cascode"].correlated_with
+
+
+def test_switched_variant_evaluates(tech):
+    sdp = SwitchedDifferentialPair(tech, base_fins=96)
+    ref = sdp.schematic_reference()
+    assert ref["gm"] > 0
+
+
+def test_switched_pair_switch_not_matched(tech):
+    sdp = SwitchedDifferentialPair(tech, base_fins=96)
+    assert "MSW" not in sdp.matched_group()
+
+
+def test_symmetric_net_pairs_include_inputs(dp):
+    assert ("inp", "inn") in dp.symmetric_net_pairs()

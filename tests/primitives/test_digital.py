@@ -1,0 +1,146 @@
+"""Digital-like primitives: CSI, cross-coupled structures, switches."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.primitives import (
+    CrossCoupledInverters,
+    CrossCoupledPair,
+    CurrentStarvedInverter,
+    PmosCrossCoupledPair,
+    PmosSwitch,
+    RegenerativePair,
+    TransmissionSwitch,
+)
+
+
+@pytest.fixture(scope="module")
+def csi(tech):
+    return CurrentStarvedInverter(tech, base_fins=24)
+
+
+def test_csi_metrics_positive(csi):
+    ref = csi.schematic_reference()
+    assert ref["delay"] > 0
+    assert ref["current"] > 1e-6
+    assert ref["gain"] > 1.0
+
+
+def test_csi_three_metrics_three_sims(csi):
+    _, sims = csi.evaluate(csi.schematic_circuit())
+    assert sims == 3
+
+
+def test_csi_starving_slows_delay(tech):
+    fast = CurrentStarvedInverter(tech, base_fins=24, v_ctrl=0.6)
+    slow = CurrentStarvedInverter(tech, base_fins=24, v_ctrl=0.35)
+    assert slow.schematic_reference()["delay"] > fast.schematic_reference()["delay"]
+
+
+def test_csi_starving_reduces_current(tech):
+    fast = CurrentStarvedInverter(tech, base_fins=24, v_ctrl=0.6)
+    slow = CurrentStarvedInverter(tech, base_fins=24, v_ctrl=0.35)
+    assert slow.schematic_reference()["current"] < fast.schematic_reference()["current"]
+
+
+def test_csi_layout_slower_than_schematic(csi):
+    vals, _ = csi.evaluate(csi.layout_circuit(MosGeometry(4, 6, 1), "ABAB"))
+    assert vals["delay"] > csi.schematic_reference()["delay"]
+
+
+def test_csi_correlated_starve_terminals(csi):
+    terms = {t.name: t for t in csi.tuning_terminals()}
+    assert "starve_n" in terms["starve_p"].correlated_with
+
+
+def test_cross_coupled_pair_negative_gm(tech):
+    xcp = CrossCoupledPair(tech, base_fins=48)
+    ref = xcp.schematic_reference()
+    assert ref["neg_gm"] > 1e-5
+    assert ref["cout"] > 0
+
+
+def test_pmos_cross_coupled_pair(tech):
+    xcp = PmosCrossCoupledPair(tech, base_fins=48)
+    assert xcp.schematic_reference()["neg_gm"] > 1e-5
+
+
+def test_cross_coupled_inverters(tech):
+    latch = CrossCoupledInverters(tech, base_fins=24)
+    ref = latch.schematic_reference()
+    assert ref["neg_gm"] > 0
+
+
+def test_regenerative_pair(tech):
+    rp = RegenerativePair(tech, base_fins=48)
+    ref = rp.schematic_reference()
+    assert ref["neg_gm"] > 0
+    assert ref["cout"] > 0
+
+
+def test_switch_on_resistance(tech):
+    sw = TransmissionSwitch(tech, base_fins=48)
+    ref = sw.schematic_reference()
+    assert 1.0 < ref["ron"] < 10e3
+    assert ref["coff"] > 0
+
+
+def test_switch_ron_scales_inverse_fins(tech):
+    small = TransmissionSwitch(tech, base_fins=24)
+    large = TransmissionSwitch(tech, base_fins=96)
+    assert large.schematic_reference()["ron"] < small.schematic_reference()["ron"]
+
+
+def test_pmos_switch(tech):
+    sw = PmosSwitch(tech, base_fins=48)
+    ref = sw.schematic_reference()
+    assert ref["ron"] < 20e3
+
+
+def test_differential_delay_cell_metrics(tech):
+    from repro.primitives import DifferentialDelayCell
+
+    cell = DifferentialDelayCell(tech, base_fins=8, drive_ratio=4)
+    ref = cell.schematic_reference()
+    assert ref["delay"] > 0
+    assert ref["current"] > 1e-6
+    assert ref["gain"] > 0
+
+
+def test_differential_delay_cell_starving(tech):
+    from repro.primitives import DifferentialDelayCell
+
+    # Within the ring's usable control range the delay is monotone in
+    # the starving level (below ~0.45 V the keeper dominates and the
+    # ring latches anyway).
+    fast = DifferentialDelayCell(tech, base_fins=8, drive_ratio=4, v_ctrl=0.6)
+    slow = DifferentialDelayCell(tech, base_fins=8, drive_ratio=4, v_ctrl=0.5)
+    assert slow.schematic_reference()["delay"] > fast.schematic_reference()["delay"]
+    assert slow.schematic_reference()["current"] < fast.schematic_reference()["current"]
+
+
+def test_differential_delay_cell_layout_slower(tech):
+    from repro.devices.mosfet import MosGeometry
+    from repro.primitives import DifferentialDelayCell
+
+    cell = DifferentialDelayCell(tech, base_fins=8, drive_ratio=4)
+    base = cell.variants()[0]
+    values, sims = cell.evaluate(cell.layout_circuit(base, "ABAB"))
+    assert values["delay"] > cell.schematic_reference()["delay"]
+    assert sims == 3
+
+
+def test_differential_delay_cell_symmetric_pairs(tech):
+    from repro.primitives import DifferentialDelayCell
+
+    cell = DifferentialDelayCell(tech, base_fins=8)
+    pairs = cell.symmetric_net_pairs()
+    assert ("outa", "outb") in pairs
+    assert ("ina", "inb") in pairs
+
+
+def test_differential_delay_cell_drive_ratio_validation(tech):
+    from repro.primitives import DifferentialDelayCell
+
+    with pytest.raises(ValueError):
+        DifferentialDelayCell(tech, base_fins=8, drive_ratio=0)

@@ -1,0 +1,59 @@
+"""Load primitives."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.primitives import (
+    CascodeCurrentSource,
+    CascodeDiodeLoad,
+    CurrentSourceLoad,
+    DiodeLoad,
+    PmosCurrentSource,
+)
+
+
+def test_current_source_hits_target(tech):
+    cs = CurrentSourceLoad(tech, base_fins=96)
+    ref = cs.schematic_reference()
+    assert ref["current"] == pytest.approx(cs.i_target, rel=0.01)
+
+
+def test_pmos_current_source_hits_target(tech):
+    cs = PmosCurrentSource(tech, base_fins=96)
+    ref = cs.schematic_reference()
+    assert ref["current"] == pytest.approx(cs.i_target, rel=0.01)
+
+
+def test_cascode_rout_beats_simple(tech):
+    simple = CurrentSourceLoad(tech, base_fins=96)
+    casc = CascodeCurrentSource(tech, base_fins=96)
+    assert casc.schematic_reference()["rout"] > 3 * simple.schematic_reference()["rout"]
+
+
+def test_layout_current_degrades(tech):
+    cs = CurrentSourceLoad(tech, base_fins=96)
+    ref = cs.schematic_reference()
+    vals, _ = cs.evaluate(cs.layout_circuit(MosGeometry(8, 6, 2), "ABAB"))
+    # The conventional story: layout parasitics reduce the current.
+    assert vals["current"] < ref["current"]
+
+
+def test_diode_load_impedance_near_inverse_gm(tech):
+    dl = DiodeLoad(tech, base_fins=96)
+    ref = dl.schematic_reference()
+    assert ref["impedance"] > 0
+    assert ref["cout"] > 0
+
+
+def test_cascode_diode_stacks(tech):
+    dl = DiodeLoad(tech, base_fins=96)
+    cdl = CascodeDiodeLoad(tech, base_fins=96)
+    # Two stacked diodes: roughly twice the impedance.
+    r1 = dl.schematic_reference()["impedance"]
+    r2 = cdl.schematic_reference()["impedance"]
+    assert r2 > 1.4 * r1
+
+
+def test_explicit_v_bias_override(tech):
+    cs = CurrentSourceLoad(tech, base_fins=96, v_bias=0.5)
+    assert cs.v_bias == 0.5

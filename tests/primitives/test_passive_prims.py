@@ -1,0 +1,70 @@
+"""Passive primitives."""
+
+import pytest
+
+from repro.primitives import (
+    MomCapacitorPrimitive,
+    PolyResistorPrimitive,
+    SpiralInductorPrimitive,
+)
+
+
+def test_capacitor_schematic_value(tech):
+    cap = MomCapacitorPrimitive(tech, value=100e-15)
+    ref = cap.schematic_reference()
+    assert ref["capacitance"] == pytest.approx(100e-15, rel=0.02)
+
+
+def test_capacitor_layout_value_close(tech):
+    cap = MomCapacitorPrimitive(tech, value=100e-15)
+    variant = cap.variants()[0]
+    vals, _ = cap.evaluate(cap.layout_circuit(variant))
+    assert vals["capacitance"] == pytest.approx(100e-15, rel=0.1)
+
+
+def test_capacitor_more_segments_higher_corner(tech):
+    cap = MomCapacitorPrimitive(tech, value=100e-15)
+    v1, v8 = cap.variants()[0], cap.variants()[-1]
+    f1 = cap.evaluate(cap.layout_circuit(v1))[0]["frequency"]
+    f8 = cap.evaluate(cap.layout_circuit(v8))[0]["frequency"]
+    assert f8 > f1  # shorter fingers, lower ESR, higher corner
+
+
+def test_resistor_schematic_value(tech):
+    res = PolyResistorPrimitive(tech, value=10e3)
+    ref = res.schematic_reference()
+    assert ref["resistance"] == pytest.approx(10e3, rel=0.01)
+
+
+def test_resistor_folding_adds_contacts(tech):
+    res = PolyResistorPrimitive(tech, value=10e3)
+    v1, v8 = res.variants()[0], res.variants()[-1]
+    r1 = res.evaluate(res.layout_circuit(v1))[0]["resistance"]
+    r8 = res.evaluate(res.layout_circuit(v8))[0]["resistance"]
+    assert r8 > r1
+
+
+def test_inductor_value(tech):
+    ind = SpiralInductorPrimitive(tech, value=1e-9)
+    variant = ind.variants()[0]
+    vals, _ = ind.evaluate(ind.layout_circuit(variant))
+    assert vals["inductance"] == pytest.approx(1e-9, rel=0.15)
+
+
+def test_inductor_q_grows_with_segments(tech):
+    ind = SpiralInductorPrimitive(tech, value=1e-9)
+    v1, v8 = ind.variants()[0], ind.variants()[-1]
+    q1 = ind.evaluate(ind.layout_circuit(v1))[0]["q_factor"]
+    q8 = ind.evaluate(ind.layout_circuit(v8))[0]["q_factor"]
+    assert q8 > q1
+
+
+def test_validation(tech):
+    from repro.errors import OptimizationError
+
+    with pytest.raises(OptimizationError):
+        MomCapacitorPrimitive(tech, value=0.0)
+    with pytest.raises(OptimizationError):
+        PolyResistorPrimitive(tech, value=-1.0)
+    with pytest.raises(OptimizationError):
+        SpiralInductorPrimitive(tech, value=0.0)

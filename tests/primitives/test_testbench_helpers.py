@@ -1,0 +1,94 @@
+"""The shared testbench helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.errors import MeasureError
+from repro.primitives import testbenches as tbh
+from repro.spice import Circuit
+
+
+def test_attach_dut_maps_ports_identically(tech, small_dp):
+    dut = small_dp.schematic_circuit()
+    tb = Circuit("tb")
+    tbh.attach_dut(tb, dut)
+    # Port nets keep their names; internals are prefixed.
+    nodes = set()
+    for e in tb.elements:
+        from repro.spice.netlist import element_nodes
+
+        nodes.update(element_nodes(e))
+    for port in dut.ports:
+        assert port in nodes
+
+
+def test_freq_index_log_distance():
+    freqs = np.logspace(6, 10, 5)  # 1e6 .. 1e10
+    assert tbh.freq_index(freqs, 1.0e8) == 2
+    assert tbh.freq_index(freqs, 2.0e6) == 0
+    assert tbh.freq_index(freqs, 9.0e9) == 4
+
+
+def test_port_capacitance_of_known_cap(tech):
+    tb = Circuit("c")
+    tb.add_vsource("vp", "a", "0", 0.0, ac_magnitude=1.0)
+    tb.add_capacitor("c1", "a", "0", 7e-15)
+    assert tbh.port_capacitance(tb, tech, "vp") == pytest.approx(7e-15, rel=0.01)
+
+
+def test_port_resistance_of_known_resistor(tech):
+    tb = Circuit("r")
+    tb.add_vsource("vp", "a", "0", 0.0, ac_magnitude=1.0)
+    tb.add_resistor("r1", "a", "0", 3.3e3)
+    assert tbh.port_resistance(tb, tech, "vp") == pytest.approx(3.3e3, rel=0.01)
+
+
+def test_port_resistance_negative_reported_as_magnitude(tech):
+    # A negative conductance (VCCS feedback) reports its magnitude.
+    tb = Circuit("neg")
+    tb.add_vsource("vp", "a", "0", 0.0, ac_magnitude=1.0)
+    tb.add_vccs("g1", "a", "0", "a", "0", 2e-3)  # pulls current out of a
+    tb.add_resistor("stab", "a", "0", 200.0)  # keep DC solvable
+    r = tbh.port_resistance(tb, tech, "vp")
+    assert r > 0
+
+
+def test_solve_gate_bias_monotone_increasing(tech):
+    from repro.devices.mosfet import MosGeometry
+
+    def build(v):
+        c = Circuit("bias")
+        c.add_vsource("vg", "g", "0", v)
+        c.add_vsource("vd", "d", "0", 0.6)
+        c.add_mosfet("m1", "d", "g", "0", "0", tech.nmos, MosGeometry(8, 4, 1))
+        return c
+
+    v = tbh.solve_gate_bias(
+        tech, build, lambda op: abs(op.i("vd")), i_target=50e-6
+    )
+    op_check = tbh.run_op(build(v), tech)
+    assert abs(op_check.i("vd")) == pytest.approx(50e-6, rel=0.01)
+
+
+def test_standard_pulse_polarity():
+    rise = tbh.standard_pulse(0.0, 0.8)
+    fall = tbh.standard_pulse(0.8, 0.0)
+    assert rise.value(0.0) == 0.0
+    assert rise.value(1e-9) == 0.8
+    assert fall.value(0.0) == 0.8
+    assert fall.value(1e-9) == 0.0
+
+
+def test_dc_offset_bisection_finds_injected_offset(tech):
+    # A linear "circuit": response = x - 3 mV.
+    def build(x):
+        c = Circuit("lin")
+        c.add_vsource("vx", "a", "0", x - 3e-3)
+        c.add_resistor("r", "a", "0", 1e3)
+        return c
+
+    root = tbh.dc_offset_bisection(
+        build, tech, lambda op: op.v("a"), lo=-0.05, hi=0.05
+    )
+    assert root == pytest.approx(3e-3, abs=1e-6)

@@ -1,0 +1,83 @@
+"""Additional AC scenarios: controlled sources, Miller effect, cascades."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.spice import Circuit, CompiledCircuit, ac_analysis, dc_operating_point
+from repro.spice import measure
+
+
+def run_ac(circuit, tech, **kw):
+    cc = CompiledCircuit(circuit, tech.rules)
+    op = dc_operating_point(cc)
+    return op, ac_analysis(cc, op, **kw)
+
+
+def test_vcvs_ideal_amplifier(tech):
+    c = Circuit("e")
+    c.add_vsource("vin", "in", "0", 0.0, ac_magnitude=1.0)
+    c.add_vcvs("e1", "out", "0", "in", "0", -40.0)
+    c.add_resistor("rl", "out", "0", 1e3)
+    _, ac = run_ac(c, tech, f_start=1e3, f_stop=1e6, points_per_decade=3)
+    assert abs(ac.v("out")[0]) == pytest.approx(40.0, rel=1e-9)
+
+
+def test_vccs_with_capacitive_load_pole(tech):
+    c = Circuit("gmC")
+    c.add_vsource("vin", "in", "0", 0.0, ac_magnitude=1.0)
+    c.add_vccs("g1", "0", "out", "in", "0", 1e-3)  # gm = 1 mS into out
+    c.add_resistor("ro", "out", "0", 100e3)
+    c.add_capacitor("cl", "out", "0", 1e-12)
+    _, ac = run_ac(c, tech, f_start=1e3, f_stop=1e11, points_per_decade=10)
+    h = ac.v("out")
+    assert abs(h[0]) == pytest.approx(100.0, rel=0.01)  # gm*ro
+    ugf = measure.unity_gain_frequency(ac.freqs, h)
+    assert ugf == pytest.approx(1e-3 / (2 * np.pi * 1e-12), rel=0.05)
+
+
+def test_two_pole_cascade_phase(tech):
+    c = Circuit("2p")
+    c.add_vsource("vin", "in", "0", 0.0, ac_magnitude=1.0)
+    c.add_resistor("r1", "in", "m", 1e3)
+    c.add_capacitor("c1", "m", "0", 1e-12)
+    # Buffer the first pole with a VCVS, then a second pole.
+    c.add_vcvs("e1", "b", "0", "m", "0", 1.0)
+    c.add_resistor("r2", "b", "out", 1e3)
+    c.add_capacitor("c2", "out", "0", 1e-12)
+    _, ac = run_ac(c, tech, f_start=1e6, f_stop=1e12, points_per_decade=20)
+    phase = measure.phase_deg(ac.v("out"))
+    # Two coincident poles: -90 deg at the pole frequency, -180 at infinity.
+    assert phase[-1] == pytest.approx(-180.0, abs=8.0)
+
+
+def test_miller_multiplication(tech):
+    """A bridging capacitor looks gain-multiplied from the input."""
+    gm, ro, cbridge = 2e-3, 50e3, 1e-15
+    c = Circuit("miller")
+    c.add_vsource("vin", "in", "0", 0.0, ac_magnitude=1.0)
+    c.add_vccs("g1", "0", "out", "in", "0", gm)
+    c.add_resistor("ro", "out", "0", ro)
+    c.add_capacitor("cm", "in", "out", cbridge)
+    cc = CompiledCircuit(c, tech.rules)
+    op = dc_operating_point(cc)
+    ac = ac_analysis(cc, op, 1e4, 1e7, 10)
+    y_in = -ac.i("vin")
+    c_in = float(np.imag(y_in[0])) / (2 * np.pi * float(ac.freqs[0]))
+    gain = gm * ro
+    assert c_in == pytest.approx((1 + gain) * cbridge, rel=0.05)
+
+
+def test_mos_capacitances_make_amplifier_roll_off(tech):
+    c = Circuit("cs_roll")
+    c.add_vsource("vdd", "vdd", "0", 0.8)
+    c.add_vsource("vin", "in", "0", 0.36, ac_magnitude=1.0)
+    c.add_isource("ib", "vdd", "out", 100e-6)
+    c.add_mosfet("m1", "out", "in", "0", "0", tech.nmos, MosGeometry(8, 4, 1))
+    cc = CompiledCircuit(c, tech.rules)
+    op = dc_operating_point(cc)
+    assert op.v("out") > 0.2  # saturated: a real gain stage
+    ac = ac_analysis(cc, op, 1e4, 1e12, 8)
+    h = np.abs(ac.v("out"))
+    assert h[0] > 3.0  # low-frequency gain
+    assert h[-1] < h[0] / 2  # device caps roll the gain off

@@ -1,0 +1,64 @@
+"""Element dataclass validation."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.errors import NetlistError
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.waveforms import Dc
+
+
+def test_resistor_validation():
+    Resistor("r", "a", "b", 1.0)
+    with pytest.raises(NetlistError):
+        Resistor("r", "a", "b", 0.0)
+    with pytest.raises(NetlistError):
+        Resistor("r", "a", "b", -5.0)
+
+
+def test_capacitor_allows_zero():
+    assert Capacitor("c", "a", "b", 0.0).value == 0.0
+    with pytest.raises(NetlistError):
+        Capacitor("c", "a", "b", -1e-15)
+
+
+def test_inductor_validation():
+    with pytest.raises(NetlistError):
+        Inductor("l", "a", "b", 0.0)
+
+
+def test_source_defaults():
+    v = VoltageSource("v", "p", "n")
+    assert isinstance(v.waveform, Dc)
+    assert v.ac_magnitude == 0.0
+    i = CurrentSource("i", "a", "b")
+    assert i.waveform.dc_value == 0.0
+
+
+def test_controlled_sources_fields():
+    e = Vcvs("e", "p", "n", "cp", "cm", 10.0)
+    assert e.gain == 10.0
+    g = Vccs("g", "a", "b", "cp", "cm", 1e-3)
+    assert g.ctrl_plus == "cp"
+
+
+def test_mosfet_defaults(tech):
+    m = Mosfet("m", "d", "g", "s", "b", tech.nmos, MosGeometry(8))
+    assert m.lde.vth_shift == 0.0
+    assert m.cdb_override is None
+    assert m.vth_mismatch == 0.0
+
+
+def test_elements_frozen(tech):
+    r = Resistor("r", "a", "b", 1.0)
+    with pytest.raises(Exception):
+        r.value = 2.0

@@ -1,0 +1,133 @@
+"""MNA compilation: indexing, stamping, device arrays."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.errors import NetlistError
+from repro.spice import Circuit, CompiledCircuit, dc_operating_point
+
+
+def test_node_indexing(tech):
+    c = Circuit("t")
+    c.add_resistor("r1", "b", "a", 1.0)
+    c.add_resistor("r2", "a", "0", 1.0)
+    cc = CompiledCircuit(c, tech.rules)
+    assert cc.num_nodes == 2
+    assert cc.nodes == ["a", "b"]
+    assert cc.index_of("0") == cc.ghost
+
+
+def test_unknown_node_raises(tech):
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "0", 1.0)
+    cc = CompiledCircuit(c, tech.rules)
+    with pytest.raises(NetlistError):
+        cc.index_of("zz")
+
+
+def test_branch_indices_for_sources_and_inductors(tech):
+    c = Circuit("t")
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_inductor("l1", "a", "b", 1e-9)
+    c.add_resistor("r1", "b", "0", 1.0)
+    cc = CompiledCircuit(c, tech.rules)
+    assert cc.num_branches == 2
+    assert set(cc.branch_index) == {"v1", "l1"}
+    assert cc.size == cc.num_nodes + 2
+
+
+def test_conductance_matrix_symmetric_for_resistors(tech):
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "b", 2.0)
+    c.add_resistor("r2", "b", "0", 4.0)
+    cc = CompiledCircuit(c, tech.rules)
+    g = cc.conductance_linear()[: cc.size, : cc.size]
+    assert np.allclose(g, g.T)
+    ia, ib = cc.index_of("a"), cc.index_of("b")
+    assert g[ia, ia] == pytest.approx(0.5)
+    assert g[ib, ib] == pytest.approx(0.75)
+    assert g[ia, ib] == pytest.approx(-0.5)
+
+
+def test_capacitance_matrix(tech):
+    c = Circuit("t")
+    c.add_capacitor("c1", "a", "0", 3e-15)
+    c.add_resistor("r1", "a", "0", 1.0)
+    cc = CompiledCircuit(c, tech.rules)
+    cm = cc.capacitance_linear()
+    ia = cc.index_of("a")
+    assert cm[ia, ia] == pytest.approx(3e-15)
+
+
+def test_source_rhs_dc_and_time(tech):
+    from repro.spice.waveforms import Pulse
+
+    c = Circuit("t")
+    c.add_isource("i1", "0", "a", Pulse(1e-3, 2e-3, delay=1e-9, rise=1e-12))
+    c.add_resistor("r1", "a", "0", 1.0)
+    cc = CompiledCircuit(c, tech.rules)
+    ia = cc.index_of("a")
+    assert cc.source_rhs(t=None)[ia] == pytest.approx(1e-3)
+    assert cc.source_rhs(t=2e-9)[ia] == pytest.approx(2e-3)
+    assert cc.source_rhs(t=None, scale=0.5)[ia] == pytest.approx(0.5e-3)
+
+
+def test_mosfet_arrays_and_eval(tech):
+    c = Circuit("t")
+    c.add_vsource("vd", "d", "0", 0.8)
+    c.add_vsource("vg", "g", "0", 0.6)
+    c.add_mosfet("m1", "d", "g", "0", "0", tech.nmos, MosGeometry(8, 2, 1))
+    c.add_mosfet("m2", "d", "g", "0", "0", tech.nmos, MosGeometry(8, 4, 1))
+    cc = CompiledCircuit(c, tech.rules)
+    op = dc_operating_point(cc)
+    ev = op.mos_eval
+    assert ev is not None
+    # m2 has twice the fins of m1: twice the current.
+    assert ev.ids[1] == pytest.approx(2 * ev.ids[0], rel=1e-9)
+    assert op.mos("m1")["id"] == pytest.approx(float(ev.ids[0]))
+
+
+def test_mos_eval_unknown_name(tech):
+    c = Circuit("t")
+    c.add_vsource("vd", "d", "0", 0.8)
+    c.add_mosfet("m1", "d", "d", "0", "0", tech.nmos, MosGeometry(8))
+    cc = CompiledCircuit(c, tech.rules)
+    op = dc_operating_point(cc)
+    with pytest.raises(NetlistError):
+        op.mos("zz")
+
+
+def test_mos_capacitance_matrix_symmetric(tech):
+    c = Circuit("t")
+    c.add_vsource("vd", "d", "0", 0.8)
+    c.add_vsource("vg", "g", "0", 0.5)
+    c.add_mosfet("m1", "d", "g", "0", "0", tech.nmos, MosGeometry(8, 2, 1))
+    cc = CompiledCircuit(c, tech.rules)
+    op = dc_operating_point(cc)
+    cm = cc.mos_capacitance(op.mos_eval)[: cc.size, : cc.size]
+    assert np.allclose(cm, cm.T)
+    # Diagonal entries non-negative.
+    assert np.all(np.diag(cm) >= 0)
+
+
+def test_ac_source_rhs_phasors(tech):
+    c = Circuit("t")
+    c.add_vsource("v1", "a", "0", 0.0, ac_magnitude=2.0, ac_phase_deg=90.0)
+    c.add_resistor("r1", "a", "0", 1.0)
+    cc = CompiledCircuit(c, tech.rules)
+    rhs = cc.ac_source_rhs()
+    br = cc.branch_index["v1"]
+    assert rhs[br] == pytest.approx(2j)
+
+
+def test_unsupported_element_type(tech):
+    c = Circuit("t")
+
+    class Bogus:
+        name = "x"
+
+    c._elements.append(Bogus())  # bypass type checks deliberately
+    c._names.add("x")
+    with pytest.raises(NetlistError):
+        CompiledCircuit(c, tech.rules)

@@ -1,0 +1,81 @@
+"""Monte-Carlo mismatch analysis."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.errors import SimulationError
+from repro.spice import Circuit, CompiledCircuit, dc_operating_point
+from repro.spice.montecarlo import run_monte_carlo
+
+
+def diode_circuit(tech, nfins=(8, 4, 1)):
+    c = Circuit("dio")
+    c.add_isource("ib", "0", "d", 50e-6)
+    c.add_mosfet("m1", "d", "d", "0", "0", tech.nmos, MosGeometry(*nfins))
+    return c
+
+
+def vgs_of(tech):
+    def evaluate(circuit):
+        op = dc_operating_point(CompiledCircuit(circuit, tech.rules))
+        return op.v("d")
+
+    return evaluate
+
+
+def test_deterministic_given_seed(tech):
+    c = diode_circuit(tech)
+    r1 = run_monte_carlo(c, tech.rules, vgs_of(tech), n_samples=10, seed=7)
+    r2 = run_monte_carlo(c, tech.rules, vgs_of(tech), n_samples=10, seed=7)
+    assert r1.samples == r2.samples
+
+
+def test_spread_matches_sigma(tech):
+    # Vgs of a diode shifts ~1:1 with Vth: sample std ~ sigma_vth.
+    from repro.devices.mosfet import resolve_params
+
+    c = diode_circuit(tech)
+    sigma = resolve_params(tech.nmos, tech.rules, MosGeometry(8, 4, 1)).sigma_vth
+    result = run_monte_carlo(c, tech.rules, vgs_of(tech), n_samples=80, seed=3)
+    assert result.std == pytest.approx(sigma, rel=0.35)
+
+
+def test_bigger_device_less_spread(tech):
+    small = run_monte_carlo(
+        diode_circuit(tech, (8, 2, 1)), tech.rules, vgs_of(tech), 40, seed=5
+    )
+    large = run_monte_carlo(
+        diode_circuit(tech, (8, 8, 4)), tech.rules, vgs_of(tech), 40, seed=5
+    )
+    assert large.std < small.std
+
+
+def test_match_groups_zero_mean(tech, small_dp):
+    # Matched-group sampling removes the common-mode shift: a DP's
+    # offset distribution stays centred.
+    dut = small_dp.schematic_circuit()
+
+    def offset_of(circuit):
+        values, _ = small_dp.evaluate(circuit)
+        return values["offset"]
+
+    result = run_monte_carlo(
+        dut,
+        small_dp.tech.rules,
+        offset_of,
+        n_samples=12,
+        seed=11,
+        match_groups=[("MA", "MB")],
+    )
+    # |offset| samples: positive, below ~4 sigma of the pair.
+    assert all(s >= 0 for s in result.samples)
+    assert result.percentile(95) < 5 * small_dp.random_offset_sigma()
+
+
+def test_validation(tech):
+    c = Circuit("empty")
+    c.add_resistor("r", "a", "0", 1.0)
+    with pytest.raises(SimulationError):
+        run_monte_carlo(c, tech.rules, lambda _: 0.0, 5)
+    with pytest.raises(SimulationError):
+        run_monte_carlo(diode_circuit(tech), tech.rules, lambda _: 0.0, 0)

@@ -1,0 +1,147 @@
+"""Circuit container: element management, node queries, hierarchy."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.errors import NetlistError
+from repro.spice.netlist import Circuit, element_nodes, is_ground
+
+
+def test_is_ground_spellings():
+    for name in ("0", "gnd", "GND", "Gnd", "vss!"):
+        assert is_ground(name)
+    assert not is_ground("vdd!")
+    assert not is_ground("out")
+
+
+def test_add_elements_and_lookup():
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "b", 100.0)
+    c.add_capacitor("c1", "b", "0", 1e-15)
+    assert len(c) == 2
+    assert c.element("r1").value == 100.0
+
+
+def test_duplicate_names_rejected():
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "b", 100.0)
+    with pytest.raises(NetlistError):
+        c.add_resistor("r1", "b", "c", 200.0)
+
+
+def test_replace_element():
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "b", 100.0)
+    from repro.spice.elements import Resistor
+
+    c.replace_element("r1", Resistor("r1", "a", "b", 50.0))
+    assert c.element("r1").value == 50.0
+
+
+def test_replace_missing_raises():
+    c = Circuit("t")
+    from repro.spice.elements import Resistor
+
+    with pytest.raises(NetlistError):
+        c.replace_element("rx", Resistor("rx", "a", "b", 1.0))
+
+
+def test_remove_element():
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "b", 100.0)
+    c.remove_element("r1")
+    assert len(c) == 0
+    # The name is free again.
+    c.add_resistor("r1", "a", "b", 1.0)
+
+
+def test_nodes_excludes_ground():
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "0", 100.0)
+    c.add_resistor("r2", "a", "b", 100.0)
+    assert c.nodes() == ["a", "b"]
+
+
+def test_mosfets_listing(tech):
+    c = Circuit("t")
+    c.add_mosfet("m1", "d", "g", "0", "0", tech.nmos, MosGeometry(4))
+    c.add_resistor("r1", "d", "0", 1e3)
+    assert [m.name for m in c.mosfets()] == ["m1"]
+
+
+def test_elements_on_node(tech):
+    c = Circuit("t")
+    c.add_resistor("r1", "a", "b", 1.0)
+    c.add_capacitor("c1", "b", "0", 1e-15)
+    names = [e.name for e in c.elements_on_node("b")]
+    assert names == ["r1", "c1"]
+
+
+def test_element_nodes_accessor(tech):
+    c = Circuit("t")
+    m = c.add_mosfet("m1", "d", "g", "s", "b", tech.nmos, MosGeometry(4))
+    assert element_nodes(m) == ("d", "g", "s", "b")
+
+
+def test_instantiate_renames_internals():
+    child = Circuit("child")
+    child.ports = ["in", "out"]
+    child.add_resistor("r1", "in", "mid", 1.0)
+    child.add_resistor("r2", "mid", "out", 1.0)
+
+    parent = Circuit("parent")
+    parent.instantiate(child, "x1", {"in": "a", "out": "b"})
+    nodes = parent.nodes()
+    assert "a" in nodes and "b" in nodes
+    assert "x1.mid" in nodes
+    assert parent.element("x1.r1").a == "a"
+
+
+def test_instantiate_ground_passthrough():
+    child = Circuit("child")
+    child.ports = ["in"]
+    child.add_resistor("r1", "in", "0", 1.0)
+    parent = Circuit("parent")
+    parent.instantiate(child, "x1", {"in": "n1"})
+    assert parent.element("x1.r1").b == "0"
+
+
+def test_instantiate_missing_port_mapping():
+    child = Circuit("child")
+    child.ports = ["in", "out"]
+    child.add_resistor("r1", "in", "out", 1.0)
+    parent = Circuit("parent")
+    with pytest.raises(NetlistError):
+        parent.instantiate(child, "x1", {"in": "a"})
+
+
+def test_instantiate_unknown_port_rejected():
+    child = Circuit("child")
+    child.ports = ["in"]
+    child.add_resistor("r1", "in", "0", 1.0)
+    parent = Circuit("parent")
+    with pytest.raises(NetlistError):
+        parent.instantiate(child, "x1", {"in": "a", "bogus": "b"})
+
+
+def test_instantiate_twice_distinct_names():
+    child = Circuit("child")
+    child.ports = ["p"]
+    child.add_resistor("r1", "p", "q", 1.0)
+    parent = Circuit("parent")
+    parent.instantiate(child, "x1", {"p": "a"})
+    parent.instantiate(child, "x2", {"p": "a"})
+    assert len(parent) == 2
+    assert "x1.q" in parent.nodes()
+    assert "x2.q" in parent.nodes()
+
+
+def test_copy_is_independent():
+    c = Circuit("t")
+    c.ports = ["a"]
+    c.add_resistor("r1", "a", "0", 1.0)
+    d = c.copy("u")
+    d.add_resistor("r2", "a", "0", 1.0)
+    assert len(c) == 1
+    assert len(d) == 2
+    assert d.ports == ["a"]

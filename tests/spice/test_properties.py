@@ -1,0 +1,124 @@
+"""Property-based checks of simulator physics.
+
+These verify structural circuit-theory invariants (superposition,
+reciprocity, KCL at every node, linear scaling) on randomly generated
+linear networks — the class of bugs unit tests on fixed circuits miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, CompiledCircuit, ac_analysis, dc_operating_point
+from repro.tech import Technology
+
+TECH = Technology.default()
+
+
+def ladder(values):
+    """An n-stage resistor ladder from a list of positive values."""
+    c = Circuit("ladder")
+    c.add_vsource("vin", "n0", "0", 1.0)
+    for i, r in enumerate(values):
+        c.add_resistor(f"r{i}", f"n{i}", f"n{i + 1}", r)
+    c.add_resistor("rterm", f"n{len(values)}", "0", values[-1])
+    return c
+
+
+resistors = st.lists(
+    st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=8
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(resistors)
+def test_ladder_voltages_monotone(values):
+    """A resistor ladder's node voltages decrease monotonically."""
+    circuit = ladder(values)
+    op = dc_operating_point(CompiledCircuit(circuit, TECH.rules))
+    voltages = [op.v(f"n{i}") for i in range(len(values) + 1)]
+    assert all(a >= b - 1e-9 for a, b in zip(voltages, voltages[1:]))
+    assert voltages[0] == pytest.approx(1.0, abs=1e-6)
+    assert voltages[-1] > -1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_dc_linearity(r1, r2, scale):
+    """Doubling the source doubles every node voltage (linear network)."""
+
+    def solve(v_source):
+        c = Circuit("lin")
+        c.add_vsource("v1", "a", "0", v_source)
+        c.add_resistor("r1", "a", "b", r1)
+        c.add_resistor("r2", "b", "0", r2)
+        return dc_operating_point(CompiledCircuit(c, TECH.rules)).v("b")
+
+    base = solve(1.0)
+    assert solve(scale) == pytest.approx(scale * base, rel=1e-6, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=-2.0, max_value=2.0),
+    st.floats(min_value=-2.0, max_value=2.0),
+)
+def test_dc_superposition(r1, r2, v_a, v_b):
+    """Response to two sources equals the sum of individual responses."""
+
+    def solve(va, vb):
+        c = Circuit("sup")
+        c.add_vsource("va", "a", "0", va)
+        c.add_vsource("vb", "b", "0", vb)
+        c.add_resistor("r1", "a", "m", r1)
+        c.add_resistor("r2", "b", "m", r2)
+        c.add_resistor("r3", "m", "0", 1e3)
+        return dc_operating_point(CompiledCircuit(c, TECH.rules)).v("m")
+
+    both = solve(v_a, v_b)
+    assert both == pytest.approx(
+        solve(v_a, 0.0) + solve(0.0, v_b), rel=1e-6, abs=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=10.0, max_value=1e5),
+    st.floats(min_value=1e-15, max_value=1e-11),
+)
+def test_ac_magnitude_bounded_for_passive_divider(r, c_val):
+    """A passive RC divider never amplifies."""
+    c = Circuit("rc")
+    c.add_vsource("vin", "in", "0", 0.0, ac_magnitude=1.0)
+    c.add_resistor("r1", "in", "out", r)
+    c.add_capacitor("c1", "out", "0", c_val)
+    cc = CompiledCircuit(c, TECH.rules)
+    op = dc_operating_point(cc)
+    ac = ac_analysis(cc, op, 1e3, 1e11, 6)
+    assert np.all(np.abs(ac.v("out")) <= 1.0 + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(resistors)
+def test_kcl_current_conservation(values):
+    """The source current equals the current into the termination."""
+    circuit = ladder(values)
+    cc = CompiledCircuit(circuit, TECH.rules)
+    op = dc_operating_point(cc)
+    n = len(values)
+    i_source = -op.i("vin")
+    i_last = (op.v(f"n{n - 1}") - op.v(f"n{n}")) / values[-1] if n >= 1 else 0
+    i_term = op.v(f"n{n}") / values[-1]
+    # Tolerances reflect the solver's absolute voltage tolerance (~nV)
+    # divided by the smallest resistance in the ladder.
+    abs_tol = 10 * 1e-8 / min(values)
+    if n == 1:
+        assert i_source == pytest.approx(i_last, rel=1e-3, abs=abs_tol)
+    # Current through the chain equals current into the termination.
+    assert i_last == pytest.approx(i_term, rel=1e-3, abs=abs_tol)

@@ -1,0 +1,75 @@
+"""The Testbench abstraction."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice import Circuit, Testbench
+from repro.spice.testbench import AcSpec, TranSpec
+from repro.spice import measure
+
+
+def rc_circuit():
+    c = Circuit("rc")
+    c.add_vsource("vin", "in", "0", 0.0, ac_magnitude=1.0)
+    c.add_resistor("r1", "in", "out", 1e3)
+    c.add_capacitor("c1", "out", "0", 1e-12)
+    return c
+
+
+def test_lazy_analyses_and_caching(tech):
+    tb = Testbench(rc_circuit(), tech.rules)
+    assert tb.simulation_count == 0
+    _ = tb.op
+    assert tb.simulation_count == 1
+    _ = tb.op  # cached
+    assert tb.simulation_count == 1
+    _ = tb.ac
+    assert tb.simulation_count == 2
+
+
+def test_measures_share_analyses(tech):
+    tb = Testbench(rc_circuit(), tech.rules)
+    tb.add_measure("f3db", lambda t: measure.bandwidth_3db(t.ac.freqs, t.ac.v("out")))
+    tb.add_measure("gain", lambda t: measure.low_frequency_gain(t.ac.v("out")))
+    results = tb.run()
+    assert results["gain"] == pytest.approx(1.0, rel=0.01)
+    assert tb.simulation_count == 2  # one op + one ac, shared
+
+
+def test_duplicate_measure_rejected(tech):
+    tb = Testbench(rc_circuit(), tech.rules)
+    tb.add_measure("a", lambda t: 1.0)
+    with pytest.raises(SimulationError):
+        tb.add_measure("a", lambda t: 2.0)
+
+
+def test_tran_requires_spec(tech):
+    tb = Testbench(rc_circuit(), tech.rules)
+    with pytest.raises(SimulationError):
+        _ = tb.tran
+
+
+def test_tran_with_spec(tech):
+    tb = Testbench(
+        rc_circuit(), tech.rules, tran_spec=TranSpec(t_stop=1e-9, dt=1e-11)
+    )
+    result = tb.tran
+    assert len(result.t) == 101
+
+
+def test_invalidate_clears_caches(tech):
+    tb = Testbench(rc_circuit(), tech.rules)
+    _ = tb.op
+    tb.circuit.add_resistor("r2", "out", "0", 1e6)
+    tb.invalidate()
+    _ = tb.op
+    assert tb.simulation_count == 2
+
+
+def test_custom_ac_spec(tech):
+    tb = Testbench(
+        rc_circuit(), tech.rules, ac_spec=AcSpec(f_start=1e6, f_stop=1e9,
+                                                  points_per_decade=3)
+    )
+    assert tb.ac.freqs[0] == pytest.approx(1e6)
+    assert tb.ac.freqs[-1] == pytest.approx(1e9)

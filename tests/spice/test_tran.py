@@ -1,0 +1,125 @@
+"""Transient analysis against analytic waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.errors import NetlistError
+from repro.spice import Circuit, CompiledCircuit, dc_operating_point, transient
+from repro.spice import measure
+from repro.spice.waveforms import Pulse, Sin
+
+
+def test_rc_step_response(tech):
+    c = Circuit("rc")
+    c.add_vsource("vin", "in", "0", Pulse(0.0, 1.0, delay=1e-9, rise=1e-12, width=1.0))
+    c.add_resistor("r1", "in", "out", 1e3)
+    c.add_capacitor("c1", "out", "0", 1e-12)  # tau = 1ns
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=6e-9, dt=5e-12)
+    v = tr.v("out")
+    k1 = np.argmin(np.abs(tr.t - 2e-9))  # 1 tau after the step
+    k3 = np.argmin(np.abs(tr.t - 4e-9))  # 3 tau
+    assert v[k1] == pytest.approx(1 - np.exp(-1), abs=0.01)
+    assert v[k3] == pytest.approx(1 - np.exp(-3), abs=0.01)
+
+
+def test_sinusoid_through_resistor(tech):
+    c = Circuit("sin")
+    c.add_vsource("vin", "in", "0", Sin(0.0, 1.0, 1e9))
+    c.add_resistor("r1", "in", "0", 1e3)
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=6e-9, dt=2e-12)
+    assert np.max(tr.v("in")) == pytest.approx(1.0, abs=0.01)
+    freq = measure.oscillation_frequency(tr.t, tr.v("in"), settle_fraction=0.0)
+    assert freq == pytest.approx(1e9, rel=0.02)
+
+
+def test_lc_oscillation_frequency(tech):
+    # An LC tank rung by an initial current through the inductor.
+    c = Circuit("lc")
+    c.add_isource("ikick", "0", "t", Pulse(1e-3, 0.0, delay=0.0, rise=1e-12, width=1.0))
+    c.add_inductor("l1", "t", "0", 1e-9)
+    c.add_capacitor("c1", "t", "0", 1e-12)
+    c.add_resistor("rl", "t", "0", 10e3)
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=4e-9, dt=2e-12)
+    # After the kick source drops, the tank rings near f0.
+    freq = measure.oscillation_frequency(tr.t, tr.v("t"), settle_fraction=0.3)
+    f0 = 1.0 / (2 * np.pi * np.sqrt(1e-9 * 1e-12))
+    assert freq == pytest.approx(f0, rel=0.08)
+
+
+def test_starts_from_dc_operating_point(tech):
+    c = Circuit("hold")
+    c.add_vsource("vdd", "vdd", "0", 0.8)
+    c.add_resistor("r1", "vdd", "out", 1e3)
+    c.add_resistor("r2", "out", "0", 1e3)
+    c.add_capacitor("c1", "out", "0", 1e-12)
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=1e-9, dt=1e-11)
+    # No stimulus change: the node stays at its DC value.
+    assert np.allclose(tr.v("out"), 0.4, atol=1e-3)
+
+
+def test_cmos_inverter_switches(tech):
+    c = Circuit("inv")
+    c.add_vsource("vdd", "vdd", "0", 0.8)
+    c.add_vsource(
+        "vin", "in", "0", Pulse(0.0, 0.8, delay=0.1e-9, rise=10e-12, fall=10e-12)
+    )
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", tech.pmos, MosGeometry(8, 2, 1))
+    c.add_mosfet("mn", "out", "in", "0", "0", tech.nmos, MosGeometry(8, 2, 1))
+    c.add_capacitor("cl", "out", "0", 5e-15)
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=1e-9, dt=1e-12)
+    assert tr.v("out")[0] > 0.75
+    assert tr.v("out")[-1] < 0.05
+    delay = measure.delay_between(
+        tr.t, tr.v("in"), tr.v("out"), 0.4, 0.4, "rise", "fall"
+    )
+    assert 0 < delay < 0.3e-9
+
+
+def test_inductor_current_ramp(tech):
+    # V = L di/dt: 1V across 1nH ramps 1A/ns.
+    c = Circuit("lramp")
+    c.add_vsource("v1", "a", "0", Pulse(0.0, 1.0, delay=0.0, rise=1e-12))
+    c.add_inductor("l1", "a", "b", 1e-9)
+    c.add_resistor("rs", "b", "0", 1e-3)
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=1e-9, dt=1e-12)
+    assert tr.i("l1")[-1] == pytest.approx(1.0, rel=0.05)
+
+
+def test_invalid_args_rejected(tech):
+    c = Circuit("bad")
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_resistor("r1", "a", "0", 1e3)
+    cc = CompiledCircuit(c, tech.rules)
+    with pytest.raises(NetlistError):
+        transient(cc, t_stop=0.0, dt=1e-12)
+    with pytest.raises(NetlistError):
+        transient(cc, t_stop=1e-9, dt=2e-9)
+
+
+def test_vdiff_waveform(tech):
+    c = Circuit("d")
+    c.add_vsource("v1", "a", "0", 1.0)
+    c.add_resistor("r1", "a", "b", 1e3)
+    c.add_resistor("r2", "b", "0", 1e3)
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=1e-10, dt=1e-11)
+    assert np.allclose(tr.vdiff("a", "b"), 0.5, atol=1e-6)
+
+
+def test_energy_conservation_rc_discharge(tech):
+    # A charged capacitor discharging through a resistor: exponential.
+    c = Circuit("dis")
+    c.add_vsource("vin", "in", "0", Pulse(1.0, 0.0, delay=0.5e-9, rise=1e-12, width=1.0))
+    c.add_resistor("r1", "in", "out", 1e3)
+    c.add_capacitor("c1", "out", "0", 1e-12)
+    cc = CompiledCircuit(c, tech.rules)
+    tr = transient(cc, t_stop=4e-9, dt=5e-12)
+    k = np.argmin(np.abs(tr.t - 1.5e-9))  # 1 tau after fall
+    assert tr.v("out")[k] == pytest.approx(np.exp(-1), abs=0.02)

@@ -1,0 +1,84 @@
+"""Source waveforms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.spice.waveforms import Dc, Pulse, Pwl, Sin
+
+
+def test_dc_constant():
+    w = Dc(1.5)
+    assert w.dc_value == 1.5
+    assert w.value(0.0) == w.value(1e-3) == 1.5
+
+
+def test_pulse_levels():
+    p = Pulse(v1=0.0, v2=1.0, delay=1e-9, rise=1e-10, fall=1e-10, width=1e-9)
+    assert p.dc_value == 0.0
+    assert p.value(0.0) == 0.0
+    assert p.value(1.05e-9) == pytest.approx(0.5)  # mid-rise
+    assert p.value(1.5e-9) == 1.0  # flat top
+    assert p.value(2.15e-9) == pytest.approx(0.5)  # mid-fall
+    assert p.value(5e-9) == 0.0
+
+
+def test_pulse_periodic():
+    p = Pulse(0.0, 1.0, delay=0.0, rise=1e-12, fall=1e-12, width=0.5e-9, period=1e-9)
+    assert p.value(0.25e-9) == 1.0
+    assert p.value(1.25e-9) == 1.0
+    assert p.value(0.75e-9) == 0.0
+
+
+def test_pulse_validation():
+    with pytest.raises(NetlistError):
+        Pulse(0.0, 1.0, rise=0.0)
+
+
+def test_sin_basic():
+    s = Sin(offset=0.5, amplitude=0.1, frequency=1e9)
+    assert s.dc_value == 0.5
+    assert s.value(0.25e-9) == pytest.approx(0.6)
+    assert s.value(0.75e-9) == pytest.approx(0.4)
+
+
+def test_sin_delay_holds_offset():
+    s = Sin(offset=0.3, amplitude=0.2, frequency=1e9, delay=1e-9)
+    assert s.value(0.5e-9) == 0.3
+
+
+def test_sin_damping_decays():
+    s = Sin(offset=0.0, amplitude=1.0, frequency=1e9, damping=1e9)
+    assert abs(s.value(2.25e-9)) < abs(s.value(0.25e-9))
+
+
+def test_sin_validation():
+    with pytest.raises(NetlistError):
+        Sin(0.0, 1.0, frequency=0.0)
+
+
+def test_pwl_interpolation():
+    w = Pwl(points=((0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)))
+    assert w.value(-1.0) == 0.0
+    assert w.value(0.5e-9) == pytest.approx(0.5)
+    assert w.value(1.5e-9) == pytest.approx(0.75)
+    assert w.value(5e-9) == 0.5
+
+
+def test_pwl_validation():
+    with pytest.raises(NetlistError):
+        Pwl(points=())
+    with pytest.raises(NetlistError):
+        Pwl(points=((0.0, 0.0), (0.0, 1.0)))
+
+
+@given(st.floats(min_value=0.0, max_value=1e-6))
+def test_pulse_always_within_levels(t):
+    p = Pulse(0.2, 0.9, delay=1e-9, rise=1e-10, fall=2e-10, width=3e-9, period=8e-9)
+    assert 0.2 <= p.value(t) <= 0.9
+
+
+@given(st.floats(min_value=0.0, max_value=1e-6))
+def test_pwl_within_extremes(t):
+    w = Pwl(points=((0.0, -1.0), (1e-7, 2.0), (2e-7, 0.5)))
+    assert -1.0 <= w.value(t) <= 2.0

@@ -1,0 +1,94 @@
+"""Model cards and LDE coefficient models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.tech.finfet import (
+    LdeCoefficients,
+    MosModelCard,
+    default_nmos,
+    default_pmos,
+)
+
+
+def test_default_cards_polarity():
+    assert default_nmos().is_nmos
+    assert not default_pmos().is_nmos
+
+
+def test_card_validation_polarity():
+    card = default_nmos()
+    with pytest.raises(TechnologyError):
+        MosModelCard(
+            name="x", polarity=0, vth0=0.3, slope_factor=1.1, kp=1e-4,
+            lambda_clm=0.1, vsat_field=0.5, cox_area=0.03, cov_per_fin=1e-17,
+            cj_per_fin=1e-17, cj_shared_factor=0.5, sigma_vth_fin=0.03,
+            lde=card.lde,
+        )
+
+
+def test_card_validation_shared_factor():
+    card = default_nmos()
+    with pytest.raises(TechnologyError):
+        MosModelCard(
+            name="x", polarity=1, vth0=0.3, slope_factor=1.1, kp=1e-4,
+            lambda_clm=0.1, vsat_field=0.5, cox_area=0.03, cov_per_fin=1e-17,
+            cj_per_fin=1e-17, cj_shared_factor=1.5, sigma_vth_fin=0.03,
+            lde=card.lde,
+        )
+
+
+def test_lod_shift_zero_at_reference():
+    lde = LdeCoefficients()
+    assert lde.lod_vth_shift(lde.sa_ref, lde.sa_ref) == pytest.approx(0.0)
+
+
+def test_lod_shift_positive_for_short_diffusion():
+    lde = LdeCoefficients()
+    # Edges closer than the reference raise the threshold.
+    assert lde.lod_vth_shift(100.0, 100.0) > 0
+
+
+def test_lod_mobility_degrades_for_short_diffusion():
+    lde = LdeCoefficients()
+    assert lde.lod_mobility_factor(50.0, 50.0) < 1.0
+    assert lde.lod_mobility_factor(lde.sa_ref, lde.sa_ref) == pytest.approx(1.0)
+
+
+def test_lod_mobility_floor():
+    lde = LdeCoefficients(kmu_lod=1e6)
+    assert lde.lod_mobility_factor(1.0, 1.0) == 0.5
+
+
+@given(st.floats(min_value=10.0, max_value=1e5))
+def test_lod_shift_monotone_in_distance(sa):
+    lde = LdeCoefficients()
+    # Farther edges always shift less.
+    assert lde.lod_vth_shift(sa, sa) >= lde.lod_vth_shift(sa * 2, sa * 2)
+
+
+def test_wpe_shift_zero_at_reference():
+    lde = LdeCoefficients()
+    assert lde.wpe_vth_shift(lde.sc_ref) == pytest.approx(0.0)
+
+
+def test_wpe_shift_sign():
+    lde = LdeCoefficients()
+    assert lde.wpe_vth_shift(100.0) > 0
+    assert lde.wpe_vth_shift(1e6) < 0
+
+
+def test_lde_rejects_nonpositive_distances():
+    lde = LdeCoefficients()
+    with pytest.raises(TechnologyError):
+        lde.lod_vth_shift(0.0, 100.0)
+    with pytest.raises(TechnologyError):
+        lde.wpe_vth_shift(-5.0)
+
+
+def test_zeroed_lde_for_ablation():
+    lde = LdeCoefficients(kvth_lod=0.0, kmu_lod=0.0, kvth_wpe=0.0)
+    assert lde.lod_vth_shift(10.0, 10.0) == 0.0
+    assert lde.lod_mobility_factor(10.0, 10.0) == 1.0
+    assert lde.wpe_vth_shift(10.0) == 0.0

@@ -1,0 +1,71 @@
+"""The Technology bundle."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import Technology
+
+
+def test_default_technology(tech):
+    assert tech.name == "FF14"
+    assert tech.vdd == pytest.approx(0.8)
+    assert tech.stack.num_metals == 6
+
+
+def test_card_lookup(tech):
+    assert tech.card("n") is tech.nmos
+    assert tech.card("nmos") is tech.nmos
+    assert tech.card("p") is tech.pmos
+    assert tech.card("PMOS") is tech.pmos
+
+
+def test_card_lookup_unknown(tech):
+    with pytest.raises(TechnologyError):
+        tech.card("cmos")
+
+
+def test_device_metal_and_routing_metals_exist(tech):
+    tech.stack.metal(tech.device_metal)
+    for name in tech.routing_metals:
+        tech.stack.metal(name)
+
+
+def test_without_lde_zeroes_coefficients():
+    t = Technology.without_lde()
+    assert t.nmos.lde.kvth_lod == 0.0
+    assert t.pmos.lde.kvth_wpe == 0.0
+    assert t.name == "FF14-noLDE"
+
+
+def test_without_lde_keeps_gradients():
+    # The ablation removes LOD/WPE but keeps the process gradient.
+    t = Technology.without_lde()
+    assert t.vth_gradient_x == Technology.default().vth_gradient_x
+
+
+def test_gradients_positive(tech):
+    assert tech.vth_gradient_x > 0
+    assert tech.vth_gradient_y > 0
+
+
+def test_bad_vdd_rejected():
+    t = Technology.default()
+    with pytest.raises(TechnologyError):
+        Technology(
+            name="bad", rules=t.rules, stack=t.stack,
+            nmos=t.nmos, pmos=t.pmos, vdd=0.0,
+        )
+
+
+def test_stack_resistances_calibrated_for_global_routes(tech):
+    """A 2um M3 route (the paper's port-opt case) sits in the hundreds
+    of ohms at double width — the regime where parallel routes matter."""
+    m3 = tech.stack.metal("M3")
+    r = m3.wire_resistance(2000, 2 * m3.min_width)
+    assert 50.0 < r < 500.0
+
+
+def test_contact_resistance_per_fin_reasonable(tech):
+    # Tens of ohms per fin contact; a 960-fin device sees < 0.1 ohm.
+    assert 20.0 < tech.contact_resistance < 500.0
+    assert tech.contact_resistance / 960 < 0.5

@@ -1,0 +1,74 @@
+"""Design rules: pitches, footprints, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.tech import DesignRules
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return DesignRules()
+
+
+def test_default_values_sane(rules):
+    assert rules.fin_pitch == 48
+    assert rules.gate_length < rules.poly_pitch
+
+
+def test_fin_width_effective(rules):
+    assert rules.fin_width_effective == 2 * rules.fin_height + rules.fin_thickness
+
+
+def test_device_width_paper_example(rules):
+    # The paper's W/L = 46um/14nm DP side corresponds to 960 fins.
+    assert rules.device_width(8, 20, 6) == 960 * 48
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=8),
+)
+def test_device_width_multiplicative(nfin, nf, m):
+    rules = DesignRules()
+    assert rules.device_width(nfin, nf, m) == nfin * nf * m * rules.fin_pitch
+
+
+def test_device_width_rejects_zero(rules):
+    with pytest.raises(TechnologyError):
+        rules.device_width(0, 1, 1)
+
+
+def test_finger_footprint(rules):
+    base = rules.finger_footprint(10)
+    assert base == 10 * rules.poly_pitch + 2 * rules.diffusion_extension
+
+
+def test_finger_footprint_dummies_wider(rules):
+    assert rules.finger_footprint(10, with_dummies=True) > rules.finger_footprint(10)
+
+
+def test_row_footprint_monotone(rules):
+    assert rules.row_footprint(16) > rules.row_footprint(8)
+
+
+def test_row_footprint_rejects_zero(rules):
+    with pytest.raises(TechnologyError):
+        rules.row_footprint(0)
+
+
+def test_gate_length_vs_poly_pitch_validation():
+    with pytest.raises(TechnologyError):
+        DesignRules(gate_length=100, poly_pitch=90)
+
+
+def test_negative_pitch_rejected():
+    with pytest.raises(TechnologyError):
+        DesignRules(fin_pitch=0)
+
+
+def test_negative_dummies_rejected():
+    with pytest.raises(TechnologyError):
+        DesignRules(dummy_fingers=-1)

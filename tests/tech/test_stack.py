@@ -1,0 +1,144 @@
+"""Metal stack: layer lookup, wire RC, via stacks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.tech import MetalLayer, MetalStack, Technology, ViaLayer
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return Technology.default().stack
+
+
+def test_six_metals(stack):
+    assert stack.num_metals == 6
+    assert [m.name for m in stack.metals] == ["M1", "M2", "M3", "M4", "M5", "M6"]
+
+
+def test_lower_metals_more_resistive(stack):
+    sheets = [stack.metal_by_index(i).sheet_res for i in range(1, 7)]
+    assert sheets == sorted(sheets, reverse=True)
+
+
+def test_metal_lookup_by_name_and_index(stack):
+    assert stack.metal("M3") is stack.metal_by_index(3)
+
+
+def test_unknown_metal_raises(stack):
+    with pytest.raises(TechnologyError):
+        stack.metal("M9")
+    with pytest.raises(TechnologyError):
+        stack.metal_by_index(0)
+
+
+def test_wire_resistance_formula(stack):
+    m1 = stack.metal("M1")
+    # R = rho * L / W for a 10um x min-width wire.
+    assert m1.wire_resistance(10_000) == pytest.approx(
+        m1.sheet_res * 10_000 / m1.min_width
+    )
+
+
+def test_wire_resistance_scales_inverse_width(stack):
+    m2 = stack.metal("M2")
+    assert m2.wire_resistance(5000, 64) == pytest.approx(
+        m2.wire_resistance(5000, 32) / 2.0
+    )
+
+
+def test_wire_capacitance_positive_and_monotone(stack):
+    m3 = stack.metal("M3")
+    c1 = m3.wire_capacitance(1000)
+    c2 = m3.wire_capacitance(2000)
+    assert 0 < c1 < c2
+    assert c2 == pytest.approx(2 * c1)
+
+
+def test_wire_capacitance_grows_with_width(stack):
+    m3 = stack.metal("M3")
+    assert m3.wire_capacitance(1000, 80) > m3.wire_capacitance(1000, 40)
+
+
+@given(st.integers(min_value=1, max_value=100_000))
+def test_wire_rc_positive(length):
+    stack = Technology.default().stack
+    for metal in stack.metals:
+        assert metal.wire_resistance(length) >= 0
+        assert metal.wire_capacitance(length) >= 0
+
+
+def test_negative_length_rejected(stack):
+    with pytest.raises(TechnologyError):
+        stack.metal("M1").wire_resistance(-1)
+
+
+def test_zero_width_rejected(stack):
+    with pytest.raises(TechnologyError):
+        stack.metal("M1").wire_capacitance(100, 0)
+
+
+def test_via_between_either_order(stack):
+    v = stack.via_between("M1", "M2")
+    assert v is stack.via_between("M2", "M1")
+    assert v.name == "V1"
+
+
+def test_missing_via_raises(stack):
+    with pytest.raises(TechnologyError):
+        stack.via_between("M1", "M3")
+
+
+def test_via_array_resistance(stack):
+    v1 = stack.via_between("M1", "M2")
+    assert v1.array_resistance(4) == pytest.approx(v1.resistance / 4)
+    with pytest.raises(TechnologyError):
+        v1.array_resistance(0)
+
+
+def test_via_stack_resistance_accumulates(stack):
+    r13 = stack.via_stack_resistance("M1", "M3")
+    r12 = stack.via_between("M1", "M2").resistance
+    r23 = stack.via_between("M2", "M3").resistance
+    assert r13 == pytest.approx(r12 + r23)
+
+
+def test_via_stack_symmetric(stack):
+    assert stack.via_stack_resistance("M1", "M5") == pytest.approx(
+        stack.via_stack_resistance("M5", "M1")
+    )
+
+
+def test_via_stack_same_layer_zero(stack):
+    assert stack.via_stack_resistance("M3", "M3") == 0.0
+
+
+def test_via_stack_parallel_cuts(stack):
+    assert stack.via_stack_resistance("M1", "M3", cuts=2) == pytest.approx(
+        stack.via_stack_resistance("M1", "M3") / 2
+    )
+
+
+def test_invalid_layer_direction():
+    with pytest.raises(TechnologyError):
+        MetalLayer("MX", 1, "d", 32, 64, 10.0, 1e-5, 1e-11)
+
+
+def test_inverted_width_pitch():
+    with pytest.raises(TechnologyError):
+        MetalLayer("MX", 1, "h", 64, 32, 10.0, 1e-5, 1e-11)
+
+
+def test_duplicate_layer_names_rejected():
+    layer = MetalLayer("M1", 1, "h", 32, 64, 10.0, 1e-5, 1e-11)
+    layer2 = MetalLayer("M1", 2, "v", 32, 64, 10.0, 1e-5, 1e-11)
+    with pytest.raises(TechnologyError):
+        MetalStack(metals=[layer, layer2])
+
+
+def test_via_unknown_metal_rejected():
+    layer = MetalLayer("M1", 1, "h", 32, 64, 10.0, 1e-5, 1e-11)
+    via = ViaLayer("V9", "M1", "M9", 10.0, 1e-17, 32)
+    with pytest.raises(TechnologyError):
+        MetalStack(metals=[layer], vias=[via])

@@ -1,0 +1,49 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "differential_pair" in out
+    assert "ota" in out
+
+
+def test_optimize_command(capsys):
+    assert main(["optimize", "current_source", "--fins", "48",
+                 "--bins", "2", "--max-wires", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "simulations" in out
+    assert "cost" in out
+
+
+def test_flow_command(capsys):
+    assert main(["flow", "csamp", "--flavor", "conventional"]) == 0
+    out = capsys.readouterr().out
+    assert "gain_db" in out
+
+
+def test_render_command(tmp_path, capsys):
+    assert main(
+        ["render", "diode_load", "--fins", "48", "--outdir", str(tmp_path)]
+    ) == 0
+    svgs = list(tmp_path.glob("*.svg"))
+    sps = list(tmp_path.glob("*.sp"))
+    assert len(svgs) == 1
+    assert len(sps) == 1
+    assert svgs[0].read_text().startswith("<svg")
+
+
+def test_unknown_circuit_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["flow", "nonexistent"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

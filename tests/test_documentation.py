@@ -1,0 +1,45 @@
+"""Documentation coverage: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if "__main__" not in name
+]
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-exports documented at their origin
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = [
+        name for name, obj in public_members(module) if not inspect.getdoc(obj)
+    ]
+    assert not undocumented, f"{module_name}: missing docstrings: {undocumented}"
+
+
+def test_package_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

@@ -1,0 +1,42 @@
+"""Error hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.TechnologyError,
+    errors.NetlistError,
+    errors.SimulationError,
+    errors.ConvergenceError,
+    errors.LayoutError,
+    errors.DesignRuleError,
+    errors.ExtractionError,
+    errors.OptimizationError,
+    errors.PlacementError,
+    errors.RoutingError,
+    errors.MeasureError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_convergence_is_simulation_error():
+    assert issubclass(errors.ConvergenceError, errors.SimulationError)
+
+
+def test_measure_is_simulation_error():
+    assert issubclass(errors.MeasureError, errors.SimulationError)
+
+
+def test_design_rule_is_layout_error():
+    assert issubclass(errors.DesignRuleError, errors.LayoutError)
+
+
+def test_catch_all_at_flow_boundary():
+    with pytest.raises(errors.ReproError):
+        raise errors.RoutingError("no path")

@@ -1,0 +1,34 @@
+"""Table formatting helpers."""
+
+import pytest
+
+from repro.reporting import format_metric, format_table, percent
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["a", 1.0], ["longer", 123.456]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    # All rows have the same width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_format_table_float_formatting():
+    text = format_table(["x"], [[123.456789]])
+    assert "123.5" in text
+
+
+def test_format_metric():
+    assert format_metric(4.8e9, "Hz") == "4.8 GHz"
+
+
+def test_percent():
+    assert percent(2.0, 1.9) == pytest.approx(5.0)
+    assert percent(0.0, 0.0) == 0.0
+    assert percent(0.0, 1.0) == float("inf")

@@ -1,0 +1,51 @@
+"""Units and formatting helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_nm_roundtrip():
+    assert units.nm(1e-6) == 1000
+    assert units.meters(1000) == pytest.approx(1e-6)
+
+
+def test_um_conversion():
+    assert units.um(2500) == pytest.approx(2.5)
+    assert units.nm_from_um(2.5) == 2500
+
+
+@given(st.floats(min_value=1e-9, max_value=1.0, allow_nan=False))
+def test_nm_meters_inverse(x):
+    # Exact up to the 0.5 nm quantization of the integer grid (plus a
+    # hair of floating-point slack at the exact midpoint).
+    assert units.meters(units.nm(x)) == pytest.approx(x, abs=0.501e-9)
+
+
+def test_thermal_voltage_room_temperature():
+    assert 0.025 < units.THERMAL_VOLTAGE < 0.027
+
+
+def test_si_format_prefixes():
+    assert units.si_format(1.96e-3, "A/V") == "1.96 mA/V"
+    assert units.si_format(6.7e9, "Hz") == "6.7 GHz"
+    assert units.si_format(50.4e-15, "F") == "50.4 fF"
+
+
+def test_si_format_zero_and_nan():
+    assert units.si_format(0.0, "V") == "0 V"
+    assert "nan" in units.si_format(float("nan"), "V")
+
+
+@given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False))
+def test_si_format_mantissa_in_range(value):
+    text = units.si_format(value)
+    mantissa = float(text.split()[0]) if " " in text else float(text)
+    assert 0.99 <= abs(mantissa) < 1001.0
+
+
+def test_si_format_negative():
+    assert units.si_format(-3.3e-6, "A") == "-3.3 uA"
