@@ -1,12 +1,29 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-light bench-heavy examples lint all
+.PHONY: install test bench bench-light bench-heavy examples lint verify all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/ -q
+
+# Static checks.  ruff/mypy are dev-only tools (installed in CI); when a
+# local environment lacks one, that half is skipped rather than failing.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/verify src/repro/geometry src/repro/tech; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
+
+verify:
+	python -m repro verify all
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

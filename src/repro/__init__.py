@@ -25,6 +25,7 @@ from repro.tech import Technology
 from repro.primitives import PrimitiveLibrary
 from repro.core import PrimitiveOptimizer, GlobalRouteInfo
 from repro.flow import FlowResult, HierarchicalFlow
+from repro.verify import Report, Violation, verify_layout
 
 __version__ = "1.0.0"
 
@@ -35,5 +36,8 @@ __all__ = [
     "GlobalRouteInfo",
     "HierarchicalFlow",
     "FlowResult",
+    "Report",
+    "Violation",
+    "verify_layout",
     "__version__",
 ]

@@ -38,6 +38,13 @@ from repro.tech.pdk import Technology
 #: Number of vertical trunk rails per net (fixed mesh density).
 RAILS_PER_NET = 4
 
+#: Default verification policy for emitted layouts.  ``True`` runs the
+#: static DRC + connectivity pass on every layout the generator returns
+#: and attaches the report to ``layout.metadata["verification"]``.  Hot
+#: sweep loops (the optimizer's variant enumeration) pass
+#: ``verify=False`` explicitly and verify only the variants they emit.
+VERIFY_EMITTED = True
+
 
 @dataclass(frozen=True)
 class CellDevice:
@@ -123,6 +130,8 @@ def generate_layout(
     pattern: str,
     tech: Technology,
     wires: WireConfig | None = None,
+    verify: bool | None = None,
+    strict: bool = False,
 ) -> Layout:
     """Generate the layout of a primitive cell.
 
@@ -133,10 +142,21 @@ def generate_layout(
         tech: Technology node.
         wires: Wire configuration; defaults to single extra straps and no
             dummies.
+        verify: Run the static DRC + connectivity pass on the emitted
+            layout and attach the report to
+            ``layout.metadata["verification"]``; ``None`` follows the
+            module default :data:`VERIFY_EMITTED`.
+        strict: With verification on, raise
+            :class:`~repro.errors.VerificationError` on any
+            error-severity violation instead of just recording it.
 
     Returns:
-        A layout whose metadata records the pattern, per-device sizing
-        and wire configuration.
+        A layout whose metadata records the pattern, per-device sizing,
+        wire configuration and (when enabled) the verification report.
+
+    Raises:
+        VerificationError: In strict mode, when verification finds
+            errors.
     """
     wires = wires or WireConfig()
     matched = [spec.device(name) for name in spec.matched_group]
@@ -157,7 +177,13 @@ def generate_layout(
     for dev in others:
         rows.append([(dev.name, k) for k in range(dev.geometry.m)])
 
-    return _build_layout(spec, pattern, rows, tech, wires)
+    layout = _build_layout(spec, pattern, rows, tech, wires)
+    if VERIFY_EMITTED if verify is None else verify:
+        from repro.verify import verify_layout
+
+        report = verify_layout(layout, tech, spec=spec, strict=strict)
+        layout.metadata["verification"] = report
+    return layout
 
 
 def _build_layout(

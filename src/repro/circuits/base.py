@@ -160,7 +160,9 @@ class CompositeCircuit(ABC):
                     f"{self.name}: no layout choice for binding {binding.name!r}"
                 )
             child = binding.primitive.extract(
-                binding.primitive.generate(choice.base, choice.pattern, choice.wires),
+                binding.primitive.generate(
+                    choice.base, choice.pattern, choice.wires, verify=False
+                ),
                 choice.base,
             ).build_circuit()
 

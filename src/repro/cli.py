@@ -8,6 +8,9 @@ Commands:
   the paper's circuits and print the measured metrics,
 * ``render <primitive>`` — generate a layout variant and write SVG +
   extracted SPICE to disk,
+* ``verify <target>`` — statically verify layouts (DRC + connectivity);
+  target is a primitive, ``all``, or a benchmark circuit.  Exits
+  nonzero when any error-severity violation is found,
 * ``list`` — list the primitive library and the benchmark circuits.
 """
 
@@ -121,6 +124,87 @@ def cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Statically verify layouts: DRC + connectivity (LVS-lite).
+
+    Targets: a library primitive (every sizing variant x feasible
+    pattern, bounded by ``--variants``), ``all`` (every layout-producing
+    primitive), or a benchmark circuit (runs the flow and verifies the
+    assembled placement).  Exits 1 when any error is found — warnings
+    too with ``--strict``.
+    """
+    import json
+
+    from repro.cellgen.patterns import available_patterns
+    from repro.primitives.base import MosPrimitive
+    from repro.verify import verify_layout
+
+    tech = Technology.default()
+    reports = []
+
+    if args.target in CIRCUITS:
+        circuit = _build_circuit(args.target, tech)
+        flow = HierarchicalFlow(tech, n_bins=2, max_wires=args.max_wires)
+        result = flow.run(circuit, flavor=args.flavor, measure=False)
+        assert result.verification is not None
+        reports.append(result.verification)
+    else:
+        library = PrimitiveLibrary()
+        names = library.names() if args.target == "all" else [args.target]
+        for name in names:
+            if name not in library:
+                raise SystemExit(
+                    f"unknown target {name!r}; choose a primitive "
+                    f"(see `repro list`), a circuit "
+                    f"({', '.join(CIRCUITS)}), or 'all'"
+                )
+            try:
+                primitive = library.create(name, tech, base_fins=args.fins)
+            except TypeError:
+                primitive = None
+            if not isinstance(primitive, MosPrimitive):
+                # Passive primitives synthesize netlists, not layouts.
+                if args.target != "all":
+                    raise SystemExit(
+                        f"{name!r} does not generate layouts; nothing to "
+                        f"verify"
+                    )
+                continue
+            for base in primitive.variants()[: args.variants]:
+                matched = list(primitive.matched_group())
+                counts = {
+                    t.name: base.m * t.m_ratio
+                    for t in primitive.templates()
+                    if t.name in matched
+                }
+                for pattern in available_patterns(matched, counts):
+                    layout = primitive.generate(base, pattern, verify=False)
+                    report = verify_layout(
+                        layout, tech, spec=primitive.cell_spec(base)
+                    )
+                    report.target = (
+                        f"{name} ({base.nfin}x{base.nf}x{base.m}, {pattern})"
+                    )
+                    reports.append(report)
+
+    if not reports:
+        raise SystemExit(
+            f"nothing verified for {args.target!r} (check --variants)"
+        )
+    failed = False
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    for report in reports:
+        bad = bool(report.errors) or (args.strict and report.warnings)
+        failed = failed or bad
+        if not args.json:
+            if bad or args.verbose:
+                print(report.render_text(max_per_rule=args.max_per_rule))
+            else:
+                print(report.summary())
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -144,6 +228,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--bins", type=int, default=2)
     p_flow.add_argument("--max-wires", type=int, default=5)
 
+    p_verify = sub.add_parser(
+        "verify", help="statically verify layouts (DRC + connectivity)"
+    )
+    p_verify.add_argument(
+        "target",
+        help="primitive name, circuit name, or 'all'",
+    )
+    p_verify.add_argument("--fins", type=int, default=96)
+    p_verify.add_argument(
+        "--variants",
+        type=int,
+        default=2,
+        help="sizing variants to check per primitive",
+    )
+    p_verify.add_argument(
+        "--flavor",
+        default="conventional",
+        choices=["this_work", "conventional", "manual"],
+        help="flow flavor when verifying a circuit",
+    )
+    p_verify.add_argument("--max-wires", type=int, default=5)
+    p_verify.add_argument(
+        "--strict", action="store_true", help="fail on warnings too"
+    )
+    p_verify.add_argument(
+        "--json", action="store_true", help="emit the reports as JSON"
+    )
+    p_verify.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print full reports even when clean",
+    )
+    p_verify.add_argument("--max-per-rule", type=int, default=5)
+
     p_render = sub.add_parser("render", help="render a primitive layout")
     p_render.add_argument("primitive")
     p_render.add_argument("--fins", type=int, default=96)
@@ -161,6 +279,7 @@ def main(argv: list[str] | None = None) -> int:
         "optimize": cmd_optimize,
         "flow": cmd_flow,
         "render": cmd_render,
+        "verify": cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -181,5 +181,7 @@ class PrimitiveOptimizer:
 
     def _best_circuit(self, primitive, report: OptimizationReport):
         best = report.best
-        layout = primitive.generate(best.base, best.pattern, best.wires)
+        layout = primitive.generate(
+            best.base, best.pattern, best.wires, verify=False
+        )
         return primitive.extract(layout, best.base).build_circuit()

@@ -67,7 +67,9 @@ def evaluate_option(
 ) -> LayoutOption:
     """Generate, extract and score a single layout option."""
     wires = wires or WireConfig()
-    layout = primitive.generate(base, pattern, wires)
+    # Sweep evaluations skip per-variant verification (the optimizer
+    # verifies the options it emits, not every scored candidate).
+    layout = primitive.generate(base, pattern, wires, verify=False)
     circuit = primitive.extract(layout, base).build_circuit()
     values, sims = primitive.evaluate(circuit)
     breakdown = layout_cost(primitive, values, weight_override=weight_override)

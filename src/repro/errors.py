@@ -36,6 +36,19 @@ class DesignRuleError(LayoutError):
     """Raised when a requested geometry violates the technology rules."""
 
 
+class VerificationError(LayoutError):
+    """Raised when static verification (DRC / connectivity) finds errors.
+
+    Carries the offending :class:`~repro.verify.diagnostics.Report` on
+    ``self.report`` when one is available, so callers can inspect the
+    individual violations programmatically.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ExtractionError(ReproError):
     """Raised when parasitic extraction encounters inconsistent geometry."""
 

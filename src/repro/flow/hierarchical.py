@@ -37,10 +37,13 @@ from repro.core.optimizer import OptimizationReport, PrimitiveOptimizer
 from repro.core.port_constraints import GlobalRouteInfo, PortConstraint
 from repro.core.reconcile import ReconciledNet, reconcile_net
 from repro.errors import OptimizationError
+from repro.geometry.layout import Instance
+from repro.geometry.shapes import Point
 from repro.pnr.global_router import GlobalRoute, GlobalRouter
 from repro.pnr.placer import Block, Placement, SaPlacer
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.pdk import Technology
+from repro.verify import Report, verify_assembly, verify_layout
 
 #: Modeled per-simulation wall time (paper Section III-C).
 PAPER_SIM_TIME = 10.0
@@ -63,6 +66,9 @@ class FlowResult:
             detailed-router constraint output of Algorithm 2).
         assembled: The final post-layout netlist.
         metrics: Top-level measurements.
+        verification: Static-verification report over the chosen cell
+            layouts and the assembled placement (None when verification
+            is disabled).
         wall_time: Actual wall-clock seconds of the run.
         modeled_runtime: Paper-style runtime model (10 s per parallel
             simulation batch plus P&R).
@@ -78,6 +84,7 @@ class FlowResult:
     detailed_routes: dict = field(default_factory=dict)
     assembled: Circuit | None = None
     metrics: dict[str, float] = field(default_factory=dict)
+    verification: Report | None = None
     wall_time: float = 0.0
     modeled_runtime: float = 0.0
 
@@ -91,6 +98,11 @@ class HierarchicalFlow:
         max_wires: Sweep bound for tuning and port optimization.
         seed: Placer RNG seed.
         placer_iterations: Annealing iterations.
+        verify: Statically verify the chosen cell layouts and the
+            assembled placement (DRC + connectivity); the report lands on
+            ``FlowResult.verification``.
+        strict: Raise :class:`~repro.errors.VerificationError` when
+            verification finds errors instead of just recording them.
     """
 
     def __init__(
@@ -100,12 +112,16 @@ class HierarchicalFlow:
         max_wires: int = 7,
         seed: int = 1,
         placer_iterations: int = 1500,
+        verify: bool = True,
+        strict: bool = False,
     ):
         self.tech = tech
         self.n_bins = n_bins
         self.max_wires = max_wires
         self.seed = seed
         self.placer_iterations = placer_iterations
+        self.verify = verify
+        self.strict = strict
 
     # -- public entry ------------------------------------------------------
 
@@ -148,6 +164,9 @@ class HierarchicalFlow:
                 )
         else:
             self._port_optimization(result, circuit, bindings, routes)
+
+        if self.verify:
+            self._verify_assembly(result, bindings)
 
         result.assembled = circuit.assembled(result.choices, result.route_budgets)
         if measure:
@@ -222,7 +241,9 @@ class HierarchicalFlow:
                 for opt in report.placer_options():
                     options.append((opt.layout.width, opt.layout.height))
             if not options:
-                layout = primitive.generate(choice.base, choice.pattern, choice.wires)
+                layout = primitive.generate(
+                    choice.base, choice.pattern, choice.wires, verify=False
+                )
                 options = [(layout.width, layout.height)]
             nets = [n for n in binding.port_map.values() if not is_ground(n)]
             blocks.append(Block(name=binding.name, options=options, nets=nets))
@@ -251,7 +272,7 @@ class HierarchicalFlow:
         for binding in bindings:
             choice = result.choices[binding.name]
             layout = binding.primitive.generate(
-                choice.base, choice.pattern, choice.wires
+                choice.base, choice.pattern, choice.wires, verify=False
             )
             sizes[binding.name] = (layout.width, layout.height)
         spacing = 200
@@ -291,7 +312,7 @@ class HierarchicalFlow:
             x, y = placement.positions[binding.name]
             block_opt = result.choices[binding.name]
             layout = binding.primitive.generate(
-                block_opt.base, block_opt.pattern, block_opt.wires
+                block_opt.base, block_opt.pattern, block_opt.wires, verify=False
             )
             cx, cy = x + layout.width // 2, y + layout.height // 2
             for port, net in binding.port_map.items():
@@ -333,7 +354,10 @@ class HierarchicalFlow:
                     constraint = constraint_cache[key]
                 else:
                     dut = primitive.extract(
-                        primitive.generate(choice.base, choice.pattern, choice.wires),
+                        primitive.generate(
+                            choice.base, choice.pattern, choice.wires,
+                            verify=False,
+                        ),
                         choice.base,
                     ).build_circuit()
                     info = routes[net].to_route_info(
@@ -386,6 +410,55 @@ class HierarchicalFlow:
         result.detailed_routes = realize_routes(
             routes, counts, self.tech, matched_pairs
         )
+
+    def _verify_assembly(self, result: FlowResult, bindings) -> None:
+        """Statically verify the chosen cells and their placement.
+
+        Every unique (primitive, sizing, pattern, wires) layout gets a
+        full spec-based DRC + connectivity pass; the placed instances
+        are then checked for overlaps and flattened for a structural
+        pass over the merged geometry (shorts, floating vias).  The
+        merged report lands on ``FlowResult.verification``; in strict
+        mode any error raises.
+        """
+        merged = Report(target=f"{result.circuit_name}:{result.flavor}")
+        layouts: dict[str, object] = {}
+        seen: set[tuple] = set()
+        for binding in bindings:
+            choice = result.choices[binding.name]
+            primitive = binding.primitive
+            layout = primitive.generate(
+                choice.base, choice.pattern, choice.wires, verify=False
+            )
+            layouts[binding.name] = layout
+            key = (
+                primitive.name,
+                choice.base,
+                choice.pattern,
+                repr(choice.wires),
+            )
+            if key not in seen:
+                seen.add(key)
+                spec = primitive.cell_spec(choice.base)
+                merged.merge(verify_layout(layout, self.tech, spec=spec))
+        placement = result.placement
+        if placement is not None:
+            instances = [
+                Instance(
+                    name=binding.name,
+                    layout=layouts[binding.name],
+                    offset=Point(*placement.positions[binding.name]),
+                )
+                for binding in bindings
+            ]
+            merged.merge(
+                verify_assembly(
+                    f"{result.circuit_name}_assembly", instances, self.tech
+                )
+            )
+        result.verification = merged
+        if self.strict:
+            merged.raise_if_errors()
 
     def _model_runtime(self, result: FlowResult) -> float:
         """Paper-style runtime: 10 s per parallel stage plus P&R time."""

@@ -15,6 +15,7 @@ from repro.geometry.layout import (
     Port,
     Via,
     Wire,
+    flatten_instances,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "DevicePlacement",
     "Instance",
     "Layout",
+    "flatten_instances",
 ]

@@ -120,10 +120,17 @@ class Layout:
     metadata: dict = field(default_factory=dict)
 
     def bbox(self) -> Rect:
-        """Bounding box over all shapes."""
+        """Bounding box over all shapes, including via positions.
+
+        Vias are points, so each contributes a degenerate rectangle; a
+        via placed at the cell edge therefore cannot sit outside the
+        reported bounding box even if no wire reaches it.
+        """
         rects = [d.rect for d in self.devices]
         rects += [w.rect for w in self.wires]
         rects += [p.rect for p in self.ports]
+        rects += [Rect(v.position.x, v.position.y, v.position.x, v.position.y)
+                  for v in self.vias]
         if not rects:
             raise LayoutError(f"layout {self.name!r} is empty")
         return bounding_box(rects)
@@ -169,8 +176,14 @@ class Layout:
         return seen
 
     def nets(self) -> list[str]:
-        """All net names referenced by wires or ports, sorted."""
+        """All net names referenced by wires, vias or ports, sorted.
+
+        Vias count: a net carried only by vias (as a corrupted or
+        partially assembled layout can have) must still be visible to
+        extraction and verification.
+        """
         names = {w.net for w in self.wires} | {p.net for p in self.ports}
+        names |= {v.net for v in self.vias}
         return sorted(names)
 
 
@@ -197,3 +210,83 @@ class Instance:
         if self.flipped_x:
             local_x = box.width - local_x
         return Point(self.offset.x + local_x, self.offset.y + (center.y - box.y0))
+
+
+def flatten_instances(
+    name: str,
+    instances: list[Instance],
+    net_map: dict[str, dict[str, str]] | None = None,
+) -> Layout:
+    """Flatten placed instances into one merged :class:`Layout`.
+
+    Every child shape is transformed into parent coordinates (honoring
+    ``flipped_x``) with net names rewritten through ``net_map`` — the
+    per-instance mapping of child net to parent net.  Unmapped nets are
+    prefixed ``"<instance>/<net>"`` so block-local names (two children
+    both calling a net ``"d"``) cannot alias in the parent.
+
+    Args:
+        name: Name of the flattened layout.
+        instances: Placed children.
+        net_map: ``{instance_name: {child_net: parent_net}}``; missing
+            instances or nets fall back to prefixing.
+
+    Returns:
+        A layout with all child devices, wires, vias and ports merged;
+        the well rectangle is the union of the children's wells.
+    """
+    from dataclasses import replace as _replace
+
+    merged = Layout(name=name)
+    net_map = net_map or {}
+    for inst in instances:
+        child = inst.layout
+        box = child.bbox()
+        mapping = net_map.get(inst.name, {})
+
+        def xf_rect(rect: Rect, *, _box=box, _inst=inst) -> Rect:
+            x0, x1 = rect.x0 - _box.x0, rect.x1 - _box.x0
+            if _inst.flipped_x:
+                x0, x1 = _box.width - x1, _box.width - x0
+            return Rect(
+                _inst.offset.x + x0,
+                _inst.offset.y + (rect.y0 - _box.y0),
+                _inst.offset.x + x1,
+                _inst.offset.y + (rect.y1 - _box.y0),
+            )
+
+        def xf_point(p: Point, *, _box=box, _inst=inst) -> Point:
+            x = p.x - _box.x0
+            if _inst.flipped_x:
+                x = _box.width - x
+            return Point(_inst.offset.x + x, _inst.offset.y + (p.y - _box.y0))
+
+        def xf_net(net: str, *, _inst=inst, _mapping=mapping) -> str:
+            return _mapping.get(net, f"{_inst.name}/{net}")
+
+        for dev in child.devices:
+            merged.devices.append(
+                _replace(dev, device=f"{inst.name}/{dev.device}",
+                         rect=xf_rect(dev.rect))
+            )
+        for wire in child.wires:
+            owner = f"{inst.name}/{wire.owner}" if wire.owner else ""
+            merged.wires.append(
+                _replace(wire, net=xf_net(wire.net), rect=xf_rect(wire.rect),
+                         owner=owner)
+            )
+        for via in child.vias:
+            merged.vias.append(
+                _replace(via, net=xf_net(via.net),
+                         position=xf_point(via.position))
+            )
+        for port in child.ports:
+            merged.ports.append(
+                _replace(port, net=xf_net(port.net), rect=xf_rect(port.rect))
+            )
+        if child.well_rect is not None:
+            well = xf_rect(child.well_rect)
+            merged.well_rect = (
+                well if merged.well_rect is None else merged.well_rect.union(well)
+            )
+    return merged

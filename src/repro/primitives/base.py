@@ -19,7 +19,7 @@ consume only this interface.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.cellgen.generator import CellDevice, CellSpec, WireConfig, generate_layout
@@ -182,17 +182,32 @@ class MosPrimitive(ABC):
         base: MosGeometry,
         pattern: str,
         wires: WireConfig | None = None,
+        verify: bool | None = None,
+        strict: bool = False,
     ) -> Layout:
-        """Generate one layout variant."""
-        return generate_layout(self.cell_spec(base), pattern, self.tech, wires)
+        """Generate one layout variant.
+
+        ``verify``/``strict`` are forwarded to
+        :func:`~repro.cellgen.generator.generate_layout`: by default the
+        emitted layout carries its static-verification report in
+        ``metadata["verification"]``.
+        """
+        return generate_layout(
+            self.cell_spec(base), pattern, self.tech, wires,
+            verify=verify, strict=strict,
+        )
 
     def extract(self, layout: Layout, base: MosGeometry) -> ExtractedPrimitive:
         """Extract a generated layout."""
         return extract_primitive(layout, self.cell_spec(base), self.tech)
 
     def layout_circuit(self, base: MosGeometry, pattern: str, wires=None) -> Circuit:
-        """Generate + extract + build the post-layout netlist in one call."""
-        layout = self.generate(base, pattern, wires)
+        """Generate + extract + build the post-layout netlist in one call.
+
+        Skips per-layout verification: the caller wants the netlist, not
+        the layout, and the emitted-layout paths verify separately.
+        """
+        layout = self.generate(base, pattern, wires, verify=False)
         return self.extract(layout, base).build_circuit()
 
     # -- netlists -----------------------------------------------------------

@@ -1,0 +1,314 @@
+"""Connectivity verification (LVS-lite) over generated layouts.
+
+Builds a *net graph* from the layout geometry — wires merge where they
+touch on the same conducting plane, vias merge the wires they land on,
+ports merge with the metal under them — and then checks, statically:
+
+* every device terminal's contact stubs carry the net the schematic
+  (the :class:`~repro.cellgen.generator.CellSpec`) says they should,
+  and reach that net's port geometry (``CONN-TERM-*``),
+* every net is electrically contiguous: one island per net, no floating
+  metal (``CONN-FLOAT-NET``),
+* no two distinct nets short: wires of different nets never overlap on
+  the same conducting plane (``CONN-SHORT``),
+* ports sit on metal of their own net (``CONN-PORT-OPEN``).
+
+The graph reuses the overlap predicates of
+:mod:`repro.geometry.shapes`: same-net wires connect when their closed
+rectangles intersect (touching edges conduct); different-net wires short
+only when open interiors overlap (shared edges are legal abutment).
+Gate-contact stubs occupy their own plane (see
+:func:`repro.verify.drc.is_gate_stub`), so a gate stub crossing a
+source/drain bar is a contact tower, not a short.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.geometry.layout import Layout, Wire
+from repro.tech.pdk import Technology
+from repro.verify.diagnostics import Report
+from repro.verify.drc import iter_close_pairs, wire_plane
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cellgen.generator import CellSpec
+
+
+class NetGraph:
+    """Union-find over a layout's conducting shapes.
+
+    Nodes are wires (by index), vias (by index) and ports (by index).
+    Only same-net shapes are merged — shorts between different nets are
+    detected geometrically, not through the graph — so each net's
+    components are its electrical islands.
+    """
+
+    def __init__(self, layout: Layout):
+        self.layout = layout
+        self._parent: dict[tuple[str, int], tuple[str, int]] = {}
+        self._wires_by_net_layer: dict[tuple[str, str], list[int]] = {}
+        # Plain coordinate tuples per wire: the landing/touch scans are
+        # hot and dataclass property access dominates them otherwise.
+        self._coords: list[tuple[int, int, int, int]] = []
+        for index, wire in enumerate(layout.wires):
+            self._wires_by_net_layer.setdefault(
+                (wire.net, wire.layer), []
+            ).append(index)
+            rect = wire.rect
+            self._coords.append((rect.x0, rect.y0, rect.x1, rect.y1))
+        self._build()
+
+    # -- union-find ------------------------------------------------------
+
+    def find(self, node: tuple[str, int]) -> tuple[str, int]:
+        parent = self._parent
+        parent.setdefault(node, node)
+        root = node
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def union(self, a: tuple[str, int], b: tuple[str, int]) -> None:
+        self._parent[self.find(a)] = self.find(b)
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self) -> None:
+        # Union argument order matters below: the second argument's root
+        # wins, so merged components are always rooted at a *wire* node.
+        # ``find(("v", i)) == ("v", i)`` therefore means "never touched
+        # any wire", which the floating-via/port checks rely on.
+        layout = self.layout
+        coords = self._coords
+        # Same-net wires on the same layer connect where they touch.
+        for indices in self._wires_by_net_layer.values():
+            spans = sorted((coords[i], i) for i in indices)
+            for a, (ca, i) in enumerate(spans):
+                x1a = ca[2]
+                for cb, j in spans[a + 1:]:
+                    if cb[0] > x1a:
+                        break
+                    if cb[1] <= ca[3] and ca[1] <= cb[3]:
+                        self.union(("w", i), ("w", j))
+        # Vias connect the same-net wires they land on, across planes.
+        for v_index, via in enumerate(layout.vias):
+            self.find(("v", v_index))
+            px, py = via.position.x, via.position.y
+            for side in (via.lower_layer, via.upper_layer):
+                for w_index in self._wires_by_net_layer.get(
+                    (via.net, side), ()
+                ):
+                    x0, y0, x1, y1 = coords[w_index]
+                    if x0 <= px <= x1 and y0 <= py <= y1:
+                        self.union(("v", v_index), ("w", w_index))
+        # Ports connect to the metal of their net on their layer.
+        for p_index, port in enumerate(layout.ports):
+            self.find(("p", p_index))
+            rect = port.rect
+            for w_index in self._wires_by_net_layer.get(
+                (port.net, port.layer), ()
+            ):
+                x0, y0, x1, y1 = coords[w_index]
+                if (
+                    x0 <= rect.x1
+                    and rect.x0 <= x1
+                    and y0 <= rect.y1
+                    and rect.y0 <= y1
+                ):
+                    self.union(("p", p_index), ("w", w_index))
+
+    # -- queries ---------------------------------------------------------
+
+    def wire_indices(self, net: str) -> list[int]:
+        """Indices of all wires on ``net``."""
+        return [
+            i
+            for (n, _layer), idxs in self._wires_by_net_layer.items()
+            if n == net
+            for i in idxs
+        ]
+
+    def net_islands(self, net: str) -> list[set[int]]:
+        """The net's wire indices grouped into connected islands."""
+        groups: dict[tuple[str, int], set[int]] = {}
+        for index in self.wire_indices(net):
+            groups.setdefault(self.find(("w", index)), set()).add(index)
+        return list(groups.values())
+
+    def connected(self, a: tuple[str, int], b: tuple[str, int]) -> bool:
+        """True when two nodes are in the same electrical island."""
+        return self.find(a) == self.find(b)
+
+
+# ---------------------------------------------------------------------------
+# checks
+# ---------------------------------------------------------------------------
+
+
+def _check_shorts(report: Report, layout: Layout) -> None:
+    by_plane: dict[tuple[str, str], list[Wire]] = {}
+    for wire in layout.wires:
+        by_plane.setdefault(wire_plane(wire), []).append(wire)
+    for (layer, _level), wires in by_plane.items():
+        triples = [(0, w.rect, w) for w in wires]
+        for wire_a, wire_b, rect_a, rect_b in iter_close_pairs(triples, 0):
+            if wire_a.net == wire_b.net:
+                continue
+            if rect_a.overlaps(rect_b):
+                report.add(
+                    "CONN-SHORT",
+                    "error",
+                    f"nets {wire_a.net!r} and {wire_b.net!r} short on "
+                    f"{layer}",
+                    subject=f"{wire_a.net}/{wire_b.net}",
+                    rect=rect_a,
+                )
+
+
+def _check_islands(report: Report, layout: Layout, graph: NetGraph) -> None:
+    for net in sorted({w.net for w in layout.wires}):
+        islands = graph.net_islands(net)
+        if len(islands) > 1:
+            sizes = sorted((len(island) for island in islands), reverse=True)
+            smallest = min(islands, key=len)
+            anchor = layout.wires[next(iter(smallest))]
+            report.add(
+                "CONN-FLOAT-NET",
+                "error",
+                f"net {net!r} is split into {len(islands)} disconnected "
+                f"islands (sizes {sizes})",
+                subject=net,
+                rect=anchor.rect,
+            )
+
+
+def _check_vias_float(report: Report, layout: Layout, graph: NetGraph) -> None:
+    for index, via in enumerate(layout.vias):
+        root = graph.find(("v", index))
+        if root == ("v", index):
+            # Never merged with any wire: the via conducts nothing.
+            report.add(
+                "CONN-VIA-FLOAT",
+                "error",
+                f"via on net {via.net!r} "
+                f"({via.lower_layer}-{via.upper_layer}) touches no metal "
+                f"of its net",
+                subject=via.net,
+                location=via.position,
+            )
+
+
+def _check_ports(report: Report, layout: Layout, graph: NetGraph) -> None:
+    for index, port in enumerate(layout.ports):
+        if graph.find(("p", index)) == ("p", index):
+            report.add(
+                "CONN-PORT-OPEN",
+                "error",
+                f"port on net {port.net!r} touches no {port.layer} metal "
+                f"of its net",
+                subject=port.net,
+                rect=port.rect,
+            )
+
+
+def _check_terminals(
+    report: Report, layout: Layout, graph: NetGraph, spec: "CellSpec"
+) -> None:
+    stubs_by_owner: dict[str, list[int]] = {}
+    for index, wire in enumerate(layout.wires):
+        if wire.role == "finger_stub" and wire.owner:
+            stubs_by_owner.setdefault(wire.owner, []).append(index)
+    port_index = {port.net: i for i, port in enumerate(layout.ports)}
+
+    for dev in spec.devices:
+        for terminal in ("d", "g", "s"):
+            expected = dev.terminals[terminal]
+            owner = f"{dev.name}.{terminal}"
+            stubs = stubs_by_owner.get(owner, [])
+            if not stubs:
+                report.add(
+                    "CONN-TERM-MISSING",
+                    "error",
+                    f"terminal {owner} has no contact stubs in the layout",
+                    subject=owner,
+                )
+                continue
+            wrong = [
+                i for i in stubs if layout.wires[i].net != expected
+            ]
+            if wrong:
+                found = sorted({layout.wires[i].net for i in wrong})
+                report.add(
+                    "CONN-TERM-NET",
+                    "error",
+                    f"terminal {owner} is wired to net(s) {found}, "
+                    f"schematic says {expected!r}",
+                    subject=owner,
+                    rect=layout.wires[wrong[0]].rect,
+                )
+                continue
+            if expected in port_index:
+                target = ("p", port_index[expected])
+                unreached = [
+                    i for i in stubs if not graph.connected(("w", i), target)
+                ]
+                if unreached:
+                    report.add(
+                        "CONN-TERM-UNREACHED",
+                        "error",
+                        f"{len(unreached)} of {len(stubs)} stubs of "
+                        f"terminal {owner} do not reach the {expected!r} "
+                        f"port",
+                        subject=owner,
+                        rect=layout.wires[unreached[0]].rect,
+                    )
+
+    for net in spec.port_nets:
+        has_wires = any(w.net == net for w in layout.wires)
+        if has_wires and net not in port_index:
+            report.add(
+                "CONN-PORT-MISSING",
+                "warning",
+                f"spec port net {net!r} is wired but has no port shape",
+                subject=net,
+            )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def run_connectivity(
+    layout: Layout,
+    tech: Technology,
+    spec: "CellSpec | None" = None,
+) -> Report:
+    """Run the connectivity (LVS-lite) checks on one layout.
+
+    Args:
+        layout: The layout to check.
+        tech: Technology node (reserved for layer-aware extensions; the
+            connectivity model itself is purely geometric).
+        spec: When given, terminal wiring is verified against the
+            schematic (``CONN-TERM-*`` checks); without it only the
+            structural checks run (islands, shorts, ports, vias).
+
+    Returns:
+        A :class:`Report` with the violations found.
+    """
+    del tech  # geometric checks only, kept for signature symmetry
+    report = Report(target=layout.name)
+    report.checked_shapes = (
+        len(layout.wires) + len(layout.vias) + len(layout.ports)
+    )
+    graph = NetGraph(layout)
+    _check_shorts(report, layout)
+    _check_islands(report, layout, graph)
+    _check_vias_float(report, layout, graph)
+    _check_ports(report, layout, graph)
+    if spec is not None:
+        _check_terminals(report, layout, graph, spec)
+    return report

@@ -1,0 +1,221 @@
+"""Verification diagnostics: violations and reports.
+
+Every check in :mod:`repro.verify.drc` and
+:mod:`repro.verify.connectivity` emits :class:`Violation` records with a
+stable rule ID (``DRC-...`` / ``CONN-...``), a severity, the offending
+shape's location, and a human-readable message.  A :class:`Report`
+aggregates them and renders either plain text (for the CLI) or JSON (for
+tooling).
+
+Severity semantics:
+
+* ``"error"`` — the layout is wrong: a rule derived from the technology
+  is violated, or the geometry does not implement the schematic
+  connectivity.  ``repro verify`` exits nonzero on any error.
+* ``"warning"`` — the layout is suspicious but not provably broken under
+  the generator's geometry abstractions (e.g. a via chain landing on one
+  layer only).  Warnings never fail a strict verification.
+
+See ``docs/verification.md`` for the full rule-ID catalog.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import VerificationError
+from repro.geometry.shapes import Point, Rect
+
+#: Valid severities, in increasing order of badness.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation found by a static check.
+
+    Attributes:
+        rule: Stable rule identifier, e.g. ``"DRC-FIN-PITCH"`` or
+            ``"CONN-FLOAT-NET"``.
+        severity: ``"error"`` or ``"warning"``.
+        message: Human-readable description of what is wrong.
+        layout: Name of the layout the violation was found in.
+        subject: The offending object: a net, device, port or layer name.
+        location: Representative point of the offending geometry, if any.
+        rect: Offending rectangle, if the violation has an extent.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    layout: str = ""
+    subject: str = ""
+    location: Point | None = None
+    rect: Rect | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise VerificationError(
+                f"violation severity must be one of {SEVERITIES}, "
+                f"got {self.severity!r}"
+            )
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def render(self) -> str:
+        """One-line text rendering: ``ERROR DRC-X [cell/net] message @ (x, y)``."""
+        where = ""
+        if self.location is not None:
+            where = f" @ ({self.location.x}, {self.location.y})"
+        elif self.rect is not None:
+            where = (
+                f" @ ({self.rect.x0}, {self.rect.y0})"
+                f"..({self.rect.x1}, {self.rect.y1})"
+            )
+        context = "/".join(p for p in (self.layout, self.subject) if p)
+        context = f" [{context}]" if context else ""
+        return f"{self.severity.upper():7s} {self.rule}{context} {self.message}{where}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        out: dict = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.layout:
+            out["layout"] = self.layout
+        if self.subject:
+            out["subject"] = self.subject
+        if self.location is not None:
+            out["location"] = [self.location.x, self.location.y]
+        if self.rect is not None:
+            out["rect"] = [self.rect.x0, self.rect.y0, self.rect.x1, self.rect.y1]
+        return out
+
+
+@dataclass
+class Report:
+    """Aggregated verification results for one layout (or one run).
+
+    Attributes:
+        target: What was verified (layout or run name).
+        violations: All violations, in discovery order.
+        checked_shapes: Number of shapes the checks covered (devices +
+            wires + vias + ports); a coverage indicator for reports.
+    """
+
+    target: str = ""
+    violations: list[Violation] = field(default_factory=list)
+    checked_shapes: int = 0
+
+    def add(
+        self,
+        rule: str,
+        severity: str,
+        message: str,
+        *,
+        layout: str = "",
+        subject: str = "",
+        location: Point | None = None,
+        rect: Rect | None = None,
+    ) -> Violation:
+        """Record a violation and return it."""
+        violation = Violation(
+            rule=rule,
+            severity=severity,
+            message=message,
+            layout=layout or self.target,
+            subject=subject,
+            location=location,
+            rect=rect,
+        )
+        self.violations.append(violation)
+        return violation
+
+    def merge(self, other: "Report") -> "Report":
+        """Fold another report's findings into this one (in place)."""
+        self.violations.extend(other.violations)
+        self.checked_shapes += other.checked_shapes
+        return self
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations if v.is_error]
+
+    @property
+    def warnings(self) -> list[Violation]:
+        return [v for v in self.violations if not v.is_error]
+
+    @property
+    def ok(self) -> bool:
+        """True when the report has no errors (warnings are allowed)."""
+        return not self.errors
+
+    def rules_hit(self) -> list[str]:
+        """Sorted unique rule IDs present in the report."""
+        return sorted({v.rule for v in self.violations})
+
+    def count(self, rule: str) -> int:
+        """Number of violations of one rule."""
+        return sum(1 for v in self.violations if v.rule == rule)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Violation count per rule ID, sorted by rule."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> str:
+        """One-line status: ``<target>: CLEAN|n error(s), m warning(s)``."""
+        name = self.target or "verification"
+        if not self.violations:
+            return f"{name}: CLEAN ({self.checked_shapes} shapes checked)"
+        return (
+            f"{name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+
+    def render_text(self, max_per_rule: int | None = None) -> str:
+        """Multi-line text report: summary, then violations grouped by rule.
+
+        Args:
+            max_per_rule: Cap the listed violations per rule (the count
+                line always reports the true total).
+        """
+        lines = [self.summary()]
+        by_rule: dict[str, list[Violation]] = {}
+        for violation in self.violations:
+            by_rule.setdefault(violation.rule, []).append(violation)
+        for rule in sorted(by_rule):
+            group = by_rule[rule]
+            lines.append(f"  {rule}: {len(group)}")
+            shown = group if max_per_rule is None else group[:max_per_rule]
+            for violation in shown:
+                lines.append(f"    {violation.render()}")
+            if max_per_rule is not None and len(group) > max_per_rule:
+                lines.append(f"    ... {len(group) - max_per_rule} more")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the whole report."""
+        return {
+            "target": self.target,
+            "ok": self.ok,
+            "checked_shapes": self.checked_shapes,
+            "counts": self.counts_by_rule(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def render_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`VerificationError` if the report has errors."""
+        if not self.ok:
+            raise VerificationError(self.render_text(max_per_rule=5), report=self)

@@ -1,0 +1,410 @@
+"""Design-rule checks over generated layouts.
+
+A pure static-analysis pass: every check walks :class:`~repro.geometry.
+layout.Layout` shapes and tests an invariant derivable from the
+technology's :class:`~repro.tech.rules.DesignRules` and metal stack.  No
+simulation, no extraction.
+
+Gridded-FinFET invariants checked here:
+
+* device active areas sit on the fin/poly pitch grid and match the
+  footprint formulas in :mod:`repro.tech.rules`,
+* no two active areas overlap,
+* wires meet their layer's minimum width, and routing wires of different
+  nets keep the layer's minimum spacing (``pitch - min_width``),
+* vias join adjacent metals with at least one cut and land on same-net
+  metal,
+* the well encloses every device by the well-enclosure rule,
+* ports lie inside the cell and reference real metal layers.
+
+Two geometry conventions of the cell generator are deliberately
+tolerated (see ``docs/verification.md`` for the rationale):
+
+* **Finger stubs** (``role == "finger_stub"``) are device-level contact
+  bars locked to the poly grid; their mutual spacing is set by the
+  contacted poly pitch, not the M1 routing rule, so the wire-spacing
+  check skips stub pairs (the grid itself is checked by
+  ``DRC-POLY-PITCH``).
+* **Via chains** may land on one metal only (``DRC-VIA-ENCLOSURE`` is a
+  warning): the generator stacks redundant cuts at every strap crossing
+  and relies on the rail mesh for the return path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.geometry.layout import DevicePlacement, Layout, Wire
+from repro.geometry.shapes import Rect
+from repro.tech.pdk import Technology
+from repro.verify.diagnostics import Report
+
+
+def iter_close_pairs(
+    rects: list[tuple[int, Rect, object]], margin: int
+) -> Iterator[tuple[object, object, Rect, Rect]]:
+    """Yield payload pairs whose rectangles come within ``margin`` (nm).
+
+    A plane-sweep over x: rectangles are sorted by ``x0`` and each is
+    compared only against neighbours whose x-extents overlap within the
+    margin, which keeps dense same-layer checks near-linear for the
+    row-structured layouts the generator emits.
+
+    Args:
+        rects: ``(sort_ignored, rect, payload)`` triples.
+        margin: Maximum separation (in both axes) for a pair to be
+            reported; ``0`` reports touching or overlapping pairs only.
+    """
+    items = sorted(rects, key=lambda t: t[1].x0)
+    for i, (_, rect_a, pay_a) in enumerate(items):
+        limit = rect_a.x1 + margin
+        for _, rect_b, pay_b in items[i + 1:]:
+            if rect_b.x0 > limit:
+                break
+            if rect_b.y0 - rect_a.y1 <= margin and rect_a.y0 - rect_b.y1 <= margin:
+                yield pay_a, pay_b, rect_a, rect_b
+
+
+def rect_gap(a: Rect, b: Rect) -> int:
+    """Axis separation between two rectangles (nm); negative on overlap."""
+    dx = max(a.x0 - b.x1, b.x0 - a.x1)
+    dy = max(a.y0 - b.y1, b.y0 - a.y1)
+    return max(dx, dy)
+
+
+def is_gate_stub(wire: Wire) -> bool:
+    """True for gate-contact stubs, which sit on their own conducting plane.
+
+    The generator models gate contacts as ``finger_stub`` wires on
+    ``"M1"`` owned by a ``.g`` terminal; physically they are contact
+    towers over the gate, one level apart from the source/drain trench
+    contacts, so they neither short nor connect to s/d stubs by overlap.
+    """
+    return wire.role == "finger_stub" and wire.owner.endswith(".g")
+
+
+def wire_plane(wire: Wire) -> tuple[str, str]:
+    """The conducting plane a wire occupies: ``(layer, level)``."""
+    return (wire.layer, "gate" if is_gate_stub(wire) else "metal")
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_device_grid(
+    report: Report,
+    devices: Iterable[DevicePlacement],
+    tech: Technology,
+    absolute_grid: bool = True,
+) -> None:
+    rules = tech.rules
+    for dev in devices:
+        subject = f"{dev.device}[{dev.unit_index}]"
+        if dev.rect.height != dev.nfin * rules.fin_pitch:
+            report.add(
+                "DRC-FIN-PITCH",
+                "error",
+                f"active height {dev.rect.height}nm is off the fin grid "
+                f"(expected {dev.nfin} fins x {rules.fin_pitch}nm "
+                f"= {dev.nfin * rules.fin_pitch}nm)",
+                subject=subject,
+                rect=dev.rect,
+            )
+        if dev.rect.width != dev.nf * rules.poly_pitch:
+            report.add(
+                "DRC-POLY-PITCH",
+                "error",
+                f"active width {dev.rect.width}nm is off the poly grid "
+                f"(expected {dev.nf} fingers x {rules.poly_pitch}nm "
+                f"= {dev.nf * rules.poly_pitch}nm)",
+                subject=subject,
+                rect=dev.rect,
+            )
+        elif (
+            absolute_grid
+            and (dev.rect.x0 - rules.diffusion_extension) % rules.poly_pitch
+        ):
+            report.add(
+                "DRC-POLY-PITCH",
+                "error",
+                f"active x0={dev.rect.x0}nm is not on the poly pitch grid "
+                f"(offset {rules.diffusion_extension}nm, "
+                f"pitch {rules.poly_pitch}nm)",
+                subject=subject,
+                rect=dev.rect,
+            )
+        expected = rules.finger_footprint(
+            dev.nf, with_dummies=dev.dummy_fingers > 0
+        )
+        actual = (
+            dev.rect.width
+            + 2 * dev.dummy_fingers * rules.poly_pitch
+            + 2 * rules.diffusion_extension
+        )
+        if dev.rect.width == dev.nf * rules.poly_pitch and actual != expected:
+            report.add(
+                "DRC-FINGER-FOOTPRINT",
+                "error",
+                f"unit footprint {actual}nm does not match "
+                f"finger_footprint({dev.nf}) = {expected}nm "
+                f"({dev.dummy_fingers} dummy fingers placed, "
+                f"{rules.dummy_fingers} required)",
+                subject=subject,
+                rect=dev.rect,
+            )
+
+
+def _check_active_overlap(
+    report: Report, devices: list[DevicePlacement]
+) -> None:
+    triples = [(0, d.rect, d) for d in devices]
+    for dev_a, dev_b, rect_a, rect_b in iter_close_pairs(triples, 0):
+        if rect_a.overlaps(rect_b):
+            report.add(
+                "DRC-ACTIVE-OVERLAP",
+                "error",
+                f"active areas of {dev_a.device}[{dev_a.unit_index}] and "
+                f"{dev_b.device}[{dev_b.unit_index}] overlap",
+                subject=dev_a.device,
+                rect=rect_a,
+            )
+
+
+def _check_wires(report: Report, layout: Layout, tech: Technology) -> None:
+    stack = tech.stack
+    by_layer: dict[str, list[Wire]] = {}
+    for wire in layout.wires:
+        try:
+            layer = stack.metal(wire.layer)
+        except Exception:
+            report.add(
+                "DRC-LAYER-UNKNOWN",
+                "error",
+                f"wire on unknown layer {wire.layer!r}",
+                subject=wire.net,
+                rect=wire.rect,
+            )
+            continue
+        if wire.width < layer.min_width:
+            report.add(
+                "DRC-WIRE-WIDTH",
+                "error",
+                f"{wire.layer} wire is {wire.width}nm wide, minimum is "
+                f"{layer.min_width}nm",
+                subject=wire.net,
+                rect=wire.rect,
+            )
+        by_layer.setdefault(wire.layer, []).append(wire)
+
+    # Spacing between routing wires of different nets.  Device-level
+    # finger stubs are excluded: their pitch is the contacted poly pitch,
+    # already enforced by DRC-POLY-PITCH.
+    for name, wires in by_layer.items():
+        layer = stack.metal(name)
+        spacing = layer.pitch - layer.min_width
+        routing = [
+            (0, w.rect, w) for w in wires if w.role != "finger_stub"
+        ]
+        for wire_a, wire_b, rect_a, rect_b in iter_close_pairs(
+            routing, max(spacing - 1, 0)
+        ):
+            if wire_a.net == wire_b.net:
+                continue
+            gap = rect_gap(rect_a, rect_b)
+            if 0 <= gap < spacing:
+                report.add(
+                    "DRC-WIRE-SPACING",
+                    "error",
+                    f"{name} wires on nets {wire_a.net!r} and "
+                    f"{wire_b.net!r} are {gap}nm apart, minimum spacing "
+                    f"is {spacing}nm",
+                    subject=f"{wire_a.net}/{wire_b.net}",
+                    rect=rect_a,
+                )
+
+
+def _check_vias(report: Report, layout: Layout, tech: Technology) -> None:
+    stack = tech.stack
+    # Plain coordinate tuples: the landing scan is the hottest loop in
+    # the whole pass and dataclass property access dominates it.
+    wires_at: dict[tuple[str, str], list[tuple[int, int, int, int]]] = {}
+    for wire in layout.wires:
+        rect = wire.rect
+        wires_at.setdefault((wire.net, wire.layer), []).append(
+            (rect.x0, rect.y0, rect.x1, rect.y1)
+        )
+
+    for via in layout.vias:
+        subject = f"{via.net}:{via.lower_layer}-{via.upper_layer}"
+        try:
+            lower = stack.metal(via.lower_layer)
+            upper = stack.metal(via.upper_layer)
+        except Exception:
+            report.add(
+                "DRC-VIA-STACK",
+                "error",
+                f"via references unknown layer pair "
+                f"({via.lower_layer!r}, {via.upper_layer!r})",
+                subject=subject,
+                location=via.position,
+            )
+            continue
+        if upper.index - lower.index != 1:
+            report.add(
+                "DRC-VIA-STACK",
+                "error",
+                f"via joins non-adjacent metals {via.lower_layer} "
+                f"(index {lower.index}) and {via.upper_layer} "
+                f"(index {upper.index})",
+                subject=subject,
+                location=via.position,
+            )
+        if via.cuts < 1:
+            report.add(
+                "DRC-VIA-CUTS",
+                "error",
+                f"via has {via.cuts} cuts, need at least 1",
+                subject=subject,
+                location=via.position,
+            )
+        px, py = via.position.x, via.position.y
+        for side in (via.lower_layer, via.upper_layer):
+            landings = wires_at.get((via.net, side), ())
+            if not any(
+                x0 <= px <= x1 and y0 <= py <= y1
+                for x0, y0, x1, y1 in landings
+            ):
+                report.add(
+                    "DRC-VIA-ENCLOSURE",
+                    "warning",
+                    f"via is not enclosed by {side} metal on net "
+                    f"{via.net!r}",
+                    subject=subject,
+                    location=via.position,
+                )
+
+
+def _check_well(report: Report, layout: Layout, tech: Technology) -> None:
+    if not layout.devices:
+        return
+    well = layout.well_rect
+    if well is None:
+        report.add(
+            "DRC-WELL-MISSING",
+            "warning",
+            "layout places devices but has no well rectangle",
+            subject=layout.name,
+        )
+        return
+    margin = tech.rules.well_enclosure
+    for dev in layout.devices:
+        rect = dev.rect
+        if (
+            rect.x0 - well.x0 < margin
+            or well.x1 - rect.x1 < margin
+            or rect.y0 - well.y0 < margin
+            or well.y1 - rect.y1 < margin
+        ):
+            report.add(
+                "DRC-WELL-ENCLOSURE",
+                "error",
+                f"well encloses {dev.device}[{dev.unit_index}] by less "
+                f"than {margin}nm",
+                subject=dev.device,
+                rect=rect,
+            )
+
+
+def _check_ports(report: Report, layout: Layout, tech: Technology) -> None:
+    if not layout.ports:
+        return
+    core_rects = [d.rect for d in layout.devices] + [w.rect for w in layout.wires]
+    core: Rect | None = None
+    for rect in core_rects:
+        core = rect if core is None else core.union(rect)
+    for port in layout.ports:
+        try:
+            tech.stack.metal(port.layer)
+        except Exception:
+            report.add(
+                "DRC-LAYER-UNKNOWN",
+                "error",
+                f"port on unknown layer {port.layer!r}",
+                subject=port.net,
+                rect=port.rect,
+            )
+            continue
+        if core is not None and not (
+            core.x0 <= port.rect.x0
+            and port.rect.x1 <= core.x1
+            and core.y0 <= port.rect.y0
+            and port.rect.y1 <= core.y1
+        ):
+            report.add(
+                "DRC-PORT-BBOX",
+                "error",
+                f"port on net {port.net!r} lies outside the cell "
+                f"geometry bounding box",
+                subject=port.net,
+                rect=port.rect,
+            )
+
+
+def check_instance_overlaps(report: Report, instances: list) -> None:
+    """Flag placed instances whose bounding boxes overlap.
+
+    ``instances`` are :class:`~repro.geometry.layout.Instance` records;
+    the check runs in parent coordinates via ``placed_bbox``.
+    """
+    triples = [(0, inst.placed_bbox(), inst) for inst in instances]
+    for inst_a, inst_b, rect_a, rect_b in iter_close_pairs(triples, 0):
+        if rect_a.overlaps(rect_b):
+            report.add(
+                "DRC-PLACE-OVERLAP",
+                "error",
+                f"placed instances {inst_a.name!r} and {inst_b.name!r} "
+                f"overlap",
+                subject=inst_a.name,
+                rect=rect_a,
+            )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def run_drc(
+    layout: Layout, tech: Technology, absolute_grid: bool = True
+) -> Report:
+    """Run every design-rule check on one layout.
+
+    Args:
+        layout: The layout to check (a primitive cell or a flattened
+            block).
+        tech: The technology whose rules the layout must satisfy.
+        absolute_grid: Check device x-origins against the absolute poly
+            grid.  Flattened assemblies pass ``False``: placement
+            translates each child by an arbitrary offset, so the x-grid
+            phase is a cell-internal property already verified per child
+            (every translation-invariant check still runs).
+
+    Returns:
+        A :class:`Report` with one violation per broken rule instance.
+    """
+    report = Report(target=layout.name)
+    report.checked_shapes = (
+        len(layout.devices) + len(layout.wires) + len(layout.vias)
+        + len(layout.ports)
+    )
+    _check_device_grid(
+        report, layout.devices, tech, absolute_grid=absolute_grid
+    )
+    _check_active_overlap(report, layout.devices)
+    _check_wires(report, layout, tech)
+    _check_vias(report, layout, tech)
+    _check_well(report, layout, tech)
+    _check_ports(report, layout, tech)
+    return report

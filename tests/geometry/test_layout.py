@@ -12,6 +12,7 @@ from repro.geometry import (
     Rect,
     Via,
     Wire,
+    flatten_instances,
 )
 
 
@@ -80,6 +81,21 @@ def test_nets_listing():
     assert lay.nets() == ["out"]
 
 
+def test_nets_include_via_only_nets():
+    lay = make_layout()
+    lay.vias.append(Via("orphan", "M2", "M3", Point(500, 500)))
+    assert lay.nets() == ["orphan", "out"]
+
+
+def test_bbox_includes_via_positions():
+    lay = make_layout()
+    base = lay.bbox()
+    lay.vias.append(Via("out", "M1", "M2", Point(base.x1 + 400, 0)))
+    grown = lay.bbox()
+    assert grown.x1 == base.x1 + 400
+    assert grown.y0 == base.y0
+
+
 def test_instance_placed_bbox():
     lay = make_layout()
     inst = Instance("x1", lay, Point(1000, 2000))
@@ -117,3 +133,49 @@ def test_layout_metadata_free_form():
     lay = Layout(name="m")
     lay.metadata["pattern"] = "ABBA"
     assert lay.metadata["pattern"] == "ABBA"
+
+
+def test_flatten_translates_and_prefixes():
+    lay = make_layout()
+    flat = flatten_instances(
+        "top",
+        [
+            Instance("x1", lay, Point(0, 0)),
+            Instance("x2", lay, Point(5000, 0)),
+        ],
+    )
+    assert len(flat.devices) == 2 * len(lay.devices)
+    assert len(flat.wires) == 2 * len(lay.wires)
+    assert len(flat.vias) == 2 * len(lay.vias)
+    # Unmapped nets get instance prefixes so children cannot alias.
+    assert sorted(flat.nets()) == ["x1/out", "x2/out"]
+    assert flat.devices[0].device == "x1/MA"
+    second = flat.devices[len(lay.devices)]
+    assert second.rect.x0 == lay.devices[0].rect.x0 + 5000
+
+
+def test_flatten_net_map_merges_onto_parent_net():
+    lay = make_layout()
+    flat = flatten_instances(
+        "top",
+        [
+            Instance("x1", lay, Point(0, 0)),
+            Instance("x2", lay, Point(5000, 0)),
+        ],
+        net_map={"x1": {"out": "bus"}, "x2": {"out": "bus"}},
+    )
+    assert flat.nets() == ["bus"]
+
+
+def test_flatten_mirrors_flipped_instances():
+    lay = make_layout()
+    plain = flatten_instances("p", [Instance("a", lay, Point(0, 0))])
+    mirrored = flatten_instances(
+        "m", [Instance("a", lay, Point(0, 0), flipped_x=True)]
+    )
+    width = lay.bbox().width
+    rect = plain.devices[0].rect
+    mrect = mirrored.devices[0].rect
+    assert mrect.x0 == width - rect.x1
+    assert mrect.x1 == width - rect.x0
+    assert mrect.y0 == rect.y0

@@ -1,0 +1,39 @@
+"""Fixtures for the static-verification tests.
+
+One small differential pair is generated once per session; seeded-
+violation tests copy it before corrupting it.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.primitives import DifferentialPair
+
+
+@pytest.fixture(scope="session")
+def dp_primitive(tech):
+    return DifferentialPair(tech, base_fins=96, name="vdp")
+
+
+@pytest.fixture(scope="session")
+def dp_base(dp_primitive):
+    return dp_primitive.variants()[0]
+
+
+@pytest.fixture(scope="session")
+def dp_spec(dp_primitive, dp_base):
+    return dp_primitive.cell_spec(dp_base)
+
+
+@pytest.fixture(scope="session")
+def _dp_layout(dp_primitive, dp_base):
+    return dp_primitive.generate(dp_base, "ABAB", verify=False)
+
+
+@pytest.fixture
+def dp_layout(_dp_layout):
+    """A fresh, mutable copy of the clean differential-pair layout."""
+    return copy.deepcopy(_dp_layout)

@@ -1,0 +1,128 @@
+"""Seeded connectivity (LVS-lite) violations must surface exact rule IDs."""
+
+from dataclasses import replace
+
+from repro.geometry import Point, Rect, Via, Wire
+from repro.verify import NetGraph, run_connectivity
+
+
+def _stub_indices(layout, owner):
+    return [
+        i for i, w in enumerate(layout.wires)
+        if w.role == "finger_stub" and w.owner == owner
+    ]
+
+
+def test_clean_layout_has_no_connectivity_errors(dp_layout, dp_spec, tech):
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert not report.errors
+
+
+def test_short_between_nets_flagged(dp_layout, dp_spec, tech):
+    # Lay a foreign-net wire straight across an existing strap.
+    strap = next(w for w in dp_layout.wires if w.role == "strap")
+    dp_layout.wires.append(
+        Wire("intruder", strap.layer, strap.rect.translated(0, 0))
+    )
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-SHORT") >= 1
+
+
+def test_touching_same_net_wires_do_not_short(dp_layout, dp_spec, tech):
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-SHORT") == 0
+
+
+def test_floating_island_flagged(dp_layout, dp_spec, tech):
+    # A same-net wire far away from the rest of the net.
+    net = dp_layout.wires[0].net
+    dp_layout.wires.append(Wire(net, "M2", Rect(50000, 50000, 50500, 50032)))
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-FLOAT-NET") == 1
+    offender = next(v for v in report.violations if v.rule == "CONN-FLOAT-NET")
+    assert offender.subject == net
+
+
+def test_floating_via_flagged(dp_layout, dp_spec, tech):
+    dp_layout.vias.append(Via("nowhere", "M1", "M2", Point(77777, 77777)))
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-VIA-FLOAT") == 1
+
+
+def test_port_off_metal_flagged(dp_layout, dp_spec, tech):
+    port = dp_layout.ports[0]
+    dp_layout.ports[0] = replace(port, rect=port.rect.translated(10**6, 10**6))
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-PORT-OPEN") == 1
+
+
+def test_terminal_rewired_to_wrong_net_flagged(dp_layout, dp_spec, tech):
+    owner = f"{dp_spec.devices[0].name}.d"
+    index = _stub_indices(dp_layout, owner)[0]
+    dp_layout.wires[index] = replace(dp_layout.wires[index], net="hijacked")
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-TERM-NET") == 1
+    offender = next(v for v in report.violations if v.rule == "CONN-TERM-NET")
+    assert offender.subject == owner
+
+
+def test_terminal_with_no_stubs_flagged(dp_layout, dp_spec, tech):
+    owner = f"{dp_spec.devices[0].name}.g"
+    doomed = set(_stub_indices(dp_layout, owner))
+    assert doomed
+    dp_layout.wires = [
+        w for i, w in enumerate(dp_layout.wires) if i not in doomed
+    ]
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-TERM-MISSING") == 1
+
+
+def test_stub_cut_off_from_port_flagged(dp_layout, dp_spec, tech):
+    # Strand one drain stub on its own island: move it far away but keep
+    # its net label, so the net splits and the stub can't reach the port.
+    dev = dp_spec.devices[0]
+    owner = f"{dev.name}.d"
+    expected = dev.terminals["d"]
+    if expected not in {p.net for p in dp_layout.ports}:
+        expected = None
+    index = _stub_indices(dp_layout, owner)[0]
+    wire = dp_layout.wires[index]
+    dp_layout.wires[index] = replace(
+        wire, rect=wire.rect.translated(10**6, 10**6)
+    )
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-FLOAT-NET") >= 1
+    if expected is not None:
+        assert report.count("CONN-TERM-UNREACHED") == 1
+
+
+def test_wired_spec_port_net_without_port_shape_warns(dp_layout, dp_spec, tech):
+    target = dp_layout.ports[0].net
+    dp_layout.ports = [p for p in dp_layout.ports if p.net != target]
+    report = run_connectivity(dp_layout, tech, spec=dp_spec)
+    assert report.count("CONN-PORT-MISSING") == 1
+    warning = next(
+        v for v in report.violations if v.rule == "CONN-PORT-MISSING"
+    )
+    assert not warning.is_error
+
+
+def test_structural_checks_run_without_spec(dp_layout, tech):
+    report = run_connectivity(dp_layout, tech)
+    assert not report.errors
+    assert report.count("CONN-TERM-MISSING") == 0
+
+
+def test_netgraph_islands_and_connected(dp_layout):
+    graph = NetGraph(dp_layout)
+    net = dp_layout.ports[0].net
+    assert len(graph.net_islands(net)) == 1
+    indices = graph.wire_indices(net)
+    assert graph.connected(("w", indices[0]), ("w", indices[-1]))
+
+
+def test_netgraph_via_lands_on_both_layers(dp_layout):
+    graph = NetGraph(dp_layout)
+    for index, via in enumerate(dp_layout.vias[:10]):
+        root = graph.find(("v", index))
+        assert root != ("v", index)  # every generator via touches metal

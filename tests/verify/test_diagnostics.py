@@ -1,0 +1,120 @@
+"""Violation records and report aggregation."""
+
+import json
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.geometry import Point, Rect
+from repro.verify import Report, Violation
+
+
+def test_violation_render_mentions_everything():
+    v = Violation(
+        rule="DRC-FIN-PITCH",
+        severity="error",
+        message="bad height",
+        layout="cell",
+        subject="MA[0]",
+        location=Point(10, 20),
+    )
+    text = v.render()
+    assert "ERROR" in text
+    assert "DRC-FIN-PITCH" in text
+    assert "cell/MA[0]" in text
+    assert "@ (10, 20)" in text
+
+
+def test_violation_rect_location_fallback():
+    v = Violation("CONN-SHORT", "error", "m", rect=Rect(1, 2, 3, 4))
+    assert "(1, 2)..(3, 4)" in v.render()
+
+
+def test_violation_rejects_unknown_severity():
+    with pytest.raises(VerificationError):
+        Violation("DRC-X", "fatal", "nope")
+
+
+def test_violation_to_dict_omits_empty_fields():
+    d = Violation("DRC-X", "warning", "msg").to_dict()
+    assert d == {"rule": "DRC-X", "severity": "warning", "message": "msg"}
+
+
+def test_report_add_stamps_target_as_layout():
+    report = Report(target="cell")
+    v = report.add("DRC-X", "error", "msg")
+    assert v.layout == "cell"
+    assert report.violations == [v]
+
+
+def test_report_partitions_errors_and_warnings():
+    report = Report()
+    report.add("A", "error", "m")
+    report.add("B", "warning", "m")
+    report.add("A", "error", "m")
+    assert len(report.errors) == 2
+    assert len(report.warnings) == 1
+    assert not report.ok
+    assert report.rules_hit() == ["A", "B"]
+    assert report.count("A") == 2
+    assert report.counts_by_rule() == {"A": 2, "B": 1}
+
+
+def test_report_ok_with_only_warnings():
+    report = Report()
+    report.add("B", "warning", "m")
+    assert report.ok
+
+
+def test_report_merge_accumulates():
+    a = Report(target="a", checked_shapes=3)
+    a.add("X", "error", "m")
+    b = Report(target="b", checked_shapes=4)
+    b.add("Y", "warning", "m")
+    a.merge(b)
+    assert a.checked_shapes == 7
+    assert a.rules_hit() == ["X", "Y"]
+
+
+def test_summary_clean_and_dirty():
+    clean = Report(target="t", checked_shapes=9)
+    assert "CLEAN" in clean.summary()
+    assert "9 shapes" in clean.summary()
+    dirty = Report(target="t")
+    dirty.add("X", "error", "m")
+    assert "1 error(s)" in dirty.summary()
+
+
+def test_render_text_caps_per_rule():
+    report = Report(target="t")
+    for _ in range(7):
+        report.add("X", "error", "m")
+    text = report.render_text(max_per_rule=2)
+    assert "X: 7" in text
+    assert "... 5 more" in text
+    assert text.count("ERROR") == 2
+
+
+def test_render_json_roundtrips():
+    report = Report(target="t", checked_shapes=1)
+    report.add("X", "error", "m", rect=Rect(0, 0, 1, 1))
+    data = json.loads(report.render_json())
+    assert data["target"] == "t"
+    assert data["ok"] is False
+    assert data["counts"] == {"X": 1}
+    assert data["violations"][0]["rect"] == [0, 0, 1, 1]
+
+
+def test_raise_if_errors_carries_report():
+    report = Report(target="t")
+    report.add("X", "error", "m")
+    with pytest.raises(VerificationError) as excinfo:
+        report.raise_if_errors()
+    assert excinfo.value.report is report
+    assert "X" in str(excinfo.value)
+
+
+def test_raise_if_errors_noop_when_clean():
+    report = Report(target="t")
+    report.add("X", "warning", "m")
+    report.raise_if_errors()

@@ -1,0 +1,125 @@
+"""Verification wired into the generator, the flow and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import VerificationError
+from repro.flow import HierarchicalFlow
+from repro.geometry import Instance, Point
+from repro.verify import Report, verify_assembly, verify_layout
+
+
+def test_generator_attaches_report_by_default(dp_primitive, dp_base):
+    layout = dp_primitive.generate(dp_base, "ABAB")
+    report = layout.metadata["verification"]
+    assert isinstance(report, Report)
+    assert report.ok
+
+
+def test_generator_verify_false_skips(dp_primitive, dp_base):
+    layout = dp_primitive.generate(dp_base, "ABAB", verify=False)
+    assert "verification" not in layout.metadata
+
+
+def test_generator_strict_passes_on_clean(dp_primitive, dp_base):
+    layout = dp_primitive.generate(dp_base, "ABAB", strict=True)
+    assert layout.metadata["verification"].ok
+
+
+def test_verify_layout_strict_raises_on_seeded_error(dp_layout, tech):
+    from dataclasses import replace
+
+    dev = dp_layout.devices[0]
+    dp_layout.devices[0] = replace(dev, rect=dev.rect.translated(7, 0))
+    with pytest.raises(VerificationError) as excinfo:
+        verify_layout(dp_layout, tech, strict=True)
+    assert "DRC-POLY-PITCH" in str(excinfo.value)
+    assert excinfo.value.report is not None
+
+
+def test_verify_assembly_clean_when_disjoint(dp_layout, tech):
+    instances = [
+        Instance("a", dp_layout, Point(0, 0)),
+        Instance("b", dp_layout, Point(dp_layout.width + 1000, 0)),
+    ]
+    report = verify_assembly("pair", instances, tech)
+    assert report.ok
+
+
+def test_verify_assembly_flags_overlap(dp_layout, tech):
+    instances = [
+        Instance("a", dp_layout, Point(0, 0)),
+        Instance("b", dp_layout, Point(40, 40)),
+    ]
+    report = verify_assembly("pair", instances, tech)
+    assert report.count("DRC-PLACE-OVERLAP") == 1
+    assert not report.ok
+
+
+@pytest.fixture(scope="module")
+def csamp_result(tech):
+    from repro.circuits.csamp import CommonSourceAmpCircuit
+
+    flow = HierarchicalFlow(tech, placer_iterations=150, strict=True)
+    return flow.run(
+        CommonSourceAmpCircuit(tech), flavor="conventional", measure=False
+    )
+
+
+def test_flow_populates_verification(csamp_result):
+    report = csamp_result.verification
+    assert isinstance(report, Report)
+    assert report.ok  # strict=True above: errors would have raised
+    assert report.checked_shapes > 0
+
+
+def test_flow_verify_disabled(tech):
+    from repro.circuits.csamp import CommonSourceAmpCircuit
+
+    flow = HierarchicalFlow(tech, placer_iterations=150, verify=False)
+    result = flow.run(
+        CommonSourceAmpCircuit(tech), flavor="conventional", measure=False
+    )
+    assert result.verification is None
+
+
+def test_cli_verify_primitive_exits_zero(capsys):
+    assert main(["verify", "diode_load", "--fins", "48",
+                 "--variants", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "diode_load" in out
+    assert "error(s)" in out or "CLEAN" in out
+
+
+def test_cli_verify_json_output(capsys):
+    assert main(["verify", "diode_load", "--fins", "48",
+                 "--variants", "1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data and all(d["ok"] for d in data)
+    assert all("counts" in d for d in data)
+
+
+def test_cli_verify_strict_fails_on_warnings(capsys):
+    # Every generated cell carries via-enclosure warnings by design, so
+    # --strict must flip the exit code and print the report.
+    assert main(["verify", "diode_load", "--fins", "48",
+                 "--variants", "1", "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "DRC-VIA-ENCLOSURE" in out
+
+
+def test_cli_verify_circuit_exits_zero(capsys):
+    assert main(["verify", "csamp"]) == 0
+    assert "cs_amplifier" in capsys.readouterr().out
+
+
+def test_cli_verify_unknown_target_exits_nonzero():
+    with pytest.raises(SystemExit):
+        main(["verify", "no_such_thing"])
+
+
+def test_cli_verify_passive_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["verify", "capacitor"])
