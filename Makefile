@@ -1,12 +1,24 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test bench bench-light bench-heavy examples lint verify all
+.PHONY: install test faults bench bench-light bench-heavy examples lint verify all
 
 install:
 	pip install -e . --no-build-isolation
 
+# Per-test wall-clock ceiling: applied when pytest-timeout is available
+# (installed via the [test] extra in CI); skipped silently otherwise so
+# a bare local environment can still run the suite.
+TIMEOUT_FLAG := $(shell python -c "import pytest_timeout" 2>/dev/null && echo --timeout=300)
+
 test:
-	pytest tests/ -q
+	pytest tests/ -q $(TIMEOUT_FLAG)
+
+# Fault-injection sweep: the runtime tests re-run under every seed in the
+# matrix, exercising injected DC/transient/singular/metric failures.
+REPRO_FAULT_SEEDS ?= 0,1,2,3
+
+faults:
+	REPRO_FAULT_SEEDS=$(REPRO_FAULT_SEEDS) pytest tests/runtime/ -q $(TIMEOUT_FLAG)
 
 # Static checks.  ruff/mypy are dev-only tools (installed in CI); when a
 # local environment lacks one, that half is skipped rather than failing.

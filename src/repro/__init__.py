@@ -25,6 +25,15 @@ from repro.tech import Technology
 from repro.primitives import PrimitiveLibrary
 from repro.core import PrimitiveOptimizer, GlobalRouteInfo
 from repro.flow import FlowResult, HierarchicalFlow
+from repro.runtime import (
+    EvalFailure,
+    EvalRuntime,
+    FailureLog,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    SweepJournal,
+)
 from repro.verify import Report, Violation, verify_layout
 
 __version__ = "1.0.0"
@@ -36,6 +45,13 @@ __all__ = [
     "GlobalRouteInfo",
     "HierarchicalFlow",
     "FlowResult",
+    "EvalFailure",
+    "EvalRuntime",
+    "FailureLog",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "SweepJournal",
     "Report",
     "Violation",
     "verify_layout",

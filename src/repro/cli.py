@@ -3,9 +3,11 @@
 Commands:
 
 * ``optimize <primitive>`` — run Algorithm 1 on a library primitive and
-  print the binned/tuned options,
+  print the binned/tuned options; ``--run-dir``/``--resume`` checkpoint
+  the sweep so a killed run restarts without re-simulating,
 * ``flow <circuit> [--flavor ...]`` — run the hierarchical flow on one of
-  the paper's circuits and print the measured metrics,
+  the paper's circuits and print the measured metrics (same
+  checkpointing flags),
 * ``render <primitive>`` — generate a layout variant and write SVG +
   extracted SPICE to disk,
 * ``verify <target>`` — statically verify layouts (DRC + connectivity);
@@ -55,12 +57,32 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_from_args(args: argparse.Namespace):
+    from repro.runtime import RetryPolicy
+
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_retries=(
+            args.retries if args.retries is not None else defaults.max_retries
+        ),
+        deadline_s=args.deadline,
+    )
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     """Run Algorithm 1 on a library primitive and print the options."""
     tech = Technology.default()
     library = PrimitiveLibrary()
     primitive = library.create(args.primitive, tech, base_fins=args.fins)
-    optimizer = PrimitiveOptimizer(n_bins=args.bins, max_wires=args.max_wires)
+    if args.resume and not args.run_dir:
+        raise SystemExit("--resume requires --run-dir")
+    optimizer = PrimitiveOptimizer(
+        n_bins=args.bins,
+        max_wires=args.max_wires,
+        policy=_policy_from_args(args),
+        run_dir=args.run_dir,
+        resume=args.resume,
+    )
     report = optimizer.optimize(primitive)
     rows = []
     for result in report.tuned:
@@ -81,6 +103,10 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             f"{report.total_simulations} simulations",
         )
     )
+    if report.cached_evaluations:
+        print(f"resumed: {report.cached_evaluations} evaluations from checkpoint")
+    if report.failures:
+        print(f"absorbed: {report.failures.summary()}")
     return 0
 
 
@@ -88,7 +114,16 @@ def cmd_flow(args: argparse.Namespace) -> int:
     """Run the hierarchical flow on a benchmark circuit."""
     tech = Technology.default()
     circuit = _build_circuit(args.circuit, tech)
-    flow = HierarchicalFlow(tech, n_bins=args.bins, max_wires=args.max_wires)
+    if args.resume and not args.run_dir:
+        raise SystemExit("--resume requires --run-dir")
+    flow = HierarchicalFlow(
+        tech,
+        n_bins=args.bins,
+        max_wires=args.max_wires,
+        policy=_policy_from_args(args),
+        run_dir=args.run_dir,
+        resume=args.resume,
+    )
     measure = args.circuit != "vco"  # the VCO needs a control sweep
     result = flow.run(circuit, flavor=args.flavor, measure=measure)
     print(f"{args.circuit} / {args.flavor}: "
@@ -99,6 +134,8 @@ def cmd_flow(args: argparse.Namespace) -> int:
     if result.reconciled:
         print("  reconciled routes: "
               + ", ".join(f"{n}={r.wires}" for n, r in result.reconciled.items()))
+    if result.failures:
+        print(f"  absorbed: {result.failures.summary()}")
     return 0
 
 
@@ -212,11 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list primitives and circuits")
 
+    def add_runtime_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--run-dir",
+            default=None,
+            help="directory for sweep-checkpoint journals",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume from the journals in --run-dir",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            help="retries per failed evaluation",
+        )
+        p.add_argument(
+            "--deadline",
+            type=float,
+            default=None,
+            help="per-evaluation wall-clock deadline (seconds)",
+        )
+
     p_opt = sub.add_parser("optimize", help="run Algorithm 1 on a primitive")
     p_opt.add_argument("primitive")
     p_opt.add_argument("--fins", type=int, default=96)
     p_opt.add_argument("--bins", type=int, default=3)
     p_opt.add_argument("--max-wires", type=int, default=5)
+    add_runtime_args(p_opt)
 
     p_flow = sub.add_parser("flow", help="run the hierarchical flow")
     p_flow.add_argument("circuit", choices=sorted(CIRCUITS))
@@ -227,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_flow.add_argument("--bins", type=int, default=2)
     p_flow.add_argument("--max-wires", type=int, default=5)
+    add_runtime_args(p_flow)
 
     p_verify = sub.add_parser(
         "verify", help="statically verify layouts (DRC + connectivity)"

@@ -10,7 +10,9 @@ stage costs one simulation wall-time; the effective runtime is
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.port_constraints import (
     GlobalRouteInfo,
@@ -25,6 +27,7 @@ from repro.core.selection import (
 from repro.core.tuning import TuningResult, tune_option
 from repro.devices.mosfet import MosGeometry
 from repro.errors import OptimizationError
+from repro.runtime import EvalRuntime, FailureLog, RetryPolicy, SweepJournal
 
 #: Wall time the paper attributes to one primitive simulation (seconds).
 PAPER_SIM_TIME = 10.0
@@ -54,6 +57,10 @@ class OptimizationReport:
         tuned: Tuning results, parallel to ``selected``.
         port_constraints: Per-net constraints from Algorithm 2 step 1.
         stages: Simulation counts per stage (Table V rows).
+        failures: Absorbed evaluation failures of the run (see
+            :mod:`repro.runtime`).
+        cached_evaluations: Evaluations answered from a checkpoint
+            journal without re-simulating (resume bookkeeping).
     """
 
     primitive_name: str
@@ -62,6 +69,8 @@ class OptimizationReport:
     tuned: list[TuningResult] = field(default_factory=list)
     port_constraints: dict[str, PortConstraint] = field(default_factory=dict)
     stages: list[StageCount] = field(default_factory=list)
+    failures: FailureLog = field(default_factory=FailureLog)
+    cached_evaluations: int = 0
 
     @property
     def best(self) -> LayoutOption:
@@ -70,7 +79,10 @@ class OptimizationReport:
             return min((t.option for t in self.tuned), key=lambda o: o.cost)
         if self.selected:
             return min(self.selected, key=lambda o: o.cost)
-        raise OptimizationError("report has no options")
+        detail = f" ({self.failures.summary()})" if self.failures else ""
+        raise OptimizationError(
+            f"report has no options{detail}", failures=self.failures
+        )
 
     @property
     def total_simulations(self) -> int:
@@ -102,6 +114,13 @@ class OptimizationReport:
             lines.append(
                 f"  port {net}: [{constraint.w_min}, {upper}] parallel routes"
             )
+        if self.failures:
+            lines.append(f"  {self.failures.summary()}")
+        if self.cached_evaluations:
+            lines.append(
+                f"  resumed: {self.cached_evaluations} evaluations from "
+                f"checkpoint"
+            )
         return "\n".join(lines)
 
 
@@ -113,6 +132,12 @@ class PrimitiveOptimizer:
         max_wires: Upper bound for tuning and port-constraint sweeps.
         weight_override: Optional per-metric weight replacement (ablation
             and what-if studies).
+        policy: Retry/budget policy for simulation failures (defaults to
+            :class:`~repro.runtime.RetryPolicy`).
+        run_dir: Directory for sweep-checkpoint journals; evaluations are
+            journaled to ``<run_dir>/<primitive>.jsonl`` so a crashed
+            sweep can resume.  None disables checkpointing.
+        resume: Replay an existing journal instead of starting fresh.
     """
 
     def __init__(
@@ -120,10 +145,25 @@ class PrimitiveOptimizer:
         n_bins: int = 3,
         max_wires: int = 8,
         weight_override: dict[str, float] | None = None,
+        policy: RetryPolicy | None = None,
+        run_dir: str | os.PathLike | None = None,
+        resume: bool = False,
     ):
         self.n_bins = n_bins
         self.max_wires = max_wires
         self.weight_override = weight_override
+        self.policy = policy
+        self.run_dir = run_dir
+        self.resume = resume
+
+    def _runtime_for(self, primitive) -> EvalRuntime:
+        journal = None
+        if self.run_dir is not None:
+            journal = SweepJournal(
+                Path(self.run_dir) / f"{primitive.name}.jsonl",
+                resume=self.resume,
+            )
+        return EvalRuntime(policy=self.policy, journal=journal)
 
     def optimize(
         self,
@@ -132,9 +172,45 @@ class PrimitiveOptimizer:
         patterns: list[str] | None = None,
         routes: list[GlobalRouteInfo] | None = None,
         tune: bool = True,
+        runtime: EvalRuntime | None = None,
     ) -> OptimizationReport:
-        """Run Algorithm 1 (and Algorithm 2 step 1 when routes given)."""
-        report = OptimizationReport(primitive_name=primitive.name)
+        """Run Algorithm 1 (and Algorithm 2 step 1 when routes given).
+
+        Simulation failures never abort the run directly: they are
+        retried, then absorbed (failed options dropped, failed tuning
+        points scored ``inf``, fully-failed ports unconstrained) and
+        recorded on ``report.failures``.  The only raise is
+        :class:`~repro.errors.OptimizationError` when zero selection
+        options survive.
+        """
+        owns_runtime = runtime is None
+        if owns_runtime:
+            runtime = self._runtime_for(primitive)
+        try:
+            return self._optimize(
+                primitive, runtime, variants, patterns, routes, tune
+            )
+        finally:
+            if owns_runtime and runtime.journal is not None:
+                runtime.journal.close()
+
+    def _optimize(
+        self,
+        primitive,
+        runtime: EvalRuntime,
+        variants,
+        patterns,
+        routes,
+        tune: bool,
+    ) -> OptimizationReport:
+        report = OptimizationReport(
+            primitive_name=primitive.name, failures=runtime.failures
+        )
+
+        # Stage 0: the schematic reference everything is scored against.
+        # Journaled so a resumed run does not re-simulate it, and granted
+        # extra retries — without it no option can be costed at all.
+        self._schematic_reference(primitive, runtime)
 
         # Stage 1: primitive selection.
         report.options = evaluate_options(
@@ -142,6 +218,7 @@ class PrimitiveOptimizer:
             variants=variants,
             patterns=patterns,
             weight_override=self.weight_override,
+            runtime=runtime,
         )
         selection_sims = sum(o.simulations for o in report.options)
         report.selected = select_best_per_bin(report.options, self.n_bins)
@@ -156,6 +233,7 @@ class PrimitiveOptimizer:
                     option,
                     max_wires=self.max_wires,
                     weight_override=self.weight_override,
+                    runtime=runtime,
                 )
                 tuning_sims += result.simulations
                 report.tuned.append(result)
@@ -172,12 +250,39 @@ class PrimitiveOptimizer:
                     route,
                     max_wires=self.max_wires,
                     weight_override=self.weight_override,
+                    runtime=runtime,
                 )
                 port_sims += sims
                 report.port_constraints[route.net] = constraint
             report.stages.append(StageCount("port_constraints", port_sims))
 
+        report.cached_evaluations = runtime.cache_hits
         return report
+
+    def _schematic_reference(self, primitive, runtime: EvalRuntime) -> None:
+        """Evaluate (or restore) the primitive's schematic reference."""
+        policy = runtime.policy
+        ref = runtime.evaluate(
+            f"ref:{primitive.name}",
+            lambda: primitive.schematic_reference(),
+            stage="reference",
+            to_payload=lambda values: {
+                "values": dict(values),
+                "simulations": primitive._reference_sims,
+            },
+            from_payload=lambda payload: payload,
+            retries=max(policy.max_retries, 3),
+        )
+        if ref is None:
+            raise OptimizationError(
+                f"{primitive.name}: schematic reference evaluation failed "
+                f"({runtime.failures.summary()})",
+                failures=runtime.failures,
+            )
+        if isinstance(ref, dict) and "values" in ref:
+            primitive.set_schematic_reference(
+                ref["values"], int(ref.get("simulations", 0))
+            )
 
     def _best_circuit(self, primitive, report: OptimizationReport):
         best = report.best

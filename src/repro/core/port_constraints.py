@@ -14,9 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import math
+
 from repro.core.cost import layout_cost
 from repro.core.tuning import SweepPoint
 from repro.errors import OptimizationError
+from repro.runtime import EvalRuntime
 from repro.spice.netlist import Circuit
 from repro.tech.pdk import Technology
 
@@ -136,19 +139,73 @@ def derive_port_constraint(
     route: GlobalRouteInfo,
     max_wires: int = 8,
     weight_override: dict[str, float] | None = None,
+    runtime: EvalRuntime | None = None,
 ) -> tuple[PortConstraint, int]:
     """Sweep parallel routes at one port and derive ``[w_min, w_max]``.
 
     Returns the constraint and the number of simulations used.
+
+    Failed sweep points are absorbed (recorded on ``runtime.failures``)
+    and excluded from the curve; when *every* point fails, the port
+    degrades to the unconstrained default ``[1, inf)`` so the flow can
+    proceed with a single route.
     """
+    runtime = runtime if runtime is not None else EvalRuntime()
     sweep: list[SweepPoint] = []
     simulations = 0
+
+    def eval_point(n: int) -> tuple[dict[str, float], float, int] | None:
+        def thunk() -> tuple[dict[str, float], float, int]:
+            wrapped = attach_route(dut, route, primitive.tech, n)
+            values, sims = primitive.evaluate(wrapped)
+            breakdown = layout_cost(
+                primitive, values, weight_override=weight_override
+            )
+            return values, breakdown.cost, sims
+
+        return runtime.evaluate(
+            f"port:{primitive.name}:{route.net}:{n}",
+            thunk,
+            stage="port_constraints",
+            validate=lambda r: (
+                None
+                if all(math.isfinite(v) for v in r[0].values())
+                and math.isfinite(r[1])
+                else "non-finite port-sweep metrics"
+            ),
+            to_payload=lambda r: {
+                "values": dict(r[0]),
+                "cost": r[1],
+                "simulations": r[2],
+            },
+            from_payload=lambda p: (
+                {k: float(v) for k, v in p["values"].items()},
+                float(p["cost"]),
+                int(p.get("simulations", 0)),
+            ),
+        )
+
     for n in range(1, max_wires + 1):
-        wrapped = attach_route(dut, route, primitive.tech, n)
-        values, sims = primitive.evaluate(wrapped)
+        point = eval_point(n)
+        if point is None:
+            continue
+        values, cost, sims = point
         simulations += sims
-        breakdown = layout_cost(primitive, values, weight_override=weight_override)
-        sweep.append(SweepPoint(n, breakdown.cost, values))
+        sweep.append(SweepPoint(n, cost, values))
+
+    if not sweep:
+        # Every point failed: degrade to the unconstrained default so the
+        # flow can still route the net with one wire.
+        return (
+            PortConstraint(
+                primitive_name=primitive.name,
+                net=route.net,
+                w_min=1,
+                w_max=None,
+                sweep=[],
+            ),
+            simulations,
+        )
 
     costs = [p.cost for p in sweep]
     w_max: int | None = None

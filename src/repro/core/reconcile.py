@@ -85,7 +85,16 @@ def reconcile_net(
     if lo > hi:
         lo, hi = hi, lo
 
-    evaluator = cost_at or (lambda c, w: c.cost_at(w))
+    def journaled_cost(c: PortConstraint, w: int) -> float:
+        # A failed sweep point leaves a gap in the explored range; score
+        # it inf so the gap search simply avoids it instead of aborting
+        # the whole reconciliation.
+        try:
+            return c.cost_at(w)
+        except OptimizationError:
+            return float("inf")
+
+    evaluator = cost_at or journaled_cost
     gap_costs: dict[int, float] = {}
     extra = 0
     for wires in range(lo, hi + 1):

@@ -9,6 +9,7 @@ ratio and the cheapest option per bin is handed to the placer.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.cellgen.generator import WireConfig
@@ -18,6 +19,7 @@ from repro.core.cost import CostBreakdown, layout_cost
 from repro.devices.mosfet import MosGeometry
 from repro.errors import LayoutError, OptimizationError
 from repro.geometry.layout import Layout
+from repro.runtime import EvalRuntime
 
 
 @dataclass
@@ -58,6 +60,66 @@ class LayoutOption:
         )
 
 
+def wires_tag(wires: WireConfig | None) -> str:
+    """Stable serialization of a wire configuration for evaluation keys."""
+    if wires is None or (not wires.parallel and not wires.dummies):
+        return "-"
+    parts = ",".join(f"{net}={n}" for net, n in sorted(wires.parallel.items()))
+    return (parts or "-") + ("+dummies" if wires.dummies else "")
+
+
+def option_key(
+    stage_tag: str, base: MosGeometry, pattern: str, wires: WireConfig | None
+) -> str:
+    """Stable journal/injection key for one (sizing, pattern, wires) option."""
+    return (
+        f"{stage_tag}:{base.nfin}x{base.nf}x{base.m}:{pattern}:{wires_tag(wires)}"
+    )
+
+
+def option_error(option: LayoutOption) -> str | None:
+    """BAD-METRIC validator: non-None when an option's numbers are poisoned."""
+    bad = sorted(
+        name
+        for name, value in option.values.items()
+        if not math.isfinite(value)
+    )
+    if bad:
+        return f"non-finite metric values: {', '.join(bad)}"
+    if not math.isfinite(option.cost):
+        return f"non-finite cost {option.cost!r}"
+    return None
+
+
+def option_payload(option: LayoutOption) -> dict:
+    """Journal payload of a completed option evaluation (values only —
+    the layout regenerates deterministically without simulation)."""
+    return {"values": dict(option.values), "simulations": option.simulations}
+
+
+def restore_option(
+    primitive,
+    payload: dict,
+    base: MosGeometry,
+    pattern: str,
+    wires: WireConfig,
+    weight_override: dict[str, float] | None,
+) -> LayoutOption:
+    """Rebuild a journaled option without re-running its testbenches."""
+    layout = primitive.generate(base, pattern, wires, verify=False)
+    values = {name: float(v) for name, v in payload["values"].items()}
+    breakdown = layout_cost(primitive, values, weight_override=weight_override)
+    return LayoutOption(
+        base=base,
+        pattern=pattern,
+        layout=layout,
+        values=values,
+        breakdown=breakdown,
+        simulations=int(payload.get("simulations", 0)),
+        wires=wires,
+    )
+
+
 def evaluate_option(
     primitive,
     base: MosGeometry,
@@ -90,6 +152,7 @@ def evaluate_options(
     patterns: list[str] | None = None,
     wires: WireConfig | None = None,
     weight_override: dict[str, float] | None = None,
+    runtime: EvalRuntime | None = None,
 ) -> list[LayoutOption]:
     """Evaluate all requested (sizing x pattern) layout options.
 
@@ -97,7 +160,13 @@ def evaluate_options(
     primitive's fin budget; ``patterns`` defaults to every pattern
     feasible for the matched group at each multiplicity.  Infeasible
     combinations are skipped silently (e.g. ABBA at odd ratioed counts).
+
+    Simulation failures (non-convergence, singular systems, NaN metrics,
+    deadline overruns) are absorbed by the ``runtime``: the failed option
+    is dropped from the sweep and recorded on ``runtime.failures``.  The
+    sweep raises only when *zero* options survive.
     """
+    runtime = runtime if runtime is not None else EvalRuntime()
     variants = variants if variants is not None else primitive.variants()
     options: list[LayoutOption] = []
     matched = list(primitive.matched_group())
@@ -112,17 +181,36 @@ def evaluate_options(
         else:
             todo = patterns
         for pattern in todo:
+            key = option_key("sel", base, pattern, wires)
             try:
-                options.append(
-                    evaluate_option(
+                option = runtime.evaluate(
+                    key,
+                    lambda base=base, pattern=pattern: evaluate_option(
                         primitive, base, pattern, wires, weight_override
-                    )
+                    ),
+                    stage="selection",
+                    validate=option_error,
+                    to_payload=option_payload,
+                    from_payload=lambda payload, base=base, pattern=pattern: (
+                        restore_option(
+                            primitive,
+                            payload,
+                            base,
+                            pattern,
+                            wires or WireConfig(),
+                            weight_override,
+                        )
+                    ),
                 )
             except LayoutError:
                 continue
+            if option is not None:
+                options.append(option)
     if not options:
         raise OptimizationError(
-            f"{primitive.name}: no feasible layout options"
+            f"{primitive.name}: no feasible layout options "
+            f"({runtime.failures.summary()})",
+            failures=runtime.failures,
         )
     return options
 

@@ -13,12 +13,21 @@ uncommon, so the joint grid stays small).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from itertools import product
 
 from repro.cellgen.generator import WireConfig
-from repro.core.selection import LayoutOption, evaluate_option
+from repro.core.selection import (
+    LayoutOption,
+    evaluate_option,
+    option_error,
+    option_key,
+    option_payload,
+    restore_option,
+)
 from repro.errors import OptimizationError
+from repro.runtime import EvalRuntime
 
 
 @dataclass
@@ -69,6 +78,14 @@ def choose_stop_point(costs: list[float]) -> tuple[int, str]:
     """
     if not costs:
         raise OptimizationError("empty cost curve")
+    finite = [i for i in range(len(costs)) if math.isfinite(costs[i])]
+    if not finite:
+        raise OptimizationError("every point of the cost curve failed")
+    if len(finite) < len(costs):
+        # Failed (inf-scored) points break the curve shape; settle for
+        # the cheapest surviving point rather than reading curvature
+        # through the gaps.
+        return (min(finite, key=lambda i: costs[i]), "failed-points")
     if len(costs) < 3:
         return (min(range(len(costs)), key=lambda i: costs[i]), "exhausted")
     best = min(range(len(costs)), key=lambda i: costs[i])
@@ -120,12 +137,43 @@ def tune_option(
     option: LayoutOption,
     max_wires: int = 8,
     weight_override: dict[str, float] | None = None,
+    runtime: EvalRuntime | None = None,
 ) -> TuningResult:
-    """Tune one selected layout option (Algorithm 1, lines 8-15)."""
+    """Tune one selected layout option (Algorithm 1, lines 8-15).
+
+    Failing sweep points are scored ``inf`` (recorded on
+    ``runtime.failures``) so they can never be chosen; a terminal whose
+    sweep fails entirely keeps its untuned wire count, so tuning always
+    returns a usable result for a selectable option.
+    """
+    runtime = runtime if runtime is not None else EvalRuntime()
     sweeps: list[TerminalSweep] = []
     simulations = 0
     wires = option.wires
     best_option = option
+
+    def evaluate(candidate_wires: WireConfig) -> LayoutOption | None:
+        return runtime.evaluate(
+            option_key("tune", option.base, option.pattern, candidate_wires),
+            lambda: evaluate_option(
+                primitive,
+                option.base,
+                option.pattern,
+                candidate_wires,
+                weight_override,
+            ),
+            stage="tuning",
+            validate=option_error,
+            to_payload=option_payload,
+            from_payload=lambda payload: restore_option(
+                primitive,
+                payload,
+                option.base,
+                option.pattern,
+                candidate_wires,
+                weight_override,
+            ),
+        )
 
     for group in _terminal_groups(primitive):
         limit = min(max_wires, min(t.max_wires for t in group))
@@ -138,13 +186,10 @@ def tune_option(
             sweep = TerminalSweep(terminal=terminal.name)
             options_at = {}
             for count in range(1, limit + 1):
-                candidate = evaluate_option(
-                    primitive,
-                    option.base,
-                    option.pattern,
-                    _with_counts(wires, group, (count,)),
-                    weight_override,
-                )
+                candidate = evaluate(_with_counts(wires, group, (count,)))
+                if candidate is None:
+                    sweep.points.append(SweepPoint(count, float("inf"), {}))
+                    continue
                 simulations += candidate.simulations
                 sweep.points.append(
                     SweepPoint(count, candidate.cost, candidate.values)
@@ -155,6 +200,12 @@ def tune_option(
                     and sweep.points[-2].cost > sweep.points[-3].cost
                 ):
                     break  # clearly past the minimum
+            if not options_at:
+                # Whole terminal sweep failed: keep the untuned wires.
+                sweep.chosen = wires.straps(terminal.nets[0])
+                sweep.stopped_by = "failed"
+                sweeps.append(sweep)
+                continue
             idx, reason = choose_stop_point(sweep.costs)
             sweep.chosen = sweep.points[idx].wires
             sweep.stopped_by = reason
@@ -167,15 +218,14 @@ def tune_option(
                 terminal="+".join(t.name for t in group), stopped_by="joint"
             )
             best_cost = float("inf")
-            best_counts = tuple(1 for _ in group)
+            best_counts: tuple[int, ...] | None = None
             for counts in product(range(1, limit + 1), repeat=len(group)):
-                candidate = evaluate_option(
-                    primitive,
-                    option.base,
-                    option.pattern,
-                    _with_counts(wires, group, counts),
-                    weight_override,
-                )
+                candidate = evaluate(_with_counts(wires, group, counts))
+                if candidate is None:
+                    sweep.points.append(
+                        SweepPoint(sum(counts), float("inf"), {})
+                    )
+                    continue
                 simulations += candidate.simulations
                 sweep.points.append(
                     SweepPoint(sum(counts), candidate.cost, candidate.values)
@@ -184,6 +234,10 @@ def tune_option(
                     best_cost = candidate.cost
                     best_counts = counts
                     best_option = candidate
+            if best_counts is None:
+                sweep.stopped_by = "failed"
+                sweeps.append(sweep)
+                continue
             sweep.chosen = sum(best_counts)
             sweeps.append(sweep)
             wires = _with_counts(wires, group, best_counts)

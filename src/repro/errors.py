@@ -23,9 +23,39 @@ class NetlistError(ReproError):
 class SimulationError(ReproError):
     """Raised when an analysis cannot be completed."""
 
+    #: Stable failure code used by the fault-tolerant evaluation runtime
+    #: (:mod:`repro.runtime`) to classify this error in a
+    #: :class:`~repro.runtime.failures.FailureLog`.
+    failure_code: str = "SIM"
+
 
 class ConvergenceError(SimulationError):
-    """Raised when Newton iteration fails to converge after all homotopies."""
+    """Raised when Newton iteration fails to converge after all homotopies.
+
+    ``code`` discriminates the analysis that failed: ``"CONV-DC"`` for
+    operating-point solves (the default) and ``"CONV-TRAN"`` for transient
+    time steps.
+    """
+
+    failure_code = "CONV-DC"
+
+    def __init__(self, message: str, code: str | None = None):
+        super().__init__(message)
+        if code is not None:
+            self.failure_code = code
+
+
+class SingularMatrixError(SimulationError):
+    """Raised when an MNA system stays singular even after the
+    Tikhonov-regularized least-squares fallback."""
+
+    failure_code = "SINGULAR-MNA"
+
+
+class EvalTimeoutError(SimulationError):
+    """Raised when one evaluation exceeds its wall-clock deadline."""
+
+    failure_code = "EVAL-TIMEOUT"
 
 
 class LayoutError(ReproError):
@@ -54,7 +84,20 @@ class ExtractionError(ReproError):
 
 
 class OptimizationError(ReproError):
-    """Raised when the primitive optimizer cannot produce a valid result."""
+    """Raised when the primitive optimizer cannot produce a valid result.
+
+    Carries the run's :class:`~repro.runtime.failures.FailureLog` on
+    ``self.failures`` when one is available, so callers can see *why* a
+    sweep produced nothing instead of a bare "no options" message.
+    """
+
+    def __init__(self, message: str, failures=None):
+        super().__init__(message)
+        self.failures = failures
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable or inconsistent sweep-checkpoint journals."""
 
 
 class PlacementError(ReproError):
@@ -66,4 +109,10 @@ class RoutingError(ReproError):
 
 
 class MeasureError(SimulationError):
-    """Raised when a measurement cannot be evaluated from waveform data."""
+    """Raised when a measurement cannot be evaluated from waveform data.
+
+    Includes non-finite (NaN/inf) measurement results: those are reported
+    as ``BAD-METRIC`` failures rather than silently poisoning cost sums.
+    """
+
+    failure_code = "BAD-METRIC"

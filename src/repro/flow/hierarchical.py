@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cellgen.generator import WireConfig
 from repro.circuits.base import CompositeCircuit, LayoutChoice, RouteBudget
@@ -41,6 +42,7 @@ from repro.geometry.layout import Instance
 from repro.geometry.shapes import Point
 from repro.pnr.global_router import GlobalRoute, GlobalRouter
 from repro.pnr.placer import Block, Placement, SaPlacer
+from repro.runtime import EvalRuntime, FailureLog, RetryPolicy, SweepJournal
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.pdk import Technology
 from repro.verify import Report, verify_assembly, verify_layout
@@ -69,6 +71,8 @@ class FlowResult:
         verification: Static-verification report over the chosen cell
             layouts and the assembled placement (None when verification
             is disabled).
+        failures: Absorbed evaluation failures across every stage of the
+            run (the per-primitive reports carry the same log objects).
         wall_time: Actual wall-clock seconds of the run.
         modeled_runtime: Paper-style runtime model (10 s per parallel
             simulation batch plus P&R).
@@ -85,6 +89,7 @@ class FlowResult:
     assembled: Circuit | None = None
     metrics: dict[str, float] = field(default_factory=dict)
     verification: Report | None = None
+    failures: FailureLog = field(default_factory=FailureLog)
     wall_time: float = 0.0
     modeled_runtime: float = 0.0
 
@@ -103,6 +108,11 @@ class HierarchicalFlow:
             ``FlowResult.verification``.
         strict: Raise :class:`~repro.errors.VerificationError` when
             verification finds errors instead of just recording them.
+        policy: Retry/budget policy for simulation failures (see
+            :class:`~repro.runtime.RetryPolicy`).
+        run_dir: Directory for sweep-checkpoint journals (one JSONL per
+            primitive plus ``ports.jsonl``); None disables checkpointing.
+        resume: Replay existing journals instead of starting fresh.
     """
 
     def __init__(
@@ -114,6 +124,9 @@ class HierarchicalFlow:
         placer_iterations: int = 1500,
         verify: bool = True,
         strict: bool = False,
+        policy: RetryPolicy | None = None,
+        run_dir: str | None = None,
+        resume: bool = False,
     ):
         self.tech = tech
         self.n_bins = n_bins
@@ -122,6 +135,9 @@ class HierarchicalFlow:
         self.placer_iterations = placer_iterations
         self.verify = verify
         self.strict = strict
+        self.policy = policy
+        self.run_dir = run_dir
+        self.resume = resume
 
     # -- public entry ------------------------------------------------------
 
@@ -191,9 +207,14 @@ class HierarchicalFlow:
         optimizer = PrimitiveOptimizer(
             n_bins=1 if exhaustive else self.n_bins,
             max_wires=self.max_wires + (2 if exhaustive else 0),
+            policy=self.policy,
+            run_dir=self.run_dir,
+            resume=self.resume,
         )
         for name, primitive in unique.items():
-            result.reports[name] = optimizer.optimize(primitive)
+            report = optimizer.optimize(primitive)
+            result.reports[name] = report
+            result.failures.extend(report.failures)
 
     def _assign_choices(
         self, result: FlowResult, bindings, exhaustive: bool
@@ -333,6 +354,15 @@ class HierarchicalFlow:
     ) -> None:
         from repro.core.port_constraints import derive_port_constraint
 
+        journal = None
+        if self.run_dir is not None:
+            journal = SweepJournal(
+                Path(self.run_dir) / "ports.jsonl", resume=self.resume
+            )
+        runtime = EvalRuntime(
+            policy=self.policy, journal=journal, failures=result.failures
+        )
+
         constraints_by_net: dict[str, list[PortConstraint]] = {}
         seen: set[tuple[str, str]] = set()
         constraint_cache: dict[tuple[str, str], PortConstraint] = {}
@@ -372,7 +402,8 @@ class HierarchicalFlow:
                         symmetric_with=sym_lookup.get(port, ()),
                     )
                     constraint, _sims = derive_port_constraint(
-                        primitive, dut, info, max_wires=self.max_wires
+                        primitive, dut, info, max_wires=self.max_wires,
+                        runtime=runtime,
                     )
                     constraint_cache[key] = constraint
                 constraints_by_net.setdefault(net, []).append(constraint)

@@ -18,6 +18,7 @@ consume only this interface.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable
@@ -25,9 +26,10 @@ from typing import Callable
 from repro.cellgen.generator import CellDevice, CellSpec, WireConfig, generate_layout
 from repro.cellgen.sizing import enumerate_sizings
 from repro.devices.mosfet import MosGeometry
-from repro.errors import OptimizationError
+from repro.errors import MeasureError, OptimizationError
 from repro.extraction.netlist_builder import ExtractedPrimitive, extract_primitive
 from repro.geometry.layout import Layout
+from repro.runtime import faults
 from repro.spice.netlist import Circuit
 from repro.tech.pdk import Technology
 
@@ -254,15 +256,38 @@ class MosPrimitive(ABC):
             value, n = metric.evaluate(self, dut, cache)
             values[metric.name] = value
             sims += n
+        injector = faults.active()
+        if injector is not None:
+            values = injector.poison_metrics(values)
         return values, sims
 
     def schematic_reference(self) -> dict[str, float]:
-        """Metric values of the schematic netlist (cached)."""
+        """Metric values of the schematic netlist (cached).
+
+        A non-finite reference would silently poison every cost computed
+        against it, so it is rejected (and *not* cached) instead.
+        """
         if self._schematic_reference is None:
-            self._schematic_reference, self._reference_sims = self.evaluate(
-                self.schematic_circuit()
+            values, sims = self.evaluate(self.schematic_circuit())
+            bad = sorted(
+                name
+                for name, value in values.items()
+                if not math.isfinite(value)
             )
+            if bad:
+                raise MeasureError(
+                    f"{self.name}: non-finite schematic reference for "
+                    f"{', '.join(bad)}"
+                )
+            self._schematic_reference, self._reference_sims = values, sims
         return self._schematic_reference
+
+    def set_schematic_reference(
+        self, values: dict[str, float], simulations: int = 0
+    ) -> None:
+        """Install a precomputed schematic reference (checkpoint resume)."""
+        self._schematic_reference = dict(values)
+        self._reference_sims = simulations
 
     def metric(self, name: str) -> MetricSpec:
         """Look up a metric by name."""

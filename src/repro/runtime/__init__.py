@@ -1,0 +1,46 @@
+"""Fault-tolerant evaluation runtime.
+
+Wraps every simulation-backed evaluation of the optimization flow with a
+structured failure taxonomy (:mod:`~repro.runtime.failures`), bounded
+retries and per-stage budgets (:mod:`~repro.runtime.policy`), sweep
+checkpointing for crash/resume (:mod:`~repro.runtime.checkpoint`), and a
+deterministic fault-injection harness (:mod:`~repro.runtime.faults`).
+
+See ``docs/robustness.md`` for the failure-code catalog and the
+degradation ladder.
+"""
+
+from repro.runtime.checkpoint import SweepJournal
+from repro.runtime.failures import (
+    BAD_METRIC,
+    CONV_DC,
+    CONV_TRAN,
+    EVAL_TIMEOUT,
+    FAILURE_CODES,
+    SINGULAR_MNA,
+    EvalFailure,
+    FailureLog,
+    classify_failure,
+    is_eval_failure,
+)
+from repro.runtime.faults import FaultInjector, FaultSpec, inject
+from repro.runtime.policy import EvalRuntime, RetryPolicy
+
+__all__ = [
+    "BAD_METRIC",
+    "CONV_DC",
+    "CONV_TRAN",
+    "EVAL_TIMEOUT",
+    "FAILURE_CODES",
+    "SINGULAR_MNA",
+    "EvalFailure",
+    "EvalRuntime",
+    "FailureLog",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "SweepJournal",
+    "classify_failure",
+    "inject",
+    "is_eval_failure",
+]

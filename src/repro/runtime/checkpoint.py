@@ -1,0 +1,138 @@
+"""Sweep checkpointing: a JSONL journal of completed evaluations.
+
+Each completed evaluation — successful *or* exhausted-after-retries —
+appends one self-contained JSON line::
+
+    {"key": "sel:4x2x1:ABBA:-", "status": "ok",
+     "payload": {"values": {...}, "cost": 12.3, "simulations": 4}}
+    {"key": "sel:8x1x1:ABAB:-", "status": "failed",
+     "failures": [{"code": "CONV-DC", ...}]}
+
+Append-plus-flush keeps the journal crash-consistent: killing a sweep
+mid-evaluation loses at most the in-flight evaluation.  On resume the
+journal is replayed into a key -> entry map; the runtime answers cached
+keys without re-simulating and re-records journaled failures into the
+live :class:`~repro.runtime.failures.FailureLog` so resumed reports
+account for every failure of the whole logical run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.runtime.failures import EvalFailure
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed evaluations.
+
+    Args:
+        path: Journal file path (parent directories are created).
+        resume: Replay an existing journal when True; truncate and start
+            fresh when False.
+    """
+
+    def __init__(self, path: str | os.PathLike, resume: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, dict] = {}
+        if resume and self.path.exists():
+            self._replay()
+        elif not resume:
+            self.path.write_text("")
+        self._file = self.path.open("a", encoding="utf-8")
+
+    def _replay(self) -> None:
+        for lineno, line in enumerate(
+            self.path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                status = entry["status"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # A torn final line is the expected crash artifact; a torn
+                # *interior* line means the file was corrupted some other
+                # way and silently skipping it would drop completed work.
+                if lineno == self._line_count():
+                    continue
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: unreadable journal entry"
+                ) from None
+            if status not in (STATUS_OK, STATUS_FAILED):
+                raise CheckpointError(
+                    f"{self.path}:{lineno}: unknown status {status!r}"
+                )
+            self._entries[key] = entry
+
+    def _line_count(self) -> int:
+        return len(self.path.read_text(encoding="utf-8").splitlines())
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: str) -> dict | None:
+        """The journal entry for ``key``, or None if not completed."""
+        return self._entries.get(key)
+
+    def journaled_failures(self, key: str) -> list[EvalFailure]:
+        """Failures journaled for ``key`` (empty for successes)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return []
+        return [EvalFailure.from_dict(f) for f in entry.get("failures", ())]
+
+    # -- writes ----------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        self._entries[entry["key"]] = entry
+        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def record_success(
+        self, key: str, payload: dict, failures: list[EvalFailure] | None = None
+    ) -> None:
+        """Journal a completed successful evaluation.
+
+        ``failures`` carries any retried-then-recovered attempts so a
+        resumed run replays the *complete* failure accounting of the
+        logical run, not just its exhausted evaluations.
+        """
+        entry: dict = {"key": key, "status": STATUS_OK, "payload": payload}
+        if failures:
+            entry["failures"] = [f.to_dict() for f in failures]
+        self._append(entry)
+
+    def record_failure(self, key: str, failures: list[EvalFailure]) -> None:
+        """Journal an evaluation that exhausted its retry budget."""
+        self._append(
+            {
+                "key": key,
+                "status": STATUS_FAILED,
+                "failures": [f.to_dict() for f in failures],
+            }
+        )
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

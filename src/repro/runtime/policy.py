@@ -1,0 +1,209 @@
+"""Retry/budget policy and the fault-tolerant evaluation wrapper.
+
+:class:`EvalRuntime` wraps every simulation-backed evaluation of the
+optimization flow.  A failing evaluation is retried (with a perturbed
+initial guess), bounded by a per-evaluation wall-clock deadline, and —
+when the retry budget is exhausted — *absorbed*: the failure is recorded
+on a :class:`~repro.runtime.failures.FailureLog` and the sweep moves on.
+The degradation ladder is::
+
+    retry (perturbed guess)  ->  skip the option (scored as missing/inf)
+    ->  empty bins fall back to untuned survivors  ->  the flow raises
+    only when zero options survive a stage
+
+A per-stage failure-fraction ceiling keeps a pathological stage from
+burning its whole retry budget: once the ceiling is crossed the stage is
+marked *degraded* and subsequent failures in it are not retried.
+
+When a :class:`~repro.runtime.checkpoint.SweepJournal` is attached, every
+completed evaluation (success or exhausted failure) is journaled, and
+journaled keys are answered from the journal without re-simulation —
+the crash/resume path of ``repro optimize --resume``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import EvalTimeoutError, MeasureError
+from repro.runtime import context, faults
+from repro.runtime.checkpoint import STATUS_OK, SweepJournal
+from repro.runtime.failures import (
+    EvalFailure,
+    FailureLog,
+    classify_failure,
+    is_eval_failure,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry and budget knobs for one run.
+
+    Attributes:
+        max_retries: Retries after the first failed attempt (0 disables
+            retrying).  Retries re-run the evaluation with a perturbed
+            initial guess so deterministic failures are not replayed
+            verbatim.
+        deadline_s: Per-evaluation wall-clock deadline in seconds; an
+            evaluation that takes longer counts as ``EVAL-TIMEOUT`` and
+            its result is discarded (None disables the deadline).
+        stage_failure_ceiling: Fraction of failed evaluations in one
+            stage above which the stage is marked degraded and stops
+            spending retries (it still absorbs failures and keeps going).
+        retry_perturbation: Relative initial-guess perturbation amplitude
+            per retry attempt.
+    """
+
+    max_retries: int = 1
+    deadline_s: float | None = None
+    stage_failure_ceiling: float = 0.5
+    retry_perturbation: float = 1e-3
+
+
+class EvalRuntime:
+    """Fault-tolerant wrapper around simulation-backed evaluations.
+
+    Args:
+        policy: Retry/budget policy (defaults to :class:`RetryPolicy`).
+        journal: Optional sweep-checkpoint journal.
+        failures: FailureLog to record into (a fresh one by default).
+        clock: Monotonic clock, overridable for tests.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        journal: SweepJournal | None = None,
+        failures: FailureLog | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy or RetryPolicy()
+        self.journal = journal
+        self.failures = failures if failures is not None else FailureLog()
+        self.clock = clock
+        self._stage_total: Counter = Counter()
+        self._stage_failed: Counter = Counter()
+        #: Evaluations answered from the journal without re-simulating.
+        self.cache_hits = 0
+
+    # -- stage accounting -------------------------------------------------
+
+    def stage_failure_fraction(self, stage: str) -> float:
+        total = self._stage_total[stage]
+        return self._stage_failed[stage] / total if total else 0.0
+
+    def stage_degraded(self, stage: str) -> bool:
+        return stage in self.failures.degraded_stages
+
+    def _finish_stage_eval(self, stage: str, failed: bool) -> None:
+        self._stage_total[stage] += 1
+        if failed:
+            self._stage_failed[stage] += 1
+            ceiling = self.policy.stage_failure_ceiling
+            if self.stage_failure_fraction(stage) > ceiling:
+                self.failures.mark_degraded(stage)
+
+    # -- the wrapper -------------------------------------------------------
+
+    def evaluate(
+        self,
+        key: str,
+        thunk: Callable[[], Any],
+        stage: str,
+        validate: Callable[[Any], str | None] | None = None,
+        to_payload: Callable[[Any], dict] | None = None,
+        from_payload: Callable[[dict], Any] | None = None,
+        retries: int | None = None,
+    ) -> Any | None:
+        """Run one evaluation under the retry/budget policy.
+
+        Args:
+            key: Stable evaluation key (journal key; must not collide
+                across stages of one run).
+            thunk: Zero-argument callable performing the evaluation.
+            stage: Stage name for failure accounting.
+            validate: Optional ``result -> error message`` check; a
+                non-None message is recorded as ``BAD-METRIC``.
+            to_payload: Serializes a successful result for the journal.
+            from_payload: Rebuilds a result from a journaled payload
+                (must not simulate).
+            retries: Per-call retry-budget override (e.g. raised for a
+                critical evaluation the whole stage depends on).
+
+        Returns:
+            The evaluation result, or None when the evaluation failed
+            and was absorbed (the failure is on :attr:`failures`).
+        """
+        entry = self.journal.lookup(key) if self.journal is not None else None
+        if entry is not None:
+            self.cache_hits += 1
+            # Replay the journaled failure accounting (for successes these
+            # are retried-then-recovered attempts) so the resumed log
+            # matches the uninterrupted run's exactly.
+            for failure in self.journal.journaled_failures(key):
+                self.failures.record(failure)
+            if entry["status"] == STATUS_OK:
+                self._finish_stage_eval(stage, failed=False)
+                payload = entry["payload"]
+                return from_payload(payload) if from_payload else payload
+            self._finish_stage_eval(stage, failed=True)
+            return None
+
+        budget = retries if retries is not None else self.policy.max_retries
+        attempts = 1 + max(0, budget)
+        if self.stage_degraded(stage):
+            attempts = 1  # budget conservation: no retries once degraded
+        recorded: list[EvalFailure] = []
+        for attempt in range(attempts):
+            ctx = context.EvalContext(
+                key=key,
+                stage=stage,
+                attempt=attempt,
+                perturbation=self.policy.retry_perturbation * attempt,
+            )
+            start = self.clock()
+            try:
+                with context.evaluation(ctx):
+                    result = thunk()
+                    injector = faults.active()
+                    extra = injector.extra_elapsed() if injector else 0.0
+                elapsed = (self.clock() - start) + extra
+                deadline = self.policy.deadline_s
+                if deadline is not None and elapsed > deadline:
+                    raise EvalTimeoutError(
+                        f"evaluation took {elapsed:.3g}s "
+                        f"(deadline {deadline:.3g}s)"
+                    )
+                if validate is not None:
+                    message = validate(result)
+                    if message:
+                        raise MeasureError(message)
+            except Exception as exc:
+                if not is_eval_failure(exc):
+                    raise
+                failure = EvalFailure(
+                    code=classify_failure(exc),
+                    stage=stage,
+                    key=key,
+                    message=str(exc),
+                    attempt=attempt,
+                    injected=bool(getattr(exc, "injected", False))
+                    or "injected" in str(exc),
+                )
+                recorded.append(failure)
+                self.failures.record(failure)
+                continue
+            self._finish_stage_eval(stage, failed=False)
+            if self.journal is not None:
+                payload = to_payload(result) if to_payload else result
+                self.journal.record_success(key, payload, failures=recorded)
+            return result
+
+        self._finish_stage_eval(stage, failed=True)
+        if self.journal is not None:
+            self.journal.record_failure(key, recorded)
+        return None

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import NetlistError, SimulationError
+from repro.errors import NetlistError, SimulationError, SingularMatrixError
 from repro.spice.dc import OperatingPoint
-from repro.spice.mna import CompiledCircuit
+from repro.spice.mna import CompiledCircuit, solve_mna
 
 
 @dataclass
@@ -98,8 +98,10 @@ def ac_analysis(
         for br, _na, _nb, value in ind_rows:
             a[br, br] -= 1j * omega * value
         try:
-            solutions[k] = np.linalg.solve(a[:size, :size], rhs[:size])
-        except np.linalg.LinAlgError as exc:
-            raise SimulationError(f"AC solve failed at {freq:.3g} Hz") from exc
+            solutions[k], _recovered = solve_mna(a[:size, :size], rhs[:size])
+        except SingularMatrixError as exc:
+            raise SingularMatrixError(
+                f"AC solve failed at {freq:.3g} Hz: {exc}"
+            ) from exc
 
     return AcResult(compiled=compiled, freqs=freqs, solutions=solutions)

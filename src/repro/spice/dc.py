@@ -15,13 +15,16 @@ the symmetry of oscillators before transient analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.devices.mosfet import MosEval
-from repro.errors import ConvergenceError, NetlistError
-from repro.spice.mna import CompiledCircuit
+from repro.errors import ConvergenceError, NetlistError, SingularMatrixError
+from repro.runtime import context as eval_context
+from repro.runtime import faults
+from repro.spice.mna import CompiledCircuit, solve_mna
 
 #: Maximum node-voltage update per Newton iteration (V).
 VOLTAGE_LIMIT = 0.3
@@ -47,11 +50,16 @@ class OperatingPoint:
         compiled: The compiled circuit the solution belongs to.
         x: Solution vector (node voltages then branch currents).
         mos_eval: Vectorized MOSFET evaluation at the solution (or None).
+        recovery: Recovery paths the solve needed, in order — empty for
+            a plain Newton solve, otherwise tags such as
+            ``"gmin-stepping"``, ``"source-stepping"`` and
+            ``"tikhonov"`` (singular-matrix fallback).
     """
 
     compiled: CompiledCircuit
     x: np.ndarray
     mos_eval: MosEval | None
+    recovery: tuple[str, ...] = field(default=())
 
     def v(self, node: str) -> float:
         """Voltage of ``node`` (0.0 for ground)."""
@@ -88,8 +96,13 @@ def _newton_solve(
     source_scale: float,
     force: dict[str, float] | None,
     max_iterations: int | None = None,
+    recovery: set[str] | None = None,
 ) -> np.ndarray | None:
-    """One damped Newton solve; returns the solution or None."""
+    """One damped Newton solve; returns the solution or None.
+
+    ``recovery`` (when given) collects the tags of any singular-matrix
+    fallbacks used along the way.
+    """
     size = compiled.size
     if max_iterations is None:
         # Large circuits under heavy damping need more iterations: the
@@ -125,11 +138,14 @@ def _newton_solve(
             compiled.stamp_mosfets(a, rhs, ev, x)
 
         try:
-            x_new = np.linalg.solve(a[:size, :size], rhs[:size])
-        except np.linalg.LinAlgError:
+            x_new, recovered = solve_mna(a[:size, :size], rhs[:size])
+        except SingularMatrixError:
+            # Truly unsolvable step: bail out so the gmin/source-stepping
+            # homotopies (which regularize the physics, not the algebra)
+            # get their chance.
             return None
-        if not np.all(np.isfinite(x_new)):
-            return None
+        if recovered is not None and recovery is not None:
+            recovery.add(recovered)
 
         delta = x_new - x
         dv = delta[: compiled.num_nodes]
@@ -170,36 +186,52 @@ def dc_operating_point(
 
     Raises:
         ConvergenceError: If Newton fails even after gmin and source
-            stepping.
+            stepping (failure code ``CONV-DC``).
+        SingularMatrixError: Only via fault injection; organic singular
+            steps are absorbed by the Tikhonov fallback or the
+            homotopies.
     """
+    injector = faults.active()
+    if injector is not None:
+        injector.check_dc(compiled.circuit.name)
+
     g_linear = compiled.conductance_linear()
     compiled.stamp_inductors_dc(g_linear)
 
     x = x0.copy() if x0 is not None else np.zeros(compiled.size)
+    x = _perturb_retry_guess(x)
+    recovery: set[str] = set()
 
     # Plain Newton first: cheap and usually sufficient with a warm start.
-    solution = _newton_solve(compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force)
+    solution = _newton_solve(
+        compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force,
+        recovery=recovery,
+    )
     if solution is not None:
-        return _finish(compiled, solution)
+        return _finish(compiled, solution, recovery)
 
     # gmin stepping.
+    recovery.add("gmin-stepping")
     for exponent in range(3, 13):
         gmin = 10.0 ** (-exponent)
         solution = _newton_solve(
-            compiled, g_linear, x, gmin=gmin, source_scale=1.0, force=force
+            compiled, g_linear, x, gmin=gmin, source_scale=1.0, force=force,
+            recovery=recovery,
         )
         if solution is None:
             break
         x = solution
     else:
         solution = _newton_solve(
-            compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force
+            compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force,
+            recovery=recovery,
         )
         if solution is not None:
-            return _finish(compiled, solution)
+            return _finish(compiled, solution, recovery)
 
     # Source stepping fallback, with a supporting gmin that relaxes as
     # the sources ramp up.
+    recovery.add("source-stepping")
     x = np.zeros(compiled.size)
     for scale in np.linspace(0.1, 1.0, 10):
         stepped = _newton_solve(
@@ -209,24 +241,60 @@ def dc_operating_point(
             gmin=1e-9 * (1.0 - scale) + 1e-12,
             source_scale=float(scale),
             force=force,
+            recovery=recovery,
         )
         if stepped is None:
             raise ConvergenceError(
                 f"DC operating point failed for circuit "
-                f"{compiled.circuit.name!r} at source scale {scale:.2f}"
+                f"{compiled.circuit.name!r} at source scale {scale:.2f}",
+                code="CONV-DC",
             )
         x = stepped
-    final = _newton_solve(compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force)
+    final = _newton_solve(
+        compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force,
+        recovery=recovery,
+    )
     if final is None:
         raise ConvergenceError(
             f"DC operating point failed for circuit "
-            f"{compiled.circuit.name!r} after source stepping"
+            f"{compiled.circuit.name!r} after source stepping",
+            code="CONV-DC",
         )
-    return _finish(compiled, final)
+    return _finish(compiled, final, recovery)
 
 
-def _finish(compiled: CompiledCircuit, x: np.ndarray) -> OperatingPoint:
-    return OperatingPoint(compiled=compiled, x=x, mos_eval=compiled.eval_mosfets(x))
+#: Order in which recovery tags are reported on an OperatingPoint.
+_RECOVERY_ORDER = ("gmin-stepping", "source-stepping", "tikhonov")
+
+
+def _perturb_retry_guess(x: np.ndarray) -> np.ndarray:
+    """Perturb the initial guess on retry attempts.
+
+    The evaluation runtime sets a nonzero perturbation amplitude on
+    retries; a deterministic per-(key, attempt) perturbation keeps a
+    retried solve from replaying the exact failing trajectory while
+    remaining reproducible.
+    """
+    ctx = eval_context.current()
+    if ctx is None or ctx.perturbation <= 0.0 or not len(x):
+        return x
+    seed = zlib.crc32(f"{ctx.key}|{ctx.attempt}".encode())
+    rng = np.random.default_rng(seed)
+    return x + ctx.perturbation * rng.standard_normal(len(x))
+
+
+def _finish(
+    compiled: CompiledCircuit, x: np.ndarray, recovery: set[str] | None = None
+) -> OperatingPoint:
+    tags = tuple(
+        tag for tag in _RECOVERY_ORDER if recovery and tag in recovery
+    )
+    return OperatingPoint(
+        compiled=compiled,
+        x=x,
+        mos_eval=compiled.eval_mosfets(x),
+        recovery=tags,
+    )
 
 
 def dc_sweep(

@@ -14,6 +14,22 @@ import numpy as np
 
 from repro.errors import MeasureError
 
+
+def _finite(value: float, what: str) -> float:
+    """Guard a scalar measurement against NaN/inf.
+
+    A non-finite measurement would otherwise flow silently into
+    :class:`~repro.core.cost.CostBreakdown` and poison per-bin ordering
+    (NaN compares false against everything, so ``min`` keeps whichever
+    option it saw first).  Raising :class:`~repro.errors.MeasureError`
+    (failure code ``BAD-METRIC``) lets the evaluation runtime absorb the
+    option instead.
+    """
+    if not math.isfinite(value):
+        raise MeasureError(f"{what} is not finite ({value!r})")
+    return float(value)
+
+
 # --- AC measures -----------------------------------------------------------
 
 
@@ -29,7 +45,7 @@ def phase_deg(h: np.ndarray) -> np.ndarray:
 
 def low_frequency_gain(h: np.ndarray) -> float:
     """Gain magnitude at the first (lowest) sweep point."""
-    return float(np.abs(h[0]))
+    return _finite(float(np.abs(h[0])), "low-frequency gain")
 
 
 def low_frequency_gain_db(h: np.ndarray) -> float:
@@ -51,7 +67,10 @@ def _log_interp_crossing(
             if v0 == v1:
                 return float(f0)
             frac = (v0 - target) / (v0 - v1)
-            return float(10 ** (np.log10(f0) + frac * (np.log10(f1) - np.log10(f0))))
+            return _finite(
+                float(10 ** (np.log10(f0) + frac * (np.log10(f1) - np.log10(f0)))),
+                "crossing frequency",
+            )
     raise MeasureError("response never crosses the target level in the sweep")
 
 
@@ -72,7 +91,7 @@ def phase_margin(freqs: np.ndarray, h: np.ndarray) -> float:
     fu = unity_gain_frequency(freqs, h)
     phase = phase_deg(h)
     ph_u = float(np.interp(np.log10(fu), np.log10(freqs), phase))
-    return 180.0 + ph_u
+    return _finite(180.0 + ph_u, "phase margin")
 
 
 def input_admittance(v_port: np.ndarray, i_port: np.ndarray) -> np.ndarray:
@@ -83,7 +102,7 @@ def input_admittance(v_port: np.ndarray, i_port: np.ndarray) -> np.ndarray:
 def capacitance_from_admittance(freqs: np.ndarray, y: np.ndarray, at_index: int = 0) -> float:
     """Extract capacitance from ``Im(Y)/omega`` at one sweep point."""
     omega = 2.0 * math.pi * float(np.asarray(freqs)[at_index])
-    return float(np.imag(y[at_index]) / omega)
+    return _finite(float(np.imag(y[at_index]) / omega), "capacitance")
 
 
 def resistance_from_admittance(y: np.ndarray, at_index: int = 0) -> float:
@@ -91,7 +110,7 @@ def resistance_from_admittance(y: np.ndarray, at_index: int = 0) -> float:
     real = float(np.real(y[at_index]))
     if real == 0.0:
         raise MeasureError("port has zero real admittance")
-    return 1.0 / real
+    return _finite(1.0 / real, "resistance")
 
 
 # --- transient measures ------------------------------------------------------
@@ -144,7 +163,7 @@ def delay_between(
     later = to_times[to_times > t_ref]
     if len(later) == 0:
         raise MeasureError("target waveform never crosses after the reference")
-    return float(later[0] - t_ref)
+    return _finite(float(later[0] - t_ref), "delay")
 
 
 def oscillation_frequency(
@@ -177,7 +196,7 @@ def oscillation_frequency(
             f"(need {min_cycles})"
         )
     periods = np.diff(rises)
-    return float(1.0 / np.mean(periods))
+    return _finite(float(1.0 / np.mean(periods)), "oscillation frequency")
 
 
 def average_power(
@@ -195,13 +214,13 @@ def average_power(
     if len(t[start:]) < 2:
         raise MeasureError("record too short for power measurement")
     avg_current = float(np.trapezoid(i[start:], t[start:]) / (t[-1] - t[start]))
-    return -avg_current * vdd
+    return _finite(-avg_current * vdd, "average power")
 
 
 def peak_to_peak(wave: np.ndarray) -> float:
     """Peak-to-peak amplitude of a waveform."""
     wave = np.asarray(wave)
-    return float(np.max(wave) - np.min(wave))
+    return _finite(float(np.max(wave) - np.min(wave)), "peak-to-peak amplitude")
 
 
 def find_dc_zero(

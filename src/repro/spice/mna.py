@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.devices.mosfet import MosEval, evaluate_mosfets, resolve_params
-from repro.errors import NetlistError
+from repro.errors import NetlistError, SingularMatrixError
 from repro.spice.elements import (
     Capacitor,
     CurrentSource,
@@ -30,6 +30,48 @@ from repro.spice.elements import (
 )
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.rules import DesignRules
+
+#: Relative Tikhonov regularization strength for singular-system recovery.
+TIKHONOV_LAMBDA = 1.0e-10
+
+#: Recovery-path tag for solves that needed the regularized fallback.
+RECOVERY_TIKHONOV = "tikhonov"
+
+
+def solve_mna(a: np.ndarray, rhs: np.ndarray) -> tuple[np.ndarray, str | None]:
+    """Solve one dense MNA system with a singularity fallback.
+
+    A clean direct solve returns ``(x, None)``.  When the matrix is
+    singular (or the direct solve produces non-finite values), the
+    normal equations are re-solved with Tikhonov regularization —
+    ``(AᴴA + λI) x = Aᴴ b`` with λ scaled to the matrix magnitude —
+    which picks the minimum-norm least-squares solution; that path
+    returns ``(x, "tikhonov")`` so callers can annotate the recovery.
+
+    Raises:
+        SingularMatrixError: When even the regularized solve yields a
+            non-finite solution.
+    """
+    try:
+        x = np.linalg.solve(a, rhs)
+        if np.all(np.isfinite(x)):
+            return x, None
+    except np.linalg.LinAlgError:
+        pass
+    scale = float(np.max(np.abs(a))) if a.size else 0.0
+    lam = TIKHONOV_LAMBDA * (scale if scale > 0.0 else 1.0)
+    ah = a.conj().T
+    try:
+        x = np.linalg.solve(
+            ah @ a + lam * np.eye(a.shape[0], dtype=a.dtype), ah @ rhs
+        )
+    except np.linalg.LinAlgError:
+        x = None
+    if x is None or not np.all(np.isfinite(x)):
+        raise SingularMatrixError(
+            "MNA system is singular even after Tikhonov regularization"
+        )
+    return x, RECOVERY_TIKHONOV
 
 
 class CompiledCircuit:

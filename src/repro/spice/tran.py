@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConvergenceError, NetlistError
+from repro.errors import ConvergenceError, NetlistError, SingularMatrixError
+from repro.runtime import faults
 from repro.spice.dc import (
     RELTOL,
     VNTOL,
@@ -25,7 +26,7 @@ from repro.spice.dc import (
     OperatingPoint,
     dc_operating_point,
 )
-from repro.spice.mna import CompiledCircuit
+from repro.spice.mna import CompiledCircuit, solve_mna
 
 #: Maximum Newton iterations per time step.
 MAX_STEP_ITERATIONS = 60
@@ -127,10 +128,9 @@ class _Integrator:
             a_core = a[:size, :size] + g_c
             b_core = rhs[:size] + hist
             try:
-                x_new = np.linalg.solve(a_core, b_core)
-            except np.linalg.LinAlgError:
-                return None
-            if not np.all(np.isfinite(x_new)):
+                x_new, _recovered = solve_mna(a_core, b_core)
+            except SingularMatrixError:
+                # Let the step-halving cascade shrink dt instead.
                 return None
 
             delta = x_new - x
@@ -162,7 +162,8 @@ class _Integrator:
         if depth >= MAX_STEP_HALVINGS:
             raise ConvergenceError(
                 f"transient step failed at t={t_prev:.4g}s even after "
-                f"{MAX_STEP_HALVINGS} halvings"
+                f"{MAX_STEP_HALVINGS} halvings",
+                code="CONV-TRAN",
             )
         half = dt / 2.0
         x_mid, xdot_mid = self.advance(x_prev, xdot_prev, t_prev, half, depth + 1)
@@ -191,6 +192,10 @@ def transient(
     """
     if t_stop <= 0 or dt <= 0 or dt > t_stop:
         raise NetlistError("need 0 < dt <= t_stop")
+
+    injector = faults.active()
+    if injector is not None:
+        injector.check_tran(compiled.circuit.name)
 
     if op is None:
         op = dc_operating_point(compiled, force=ics)

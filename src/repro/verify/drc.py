@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.errors import TechnologyError
 from repro.geometry.layout import DevicePlacement, Layout, Wire
 from repro.geometry.shapes import Rect
 from repro.tech.pdk import Technology
@@ -178,7 +179,7 @@ def _check_wires(report: Report, layout: Layout, tech: Technology) -> None:
     for wire in layout.wires:
         try:
             layer = stack.metal(wire.layer)
-        except Exception:
+        except TechnologyError:
             report.add(
                 "DRC-LAYER-UNKNOWN",
                 "error",
@@ -241,7 +242,7 @@ def _check_vias(report: Report, layout: Layout, tech: Technology) -> None:
         try:
             lower = stack.metal(via.lower_layer)
             upper = stack.metal(via.upper_layer)
-        except Exception:
+        except TechnologyError:
             report.add(
                 "DRC-VIA-STACK",
                 "error",
@@ -327,7 +328,7 @@ def _check_ports(report: Report, layout: Layout, tech: Technology) -> None:
     for port in layout.ports:
         try:
             tech.stack.metal(port.layer)
-        except Exception:
+        except TechnologyError:
             report.add(
                 "DRC-LAYER-UNKNOWN",
                 "error",

@@ -1,0 +1,32 @@
+"""Fixtures for the fault-tolerant runtime tests.
+
+``REPRO_FAULT_SEEDS`` (comma-separated, default ``"0"``) widens the
+fault-injection seed matrix: ``make faults`` runs the suite under seeds
+0,1,2,3 while a plain ``pytest tests/runtime`` stays fast with one seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Technology
+
+
+def _fault_seeds() -> list[int]:
+    raw = os.environ.get("REPRO_FAULT_SEEDS", "0")
+    return [int(s) for s in raw.split(",") if s.strip()]
+
+
+def pytest_generate_tests(metafunc):
+    if "fault_seed" in metafunc.fixturenames:
+        metafunc.parametrize("fault_seed", _fault_seeds())
+
+
+@pytest.fixture(scope="session")
+def small_primitive():
+    """A small, fast-to-simulate differential pair."""
+    from repro.primitives import DifferentialPair
+
+    return DifferentialPair(Technology.default(), base_fins=8, name="rt_dp")

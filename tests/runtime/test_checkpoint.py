@@ -1,0 +1,90 @@
+"""Sweep-journal crash consistency and replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime import CONV_DC, EvalFailure, SweepJournal
+
+
+def test_success_round_trip(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_success("k1", {"cost": 1.5})
+        journal.record_success("k2", {"cost": 2.5})
+    with SweepJournal(path, resume=True) as journal:
+        assert len(journal) == 2
+        assert "k1" in journal
+        assert journal.lookup("k1")["payload"] == {"cost": 1.5}
+        assert journal.lookup("missing") is None
+
+
+def test_failure_round_trip(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    failure = EvalFailure(CONV_DC, "selection", "k1", message="boom", attempt=1)
+    with SweepJournal(path) as journal:
+        journal.record_failure("k1", [failure])
+    with SweepJournal(path, resume=True) as journal:
+        assert journal.lookup("k1")["status"] == "failed"
+        assert journal.journaled_failures("k1") == [failure]
+        assert journal.journaled_failures("other") == []
+
+
+def test_fresh_journal_truncates(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_success("stale", {})
+    with SweepJournal(path, resume=False) as journal:
+        assert len(journal) == 0
+    with SweepJournal(path, resume=True) as journal:
+        assert "stale" not in journal
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_success("done", {"cost": 1.0})
+    with path.open("a") as handle:
+        handle.write('{"key": "in-flight", "status"')  # killed mid-write
+    with SweepJournal(path, resume=True) as journal:
+        assert "done" in journal
+        assert "in-flight" not in journal
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    lines = [
+        json.dumps({"key": "a", "status": "ok", "payload": {}}),
+        "garbage not json",
+        json.dumps({"key": "b", "status": "ok", "payload": {}}),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(CheckpointError):
+        SweepJournal(path, resume=True)
+
+
+def test_unknown_status_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text(json.dumps({"key": "a", "status": "maybe"}) + "\n")
+    path.write_text(
+        path.read_text() + json.dumps({"key": "b", "status": "ok"}) + "\n"
+    )
+    with pytest.raises(CheckpointError):
+        SweepJournal(path, resume=True)
+
+
+def test_resume_missing_file_starts_empty(tmp_path):
+    with SweepJournal(tmp_path / "fresh.jsonl", resume=True) as journal:
+        assert len(journal) == 0
+
+
+def test_last_entry_wins(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_failure("k", [EvalFailure(CONV_DC, "s", "k")])
+        journal.record_success("k", {"cost": 3.0})
+    with SweepJournal(path, resume=True) as journal:
+        assert journal.lookup("k")["status"] == "ok"
