@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test faults bench bench-light bench-heavy examples lint verify all
+.PHONY: install test faults bench bench-light bench-heavy examples lint verify erc all
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +36,16 @@ lint:
 
 verify:
 	python -m repro verify all
+
+# Full circuit lint over the library (ERC + DRC + connectivity +
+# constraints), machine-readable.  Fails on unwaived errors; the JSON
+# report is written for CI artifact upload.
+ERC_REPORT ?= erc-report.json
+
+erc:
+	python -m repro verify all --format json > $(ERC_REPORT)
+	@python -c "import json; rs = json.load(open('$(ERC_REPORT)')); \
+	print(f'{len(rs)} reports -> $(ERC_REPORT)')"
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -10,9 +10,12 @@ Commands:
   checkpointing flags),
 * ``render <primitive>`` — generate a layout variant and write SVG +
   extracted SPICE to disk,
-* ``verify <target>`` — statically verify layouts (DRC + connectivity);
-  target is a primitive, ``all``, or a benchmark circuit.  Exits
-  nonzero when any error-severity violation is found,
+* ``verify <target>`` — statically verify layouts and netlists (DRC +
+  connectivity + ERC + constraint/symmetry lint); target is a
+  primitive, ``all``, or a benchmark circuit.  ``--severity`` picks the
+  failure threshold, ``--waivers`` a lint baseline and ``--format
+  json`` machine-readable output.  Exits nonzero when any unwaived
+  violation at or above the threshold is found,
 * ``list`` — list the primitive library and the benchmark circuits.
 """
 
@@ -162,26 +165,35 @@ def cmd_render(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    """Statically verify layouts: DRC + connectivity (LVS-lite).
+    """Statically verify layouts and netlists: DRC + connectivity +
+    ERC + constraints.
 
     Targets: a library primitive (every sizing variant x feasible
-    pattern, bounded by ``--variants``), ``all`` (every layout-producing
-    primitive), or a benchmark circuit (runs the flow and verifies the
-    assembled placement).  Exits 1 when any error is found — warnings
-    too with ``--strict``.
+    pattern, bounded by ``--variants``), ``all`` (every primitive — ERC
+    on the schematic plus the geometric passes when the primitive
+    generates layouts), or a benchmark circuit (runs the flow and
+    verifies the assembled placement).  Violations matching the waiver
+    baseline (``--waivers``, default ``.reprolint.toml`` when present)
+    are marked waived and ignored by the exit code.  Exits 1 when any
+    unwaived violation at or above ``--severity`` is found.
     """
     import json
 
     from repro.cellgen.patterns import available_patterns
     from repro.primitives.base import MosPrimitive
-    from repro.verify import verify_layout
+    from repro.verify import load_waivers, verify_circuit, verify_layout
 
     tech = Technology.default()
+    waivers = load_waivers(args.waivers)
+    severity = "warning" if args.strict else args.severity
+    as_json = args.json or args.format == "json"
     reports = []
 
     if args.target in CIRCUITS:
         circuit = _build_circuit(args.target, tech)
-        flow = HierarchicalFlow(tech, n_bins=2, max_wires=args.max_wires)
+        flow = HierarchicalFlow(
+            tech, n_bins=2, max_wires=args.max_wires, waivers=waivers
+        )
         result = flow.run(circuit, flavor=args.flavor, measure=False)
         assert result.verification is not None
         reports.append(result.verification)
@@ -199,9 +211,15 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 primitive = library.create(name, tech, base_fins=args.fins)
             except TypeError:
                 primitive = None
+            if primitive is not None and args.erc:
+                erc_report = verify_circuit(
+                    primitive.schematic_circuit(), waivers=waivers
+                )
+                erc_report.target = f"{name} (schematic ERC)"
+                reports.append(erc_report)
             if not isinstance(primitive, MosPrimitive):
                 # Passive primitives synthesize netlists, not layouts.
-                if args.target != "all":
+                if args.target != "all" and primitive is None:
                     raise SystemExit(
                         f"{name!r} does not generate layouts; nothing to "
                         f"verify"
@@ -217,7 +235,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 for pattern in available_patterns(matched, counts):
                     layout = primitive.generate(base, pattern, verify=False)
                     report = verify_layout(
-                        layout, tech, spec=primitive.cell_spec(base)
+                        layout,
+                        tech,
+                        spec=primitive.cell_spec(base),
+                        constraints=args.constraints,
+                        waivers=waivers,
                     )
                     report.target = (
                         f"{name} ({base.nfin}x{base.nf}x{base.m}, {pattern})"
@@ -229,12 +251,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
             f"nothing verified for {args.target!r} (check --variants)"
         )
     failed = False
-    if args.json:
+    if as_json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
     for report in reports:
-        bad = bool(report.errors) or (args.strict and report.warnings)
+        bad = report.fails(severity)
         failed = failed or bad
-        if not args.json:
+        if not as_json:
             if bad or args.verbose:
                 print(report.render_text(max_per_rule=args.max_per_rule))
             else:
@@ -292,7 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_runtime_args(p_flow)
 
     p_verify = sub.add_parser(
-        "verify", help="statically verify layouts (DRC + connectivity)"
+        "verify",
+        help="statically verify layouts and netlists "
+        "(DRC + connectivity + ERC + constraints)",
     )
     p_verify.add_argument(
         "target",
@@ -313,10 +337,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("--max-wires", type=int, default=5)
     p_verify.add_argument(
-        "--strict", action="store_true", help="fail on warnings too"
+        "--erc",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run electrical-rule checks on schematic netlists",
     )
     p_verify.add_argument(
-        "--json", action="store_true", help="emit the reports as JSON"
+        "--constraints",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the constraint/symmetry analyzer on layouts",
+    )
+    p_verify.add_argument(
+        "--severity",
+        default="error",
+        choices=["error", "warning"],
+        help="exit nonzero on unwaived violations at or above this "
+        "severity (default: error)",
+    )
+    p_verify.add_argument(
+        "--waivers",
+        default=None,
+        metavar="PATH",
+        help="waiver baseline file (default: .reprolint.toml when present)",
+    )
+    p_verify.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report output format",
+    )
+    p_verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too (alias for --severity warning)",
+    )
+    p_verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the reports as JSON (alias for --format json)",
     )
     p_verify.add_argument(
         "--verbose",

@@ -28,6 +28,7 @@ from repro.core.tuning import TuningResult, tune_option
 from repro.devices.mosfet import MosGeometry
 from repro.errors import OptimizationError
 from repro.runtime import EvalRuntime, FailureLog, RetryPolicy, SweepJournal
+from repro.verify import verify_circuit
 
 #: Wall time the paper attributes to one primitive simulation (seconds).
 PAPER_SIM_TIME = 10.0
@@ -138,6 +139,10 @@ class PrimitiveOptimizer:
             journaled to ``<run_dir>/<primitive>.jsonl`` so a crashed
             sweep can resume.  None disables checkpointing.
         resume: Replay an existing journal instead of starting fresh.
+        erc: Run electrical-rule checks on the primitive's schematic
+            reference before any simulation is spent; ERC errors raise
+            :class:`~repro.errors.OptimizationError` immediately (a
+            broken netlist would corrupt every downstream score).
     """
 
     def __init__(
@@ -148,6 +153,7 @@ class PrimitiveOptimizer:
         policy: RetryPolicy | None = None,
         run_dir: str | os.PathLike | None = None,
         resume: bool = False,
+        erc: bool = True,
     ):
         self.n_bins = n_bins
         self.max_wires = max_wires
@@ -155,6 +161,7 @@ class PrimitiveOptimizer:
         self.policy = policy
         self.run_dir = run_dir
         self.resume = resume
+        self.erc = erc
 
     def _runtime_for(self, primitive) -> EvalRuntime:
         journal = None
@@ -207,6 +214,12 @@ class PrimitiveOptimizer:
             primitive_name=primitive.name, failures=runtime.failures
         )
 
+        # Cheap front gate: lint the schematic before spending any SPICE
+        # budget.  A floating gate or rail short would not crash the
+        # simulator -- it would silently corrupt every score downstream.
+        if self.erc:
+            self._erc_gate(primitive)
+
         # Stage 0: the schematic reference everything is scored against.
         # Journaled so a resumed run does not re-simulate it, and granted
         # extra retries — without it no option can be costed at all.
@@ -258,6 +271,16 @@ class PrimitiveOptimizer:
 
         report.cached_evaluations = runtime.cache_hits
         return report
+
+    def _erc_gate(self, primitive) -> None:
+        """Fail fast on electrical-rule errors in the schematic reference."""
+        erc_report = verify_circuit(primitive.schematic_circuit())
+        if erc_report.errors:
+            details = "; ".join(v.render() for v in erc_report.errors)
+            raise OptimizationError(
+                f"{primitive.name}: schematic failed ERC before "
+                f"optimization: {details}"
+            )
 
     def _schematic_reference(self, primitive, runtime: EvalRuntime) -> None:
         """Evaluate (or restore) the primitive's schematic reference."""

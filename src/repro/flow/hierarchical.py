@@ -45,7 +45,14 @@ from repro.pnr.placer import Block, Placement, SaPlacer
 from repro.runtime import EvalRuntime, FailureLog, RetryPolicy, SweepJournal
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.pdk import Technology
-from repro.verify import Report, verify_assembly, verify_layout
+from repro.verify import (
+    Report,
+    WaiverSet,
+    check_route_parallelism,
+    verify_assembly,
+    verify_circuit,
+    verify_layout,
+)
 
 #: Modeled per-simulation wall time (paper Section III-C).
 PAPER_SIM_TIME = 10.0
@@ -104,10 +111,16 @@ class HierarchicalFlow:
         seed: Placer RNG seed.
         placer_iterations: Annealing iterations.
         verify: Statically verify the chosen cell layouts and the
-            assembled placement (DRC + connectivity); the report lands on
+            assembled placement (DRC + connectivity + ERC on each unique
+            primitive's schematic + the constraint/symmetry pass + route
+            parallelism); the report lands on
             ``FlowResult.verification``.
         strict: Raise :class:`~repro.errors.VerificationError` when
-            verification finds errors instead of just recording them.
+            verification finds unwaived errors instead of just recording
+            them.
+        waivers: Optional lint baseline (:class:`~repro.verify.rules
+            .WaiverSet`); matching violations are marked waived before
+            the strict check.
         policy: Retry/budget policy for simulation failures (see
             :class:`~repro.runtime.RetryPolicy`).
         run_dir: Directory for sweep-checkpoint journals (one JSONL per
@@ -127,6 +140,7 @@ class HierarchicalFlow:
         policy: RetryPolicy | None = None,
         run_dir: str | None = None,
         resume: bool = False,
+        waivers: WaiverSet | None = None,
     ):
         self.tech = tech
         self.n_bins = n_bins
@@ -138,6 +152,7 @@ class HierarchicalFlow:
         self.policy = policy
         self.run_dir = run_dir
         self.resume = resume
+        self.waivers = waivers
 
     # -- public entry ------------------------------------------------------
 
@@ -446,15 +461,19 @@ class HierarchicalFlow:
         """Statically verify the chosen cells and their placement.
 
         Every unique (primitive, sizing, pattern, wires) layout gets a
-        full spec-based DRC + connectivity pass; the placed instances
-        are then checked for overlaps and flattened for a structural
-        pass over the merged geometry (shorts, floating vias).  The
-        merged report lands on ``FlowResult.verification``; in strict
-        mode any error raises.
+        full spec-based DRC + connectivity + constraint pass, and each
+        unique primitive's schematic reference is ERC-checked once; the
+        placed instances are then checked for overlaps and flattened
+        for a structural pass over the merged geometry (shorts,
+        floating vias).  Realized parallel-wire routes are checked
+        against their budgets and matched partners.  The merged report
+        (with waivers applied) lands on ``FlowResult.verification``; in
+        strict mode any unwaived error raises.
         """
         merged = Report(target=f"{result.circuit_name}:{result.flavor}")
         layouts: dict[str, object] = {}
         seen: set[tuple] = set()
+        erc_seen: set[str] = set()
         for binding in bindings:
             choice = result.choices[binding.name]
             primitive = binding.primitive
@@ -462,6 +481,9 @@ class HierarchicalFlow:
                 choice.base, choice.pattern, choice.wires, verify=False
             )
             layouts[binding.name] = layout
+            if primitive.name not in erc_seen:
+                erc_seen.add(primitive.name)
+                merged.merge(verify_circuit(primitive.schematic_circuit()))
             key = (
                 primitive.name,
                 choice.base,
@@ -487,6 +509,19 @@ class HierarchicalFlow:
                     f"{result.circuit_name}_assembly", instances, self.tech
                 )
             )
+        if result.detailed_routes:
+            budgets = {
+                net: budget.n_wires
+                for net, budget in result.route_budgets.items()
+            }
+            merged.merge(
+                check_route_parallelism(
+                    result.detailed_routes,
+                    budgets,
+                    target=f"{result.circuit_name}_routes",
+                )
+            )
+        merged.apply_waivers(self.waivers)
         result.verification = merged
         if self.strict:
             merged.raise_if_errors()

@@ -1,74 +1,163 @@
-"""Static verification of generated layouts: DRC + connectivity.
+"""Static verification: DRC + connectivity + ERC + constraint lint.
 
 The paper's premise is that procedurally generated primitives are
 *correct by construction*; this subsystem checks that claim without a
-single simulation.  :func:`verify_layout` runs both engines over a
-:class:`~repro.geometry.layout.Layout` and returns one merged
-:class:`~repro.verify.diagnostics.Report`:
+single simulation.  Four engines share one rule registry
+(:mod:`repro.verify.rules`) and one :class:`~repro.verify.diagnostics
+.Report`:
 
 * :mod:`repro.verify.drc` — gridded-FinFET design rules (pitch grids,
   footprints, wire width/spacing, via stacking, well enclosure, ports),
 * :mod:`repro.verify.connectivity` — the LVS-lite net graph (terminal
-  wiring vs. the schematic, net contiguity, shorts).
+  wiring vs. the schematic, net contiguity, shorts),
+* :mod:`repro.verify.erc` — electrical rules over flat netlists
+  (floating gates, undriven nets, rail shorts, bulk polarity),
+* :mod:`repro.verify.constraints` — analog-intent constraints (matched
+  sizing, mirror symmetry, common centroid, LDE equivalence, symmetric
+  wire meshes, route parallelism).
 
-It is wired in at three call sites: the cell generator verifies every
-emitted variant, the hierarchical flow verifies assembled blocks after
-placement, and the ``repro verify`` CLI checks any library primitive or
-benchmark circuit and exits nonzero on errors.  It is also the cheapest
-guard rail the optimizer loop has: a broken variant is rejected before
-any SPICE budget is spent on it.
+:func:`verify_layout` runs the geometric engines (plus the constraint
+analyzer whenever a :class:`~repro.cellgen.generator.CellSpec` is
+given); :func:`verify_circuit` runs ERC on a netlist.  Known deviations
+are suppressed explicitly through a ``.reprolint.toml`` waiver file
+(:class:`~repro.verify.rules.WaiverSet`), never by disabling rules.
+
+It is wired in at four call sites: the cell generator verifies every
+emitted variant, the optimizer ERC-gates the schematic reference before
+spending SPICE budget, the hierarchical flow verifies assembled blocks
+and route parallelism after placement, and the ``repro verify`` CLI
+checks any library primitive or benchmark circuit and exits nonzero on
+unwaived errors.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
+from repro.cellgen.generator import CellSpec
 from repro.errors import VerificationError
 from repro.geometry.layout import Instance, Layout, flatten_instances
+from repro.spice.netlist import Circuit
 from repro.tech.pdk import Technology
 from repro.verify.connectivity import NetGraph, run_connectivity
+from repro.verify.constraints import check_route_parallelism, run_constraints
 from repro.verify.diagnostics import Report, Violation
 from repro.verify.drc import check_instance_overlaps, run_drc
+from repro.verify.erc import run_erc
+from repro.verify.rules import (
+    RuleDef,
+    Waiver,
+    WaiverSet,
+    all_rules,
+    register_rule,
+    rule,
+    rules_in_category,
+)
 
 __all__ = [
     "Report",
     "Violation",
     "NetGraph",
+    "RuleDef",
+    "Waiver",
+    "WaiverSet",
     "VerificationError",
+    "all_rules",
+    "register_rule",
+    "rule",
+    "rules_in_category",
     "run_drc",
     "run_connectivity",
+    "run_erc",
+    "run_constraints",
+    "check_route_parallelism",
+    "load_waivers",
     "verify_layout",
+    "verify_circuit",
     "verify_assembly",
 ]
+
+#: Conventional waiver-file name looked up by the CLI and Makefile.
+DEFAULT_WAIVER_FILE = ".reprolint.toml"
+
+
+def load_waivers(path: str | Path | None = None) -> WaiverSet | None:
+    """Load a waiver baseline, tolerating a missing default file.
+
+    With an explicit ``path`` the file must exist (a typo'd baseline
+    silently waiving nothing would be worse than an error).  With
+    ``path=None`` the conventional :data:`DEFAULT_WAIVER_FILE` is
+    loaded from the current directory when present, else ``None``.
+    """
+    if path is None:
+        default = Path(DEFAULT_WAIVER_FILE)
+        if not default.is_file():
+            return None
+        return WaiverSet.load(default)
+    return WaiverSet.load(path)
 
 
 def verify_layout(
     layout: Layout,
     tech: Technology,
-    spec=None,
+    spec: CellSpec | None = None,
     strict: bool = False,
     absolute_grid: bool = True,
+    constraints: bool = True,
+    waivers: WaiverSet | None = None,
 ) -> Report:
-    """Run DRC + connectivity on one layout.
+    """Run DRC + connectivity (+ constraints, given a spec) on one layout.
 
     Args:
         layout: The layout to verify.
         tech: Technology whose rules apply.
         spec: Optional :class:`~repro.cellgen.generator.CellSpec`; when
-            given, terminal wiring is checked against the schematic.
-        strict: Raise :class:`VerificationError` when errors are found
-            instead of returning the report.
+            given, terminal wiring is checked against the schematic and
+            the constraint/symmetry analyzer runs.
+        strict: Raise :class:`VerificationError` when unwaived errors
+            are found instead of returning the report.
         absolute_grid: Forwarded to :func:`~repro.verify.drc.run_drc`;
             flattened assemblies pass ``False`` (children are translated
             off the absolute poly-grid phase by placement).
+        constraints: Run the constraint analyzer (requires ``spec``).
+        waivers: Optional baseline; matching violations are marked
+            waived before the strict check.
 
     Returns:
         The merged report (always returned when ``strict`` is false).
 
     Raises:
-        VerificationError: In strict mode, when any error-severity
-            violation is present (warnings never raise).
+        VerificationError: In strict mode, when any unwaived
+            error-severity violation is present (warnings never raise).
     """
     report = run_drc(layout, tech, absolute_grid=absolute_grid)
     report.merge(run_connectivity(layout, tech, spec=spec))
+    if constraints and spec is not None:
+        report.merge(run_constraints(layout, spec, tech))
+    report.apply_waivers(waivers)
+    if strict:
+        report.raise_if_errors()
+    return report
+
+
+def verify_circuit(
+    circuit: Circuit,
+    strict: bool = False,
+    waivers: WaiverSet | None = None,
+) -> Report:
+    """Run the ERC engine on a flat netlist.
+
+    Args:
+        circuit: The circuit to check (schematic reference, extracted
+            netlist or testbench).
+        strict: Raise :class:`VerificationError` on unwaived errors.
+        waivers: Optional baseline applied before the strict check.
+
+    Returns:
+        The ERC report.
+    """
+    report = run_erc(circuit)
+    report.apply_waivers(waivers)
     if strict:
         report.raise_if_errors()
     return report
@@ -80,6 +169,7 @@ def verify_assembly(
     tech: Technology,
     net_map: dict[str, dict[str, str]] | None = None,
     strict: bool = False,
+    waivers: WaiverSet | None = None,
 ) -> Report:
     """Verify an assembled block: placed instances plus their flattening.
 
@@ -93,7 +183,8 @@ def verify_assembly(
         instances: Placed child layouts.
         tech: Technology whose rules apply.
         net_map: ``{instance: {child_net: parent_net}}`` rewrite table.
-        strict: Raise :class:`VerificationError` on errors.
+        strict: Raise :class:`VerificationError` on unwaived errors.
+        waivers: Optional baseline applied before the strict check.
 
     Returns:
         The merged report for the placement and the flattened geometry.
@@ -103,6 +194,7 @@ def verify_assembly(
     if instances:
         flat = flatten_instances(name, instances, net_map=net_map)
         report.merge(verify_layout(flat, tech, absolute_grid=False))
+    report.apply_waivers(waivers)
     if strict:
         report.raise_if_errors()
     return report

@@ -1,8 +1,9 @@
 """Verification diagnostics: violations and reports.
 
-Every check in :mod:`repro.verify.drc` and
-:mod:`repro.verify.connectivity` emits :class:`Violation` records with a
-stable rule ID (``DRC-...`` / ``CONN-...``), a severity, the offending
+Every check in :mod:`repro.verify.drc`, :mod:`repro.verify.connectivity`,
+:mod:`repro.verify.erc` and :mod:`repro.verify.constraints` emits
+:class:`Violation` records with a stable rule ID (``DRC-...`` /
+``CONN-...`` / ``ERC-...`` / ``CONST-...``), a severity, the offending
 shape's location, and a human-readable message.  A :class:`Report`
 aggregates them and renders either plain text (for the CLI) or JSON (for
 tooling).
@@ -11,10 +12,15 @@ Severity semantics:
 
 * ``"error"`` — the layout is wrong: a rule derived from the technology
   is violated, or the geometry does not implement the schematic
-  connectivity.  ``repro verify`` exits nonzero on any error.
+  connectivity.  ``repro verify`` exits nonzero on any unwaived error.
 * ``"warning"`` — the layout is suspicious but not provably broken under
   the generator's geometry abstractions (e.g. a via chain landing on one
   layer only).  Warnings never fail a strict verification.
+
+A violation may additionally be **waived**: matched by an explicit
+entry in a ``.reprolint.toml`` baseline (:class:`repro.verify.rules
+.WaiverSet`).  Waived violations stay visible in reports and JSON
+output but do not count against :attr:`Report.ok`.
 
 See ``docs/verification.md`` for the full rule-ID catalog.
 """
@@ -22,10 +28,12 @@ See ``docs/verification.md`` for the full rule-ID catalog.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.errors import VerificationError
 from repro.geometry.shapes import Point, Rect
+from repro.verify.rules import WaiverSet, rule as rule_def
 
 #: Valid severities, in increasing order of badness.
 SEVERITIES = ("warning", "error")
@@ -44,6 +52,8 @@ class Violation:
         subject: The offending object: a net, device, port or layer name.
         location: Representative point of the offending geometry, if any.
         rect: Offending rectangle, if the violation has an extent.
+        waived: True when a baseline waiver covers this violation.
+        waive_reason: The waiver's reason, when waived.
     """
 
     rule: str
@@ -53,6 +63,8 @@ class Violation:
     subject: str = ""
     location: Point | None = None
     rect: Rect | None = None
+    waived: bool = False
+    waive_reason: str = ""
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -64,6 +76,16 @@ class Violation:
     @property
     def is_error(self) -> bool:
         return self.severity == "error"
+
+    def sort_key(self) -> tuple[str, str, str, int, int, str]:
+        """Deterministic ordering key: layout, rule, subject, coords."""
+        if self.location is not None:
+            x, y = self.location.x, self.location.y
+        elif self.rect is not None:
+            x, y = self.rect.x0, self.rect.y0
+        else:
+            x, y = 0, 0
+        return (self.layout, self.rule, self.subject, x, y, self.message)
 
     def render(self) -> str:
         """One-line text rendering: ``ERROR DRC-X [cell/net] message @ (x, y)``."""
@@ -77,11 +99,15 @@ class Violation:
             )
         context = "/".join(p for p in (self.layout, self.subject) if p)
         context = f" [{context}]" if context else ""
-        return f"{self.severity.upper():7s} {self.rule}{context} {self.message}{where}"
+        waived = " (waived)" if self.waived else ""
+        return (
+            f"{self.severity.upper():7s} {self.rule}{context} "
+            f"{self.message}{where}{waived}"
+        )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable representation."""
-        out: dict = {
+        out: dict[str, Any] = {
             "rule": self.rule,
             "severity": self.severity,
             "message": self.message,
@@ -94,6 +120,10 @@ class Violation:
             out["location"] = [self.location.x, self.location.y]
         if self.rect is not None:
             out["rect"] = [self.rect.x0, self.rect.y0, self.rect.x1, self.rect.y1]
+        if self.waived:
+            out["waived"] = True
+            if self.waive_reason:
+                out["waive_reason"] = self.waive_reason
         return out
 
 
@@ -136,24 +166,105 @@ class Report:
         self.violations.append(violation)
         return violation
 
+    def flag(
+        self,
+        rule: str,
+        message: str,
+        *,
+        layout: str = "",
+        subject: str = "",
+        location: Point | None = None,
+        rect: Rect | None = None,
+        severity: str | None = None,
+    ) -> Violation:
+        """Record a violation under a *registered* rule.
+
+        Unlike :meth:`add`, the rule ID must exist in
+        :mod:`repro.verify.rules` and the severity defaults to the
+        registry's; checks should prefer this so IDs and severities
+        cannot drift from the catalog.
+        """
+        info = rule_def(rule)
+        return self.add(
+            rule,
+            severity or info.severity,
+            message,
+            layout=layout,
+            subject=subject,
+            location=location,
+            rect=rect,
+        )
+
     def merge(self, other: "Report") -> "Report":
-        """Fold another report's findings into this one (in place)."""
-        self.violations.extend(other.violations)
+        """Fold another report's findings into this one (in place).
+
+        Incoming violations identical to ones already recorded are
+        dropped (so repeated sub-layout checks in assemblies do not
+        duplicate findings), and the merged list is stably sorted by
+        (layout, rule, subject, coordinates) for deterministic output.
+        """
+        seen = set(self.violations)
+        for violation in other.violations:
+            if violation in seen:
+                continue
+            seen.add(violation)
+            self.violations.append(violation)
         self.checked_shapes += other.checked_shapes
+        self.violations.sort(key=Violation.sort_key)
         return self
+
+    def apply_waivers(self, waivers: WaiverSet | None) -> int:
+        """Mark violations covered by the baseline as waived.
+
+        Returns the number of newly waived violations.  Waived
+        violations stay in the report (and render flagged) but no
+        longer count toward :attr:`errors` / :attr:`warnings`.
+        """
+        if waivers is None or not len(waivers):
+            return 0
+        waived = 0
+        for i, violation in enumerate(self.violations):
+            if violation.waived:
+                continue
+            waiver = waivers.find(violation)
+            if waiver is not None:
+                self.violations[i] = replace(
+                    violation, waived=True, waive_reason=waiver.reason
+                )
+                waived += 1
+        return waived
 
     @property
     def errors(self) -> list[Violation]:
-        return [v for v in self.violations if v.is_error]
+        return [v for v in self.violations if v.is_error and not v.waived]
 
     @property
     def warnings(self) -> list[Violation]:
-        return [v for v in self.violations if not v.is_error]
+        return [v for v in self.violations if not v.is_error and not v.waived]
+
+    @property
+    def waived_violations(self) -> list[Violation]:
+        return [v for v in self.violations if v.waived]
 
     @property
     def ok(self) -> bool:
-        """True when the report has no errors (warnings are allowed)."""
+        """True when the report has no unwaived errors."""
         return not self.errors
+
+    def fails(self, threshold: str = "error") -> bool:
+        """True when unwaived findings at or above ``threshold`` exist.
+
+        ``threshold="error"`` (the default) fails only on errors;
+        ``threshold="warning"`` also fails on warnings.
+        """
+        if threshold not in SEVERITIES:
+            raise VerificationError(
+                f"severity threshold must be one of {SEVERITIES}, "
+                f"got {threshold!r}"
+            )
+        if threshold == "warning":
+            return bool(self.errors) or bool(self.warnings)
+        return bool(self.errors)
 
     def rules_hit(self) -> list[str]:
         """Sorted unique rule IDs present in the report."""
@@ -175,9 +286,11 @@ class Report:
         name = self.target or "verification"
         if not self.violations:
             return f"{name}: CLEAN ({self.checked_shapes} shapes checked)"
+        waived = len(self.waived_violations)
+        suffix = f", {waived} waived" if waived else ""
         return (
             f"{name}: {len(self.errors)} error(s), "
-            f"{len(self.warnings)} warning(s)"
+            f"{len(self.warnings)} warning(s){suffix}"
         )
 
     def render_text(self, max_per_rule: int | None = None) -> str:
@@ -201,12 +314,13 @@ class Report:
                 lines.append(f"    ... {len(group) - max_per_rule} more")
         return "\n".join(lines)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-serializable representation of the whole report."""
         return {
             "target": self.target,
             "ok": self.ok,
             "checked_shapes": self.checked_shapes,
+            "waived": len(self.waived_violations),
             "counts": self.counts_by_rule(),
             "violations": [v.to_dict() for v in self.violations],
         }

@@ -1,0 +1,371 @@
+"""Electrical rule checking (ERC) over flat :class:`~repro.spice.netlist.Circuit`s.
+
+Static electrical sanity, checked in microseconds before any SPICE
+budget is spent: floating gates, nets with no DC path to a boundary,
+zero-impedance shorts between rails, bulk polarity against device type,
+dangling ports and degenerate elements.  The checks are purely
+structural — no matrix is built — so they run on schematic references,
+extracted netlists and testbenches alike.
+
+Net conventions (shared with the primitive generator):
+
+* ground is any spelling :func:`repro.spice.netlist.is_ground` accepts;
+* supply rails end with ``"!"`` (e.g. ``vdd!``) and are assumed driven;
+* declared ``Circuit.ports`` are driven from outside.
+
+Those three classes form the *boundary*: DC reachability starts there.
+
+Rule IDs are registered in :mod:`repro.verify.rules` (``ERC-*``); see
+``docs/verification.md`` for the catalog.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit, is_ground
+from repro.spice.waveforms import Dc
+from repro.verify.diagnostics import Report
+
+__all__ = [
+    "run_erc",
+    "dc_terminal_kinds",
+    "dc_conducting_pairs",
+    "zero_impedance_pairs",
+    "is_supply",
+]
+
+#: Terminal kinds, by decreasing ability to set a net's DC voltage.
+#:
+#: ``conducting`` terminals carry DC current at finite impedance (they
+#: propagate drive onto the net); ``gate``/``sense`` terminals only
+#: observe; ``blocking`` terminals pass no DC current; ``bulk`` is the
+#: MOS body tie.
+TERMINAL_KINDS = ("conducting", "gate", "bulk", "blocking", "sense")
+
+
+def is_supply(net: str) -> bool:
+    """True for supply rails: nets ending in ``"!"`` that are not ground."""
+    return net.endswith("!") and not is_ground(net)
+
+
+def dc_terminal_kinds(elem: Element) -> tuple[tuple[str, str], ...]:
+    """``(net, kind)`` for each terminal of ``elem``.
+
+    The kind classifies what the terminal does to the net's DC operating
+    point — see :data:`TERMINAL_KINDS`.
+    """
+    if isinstance(elem, (Resistor, Inductor)):
+        return ((elem.a, "conducting"), (elem.b, "conducting"))
+    if isinstance(elem, Capacitor):
+        return ((elem.a, "blocking"), (elem.b, "blocking"))
+    if isinstance(elem, VoltageSource):
+        return ((elem.plus, "conducting"), (elem.minus, "conducting"))
+    if isinstance(elem, CurrentSource):
+        return ((elem.a, "blocking"), (elem.b, "blocking"))
+    if isinstance(elem, Vcvs):
+        return (
+            (elem.plus, "conducting"),
+            (elem.minus, "conducting"),
+            (elem.ctrl_plus, "sense"),
+            (elem.ctrl_minus, "sense"),
+        )
+    if isinstance(elem, Vccs):
+        return (
+            (elem.a, "blocking"),
+            (elem.b, "blocking"),
+            (elem.ctrl_plus, "sense"),
+            (elem.ctrl_minus, "sense"),
+        )
+    # Mosfet: channel terminals conduct, the gate observes, bulk ties.
+    return (
+        (elem.d, "conducting"),
+        (elem.g, "gate"),
+        (elem.b, "bulk"),
+        (elem.s, "conducting"),
+    )
+
+
+def dc_conducting_pairs(elem: Element) -> tuple[tuple[str, str], ...]:
+    """Node pairs joined by a finite-impedance DC path through ``elem``."""
+    if isinstance(elem, (Resistor, Inductor)):
+        return ((elem.a, elem.b),)
+    if isinstance(elem, VoltageSource):
+        return ((elem.plus, elem.minus),)
+    if isinstance(elem, Vcvs):
+        return ((elem.plus, elem.minus),)
+    if isinstance(elem, Mosfet):
+        return ((elem.d, elem.s),)
+    # Capacitors, current sources and VCCS outputs block or are
+    # infinite-impedance at DC.
+    return ()
+
+
+def zero_impedance_pairs(elem: Element) -> tuple[tuple[str, str], ...]:
+    """Node pairs ``elem`` shorts at DC (inductors, 0 V DC sources)."""
+    if isinstance(elem, Inductor):
+        return ((elem.a, elem.b),)
+    if isinstance(elem, VoltageSource):
+        wave = elem.waveform
+        if isinstance(wave, Dc) and wave.dc_value == 0.0:
+            return ((elem.plus, elem.minus),)
+    return ()
+
+
+class _NetUnion:
+    """Union-find over net names (path halving, union by size)."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._size: dict[str, int] = {}
+
+    def find(self, net: str) -> str:
+        parent = self._parent
+        if net not in parent:
+            parent[net] = net
+            self._size[net] = 1
+            return net
+        while parent[net] != net:
+            parent[net] = parent[parent[net]]
+            net = parent[net]
+        return net
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+
+
+def _canonical(net: str) -> str:
+    """Fold every ground spelling onto one node name."""
+    return "0" if is_ground(net) else net
+
+
+def _boundary_nets(circuit: Circuit, nets: Iterable[str]) -> set[str]:
+    """Nets assumed externally driven: ports, supplies and ground."""
+    boundary = {"0"}
+    boundary.update(_canonical(p) for p in circuit.ports)
+    boundary.update(n for n in nets if is_supply(n))
+    return boundary
+
+
+def run_erc(circuit: Circuit) -> Report:
+    """Run every electrical rule check on a flat circuit.
+
+    Returns a :class:`Report` whose ``checked_shapes`` counts elements
+    plus distinct nets.  Never raises on circuit content — findings are
+    violations, not exceptions.
+    """
+    report = Report(target=circuit.name)
+
+    # Net -> [(element, kind)] attachment map, ground spellings folded.
+    attachments: dict[str, list[tuple[Element, str]]] = {}
+    for elem in circuit.elements:
+        for net, kind in dc_terminal_kinds(elem):
+            attachments.setdefault(_canonical(net), []).append((elem, kind))
+
+    nets = set(attachments)
+    boundary = _boundary_nets(circuit, nets)
+    report.checked_shapes = len(circuit) + len(nets)
+
+    _check_degenerate(circuit, report)
+    _check_supply_shorts(circuit, report)
+    _check_bulk_polarity(circuit, report)
+    _check_dangling_ports(circuit, nets, report)
+    _check_floating_gates(circuit, attachments, boundary, report)
+    _check_reachability(circuit, attachments, boundary, report)
+    _check_dangling_nets(attachments, boundary, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_degenerate(circuit: Circuit, report: Report) -> None:
+    """ERC-SELF-LOOP / ERC-ZERO-VALUE: no-op or placeholder elements."""
+    for elem in circuit.elements:
+        if isinstance(elem, (Resistor, Capacitor, Inductor, CurrentSource)):
+            if _canonical(elem.a) == _canonical(elem.b):
+                report.flag(
+                    "ERC-SELF-LOOP",
+                    f"{type(elem).__name__.lower()} {elem.name} has both "
+                    f"terminals on net {elem.a!r}",
+                    subject=elem.name,
+                )
+        if isinstance(elem, Capacitor) and elem.value == 0.0:
+            report.flag(
+                "ERC-ZERO-VALUE",
+                f"capacitor {elem.name} has zero capacitance",
+                subject=elem.name,
+            )
+
+
+def _check_supply_shorts(circuit: Circuit, report: Report) -> None:
+    """ERC-SUPPLY-SHORT: zero-impedance paths merging distinct rails."""
+    edges: list[tuple[str, str, str]] = []
+    for elem in circuit.elements:
+        for a, b in zero_impedance_pairs(elem):
+            edges.append((_canonical(a), _canonical(b), elem.name))
+        if isinstance(elem, VoltageSource):
+            if _canonical(elem.plus) == _canonical(elem.minus):
+                report.flag(
+                    "ERC-SUPPLY-SHORT",
+                    f"voltage source {elem.name} shorts net {elem.plus!r} "
+                    f"to itself",
+                    subject=elem.name,
+                )
+
+    union = _NetUnion()
+    for a, b, _ in edges:
+        union.union(a, b)
+
+    components: dict[str, set[str]] = {}
+    causes: dict[str, set[str]] = {}
+    for a, b, name in edges:
+        root = union.find(a)
+        members = components.setdefault(root, set())
+        members.update((a, b))
+        causes.setdefault(root, set()).add(name)
+    for root in sorted(components):
+        rails = sorted(
+            n for n in components[root] if n == "0" or is_supply(n)
+        )
+        if len(rails) >= 2:
+            through = ", ".join(sorted(causes[root]))
+            report.flag(
+                "ERC-SUPPLY-SHORT",
+                f"zero-impedance path merges rails {rails} "
+                f"(through {through})",
+                subject=rails[-1],
+            )
+
+
+def _check_bulk_polarity(circuit: Circuit, report: Report) -> None:
+    """ERC-BULK-POLARITY: NMOS bulk on a supply, PMOS bulk on ground."""
+    for mos in circuit.mosfets():
+        bulk = _canonical(mos.b)
+        if mos.card.polarity > 0 and is_supply(bulk):
+            report.flag(
+                "ERC-BULK-POLARITY",
+                f"NMOS {mos.name} ties its bulk to supply {mos.b!r}; "
+                f"p-well must tie to ground",
+                subject=mos.name,
+            )
+        elif mos.card.polarity < 0 and bulk == "0":
+            report.flag(
+                "ERC-BULK-POLARITY",
+                f"PMOS {mos.name} ties its bulk to ground; n-well must "
+                f"tie to a supply",
+                subject=mos.name,
+            )
+
+
+def _check_dangling_ports(
+    circuit: Circuit, nets: set[str], report: Report
+) -> None:
+    """ERC-DANGLING-PORT: declared ports no element touches."""
+    for port in circuit.ports:
+        if _canonical(port) not in nets:
+            report.flag(
+                "ERC-DANGLING-PORT",
+                f"port {port!r} touches no element terminal",
+                subject=port,
+            )
+
+
+def _check_floating_gates(
+    circuit: Circuit,
+    attachments: dict[str, list[tuple[Element, str]]],
+    boundary: set[str],
+    report: Report,
+) -> None:
+    """ERC-FLOAT-GATE: gate nets with no DC drive attached."""
+    for mos in circuit.mosfets():
+        gate = _canonical(mos.g)
+        if gate in boundary:
+            continue
+        kinds = {kind for _, kind in attachments.get(gate, [])}
+        if "conducting" not in kinds:
+            report.flag(
+                "ERC-FLOAT-GATE",
+                f"gate of {mos.name} on net {mos.g!r} has no DC drive "
+                f"(only {', '.join(sorted(kinds)) or 'nothing'} attached)",
+                subject=mos.name,
+            )
+
+
+def _check_reachability(
+    circuit: Circuit,
+    attachments: dict[str, list[tuple[Element, str]]],
+    boundary: set[str],
+    report: Report,
+) -> None:
+    """ERC-UNDRIVEN: nets with no DC path to any boundary net.
+
+    Breadth-first search from the boundary across finite-impedance DC
+    edges.  Pure observer nets (only gates/sense pins attached) are left
+    to ERC-FLOAT-GATE, which names the affected device.
+    """
+    adjacency: dict[str, set[str]] = {}
+    for elem in circuit.elements:
+        for a, b in dc_conducting_pairs(elem):
+            a, b = _canonical(a), _canonical(b)
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+
+    reached = set(boundary)
+    queue = deque(boundary)
+    while queue:
+        net = queue.popleft()
+        for neighbor in adjacency.get(net, ()):
+            if neighbor not in reached:
+                reached.add(neighbor)
+                queue.append(neighbor)
+
+    for net in sorted(attachments):
+        if net in reached:
+            continue
+        kinds = {kind for _, kind in attachments[net]}
+        if kinds <= {"gate", "sense"}:
+            continue  # ERC-FLOAT-GATE territory
+        report.flag(
+            "ERC-UNDRIVEN",
+            f"net {net!r} has no DC path to any port, supply or ground",
+            subject=net,
+        )
+
+
+def _check_dangling_nets(
+    attachments: dict[str, list[tuple[Element, str]]],
+    boundary: set[str],
+    report: Report,
+) -> None:
+    """ERC-DANGLING-NET: internal nets touching exactly one terminal."""
+    for net in sorted(attachments):
+        if net in boundary:
+            continue
+        if len(attachments[net]) == 1:
+            elem, _ = attachments[net][0]
+            report.flag(
+                "ERC-DANGLING-NET",
+                f"net {net!r} touches only one terminal (of {elem.name})",
+                subject=net,
+            )

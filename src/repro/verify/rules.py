@@ -1,0 +1,498 @@
+"""The shared rule registry and the waiver (baseline) mechanism.
+
+Every static check in this package — DRC (``DRC-``), connectivity
+(``CONN-``), electrical-rule checking (``ERC-``) and constraint/symmetry
+analysis (``CONST-``) — emits violations under a **stable rule ID**.
+This module is the single source of truth for those IDs: each rule
+registers a :class:`RuleDef` carrying its default severity, its
+category, a one-line description of the invariant and a *fix hint*.
+
+Registering the same ID twice raises at import time, which is the
+collision guard that keeps the catalog unique as checks are added
+across modules; ``tests/verify/test_rules_registry.py`` additionally
+asserts every registered rule is documented in
+``docs/verification.md``.
+
+Waivers
+-------
+
+A waiver file (``.reprolint.toml`` by convention) suppresses *known*
+deviations explicitly instead of silencing a rule globally::
+
+    [[waive]]
+    rule = "DRC-VIA-ENCLOSURE"
+    layout = "*"                # fnmatch pattern on the layout name
+    subject = "tail*"           # fnmatch pattern on the subject
+    reason = "generator stacks redundant cuts; rail mesh returns"
+
+:meth:`WaiverSet.load` parses the file (stdlib ``tomllib``; a tiny
+line-based fallback keeps Python 3.10 working), and
+:meth:`~repro.verify.diagnostics.Report.apply_waivers` marks matching
+violations as waived — they stay in the report (and in the JSON
+output, flagged) but no longer fail verification.  A waiver naming an
+unregistered rule is an error: baselines must not rot silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro.errors import VerificationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.verify.diagnostics import Violation
+
+#: Rule categories, keyed by ID prefix.
+CATEGORIES: Mapping[str, str] = {
+    "DRC": "design rules",
+    "CONN": "connectivity (LVS-lite)",
+    "ERC": "electrical rules",
+    "CONST": "constraint / symmetry",
+}
+
+
+@dataclass(frozen=True)
+class RuleDef:
+    """One registered static-analysis rule.
+
+    Attributes:
+        id: Stable identifier, e.g. ``"ERC-FLOAT-GATE"``.  IDs are API.
+        severity: Default severity (``"error"`` or ``"warning"``).
+        category: Registry category key (``"DRC"``/``"CONN"``/``"ERC"``/
+            ``"CONST"``), derived from the ID prefix.
+        description: One-line statement of the invariant the rule checks.
+        fix_hint: Short actionable hint shown alongside violations.
+    """
+
+    id: str
+    severity: str
+    category: str
+    description: str
+    fix_hint: str = ""
+
+
+_REGISTRY: dict[str, RuleDef] = {}
+
+
+def register_rule(
+    rule_id: str,
+    severity: str,
+    description: str,
+    fix_hint: str = "",
+) -> RuleDef:
+    """Register a rule; raises at import time on a duplicate ID.
+
+    The category is derived from the ID prefix (the part before the
+    first ``-``), which must be one of :data:`CATEGORIES`.
+    """
+    if rule_id in _REGISTRY:
+        raise VerificationError(
+            f"duplicate rule registration: {rule_id!r} is already "
+            f"registered ({_REGISTRY[rule_id].description!r})"
+        )
+    prefix = rule_id.split("-", 1)[0]
+    if prefix not in CATEGORIES:
+        raise VerificationError(
+            f"rule {rule_id!r} has unknown category prefix {prefix!r}; "
+            f"known prefixes: {', '.join(CATEGORIES)}"
+        )
+    if severity not in ("warning", "error"):
+        raise VerificationError(
+            f"rule {rule_id!r}: severity must be 'warning' or 'error', "
+            f"got {severity!r}"
+        )
+    rule = RuleDef(
+        id=rule_id,
+        severity=severity,
+        category=prefix,
+        description=description,
+        fix_hint=fix_hint,
+    )
+    _REGISTRY[rule_id] = rule
+    return rule
+
+
+def rule(rule_id: str) -> RuleDef:
+    """Look up a registered rule by ID."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise VerificationError(
+            f"unknown rule ID {rule_id!r}; registered rules: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def is_registered(rule_id: str) -> bool:
+    """True when ``rule_id`` is in the registry."""
+    return rule_id in _REGISTRY
+
+
+def all_rules() -> list[RuleDef]:
+    """Every registered rule, sorted by ID."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def rules_in_category(prefix: str) -> list[RuleDef]:
+    """Registered rules of one category prefix, sorted by ID."""
+    return [r for r in all_rules() if r.category == prefix]
+
+
+# ---------------------------------------------------------------------------
+# the catalog
+# ---------------------------------------------------------------------------
+# Rules are declared centrally so the collision guard sees every ID no
+# matter which check modules are imported; the check modules reference
+# them through Report.flag(rule_id, ...), which takes the severity from
+# here.  See docs/verification.md for the rendered catalog.
+
+# -- DRC --------------------------------------------------------------------
+register_rule(
+    "DRC-FIN-PITCH", "error",
+    "active height equals nfin x fin_pitch",
+    "regenerate the unit with an integral fin count",
+)
+register_rule(
+    "DRC-POLY-PITCH", "error",
+    "active width equals nf x poly_pitch and x-origin sits on the poly grid",
+    "snap the unit origin to the contacted-poly grid",
+)
+register_rule(
+    "DRC-FINGER-FOOTPRINT", "error",
+    "unit footprint matches DesignRules.finger_footprint(nf) incl. dummies",
+    "place the dummy fingers the rules require on both sides",
+)
+register_rule(
+    "DRC-ACTIVE-OVERLAP", "error",
+    "no two active areas overlap",
+    "respace the rows/columns by at least one diffusion break",
+)
+register_rule(
+    "DRC-WIRE-WIDTH", "error",
+    "every wire meets its layer's min_width",
+    "widen the wire to the layer minimum",
+)
+register_rule(
+    "DRC-WIRE-SPACING", "error",
+    "routing wires of different nets keep pitch - min_width",
+    "move the wires one routing track apart",
+)
+register_rule(
+    "DRC-VIA-STACK", "error",
+    "vias join adjacent metals only",
+    "split the via into a chain through every intermediate layer",
+)
+register_rule(
+    "DRC-VIA-CUTS", "error",
+    "every via has at least one cut",
+    "give the via a positive cut count",
+)
+register_rule(
+    "DRC-VIA-ENCLOSURE", "warning",
+    "via landing point covered by same-net metal on each side",
+    "extend the landing metal or drop the redundant cut",
+)
+register_rule(
+    "DRC-WELL-ENCLOSURE", "error",
+    "well encloses every device by well_enclosure",
+    "expand the well rectangle by the enclosure margin",
+)
+register_rule(
+    "DRC-WELL-MISSING", "warning",
+    "devices present but no well rectangle",
+    "derive the well from the device bounding box",
+)
+register_rule(
+    "DRC-PORT-BBOX", "error",
+    "ports lie inside the cell geometry bounding box",
+    "move the port onto cell geometry",
+)
+register_rule(
+    "DRC-LAYER-UNKNOWN", "error",
+    "wires and ports reference layers the stack knows",
+    "use a metal defined by the technology stack",
+)
+register_rule(
+    "DRC-PLACE-OVERLAP", "error",
+    "placed instances of an assembly do not overlap",
+    "respace the placement or shrink the chosen variants",
+)
+
+# -- connectivity -----------------------------------------------------------
+register_rule(
+    "CONN-SHORT", "error",
+    "wires of different nets never overlap on one conducting plane",
+    "reroute one of the nets off the shared track",
+)
+register_rule(
+    "CONN-FLOAT-NET", "error",
+    "each net is one electrical island",
+    "bridge the islands with a strap or via chain",
+)
+register_rule(
+    "CONN-VIA-FLOAT", "error",
+    "every via touches metal of its net",
+    "land the via on same-net metal or delete it",
+)
+register_rule(
+    "CONN-PORT-OPEN", "error",
+    "every port sits on metal of its net",
+    "move the port onto its net's metal",
+)
+register_rule(
+    "CONN-TERM-MISSING", "error",
+    "every device terminal has contact stubs",
+    "emit finger stubs for the terminal",
+)
+register_rule(
+    "CONN-TERM-NET", "error",
+    "terminal stubs carry the net the schematic assigns",
+    "rewire the stub to the schematic net",
+)
+register_rule(
+    "CONN-TERM-UNREACHED", "error",
+    "terminal stubs reach their net's port geometry",
+    "connect the stub into the net's strap/rail mesh",
+)
+register_rule(
+    "CONN-PORT-MISSING", "warning",
+    "spec port nets that are wired also have a port shape",
+    "emit a port rectangle for the net",
+)
+
+# -- ERC (electrical rules over netlists) -----------------------------------
+register_rule(
+    "ERC-FLOAT-GATE", "error",
+    "every MOS gate net has a DC drive (a conducting terminal, a port "
+    "or a supply)",
+    "tie the gate to a driver, a bias source or declare it a port",
+)
+register_rule(
+    "ERC-UNDRIVEN", "error",
+    "every net reaches a port, supply or ground through DC-conducting "
+    "elements",
+    "add a DC path (resistor, channel, source) or remove the island",
+)
+register_rule(
+    "ERC-SUPPLY-SHORT", "error",
+    "no zero-impedance path merges a supply net with ground (or a "
+    "source with itself)",
+    "remove the shorting inductor/0V source between the rails",
+)
+register_rule(
+    "ERC-BULK-POLARITY", "error",
+    "NMOS bulks never tie to a supply rail, PMOS bulks never tie to "
+    "ground",
+    "tie NMOS bulks to ground/p-well and PMOS bulks to the n-well "
+    "supply",
+)
+register_rule(
+    "ERC-DANGLING-PORT", "error",
+    "every declared port touches at least one element terminal",
+    "connect the port or drop it from the port list",
+)
+register_rule(
+    "ERC-DANGLING-NET", "warning",
+    "no internal net touches exactly one element terminal",
+    "connect the dangling terminal or fold the net away",
+)
+register_rule(
+    "ERC-SELF-LOOP", "warning",
+    "two-terminal passives and current sources never loop onto one net",
+    "delete the no-op element or rewire one terminal",
+)
+register_rule(
+    "ERC-ZERO-VALUE", "warning",
+    "passives carry a nonzero value (a 0 F capacitor is a stale "
+    "placeholder)",
+    "give the element a real value or remove it",
+)
+
+# -- constraint / symmetry analysis -----------------------------------------
+register_rule(
+    "CONST-MATCH-SIZE", "error",
+    "matched devices share unit (nfin, nf), dummies and unit counts "
+    "proportional to their multiplicity",
+    "regenerate the matched group from one shared unit sizing",
+)
+register_rule(
+    "CONST-SYM-AXIS", "error",
+    "two-device matched groups under ABAB/ABBA/CC2D mirror about the "
+    "cell's vertical axis row by row",
+    "restore the pattern's unit order (swap the offending units back)",
+)
+register_rule(
+    "CONST-CENTROID", "error",
+    "common-centroid patterns (ABBA/CC2D, even counts) place matched "
+    "devices on one shared centroid",
+    "re-place the units so per-device centroids coincide",
+)
+register_rule(
+    "CONST-MATCH-LDE", "error",
+    "under common-centroid patterns matched devices see equivalent LDE "
+    "environments (Vth shift, mobility)",
+    "equalise dummies/well margins so the LDE contexts cancel",
+)
+register_rule(
+    "CONST-SYM-WIRES", "error",
+    "symmetric net pairs carry identical wire meshes (strap counts, "
+    "shape counts per layer and role)",
+    "give both nets of the pair the same WireConfig strap count",
+)
+register_rule(
+    "CONST-ROUTE-PARALLEL", "error",
+    "matched detailed routes realize equal parallel-wire counts "
+    "consistent with the reconciled budgets",
+    "re-run reconciliation so matched nets share one wire count",
+)
+
+
+# ---------------------------------------------------------------------------
+# waivers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One explicit suppression of a known deviation.
+
+    Attributes:
+        rule: Exact rule ID the waiver applies to (must be registered).
+        layout: fnmatch pattern on the violation's layout name.
+        subject: fnmatch pattern on the violation's subject.
+        reason: Why the deviation is acceptable (required — a waiver
+            without a reason is a silenced rule, not a baseline).
+    """
+
+    rule: str
+    layout: str = "*"
+    subject: str = "*"
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not is_registered(self.rule):
+            raise VerificationError(
+                f"waiver names unregistered rule {self.rule!r}; "
+                f"baselines must reference catalog rules"
+            )
+        if not self.reason:
+            raise VerificationError(
+                f"waiver for {self.rule!r} has no reason; explain why "
+                f"the deviation is acceptable"
+            )
+
+    def matches(self, violation: "Violation") -> bool:
+        """True when this waiver covers ``violation``."""
+        return (
+            violation.rule == self.rule
+            and fnmatchcase(violation.layout, self.layout)
+            and fnmatchcase(violation.subject, self.subject)
+        )
+
+
+@dataclass
+class WaiverSet:
+    """An ordered collection of waivers loaded from a baseline file."""
+
+    waivers: list[Waiver] = field(default_factory=list)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.waivers)
+
+    def __iter__(self) -> Iterator[Waiver]:
+        return iter(self.waivers)
+
+    def find(self, violation: "Violation") -> Waiver | None:
+        """The first waiver covering ``violation``, if any."""
+        for waiver in self.waivers:
+            if waiver.matches(violation):
+                return waiver
+        return None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WaiverSet":
+        """Parse a ``.reprolint.toml`` baseline file.
+
+        The file holds ``[[waive]]`` tables with ``rule`` (required),
+        ``reason`` (required) and optional ``layout``/``subject``
+        fnmatch patterns.  Unknown keys and unregistered rules raise.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise VerificationError(
+                f"cannot read waiver file {path}: {exc}"
+            ) from exc
+        data = _parse_toml(text, str(path))
+        entries = data.get("waive", [])
+        if not isinstance(entries, list):
+            raise VerificationError(
+                f"{path}: 'waive' must be an array of tables ([[waive]])"
+            )
+        waivers: list[Waiver] = []
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise VerificationError(
+                    f"{path}: waive entry {i} is not a table"
+                )
+            unknown = set(entry) - {"rule", "layout", "subject", "reason"}
+            if unknown:
+                raise VerificationError(
+                    f"{path}: waive entry {i} has unknown keys "
+                    f"{sorted(unknown)}"
+                )
+            if "rule" not in entry:
+                raise VerificationError(
+                    f"{path}: waive entry {i} is missing 'rule'"
+                )
+            waivers.append(
+                Waiver(
+                    rule=str(entry["rule"]),
+                    layout=str(entry.get("layout", "*")),
+                    subject=str(entry.get("subject", "*")),
+                    reason=str(entry.get("reason", "")),
+                )
+            )
+        return cls(waivers=waivers, source=str(path))
+
+
+def _parse_toml(text: str, source: str) -> dict[str, list[dict[str, str]]]:
+    """Parse the waiver TOML; stdlib on 3.11+, minimal fallback on 3.10."""
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - Python 3.10 path
+        return _parse_waiver_lines(text)
+    try:
+        raw = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise VerificationError(f"{source}: invalid TOML: {exc}") from exc
+    out: dict[str, list[dict[str, str]]] = {}
+    waive = raw.get("waive", [])
+    if isinstance(waive, list):
+        out["waive"] = [e for e in waive if isinstance(e, dict)]
+    else:
+        out["waive"] = waive  # type: ignore[assignment]
+    return out
+
+
+def _parse_waiver_lines(text: str) -> dict[str, list[dict[str, str]]]:
+    """Line-based subset parser: [[waive]] tables of key = "value"."""
+    entries: list[dict[str, str]] = []
+    current: dict[str, str] | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == "[[waive]]":
+            current = {}
+            entries.append(current)
+            continue
+        if "=" in line and current is not None:
+            key, _, value = line.partition("=")
+            current[key.strip()] = value.strip().strip('"').strip("'")
+    return {"waive": entries}

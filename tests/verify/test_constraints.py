@@ -1,0 +1,199 @@
+"""Seeded-violation tests for the constraint/symmetry analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.pnr.detailed import DetailedRoute
+from repro.verify import Report, check_route_parallelism, run_constraints
+from repro.verify.rules import Waiver, WaiverSet
+
+
+@pytest.fixture
+def dp_abba(dp_primitive, dp_base):
+    import copy
+
+    return copy.deepcopy(dp_primitive.generate(dp_base, "ABBA", verify=False))
+
+
+def _swap_one_pair(layout):
+    """Swap the device names of one MA and one MB unit in *different*
+    rows (a placement bug).  A same-row swap of a one-A-one-B row would
+    still mirror; crossing rows breaks the per-row unit counts."""
+    ia = next(
+        i for i, d in enumerate(layout.devices) if d.device == "MA"
+    )
+    row_a = layout.devices[ia].rect.y0
+    ib = next(
+        i
+        for i, d in enumerate(layout.devices)
+        if d.device == "MB" and d.rect.y0 != row_a
+    )
+    layout.devices[ia] = replace(layout.devices[ia], device="MB")
+    layout.devices[ib] = replace(layout.devices[ib], device="MA")
+
+
+def test_clean_abba_dp_has_no_findings(dp_abba, dp_spec, tech):
+    report = run_constraints(dp_abba, dp_spec, tech)
+    assert not report.violations, report.render_text()
+    assert report.checked_shapes == 12
+
+
+def test_clustered_pattern_makes_no_promise(dp_primitive, dp_base, dp_spec, tech):
+    """AABB clusters each device on its own side — legal by declaration,
+    so no mirror/centroid rule may fire on it."""
+    layout = dp_primitive.generate(dp_base, "AABB", verify=False)
+    report = run_constraints(layout, dp_spec, tech)
+    assert not report.violations, report.render_text()
+
+
+def test_swapped_finger_breaks_symmetry(dp_abba, dp_spec, tech):
+    """The satellite mutation: swapping one diff-pair finger must break
+    the mirror-symmetry rule (and shift the common centroid)."""
+    _swap_one_pair(dp_abba)
+    report = run_constraints(dp_abba, dp_spec, tech)
+    rules = set(report.rules_hit())
+    assert "CONST-SYM-AXIS" in rules, report.render_text()
+    assert "CONST-CENTROID" in rules
+
+
+def test_swapped_finger_breaks_lde_equivalence(dp_abba, dp_spec, tech):
+    """A swapped unit also skews the LDE environment (the swapped column
+    sees different LOD/WPE context) beyond the matched tolerance."""
+    _swap_one_pair(dp_abba)
+    report = run_constraints(dp_abba, dp_spec, tech)
+    assert "CONST-MATCH-LDE" in report.rules_hit(), report.render_text()
+
+
+def test_unit_size_mismatch_fires(dp_abba, dp_spec, tech):
+    unit = dp_abba.devices[0]
+    dp_abba.devices[0] = replace(unit, nfin=unit.nfin + 1)
+    report = run_constraints(dp_abba, dp_spec, tech)
+    assert "CONST-MATCH-SIZE" in report.rules_hit()
+
+
+def test_missing_unit_fires_size_rule(dp_abba, dp_spec, tech):
+    removed = next(d for d in dp_abba.devices if d.device == "MA")
+    dp_abba.devices.remove(removed)
+    report = run_constraints(dp_abba, dp_spec, tech)
+    assert any(
+        v.rule == "CONST-MATCH-SIZE" and "m=6" in v.message
+        for v in report.errors
+    ), report.render_text()
+
+
+def test_removed_strap_breaks_wire_symmetry(dp_abba, dp_spec, tech):
+    net_a = dp_spec.symmetric_pairs[0][0]
+    strap = next(
+        w
+        for w in dp_abba.wires
+        if w.net == net_a and w.role == "strap"
+    )
+    dp_abba.wires.remove(strap)
+    report = run_constraints(dp_abba, dp_spec, tech)
+    assert "CONST-SYM-WIRES" in report.rules_hit(), report.render_text()
+    pair = "/".join(dp_spec.symmetric_pairs[0])
+    assert any(v.subject == pair for v in report.errors)
+
+
+def test_translated_device_breaks_centroid(dp_abba, dp_spec, tech):
+    """Shift every MA unit up one row-height: mirror symmetry per row
+    survives within rows but the shared centroid is gone."""
+    for i, unit in enumerate(dp_abba.devices):
+        if unit.device == "MA":
+            dp_abba.devices[i] = replace(
+                unit, rect=unit.rect.translated(0, 5000)
+            )
+    report = run_constraints(dp_abba, dp_spec, tech)
+    assert "CONST-CENTROID" in report.rules_hit(), report.render_text()
+
+
+# -- route parallelism ------------------------------------------------------
+
+
+def _route(net, n, matched_with=None):
+    return DetailedRoute(net=net, n_parallel=n, matched_with=matched_with)
+
+
+def test_route_parallelism_clean():
+    routes = {
+        "outp": _route("outp", 2, "outn"),
+        "outn": _route("outn", 2, "outp"),
+        "bias": _route("bias", 1),
+    }
+    report = check_route_parallelism(routes, {"outp": 2, "outn": 2})
+    assert not report.violations
+    assert report.checked_shapes == 3
+
+
+def test_route_parallelism_mismatched_pair_fires_once():
+    routes = {
+        "outp": _route("outp", 3, "outn"),
+        "outn": _route("outn", 1, "outp"),
+    }
+    report = check_route_parallelism(routes)
+    assert report.count("CONST-ROUTE-PARALLEL") == 1
+    assert report.errors[0].subject == "outn/outp"
+
+
+def test_route_parallelism_missing_partner_fires():
+    routes = {"outp": _route("outp", 2, "outn")}
+    report = check_route_parallelism(routes)
+    assert report.count("CONST-ROUTE-PARALLEL") == 1
+    assert "no detailed route" in report.errors[0].message
+
+
+def test_route_parallelism_budget_shortfall_fires():
+    routes = {"out": _route("out", 1)}
+    report = check_route_parallelism(routes, {"out": 3})
+    assert report.count("CONST-ROUTE-PARALLEL") == 1
+    assert "budget is 3" in report.errors[0].message
+
+
+def test_route_parallelism_matched_budget_is_shared():
+    # outn budgets 3; outp must meet the shared (max) budget.
+    routes = {
+        "outp": _route("outp", 2, "outn"),
+        "outn": _route("outn", 2, "outp"),
+    }
+    report = check_route_parallelism(routes, {"outn": 3})
+    assert report.count("CONST-ROUTE-PARALLEL") == 2  # both below 3
+
+
+# -- waivers against constraint findings ------------------------------------
+
+
+def test_waiver_suppresses_constraint_finding(dp_abba, dp_spec, tech):
+    net_a = dp_spec.symmetric_pairs[0][0]
+    strap = next(
+        w for w in dp_abba.wires if w.net == net_a and w.role == "strap"
+    )
+    dp_abba.wires.remove(strap)
+    report = run_constraints(dp_abba, dp_spec, tech)
+    assert not report.ok
+    waivers = WaiverSet(
+        [Waiver(rule="CONST-SYM-WIRES", layout="vdp_*", reason="seeded")]
+    )
+    assert report.apply_waivers(waivers) >= 1
+    assert report.ok
+    assert report.waived_violations
+    assert all(v.waive_reason == "seeded" for v in report.waived_violations)
+
+
+def test_waiver_wrong_layout_does_not_match(dp_abba, dp_spec, tech):
+    _swap_one_pair(dp_abba)
+    report = run_constraints(dp_abba, dp_spec, tech)
+    waivers = WaiverSet(
+        [Waiver(rule="CONST-SYM-AXIS", layout="other_*", reason="nope")]
+    )
+    assert report.apply_waivers(waivers) == 0
+    assert not report.ok
+
+
+def test_apply_waivers_none_is_noop():
+    report = Report(target="t")
+    report.flag("CONST-SYM-AXIS", "m")
+    assert report.apply_waivers(None) == 0
+    assert not report.ok

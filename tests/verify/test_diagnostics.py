@@ -118,3 +118,57 @@ def test_raise_if_errors_noop_when_clean():
     report = Report(target="t")
     report.add("X", "warning", "m")
     report.raise_if_errors()
+
+
+def test_merge_dedups_identical_violations():
+    a = Report(target="t")
+    a.add("X", "error", "m", subject="s")
+    b = Report(target="t")
+    b.add("X", "error", "m", subject="s")       # duplicate
+    b.add("X", "error", "m", subject="other")   # distinct subject survives
+    a.merge(b)
+    assert len(a.violations) == 2
+    # Re-merging the same report adds nothing.
+    c = Report(target="t")
+    c.add("X", "error", "m", subject="s")
+    a.merge(c)
+    assert len(a.violations) == 2
+
+
+def test_merge_sorts_violations_stably():
+    a = Report(target="zzz")
+    a.add("DRC-X", "error", "m", location=Point(5, 0))
+    b = Report(target="aaa")
+    b.add("CONN-Y", "error", "m", location=Point(1, 0))
+    b.add("CONN-Y", "error", "m", location=Point(0, 0))
+    a.merge(b)
+    keys = [v.sort_key() for v in a.violations]
+    assert keys == sorted(keys)
+    assert a.violations[0].layout == "aaa"
+
+
+def test_waived_violations_excluded_from_errors():
+    from dataclasses import replace
+
+    report = Report(target="t")
+    v = report.add("X", "error", "m")
+    report.violations[0] = replace(v, waived=True, waive_reason="known")
+    assert report.ok
+    assert not report.errors
+    assert len(report.waived_violations) == 1
+    assert "waived" in report.violations[0].render()
+    d = report.violations[0].to_dict()
+    assert d["waived"] is True
+    assert d["waive_reason"] == "known"
+    assert "1 waived" in report.summary()
+
+
+def test_fails_thresholds():
+    report = Report(target="t")
+    report.add("X", "warning", "m")
+    assert not report.fails("error")
+    assert report.fails("warning")
+    report.add("Y", "error", "m")
+    assert report.fails("error")
+    with pytest.raises(VerificationError):
+        report.fails("fatal")

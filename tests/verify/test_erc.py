@@ -1,0 +1,186 @@
+"""Seeded-violation tests for the ERC engine: every rule ID fires."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.spice.netlist import Circuit
+from repro.tech import Technology
+from repro.verify import verify_circuit
+from repro.verify.erc import is_supply, run_erc
+
+TECH = Technology.default()
+GEOM = MosGeometry(nfin=4, nf=2, m=1)
+
+
+def _amp() -> Circuit:
+    """A clean resistor-loaded common-source stage."""
+    c = Circuit("amp")
+    c.ports = ["vin", "vout"]
+    c.add_vsource("vdd", "vdd!", "0", 0.8)
+    c.add_mosfet("m1", "vout", "vin", "0", "0", TECH.nmos, GEOM)
+    c.add_resistor("rl", "vdd!", "vout", 1e4)
+    return c
+
+
+def test_clean_stage_has_no_findings():
+    report = run_erc(_amp())
+    assert not report.violations, report.render_text()
+    assert report.checked_shapes > 0
+
+
+def test_is_supply_convention():
+    assert is_supply("vdd!")
+    assert is_supply("vbias!")
+    assert not is_supply("vss!")  # ground spelling, not a supply
+    assert not is_supply("vdd")
+    assert not is_supply("0")
+
+
+def test_floating_gate_fires():
+    c = _amp()
+    # Second stage whose gate hangs on a net only a capacitor touches.
+    c.add_capacitor("cc", "vout", "mid", 1e-15)
+    c.add_mosfet("m2", "vdd!", "mid", "0", "0", TECH.nmos, GEOM)
+    report = run_erc(c)
+    assert report.count("ERC-FLOAT-GATE") == 1
+    assert any(v.subject == "m2" for v in report.errors)
+
+
+def test_cutting_dp_gate_wire_fires_float_gate(dp_primitive):
+    """The satellite mutation: cut one gate wire of the diff pair's
+    schematic reference and the floating-gate rule must fire."""
+    circuit = dp_primitive.schematic_circuit()
+    assert not run_erc(circuit).errors
+    mos = circuit.mosfets()[0]
+    circuit.replace_element(mos.name, replace(mos, g="cut_gate_net"))
+    report = run_erc(circuit)
+    assert report.count("ERC-FLOAT-GATE") == 1
+
+
+def test_undriven_net_fires():
+    c = _amp()
+    c.add_resistor("r2", "islandA", "islandB", 1e3)  # isolated pair
+    report = run_erc(c)
+    assert report.count("ERC-UNDRIVEN") == 2
+    assert {v.subject for v in report.errors} == {"islandA", "islandB"}
+
+
+def test_undriven_skips_pure_gate_nets():
+    c = _amp()
+    # 'mid' touches only gates: ERC-FLOAT-GATE names each device and
+    # the reachability check must not double-report the net itself.
+    c.add_mosfet("m2", "vdd!", "mid", "0", "0", TECH.nmos, GEOM)
+    c.add_mosfet("m3", "vdd!", "mid", "0", "0", TECH.nmos, GEOM)
+    report = run_erc(c)
+    assert report.count("ERC-UNDRIVEN") == 0
+    assert report.count("ERC-FLOAT-GATE") == 2
+
+
+def test_supply_short_through_inductor():
+    c = _amp()
+    c.add_inductor("lshort", "vdd!", "0", 1e-9)
+    report = run_erc(c)
+    assert report.count("ERC-SUPPLY-SHORT") == 1
+    assert "lshort" in report.errors[0].message
+
+
+def test_supply_short_through_zero_volt_source_chain():
+    c = _amp()
+    # Two zero-volt sources in series still merge the rails.
+    c.add_vsource("v1", "vdd!", "x", 0.0)
+    c.add_vsource("v2", "x", "0", 0.0)
+    report = run_erc(c)
+    assert report.count("ERC-SUPPLY-SHORT") == 1
+
+
+def test_nonzero_source_between_rails_is_fine():
+    report = run_erc(_amp())  # vdd source drives vdd! from 0 at 0.8 V
+    assert report.count("ERC-SUPPLY-SHORT") == 0
+
+
+def test_source_shorting_itself_fires():
+    c = _amp()
+    c.add_vsource("vbad", "vout", "vout", 0.1)
+    report = run_erc(c)
+    assert report.count("ERC-SUPPLY-SHORT") == 1
+    assert report.errors[0].subject == "vbad"
+
+
+def test_bulk_polarity_nmos_on_supply():
+    c = _amp()
+    mos = c.element("m1")
+    c.replace_element("m1", replace(mos, b="vdd!"))
+    report = run_erc(c)
+    assert report.count("ERC-BULK-POLARITY") == 1
+
+
+def test_bulk_polarity_pmos_on_ground():
+    c = _amp()
+    c.add_mosfet("mp", "vout", "vin", "vdd!", "0", TECH.pmos, GEOM)
+    report = run_erc(c)
+    assert report.count("ERC-BULK-POLARITY") == 1
+    assert "PMOS" in report.errors[0].message
+
+
+def test_dangling_port_fires():
+    c = _amp()
+    c.ports.append("enable")
+    report = run_erc(c)
+    assert report.count("ERC-DANGLING-PORT") == 1
+    assert report.errors[0].subject == "enable"
+
+
+def test_dangling_net_warns():
+    c = _amp()
+    c.add_resistor("rstub", "vout", "stub", 1e3)
+    report = run_erc(c)
+    assert report.count("ERC-DANGLING-NET") == 1
+    assert report.warnings[0].subject == "stub"
+    assert report.ok  # warning only
+
+
+def test_self_loop_warns():
+    c = _amp()
+    c.add_resistor("rloop", "vout", "vout", 1e3)
+    report = run_erc(c)
+    assert report.count("ERC-SELF-LOOP") == 1
+
+
+def test_self_loop_folds_ground_spellings():
+    c = _amp()
+    c.add_capacitor("cgnd", "gnd", "vss!", 1e-15)
+    report = run_erc(c)
+    assert report.count("ERC-SELF-LOOP") == 1
+
+
+def test_zero_value_capacitor_warns():
+    c = _amp()
+    c.add_capacitor("cz", "vout", "0", 0.0)
+    report = run_erc(c)
+    assert report.count("ERC-ZERO-VALUE") == 1
+
+
+def test_verify_circuit_strict_raises():
+    from repro.errors import VerificationError
+
+    c = _amp()
+    c.add_inductor("lshort", "vdd!", "0", 1e-9)
+    with pytest.raises(VerificationError, match="ERC-SUPPLY-SHORT"):
+        verify_circuit(c, strict=True)
+
+
+def test_verify_circuit_waivers_suppress():
+    from repro.verify import Waiver, WaiverSet
+
+    c = _amp()
+    c.add_inductor("lshort", "vdd!", "0", 1e-9)
+    waivers = WaiverSet(
+        [Waiver(rule="ERC-SUPPLY-SHORT", reason="test bed shunt")]
+    )
+    report = verify_circuit(c, strict=True, waivers=waivers)  # no raise
+    assert report.ok
+    assert len(report.waived_violations) == 1

@@ -1,0 +1,159 @@
+"""The shared rule registry: catalog integrity, collision guard, waivers."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify import Report, all_rules, rule, rules_in_category
+from repro.verify.rules import (
+    CATEGORIES,
+    Waiver,
+    WaiverSet,
+    is_registered,
+    register_rule,
+)
+
+DOCS = (Path(__file__).parents[2] / "docs" / "verification.md").read_text()
+
+
+def test_catalog_is_nonempty_and_unique():
+    rules = all_rules()
+    ids = [r.id for r in rules]
+    assert len(ids) == len(set(ids))
+    assert len(ids) >= 36  # 14 DRC + 8 CONN + 8 ERC + 6 CONST
+    for prefix in CATEGORIES:
+        assert rules_in_category(prefix), f"no rules in category {prefix}"
+
+
+def test_every_rule_is_documented():
+    """Satellite guard: each registered ID appears in docs/verification.md."""
+    undocumented = [r.id for r in all_rules() if r.id not in DOCS]
+    assert not undocumented, (
+        f"rules missing from docs/verification.md: {undocumented}"
+    )
+
+
+def test_every_rule_has_description_and_valid_severity():
+    for r in all_rules():
+        assert r.description, r.id
+        assert r.severity in ("warning", "error"), r.id
+        assert r.category == r.id.split("-", 1)[0], r.id
+
+
+def test_duplicate_registration_raises():
+    with pytest.raises(VerificationError, match="duplicate"):
+        register_rule("DRC-FIN-PITCH", "error", "again")
+
+
+def test_unknown_prefix_rejected():
+    with pytest.raises(VerificationError, match="category prefix"):
+        register_rule("LVS-SOMETHING", "error", "no such category")
+
+
+def test_bad_severity_rejected():
+    with pytest.raises(VerificationError, match="severity"):
+        register_rule("ERC-BRAND-NEW", "fatal", "bad severity")
+    assert not is_registered("ERC-BRAND-NEW")
+
+
+def test_rule_lookup_and_miss():
+    assert rule("ERC-FLOAT-GATE").severity == "error"
+    assert rule("DRC-VIA-ENCLOSURE").severity == "warning"
+    with pytest.raises(VerificationError, match="unknown rule"):
+        rule("ERC-NOT-REGISTERED")
+
+
+def test_report_flag_uses_registry_severity():
+    report = Report(target="t")
+    v = report.flag("DRC-VIA-ENCLOSURE", "msg")
+    assert v.severity == "warning"
+    v = report.flag("CONN-SHORT", "msg")
+    assert v.severity == "error"
+
+
+# -- waivers ----------------------------------------------------------------
+
+
+def test_waiver_requires_registered_rule():
+    with pytest.raises(VerificationError, match="unregistered"):
+        Waiver(rule="ERC-NOT-A-RULE", reason="because")
+
+
+def test_waiver_requires_reason():
+    with pytest.raises(VerificationError, match="reason"):
+        Waiver(rule="ERC-FLOAT-GATE")
+
+
+def test_waiver_matches_patterns():
+    report = Report(target="cell_abab")
+    v = report.flag("CONST-SYM-WIRES", "m", subject="a/b")
+    w = Waiver(rule="CONST-SYM-WIRES", layout="cell_*", reason="known")
+    assert w.matches(v)
+    assert not Waiver(
+        rule="CONST-SYM-WIRES", layout="other_*", reason="known"
+    ).matches(v)
+    assert not Waiver(
+        rule="CONST-CENTROID", layout="cell_*", reason="known"
+    ).matches(v)
+    assert not Waiver(
+        rule="CONST-SYM-WIRES", subject="c/*", reason="known"
+    ).matches(v)
+
+
+def test_waiverset_load_roundtrip(tmp_path):
+    path = tmp_path / "base.toml"
+    path.write_text(
+        "# baseline\n"
+        "[[waive]]\n"
+        'rule = "CONST-SYM-WIRES"\n'
+        'layout = "delay_*"\n'
+        'reason = "known limitation"\n'
+        "\n"
+        "[[waive]]\n"
+        'rule = "DRC-VIA-ENCLOSURE"\n'
+        'reason = "redundant cuts"\n'
+    )
+    ws = WaiverSet.load(path)
+    assert len(ws) == 2
+    assert ws.waivers[0].layout == "delay_*"
+    assert ws.waivers[1].subject == "*"
+    assert ws.source == str(path)
+
+
+def test_waiverset_load_rejects_unknown_keys(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text(
+        '[[waive]]\nrule = "CONN-SHORT"\nreason = "x"\nseverity = "error"\n'
+    )
+    with pytest.raises(VerificationError, match="unknown keys"):
+        WaiverSet.load(path)
+
+
+def test_waiverset_load_rejects_missing_rule(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text('[[waive]]\nreason = "x"\n')
+    with pytest.raises(VerificationError, match="missing 'rule'"):
+        WaiverSet.load(path)
+
+
+def test_waiverset_load_missing_file_raises(tmp_path):
+    with pytest.raises(VerificationError, match="cannot read"):
+        WaiverSet.load(tmp_path / "absent.toml")
+
+
+def test_repo_baseline_parses():
+    ws = WaiverSet.load(Path(__file__).parents[2] / ".reprolint.toml")
+    assert len(ws) >= 1
+    assert all(w.reason for w in ws)
+
+
+def test_load_waivers_default_absent_is_none(tmp_path, monkeypatch):
+    from repro.verify import load_waivers
+
+    monkeypatch.chdir(tmp_path)
+    assert load_waivers() is None
+    with pytest.raises(VerificationError):
+        load_waivers(tmp_path / "nope.toml")

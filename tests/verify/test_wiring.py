@@ -123,3 +123,50 @@ def test_cli_verify_unknown_target_exits_nonzero():
 def test_cli_verify_passive_target_rejected():
     with pytest.raises(SystemExit):
         main(["verify", "capacitor"])
+
+
+def test_cli_verify_includes_schematic_erc(capsys):
+    assert main(["verify", "diode_load", "--fins", "48",
+                 "--variants", "1"]) == 0
+    assert "schematic ERC" in capsys.readouterr().out
+
+
+def test_cli_verify_no_erc_flag(capsys):
+    assert main(["verify", "diode_load", "--fins", "48",
+                 "--variants", "1", "--no-erc"]) == 0
+    assert "schematic ERC" not in capsys.readouterr().out
+
+
+def test_cli_verify_format_json(capsys):
+    assert main(["verify", "diode_load", "--fins", "48",
+                 "--variants", "1", "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data and all(d["ok"] for d in data)
+    assert any("waived" in d for d in data)
+
+
+def test_cli_verify_severity_warning_fails(capsys):
+    # Every generated cell carries via-enclosure warnings by design.
+    assert main(["verify", "diode_load", "--fins", "48",
+                 "--variants", "1", "--severity", "warning"]) == 1
+    assert "DRC-VIA-ENCLOSURE" in capsys.readouterr().out
+
+
+def test_cli_verify_waivers_flag(tmp_path, capsys):
+    baseline = tmp_path / "w.toml"
+    baseline.write_text(
+        "[[waive]]\n"
+        'rule = "DRC-VIA-ENCLOSURE"\n'
+        'reason = "generator stacks redundant cuts"\n'
+    )
+    assert main(["verify", "diode_load", "--fins", "48", "--variants", "1",
+                 "--severity", "warning", "--waivers", str(baseline)]) == 0
+    assert "waived" in capsys.readouterr().out
+
+
+def test_cli_verify_missing_waiver_file_raises():
+    from repro.errors import VerificationError
+
+    with pytest.raises(VerificationError):
+        main(["verify", "diode_load", "--fins", "48", "--variants", "1",
+              "--waivers", "no/such/file.toml"])
