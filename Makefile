@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test faults bench bench-light bench-heavy examples lint verify erc all
+.PHONY: install test faults bench bench-eval bench-light bench-heavy examples lint verify erc all
 
 install:
 	pip install -e . --no-build-isolation
@@ -47,7 +47,16 @@ erc:
 	@python -c "import json; rs = json.load(open('$(ERC_REPORT)')); \
 	print(f'{len(rs)} reports -> $(ERC_REPORT)')"
 
-bench:
+# Evaluation-engine benchmark: serial vs parallel vs content-cached
+# sweeps plus the 5T OTA flow cache reduction, written to
+# $(BENCH_EVAL_OUT) for trend tracking (CI uploads it as an artifact).
+BENCH_EVAL_OUT ?= BENCH_eval.json
+BENCH_EVAL_FLAGS ?=
+
+bench-eval:
+	python benchmarks/bench_eval.py --out $(BENCH_EVAL_OUT) $(BENCH_EVAL_FLAGS)
+
+bench: bench-eval
 	pytest benchmarks/ --benchmark-only -s
 
 bench-light:

@@ -72,6 +72,15 @@ def _policy_from_args(args: argparse.Namespace):
     )
 
 
+def _jobs_from_args(args: argparse.Namespace) -> int:
+    """CLI job count: ``--jobs``, then ``REPRO_JOBS``, then all cores."""
+    import os
+
+    from repro.runtime import resolve_jobs
+
+    return resolve_jobs(args.jobs, default=os.cpu_count())
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     """Run Algorithm 1 on a library primitive and print the options."""
     tech = Technology.default()
@@ -85,6 +94,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         policy=_policy_from_args(args),
         run_dir=args.run_dir,
         resume=args.resume,
+        jobs=_jobs_from_args(args),
+        cache=args.cache,
     )
     report = optimizer.optimize(primitive)
     rows = []
@@ -108,6 +119,11 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     )
     if report.cached_evaluations:
         print(f"resumed: {report.cached_evaluations} evaluations from checkpoint")
+    if report.cache_stats.get("hits"):
+        print(
+            f"cache: {report.cache_stats['hits']} evaluations answered "
+            f"from content cache"
+        )
     if report.failures:
         print(f"absorbed: {report.failures.summary()}")
     return 0
@@ -126,6 +142,8 @@ def cmd_flow(args: argparse.Namespace) -> int:
         policy=_policy_from_args(args),
         run_dir=args.run_dir,
         resume=args.resume,
+        jobs=_jobs_from_args(args),
+        cache=args.cache,
     )
     measure = args.circuit != "vco"  # the VCO needs a control sweep
     result = flow.run(circuit, flavor=args.flavor, measure=measure)
@@ -293,6 +311,22 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=None,
             help="per-evaluation wall-clock deadline (seconds)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for batched evaluations (default: "
+            "REPRO_JOBS, else all CPU cores; results are identical for "
+            "any value)",
+        )
+        p.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="content-addressed evaluation cache (on-disk tier under "
+            "--run-dir when set)",
         )
 
     p_opt = sub.add_parser("optimize", help="run Algorithm 1 on a primitive")

@@ -44,7 +44,12 @@ def bin_by_aspect_ratio(
         ((math.log(max(aspect_of(o), 1e-9)), o) for o in options),
         key=lambda pair: pair[0],
     )
-    n_bins = min(n_bins, len(annotated))
+    # Cap at the number of *distinct* aspect ratios, not raw options:
+    # with ties, a raw-length cap would select zero-width gaps between
+    # identical values as cuts and split equal-aspect options across
+    # bins.
+    distinct = len({value for value, _ in annotated})
+    n_bins = min(n_bins, distinct)
     if n_bins == 1:
         return [[o for _, o in annotated]]
 

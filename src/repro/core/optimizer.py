@@ -27,7 +27,14 @@ from repro.core.selection import (
 from repro.core.tuning import TuningResult, tune_option
 from repro.devices.mosfet import MosGeometry
 from repro.errors import OptimizationError
-from repro.runtime import EvalRuntime, FailureLog, RetryPolicy, SweepJournal
+from repro.runtime import (
+    EvalCache,
+    EvalRuntime,
+    FailureLog,
+    ParallelEvalRuntime,
+    RetryPolicy,
+    SweepJournal,
+)
 from repro.verify import verify_circuit
 
 #: Wall time the paper attributes to one primitive simulation (seconds).
@@ -62,6 +69,10 @@ class OptimizationReport:
             :mod:`repro.runtime`).
         cached_evaluations: Evaluations answered from a checkpoint
             journal without re-simulating (resume bookkeeping).
+        cache_stats: Content-cache accounting (``hits``/``stored``)
+            when an :class:`~repro.runtime.EvalCache` was active.  Only
+            the order-independent fields are reported, so the stats are
+            identical for any ``--jobs``.
     """
 
     primitive_name: str
@@ -72,6 +83,7 @@ class OptimizationReport:
     stages: list[StageCount] = field(default_factory=list)
     failures: FailureLog = field(default_factory=FailureLog)
     cached_evaluations: int = 0
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def best(self) -> LayoutOption:
@@ -122,6 +134,11 @@ class OptimizationReport:
                 f"  resumed: {self.cached_evaluations} evaluations from "
                 f"checkpoint"
             )
+        if self.cache_stats.get("hits"):
+            lines.append(
+                f"  cache: {self.cache_stats['hits']} evaluations answered "
+                f"from content cache"
+            )
         return "\n".join(lines)
 
 
@@ -143,6 +160,14 @@ class PrimitiveOptimizer:
             reference before any simulation is spent; ERC errors raise
             :class:`~repro.errors.OptimizationError` immediately (a
             broken netlist would corrupt every downstream score).
+        jobs: Worker processes for batched evaluations (None reads
+            ``REPRO_JOBS``, else 1).  Any value produces byte-identical
+            reports; >1 adds wall-clock parallelism only.
+        cache: Content-addressed evaluation cache: ``True`` builds one
+            (with an on-disk tier under ``<run_dir>/evalcache`` when
+            checkpointing), ``False`` disables caching, or pass an
+            :class:`~repro.runtime.EvalCache` to share across
+            optimizers (as the flow does).
     """
 
     def __init__(
@@ -154,6 +179,8 @@ class PrimitiveOptimizer:
         run_dir: str | os.PathLike | None = None,
         resume: bool = False,
         erc: bool = True,
+        jobs: int | None = None,
+        cache: "bool | EvalCache" = True,
     ):
         self.n_bins = n_bins
         self.max_wires = max_wires
@@ -162,6 +189,18 @@ class PrimitiveOptimizer:
         self.run_dir = run_dir
         self.resume = resume
         self.erc = erc
+        self.jobs = jobs
+        if isinstance(cache, EvalCache):
+            self.cache: EvalCache | None = cache
+        elif cache:
+            disk = (
+                Path(self.run_dir) / "evalcache"
+                if self.run_dir is not None
+                else None
+            )
+            self.cache = EvalCache(disk_dir=disk)
+        else:
+            self.cache = None
 
     def _runtime_for(self, primitive) -> EvalRuntime:
         journal = None
@@ -170,7 +209,12 @@ class PrimitiveOptimizer:
                 Path(self.run_dir) / f"{primitive.name}.jsonl",
                 resume=self.resume,
             )
-        return EvalRuntime(policy=self.policy, journal=journal)
+        return ParallelEvalRuntime(
+            policy=self.policy,
+            journal=journal,
+            cache=self.cache,
+            jobs=self.jobs,
+        )
 
     def optimize(
         self,
@@ -270,6 +314,13 @@ class PrimitiveOptimizer:
             report.stages.append(StageCount("port_constraints", port_sims))
 
         report.cached_evaluations = runtime.cache_hits
+        if runtime.cache is not None:
+            # Only the order-independent fields: misses diverge between
+            # worker counts when failed evaluations probe the cache.
+            report.cache_stats = {
+                "hits": runtime.cache.stats.hits,
+                "stored": runtime.cache.stats.stored,
+            }
         return report
 
     def _erc_gate(self, primitive) -> None:

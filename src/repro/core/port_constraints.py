@@ -19,7 +19,8 @@ import math
 from repro.core.cost import layout_cost
 from repro.core.tuning import SweepPoint
 from repro.errors import OptimizationError
-from repro.runtime import EvalRuntime
+from repro.runtime import BatchTask, EvalRuntime
+from repro.runtime.evalcache import EvalCache, evaluate_circuit_cached
 from repro.spice.netlist import Circuit
 from repro.tech.pdk import Technology
 
@@ -133,6 +134,68 @@ class PortConstraint:
         return self.sweep[-1].wires if self.sweep else 0
 
 
+def _point_from_payload(payload: dict) -> dict:
+    point = {
+        "values": {k: float(v) for k, v in payload["values"].items()},
+        "cost": float(payload["cost"]),
+        "simulations": int(payload.get("simulations", 0)),
+    }
+    if payload.get("cache_key") is not None:
+        point["cache_key"] = payload["cache_key"]
+    return point
+
+
+def _point_error(point: dict) -> str | None:
+    finite = all(math.isfinite(v) for v in point["values"].values())
+    if finite and math.isfinite(point["cost"]):
+        return None
+    return "non-finite port-sweep metrics"
+
+
+def route_point_task(
+    primitive,
+    dut: Circuit,
+    route: GlobalRouteInfo,
+    n: int,
+    weight_override: dict[str, float] | None = None,
+    cache: EvalCache | None = None,
+    key_prefix: str = "port",
+) -> BatchTask:
+    """The :class:`~repro.runtime.BatchTask` costing one (port, wire
+    count) point.
+
+    Used by the port sweep (``key_prefix="port"``) and by the flow's
+    reconcile gap re-simulations (``key_prefix="recon"``), so both fan
+    out identically and share content-cache entries for identical
+    wrapped netlists.
+    """
+
+    def thunk() -> dict:
+        wrapped = attach_route(dut, route, primitive.tech, n)
+        values, sims, cache_key = evaluate_circuit_cached(
+            primitive, wrapped, cache, weight_override
+        )
+        breakdown = layout_cost(
+            primitive, values, weight_override=weight_override
+        )
+        payload = {
+            "values": dict(values),
+            "cost": breakdown.cost,
+            "simulations": sims,
+        }
+        if cache_key is not None:
+            payload["cache_key"] = cache_key
+        return payload
+
+    return BatchTask(
+        key=f"{key_prefix}:{primitive.name}:{route.net}:{n}",
+        thunk=thunk,
+        validate=_point_error,
+        to_payload=lambda point: point,
+        from_payload=_point_from_payload,
+    )
+
+
 def derive_port_constraint(
     primitive,
     dut: Circuit,
@@ -154,44 +217,19 @@ def derive_port_constraint(
     sweep: list[SweepPoint] = []
     simulations = 0
 
-    def eval_point(n: int) -> tuple[dict[str, float], float, int] | None:
-        def thunk() -> tuple[dict[str, float], float, int]:
-            wrapped = attach_route(dut, route, primitive.tech, n)
-            values, sims = primitive.evaluate(wrapped)
-            breakdown = layout_cost(
-                primitive, values, weight_override=weight_override
-            )
-            return values, breakdown.cost, sims
-
-        return runtime.evaluate(
-            f"port:{primitive.name}:{route.net}:{n}",
-            thunk,
-            stage="port_constraints",
-            validate=lambda r: (
-                None
-                if all(math.isfinite(v) for v in r[0].values())
-                and math.isfinite(r[1])
-                else "non-finite port-sweep metrics"
-            ),
-            to_payload=lambda r: {
-                "values": dict(r[0]),
-                "cost": r[1],
-                "simulations": r[2],
-            },
-            from_payload=lambda p: (
-                {k: float(v) for k, v in p["values"].items()},
-                float(p["cost"]),
-                int(p.get("simulations", 0)),
-            ),
+    tasks = [
+        route_point_task(
+            primitive, dut, route, n, weight_override, cache=runtime.cache
         )
-
-    for n in range(1, max_wires + 1):
-        point = eval_point(n)
+        for n in range(1, max_wires + 1)
+    ]
+    batch = runtime.evaluate_batch(tasks, stage="port_constraints")
+    for index, n in enumerate(range(1, max_wires + 1)):
+        point = batch.consume(index)
         if point is None:
             continue
-        values, cost, sims = point
-        simulations += sims
-        sweep.append(SweepPoint(n, cost, values))
+        simulations += point["simulations"]
+        sweep.append(SweepPoint(n, point["cost"], point["values"]))
 
     if not sweep:
         # Every point failed: degrade to the unconstrained default so the

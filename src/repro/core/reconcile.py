@@ -5,16 +5,20 @@ constraints overlap, the smallest wire count inside the overlap —
 ``max(w_min_i)`` — is chosen for low routing congestion.  When they do
 not overlap, the gap range ``[min(w_max_i), max(w_min_i)]`` is
 re-simulated for all constraining primitives and the count minimizing the
-summed cost wins.
+summed cost wins.  When *every* gap point fails (all costs ``inf``), the
+reconciliation falls back to ``max(w_min_i)`` — the congestion-friendly
+choice the overlap path would have made — and records the degradation.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.port_constraints import PortConstraint
 from repro.errors import OptimizationError
+from repro.runtime.failures import BAD_METRIC, EvalFailure, FailureLog
 
 
 @dataclass
@@ -28,6 +32,10 @@ class ReconciledNet:
         constraints: The input constraints.
         extra_simulations: Simulations spent resolving a non-overlap.
         gap_costs: Total cost per candidate wire count (non-overlap case).
+        reason: How ``wires`` was chosen — ``"overlap"`` (intersection of
+            the intervals), ``"gap-min"`` (minimum summed cost over the
+            gap range) or ``"gap-failed"`` (every gap point failed; fell
+            back to ``max(w_min)``).
     """
 
     net: str
@@ -36,6 +44,7 @@ class ReconciledNet:
     constraints: list[PortConstraint]
     extra_simulations: int = 0
     gap_costs: dict[int, float] = field(default_factory=dict)
+    reason: str = "overlap"
 
 
 def intervals_overlap(constraints: list[PortConstraint]) -> bool:
@@ -48,10 +57,21 @@ def intervals_overlap(constraints: list[PortConstraint]) -> bool:
     return hi is None or lo <= hi
 
 
+def gap_range(constraints: list[PortConstraint]) -> tuple[int, int]:
+    """The inclusive wire-count range searched in the non-overlap case."""
+    bounded_maxima = [c.w_max for c in constraints if c.w_max is not None]
+    lo = min(bounded_maxima)
+    hi = max(c.w_min for c in constraints)
+    if lo > hi:
+        lo, hi = hi, lo
+    return lo, hi
+
+
 def reconcile_net(
     net: str,
     constraints: list[PortConstraint],
     cost_at: Callable[[PortConstraint, int], float] | None = None,
+    failures: FailureLog | None = None,
 ) -> ReconciledNet:
     """Combine the interval constraints of all primitives on one net.
 
@@ -63,6 +83,8 @@ def reconcile_net(
             recorded sweep (counts as "further simulations" — the caller
             may substitute fresh simulations for wire counts outside the
             explored range).
+        failures: Optional :class:`~repro.runtime.failures.FailureLog`;
+            a fully-failed gap search records its degradation here.
 
     Returns:
         The chosen wire count with bookkeeping.
@@ -76,14 +98,11 @@ def reconcile_net(
             wires=max(c.w_min for c in constraints),
             overlapped=True,
             constraints=list(constraints),
+            reason="overlap",
         )
 
     # Non-overlap: search the gap between the most constrained bounds.
-    bounded_maxima = [c.w_max for c in constraints if c.w_max is not None]
-    lo = min(bounded_maxima)
-    hi = max(c.w_min for c in constraints)
-    if lo > hi:
-        lo, hi = hi, lo
+    lo, hi = gap_range(constraints)
 
     def journaled_cost(c: PortConstraint, w: int) -> float:
         # A failed sweep point leaves a gap in the explored range; score
@@ -103,6 +122,35 @@ def reconcile_net(
             total += evaluator(constraint, wires)
             extra += 1
         gap_costs[wires] = total
+
+    if all(not math.isfinite(cost) for cost in gap_costs.values()):
+        # Every gap point failed: min() would silently pick an arbitrary
+        # failed count (the first key).  Fall back to max(w_min) — the
+        # choice the overlap path would make — and record why.
+        fallback = max(c.w_min for c in constraints)
+        if failures is not None:
+            failures.record(
+                EvalFailure(
+                    code=BAD_METRIC,
+                    stage="reconcile",
+                    key=f"reconcile:{net}",
+                    message=(
+                        f"net {net!r}: every gap point in [{lo}, {hi}] "
+                        f"scored non-finite; fell back to max(w_min)="
+                        f"{fallback}"
+                    ),
+                )
+            )
+        return ReconciledNet(
+            net=net,
+            wires=fallback,
+            overlapped=False,
+            constraints=list(constraints),
+            extra_simulations=extra,
+            gap_costs=gap_costs,
+            reason="gap-failed",
+        )
+
     chosen = min(gap_costs, key=gap_costs.get)
     return ReconciledNet(
         net=net,
@@ -111,4 +159,5 @@ def reconcile_net(
         constraints=list(constraints),
         extra_simulations=extra,
         gap_costs=gap_costs,
+        reason="gap-min",
     )

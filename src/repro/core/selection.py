@@ -19,7 +19,8 @@ from repro.core.cost import CostBreakdown, layout_cost
 from repro.devices.mosfet import MosGeometry
 from repro.errors import LayoutError, OptimizationError
 from repro.geometry.layout import Layout
-from repro.runtime import EvalRuntime
+from repro.runtime import BatchTask, EvalRuntime
+from repro.runtime.evalcache import EvalCache, evaluate_circuit_cached
 
 
 @dataclass
@@ -32,8 +33,12 @@ class LayoutOption:
         layout: The generated layout.
         values: Measured metric values on the extracted netlist.
         breakdown: Weighted cost breakdown.
-        simulations: Number of simulations spent evaluating this option.
+        simulations: Number of simulations spent evaluating this option
+            (0 when the content cache answered the evaluation).
         wires: The wire configuration used (tuning updates this).
+        cache_key: Content key of the evaluation in the
+            :class:`~repro.runtime.evalcache.EvalCache` (None when no
+            cache was in play).
     """
 
     base: MosGeometry
@@ -43,6 +48,7 @@ class LayoutOption:
     breakdown: CostBreakdown
     simulations: int
     wires: WireConfig = field(default_factory=WireConfig)
+    cache_key: str | None = None
 
     @property
     def cost(self) -> float:
@@ -94,7 +100,10 @@ def option_error(option: LayoutOption) -> str | None:
 def option_payload(option: LayoutOption) -> dict:
     """Journal payload of a completed option evaluation (values only —
     the layout regenerates deterministically without simulation)."""
-    return {"values": dict(option.values), "simulations": option.simulations}
+    payload = {"values": dict(option.values), "simulations": option.simulations}
+    if option.cache_key is not None:
+        payload["cache_key"] = option.cache_key
+    return payload
 
 
 def restore_option(
@@ -117,6 +126,7 @@ def restore_option(
         breakdown=breakdown,
         simulations=int(payload.get("simulations", 0)),
         wires=wires,
+        cache_key=payload.get("cache_key"),
     )
 
 
@@ -126,6 +136,7 @@ def evaluate_option(
     pattern: str,
     wires: WireConfig | None = None,
     weight_override: dict[str, float] | None = None,
+    cache: "EvalCache | None" = None,
 ) -> LayoutOption:
     """Generate, extract and score a single layout option."""
     wires = wires or WireConfig()
@@ -133,7 +144,9 @@ def evaluate_option(
     # verifies the options it emits, not every scored candidate).
     layout = primitive.generate(base, pattern, wires, verify=False)
     circuit = primitive.extract(layout, base).build_circuit()
-    values, sims = primitive.evaluate(circuit)
+    values, sims, cache_key = evaluate_circuit_cached(
+        primitive, circuit, cache, weight_override
+    )
     breakdown = layout_cost(primitive, values, weight_override=weight_override)
     return LayoutOption(
         base=base,
@@ -143,6 +156,36 @@ def evaluate_option(
         breakdown=breakdown,
         simulations=sims,
         wires=wires,
+        cache_key=cache_key,
+    )
+
+
+def option_task(
+    stage_tag: str,
+    primitive,
+    base: MosGeometry,
+    pattern: str,
+    wires: WireConfig,
+    weight_override: dict[str, float] | None,
+    cache: EvalCache | None = None,
+    absorb: tuple[type, ...] = (),
+) -> BatchTask:
+    """The :class:`~repro.runtime.BatchTask` evaluating one layout option.
+
+    Shared by the selection sweep and the tuning sweeps so both fan out
+    through the same batch machinery with identical keys and payloads.
+    """
+    return BatchTask(
+        key=option_key(stage_tag, base, pattern, wires),
+        thunk=lambda: evaluate_option(
+            primitive, base, pattern, wires, weight_override, cache=cache
+        ),
+        validate=option_error,
+        to_payload=option_payload,
+        from_payload=lambda payload: restore_option(
+            primitive, payload, base, pattern, wires, weight_override
+        ),
+        absorb=absorb,
     )
 
 
@@ -170,6 +213,7 @@ def evaluate_options(
     variants = variants if variants is not None else primitive.variants()
     options: list[LayoutOption] = []
     matched = list(primitive.matched_group())
+    tasks: list[BatchTask] = []
     for base in variants:
         if patterns is None:
             counts = {
@@ -181,31 +225,26 @@ def evaluate_options(
         else:
             todo = patterns
         for pattern in todo:
-            key = option_key("sel", base, pattern, wires)
-            try:
-                option = runtime.evaluate(
-                    key,
-                    lambda base=base, pattern=pattern: evaluate_option(
-                        primitive, base, pattern, wires, weight_override
-                    ),
-                    stage="selection",
-                    validate=option_error,
-                    to_payload=option_payload,
-                    from_payload=lambda payload, base=base, pattern=pattern: (
-                        restore_option(
-                            primitive,
-                            payload,
-                            base,
-                            pattern,
-                            wires or WireConfig(),
-                            weight_override,
-                        )
-                    ),
+            tasks.append(
+                option_task(
+                    "sel",
+                    primitive,
+                    base,
+                    pattern,
+                    wires or WireConfig(),
+                    weight_override,
+                    cache=runtime.cache,
+                    absorb=(LayoutError,),
                 )
-            except LayoutError:
-                continue
-            if option is not None:
-                options.append(option)
+            )
+    batch = runtime.evaluate_batch(tasks, stage="selection")
+    for index in range(len(tasks)):
+        try:
+            option = batch.consume(index)
+        except LayoutError:
+            continue
+        if option is not None:
+            options.append(option)
     if not options:
         raise OptimizationError(
             f"{primitive.name}: no feasible layout options "

@@ -18,14 +18,7 @@ from dataclasses import dataclass, field
 from itertools import product
 
 from repro.cellgen.generator import WireConfig
-from repro.core.selection import (
-    LayoutOption,
-    evaluate_option,
-    option_error,
-    option_key,
-    option_payload,
-    restore_option,
-)
+from repro.core.selection import LayoutOption, option_task
 from repro.errors import OptimizationError
 from repro.runtime import EvalRuntime
 
@@ -124,6 +117,16 @@ def _terminal_groups(primitive) -> list[list]:
     return groups
 
 
+def _untuned_straps(wires: WireConfig, group) -> int:
+    """The wire count a failed sweep falls back to: the untuned strap
+    count of the group's first connected net (1 for a terminal that
+    touches no nets at all, e.g. a placeholder terminal)."""
+    for terminal in group:
+        if terminal.nets:
+            return wires.straps(terminal.nets[0])
+    return 1
+
+
 def _with_counts(wires: WireConfig, terminals, counts) -> WireConfig:
     updated = wires
     for terminal, count in zip(terminals, counts):
@@ -152,28 +155,20 @@ def tune_option(
     wires = option.wires
     best_option = option
 
-    def evaluate(candidate_wires: WireConfig) -> LayoutOption | None:
-        return runtime.evaluate(
-            option_key("tune", option.base, option.pattern, candidate_wires),
-            lambda: evaluate_option(
+    def sweep_batch(candidates: list[WireConfig]):
+        tasks = [
+            option_task(
+                "tune",
                 primitive,
                 option.base,
                 option.pattern,
-                candidate_wires,
+                candidate,
                 weight_override,
-            ),
-            stage="tuning",
-            validate=option_error,
-            to_payload=option_payload,
-            from_payload=lambda payload: restore_option(
-                primitive,
-                payload,
-                option.base,
-                option.pattern,
-                candidate_wires,
-                weight_override,
-            ),
-        )
+                cache=runtime.cache,
+            )
+            for candidate in candidates
+        ]
+        return runtime.evaluate_batch(tasks, stage="tuning")
 
     for group in _terminal_groups(primitive):
         limit = min(max_wires, min(t.max_wires for t in group))
@@ -185,8 +180,14 @@ def tune_option(
             terminal = group[0]
             sweep = TerminalSweep(terminal=terminal.name)
             options_at = {}
-            for count in range(1, limit + 1):
-                candidate = evaluate(_with_counts(wires, group, (count,)))
+            # The whole range dispatches as one batch; the early-stop
+            # break below simply stops consuming (a parallel runtime may
+            # speculate past it — unconsumed points are never accounted).
+            batch = sweep_batch(
+                [_with_counts(wires, group, (c,)) for c in range(1, limit + 1)]
+            )
+            for index, count in enumerate(range(1, limit + 1)):
+                candidate = batch.consume(index)
                 if candidate is None:
                     sweep.points.append(SweepPoint(count, float("inf"), {}))
                     continue
@@ -202,7 +203,7 @@ def tune_option(
                     break  # clearly past the minimum
             if not options_at:
                 # Whole terminal sweep failed: keep the untuned wires.
-                sweep.chosen = wires.straps(terminal.nets[0])
+                sweep.chosen = _untuned_straps(wires, group)
                 sweep.stopped_by = "failed"
                 sweeps.append(sweep)
                 continue
@@ -219,8 +220,10 @@ def tune_option(
             )
             best_cost = float("inf")
             best_counts: tuple[int, ...] | None = None
-            for counts in product(range(1, limit + 1), repeat=len(group)):
-                candidate = evaluate(_with_counts(wires, group, counts))
+            grid = list(product(range(1, limit + 1), repeat=len(group)))
+            batch = sweep_batch([_with_counts(wires, group, c) for c in grid])
+            for index, counts in enumerate(grid):
+                candidate = batch.consume(index)
                 if candidate is None:
                     sweep.points.append(
                         SweepPoint(sum(counts), float("inf"), {})
@@ -235,6 +238,10 @@ def tune_option(
                     best_counts = counts
                     best_option = candidate
             if best_counts is None:
+                # Whole joint sweep failed: keep the untuned wires (the
+                # dataclass default of 1 would misreport a pre-tuned
+                # strap count).
+                sweep.chosen = _untuned_straps(wires, group)
                 sweep.stopped_by = "failed"
                 sweeps.append(sweep)
                 continue

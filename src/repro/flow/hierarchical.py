@@ -36,13 +36,24 @@ from repro.cellgen.generator import WireConfig
 from repro.circuits.base import CompositeCircuit, LayoutChoice, RouteBudget
 from repro.core.optimizer import OptimizationReport, PrimitiveOptimizer
 from repro.core.port_constraints import GlobalRouteInfo, PortConstraint
-from repro.core.reconcile import ReconciledNet, reconcile_net
+from repro.core.reconcile import (
+    ReconciledNet,
+    gap_range,
+    intervals_overlap,
+    reconcile_net,
+)
 from repro.errors import OptimizationError
 from repro.geometry.layout import Instance
 from repro.geometry.shapes import Point
 from repro.pnr.global_router import GlobalRoute, GlobalRouter
 from repro.pnr.placer import Block, Placement, SaPlacer
-from repro.runtime import EvalRuntime, FailureLog, RetryPolicy, SweepJournal
+from repro.runtime import (
+    EvalCache,
+    FailureLog,
+    ParallelEvalRuntime,
+    RetryPolicy,
+    SweepJournal,
+)
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.pdk import Technology
 from repro.verify import (
@@ -126,6 +137,13 @@ class HierarchicalFlow:
         run_dir: Directory for sweep-checkpoint journals (one JSONL per
             primitive plus ``ports.jsonl``); None disables checkpointing.
         resume: Replay existing journals instead of starting fresh.
+        jobs: Worker processes for batched evaluations (None reads
+            ``REPRO_JOBS``, else 1).  Results are byte-identical for any
+            value; see ``docs/performance.md``.
+        cache: Content-addressed evaluation cache shared across every
+            stage of the run (with an on-disk tier under
+            ``<run_dir>/evalcache`` when checkpointing); ``False``
+            disables it.
     """
 
     def __init__(
@@ -141,6 +159,8 @@ class HierarchicalFlow:
         run_dir: str | None = None,
         resume: bool = False,
         waivers: WaiverSet | None = None,
+        jobs: int | None = None,
+        cache: bool = True,
     ):
         self.tech = tech
         self.n_bins = n_bins
@@ -153,6 +173,12 @@ class HierarchicalFlow:
         self.run_dir = run_dir
         self.resume = resume
         self.waivers = waivers
+        self.jobs = jobs
+        if cache:
+            disk = Path(run_dir) / "evalcache" if run_dir is not None else None
+            self.cache: EvalCache | None = EvalCache(disk_dir=disk)
+        else:
+            self.cache = None
 
     # -- public entry ------------------------------------------------------
 
@@ -225,6 +251,8 @@ class HierarchicalFlow:
             policy=self.policy,
             run_dir=self.run_dir,
             resume=self.resume,
+            jobs=self.jobs,
+            cache=self.cache if self.cache is not None else False,
         )
         for name, primitive in unique.items():
             report = optimizer.optimize(primitive)
@@ -374,13 +402,18 @@ class HierarchicalFlow:
             journal = SweepJournal(
                 Path(self.run_dir) / "ports.jsonl", resume=self.resume
             )
-        runtime = EvalRuntime(
-            policy=self.policy, journal=journal, failures=result.failures
+        runtime = ParallelEvalRuntime(
+            policy=self.policy,
+            journal=journal,
+            failures=result.failures,
+            cache=self.cache,
+            jobs=self.jobs,
         )
 
         constraints_by_net: dict[str, list[PortConstraint]] = {}
-        seen: set[tuple[str, str]] = set()
         constraint_cache: dict[tuple[str, str], PortConstraint] = {}
+        # (primitive.name, port) -> what a gap re-simulation needs.
+        sim_context: dict[tuple[str, str], tuple] = {}
 
         for binding in bindings:
             primitive = binding.primitive
@@ -421,10 +454,27 @@ class HierarchicalFlow:
                         runtime=runtime,
                     )
                     constraint_cache[key] = constraint
+                    sim_context[key] = (primitive, dut, info)
                 constraints_by_net.setdefault(net, []).append(constraint)
 
+        resimulated = self._reconcile_resims(
+            runtime, constraints_by_net, sim_context
+        )
+
+        def gap_cost(constraint: PortConstraint, wires: int) -> float:
+            try:
+                return constraint.cost_at(wires)
+            except OptimizationError:
+                pass
+            return resimulated.get(
+                (constraint.primitive_name, constraint.net, wires),
+                float("inf"),
+            )
+
         for net, constraints in constraints_by_net.items():
-            result.reconciled[net] = reconcile_net(net, constraints)
+            result.reconciled[net] = reconcile_net(
+                net, constraints, cost_at=gap_cost, failures=result.failures
+            )
 
         for net, route in routes.items():
             n_wires = result.reconciled[net].wires if net in result.reconciled else 1
@@ -456,6 +506,68 @@ class HierarchicalFlow:
         result.detailed_routes = realize_routes(
             routes, counts, self.tech, matched_pairs
         )
+
+    def _reconcile_resims(
+        self,
+        runtime: ParallelEvalRuntime,
+        constraints_by_net: dict[str, list[PortConstraint]],
+        sim_context: dict[tuple[str, str], tuple],
+    ) -> dict[tuple[str, str, int], float]:
+        """Batch the gap re-simulations reconciliation will need.
+
+        ``reconcile_net``'s non-overlap search reads the cost of every
+        gap wire count for every constraint on the net; counts a
+        constraint never explored (or whose sweep point failed) would
+        otherwise silently score ``inf``.  The paper's Algorithm 2
+        re-simulates them — all such points across all nets are
+        independent, so they dispatch as one batch.  Returns
+        ``(primitive, port, wires) -> cost``.
+        """
+        from repro.core.port_constraints import route_point_task
+
+        tasks = []
+        order: list[tuple[str, str, int]] = []
+        seen: set[tuple[str, str, int]] = set()
+        for net, constraints in constraints_by_net.items():
+            if intervals_overlap(constraints):
+                continue
+            lo, hi = gap_range(constraints)
+            for wires in range(lo, hi + 1):
+                for constraint in constraints:
+                    ckey = (constraint.primitive_name, constraint.net, wires)
+                    if ckey in seen:
+                        continue
+                    try:
+                        constraint.cost_at(wires)
+                        continue  # explored during the port sweep
+                    except OptimizationError:
+                        pass
+                    context = sim_context.get(ckey[:2])
+                    if context is None:
+                        continue
+                    seen.add(ckey)
+                    primitive, dut, info = context
+                    tasks.append(
+                        route_point_task(
+                            primitive,
+                            dut,
+                            info,
+                            wires,
+                            cache=runtime.cache,
+                            key_prefix="recon",
+                        )
+                    )
+                    order.append(ckey)
+        resimulated: dict[tuple[str, str, int], float] = {}
+        if not tasks:
+            return resimulated
+        batch = runtime.evaluate_batch(tasks, stage="reconcile")
+        for index, ckey in enumerate(order):
+            point = batch.consume(index)
+            resimulated[ckey] = (
+                float(point["cost"]) if point is not None else float("inf")
+            )
+        return resimulated
 
     def _verify_assembly(self, result: FlowResult, bindings) -> None:
         """Statically verify the chosen cells and their placement.

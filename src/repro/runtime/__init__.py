@@ -11,6 +11,12 @@ degradation ladder.
 """
 
 from repro.runtime.checkpoint import SweepJournal
+from repro.runtime.evalcache import (
+    EvalCache,
+    analysis_signature,
+    content_key,
+    evaluate_circuit_cached,
+)
 from repro.runtime.failures import (
     BAD_METRIC,
     CONV_DC,
@@ -24,7 +30,8 @@ from repro.runtime.failures import (
     is_eval_failure,
 )
 from repro.runtime.faults import FaultInjector, FaultSpec, inject
-from repro.runtime.policy import EvalRuntime, RetryPolicy
+from repro.runtime.parallel import ParallelEvalRuntime, resolve_jobs
+from repro.runtime.policy import BatchTask, EvalBatch, EvalRuntime, RetryPolicy
 
 __all__ = [
     "BAD_METRIC",
@@ -33,14 +40,22 @@ __all__ = [
     "EVAL_TIMEOUT",
     "FAILURE_CODES",
     "SINGULAR_MNA",
+    "BatchTask",
+    "EvalBatch",
+    "EvalCache",
     "EvalFailure",
     "EvalRuntime",
     "FailureLog",
     "FaultInjector",
     "FaultSpec",
+    "ParallelEvalRuntime",
     "RetryPolicy",
     "SweepJournal",
+    "analysis_signature",
     "classify_failure",
+    "content_key",
+    "evaluate_circuit_cached",
     "inject",
     "is_eval_failure",
+    "resolve_jobs",
 ]

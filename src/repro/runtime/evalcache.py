@@ -1,0 +1,307 @@
+"""Content-addressed evaluation cache.
+
+Post-layout evaluations are pure functions of the flattened netlist and
+the analysis that measures it: the simulator is deterministic, so two
+evaluations of byte-identical (netlist, analysis, weight) triples return
+identical metric values.  The optimization flow *re-builds* identical
+netlists all the time — the first point of every tuning sweep regenerates
+the untuned layout selection already scored, reconciliation re-simulates
+wire counts the port sweeps explored, and repeated runs over ``--run-dir``
+rebuild whole sweeps — so keying evaluations by content instead of by
+stage collapses that duplicate simulation work.
+
+The cache has two tiers:
+
+* an in-memory LRU (:class:`EvalCache`), bounded by entry count, that
+  serves repeats within one process, and
+* an optional on-disk tier (one JSON file per key under
+  ``<run_dir>/evalcache/``) that serves repeats across runs — e.g. the
+  same circuit built twice, or a sweep re-run after a crash without a
+  journal.
+
+Keys are SHA-256 hashes of a canonical serialization of (flattened
+netlist, analysis signature, weight overrides); see :func:`content_key`.
+Instance *names* of circuits are excluded (wrapper circuits embed wire
+counts in their names) but element names, nodes, model cards and every
+numeric parameter participate, so any sizing (nfin/nf/m), pattern or wire
+change produces a different key.
+
+Two deliberate bypasses keep cached runs equivalent to uncached ones:
+
+* **Fault injection** — injected faults are keyed on the *evaluation*
+  key, not the content key, so a content hit could swallow a fault that
+  the uncached run would see.  When a
+  :class:`~repro.runtime.faults.FaultInjector` is active the cache is
+  bypassed entirely; fault-injected runs behave identically with and
+  without a cache.
+* **Non-finite results** — a poisoned evaluation (NaN metrics) is never
+  stored: retries with perturbed guesses must re-simulate, not replay
+  the poison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime import faults
+from repro.spice.netlist import Circuit
+
+#: Default in-memory LRU capacity (entries, not bytes: one entry is a
+#: small dict of metric floats).
+DEFAULT_MAXSIZE = 4096
+
+
+def _canon(value):
+    """Canonical JSON-able form of netlist values (order-stable)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [
+            type(value).__name__,
+            {
+                f.name: _canon(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        ]
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; formatting would alias
+        # nearby values into one key.
+        return f"f:{value!r}"
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return f"{type(value).__name__}:{value!r}"
+
+
+def canonical_netlist(circuit: Circuit) -> list:
+    """Order-stable, name-independent serialization of a flat netlist.
+
+    The circuit's own name is excluded (wrapper circuits encode wire
+    counts in their names; the wire count already shows up in the R/C
+    values).  Element names, nodes and every electrical parameter are
+    included in insertion order — netlist construction is deterministic,
+    so insertion order is part of the content.
+    """
+    return [
+        [list(circuit.ports)],
+        [_canon(element) for element in circuit.elements],
+    ]
+
+
+def analysis_signature(primitive) -> dict:
+    """What, besides the netlist, determines an evaluation's values.
+
+    The metric testbenches wrap the DUT with bias sources built from the
+    primitive's public scalar state (vcm/vout/i_tail/..., refreshed by
+    bias calibration), so that state — plus the metric list and the
+    technology's supply — is part of the cache key.  The primitive's
+    *instance name* is excluded: two differently-named instances with
+    identical state measure identically.
+    """
+    scalars = {
+        k: _canon(v)
+        for k, v in sorted(vars(primitive).items())
+        if not k.startswith("_")
+        and k != "name"
+        and isinstance(v, (bool, int, float, str))
+    }
+    return {
+        "class": type(primitive).__qualname__,
+        "state": scalars,
+        "metrics": [[m.name, _canon(m.weight)] for m in primitive.metrics()],
+        "vdd": _canon(float(getattr(primitive.tech, "vdd", 0.0))),
+    }
+
+
+def content_key(
+    circuit: Circuit,
+    analysis: dict,
+    weight_override: dict[str, float] | None = None,
+) -> str:
+    """SHA-256 content key of one (netlist, analysis, weights) triple."""
+    document = {
+        "netlist": canonical_netlist(circuit),
+        "analysis": analysis,
+        "weights": _canon(weight_override or {}),
+    }
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`EvalCache`.
+
+    ``hits``/``stored`` are deterministic for a given logical run (they
+    track the consumed evaluation sequence, which is identical for any
+    ``--jobs``); ``misses`` additionally counts lookups whose evaluation
+    later failed, so it may differ between worker counts and is reported
+    for diagnostics only.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stored: int = 0
+    evicted: int = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class _Entry:
+    values: dict[str, float]
+    simulations: int
+
+
+class EvalCache:
+    """Two-tier (memory LRU + optional disk) evaluation cache.
+
+    Args:
+        maxsize: In-memory entry bound; least-recently-used entries are
+            evicted first.  The disk tier, when present, is unbounded.
+        disk_dir: Directory for the on-disk tier (created on first
+            write); None keeps the cache memory-only.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_MAXSIZE,
+        disk_dir: str | os.PathLike | None = None,
+    ):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        # Forked evaluation workers inherit this cache object, and their
+        # speculative work must leave no trace outside their process:
+        # only the owning (parent) process writes the disk tier.  This
+        # also keeps the disk tier in lock-step with the journal (both
+        # written at consumption) and prevents concurrent workers from
+        # racing on the write-temp file.
+        self._owner_pid = os.getpid()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path(key) is not None
+
+    # -- tiers -----------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        path = self.disk_dir / f"{key}.json"
+        return path if path.exists() else None
+
+    def _remember(self, key: str, entry: _Entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evicted += 1
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """The cached ``{"values", "simulations"}`` payload, or None.
+
+        A memory hit refreshes the entry's LRU position; a disk hit
+        promotes the entry into the memory tier.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return {"values": dict(entry.values), "simulations": entry.simulations}
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                values = {str(k): float(v) for k, v in data["values"].items()}
+                sims = int(data.get("simulations", 0))
+            except (OSError, ValueError, KeyError, TypeError):
+                # A torn write from a killed run; treat as a miss.
+                self.stats.misses += 1
+                return None
+            self._remember(key, _Entry(values, sims))
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return {"values": dict(values), "simulations": sims}
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, values: dict[str, float], simulations: int) -> None:
+        """Store one evaluation result (write-through to the disk tier).
+
+        Non-finite values are refused: a poisoned result must be
+        re-simulated by the retry machinery, not replayed from cache.
+        """
+        if any(not math.isfinite(v) for v in values.values()):
+            return
+        if key in self._entries:
+            return
+        self._remember(key, _Entry(dict(values), int(simulations)))
+        self.stats.stored += 1
+        if self.disk_dir is not None and os.getpid() == self._owner_pid:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            path = self.disk_dir / f"{key}.json"
+            if not path.exists():
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(
+                    json.dumps(
+                        {"values": dict(values), "simulations": int(simulations)}
+                    ),
+                    encoding="utf-8",
+                )
+                os.replace(tmp, path)
+
+    def key_for(
+        self,
+        primitive,
+        circuit: Circuit,
+        weight_override: dict[str, float] | None = None,
+    ) -> str:
+        """Content key of evaluating ``circuit`` with ``primitive``'s
+        metric testbenches."""
+        return content_key(
+            circuit, analysis_signature(primitive), weight_override
+        )
+
+
+def evaluate_circuit_cached(
+    primitive,
+    circuit: Circuit,
+    cache: EvalCache | None,
+    weight_override: dict[str, float] | None = None,
+) -> tuple[dict[str, float], int, str | None]:
+    """Run ``primitive.evaluate(circuit)`` through the content cache.
+
+    Returns ``(values, simulations, content_key)``; a cache hit costs 0
+    simulations.  ``content_key`` is None when the cache is bypassed —
+    no cache configured, or a fault injector is active (injected faults
+    key on evaluation keys, so serving content hits would change which
+    faults fire; see the module docstring).
+    """
+    if cache is None or faults.active() is not None:
+        values, sims = primitive.evaluate(circuit)
+        return values, sims, None
+    key = cache.key_for(primitive, circuit, weight_override)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit["values"], 0, key
+    values, sims = primitive.evaluate(circuit)
+    cache.put(key, values, sims)
+    return values, sims, key

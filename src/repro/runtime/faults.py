@@ -130,6 +130,19 @@ class FaultInjector:
             return self.spec.slow_eval_seconds
         return 0.0
 
+    def merge_fired(self, events: list[tuple[str, str]]) -> None:
+        """Fold fault events observed elsewhere into this injector.
+
+        The parallel engine runs each worker attempt under a throwaway
+        injector clone (same spec and seed, so decisions are identical)
+        and merges the clone's fired events back into the parent — but
+        only for *consumed* attempts, so the parent's counters match a
+        serial run exactly.
+        """
+        for kind, key in events:
+            self.counters[kind] = self.counters.get(kind, 0) + 1
+            self.fired.append((kind, key))
+
     # -- solver-boundary hooks ------------------------------------------
 
     def check_dc(self, circuit_name: str) -> None:
@@ -169,6 +182,22 @@ _active: ContextVar[FaultInjector | None] = ContextVar(
 def active() -> FaultInjector | None:
     """The installed fault injector (None in production runs)."""
     return _active.get()
+
+
+def install(injector: FaultInjector | None):
+    """Install ``injector`` without a ``with`` block; returns the reset
+    token for :func:`restore`.
+
+    Worker processes use this to swap in a per-attempt injector clone
+    around code that may *raise* — an explicit token survives the
+    exception path where a context manager's body would not have run.
+    """
+    return _active.set(injector)
+
+
+def restore(token) -> None:
+    """Undo a previous :func:`install`."""
+    _active.reset(token)
 
 
 @contextmanager

@@ -64,6 +64,64 @@ class RetryPolicy:
     retry_perturbation: float = 1e-3
 
 
+@dataclass
+class BatchTask:
+    """One evaluation of a batch — the arguments of one
+    :meth:`EvalRuntime.evaluate` call, captured as data.
+
+    ``absorb`` lists exception types the *call site* catches around the
+    evaluation (e.g. ``LayoutError`` during selection): a worker process
+    returns them for deterministic re-raise at consumption instead of
+    treating them as evaluation failures.
+    """
+
+    key: str
+    thunk: Callable[[], Any]
+    validate: Callable[[Any], str | None] | None = None
+    to_payload: Callable[[Any], dict] | None = None
+    from_payload: Callable[[dict], Any] | None = None
+    retries: int | None = None
+    absorb: tuple[type, ...] = ()
+
+
+class EvalBatch:
+    """A batch of evaluations, consumed strictly in call-site order.
+
+    The base implementation is *lazy serial*: nothing runs until
+    :meth:`consume`, which simply forwards to
+    :meth:`EvalRuntime.evaluate` — so early-stopping call sites (a
+    tuning sweep that breaks once the cost curve turns) pay only for
+    what they consume.  :class:`~repro.runtime.parallel
+    .ParallelEvalRuntime` overrides batching with speculative
+    process-pool dispatch; consumption order — and therefore failure
+    logs, journals and stage accounting — is identical either way.
+
+    Tasks never consumed are never accounted: not journaled, not
+    recorded as failures, not counted against any stage.
+    """
+
+    def __init__(self, runtime: "EvalRuntime", tasks: list[BatchTask], stage: str):
+        self.runtime = runtime
+        self.tasks = tasks
+        self.stage = stage
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def consume(self, index: int) -> Any | None:
+        """Result of task ``index`` (None when absorbed as a failure)."""
+        task = self.tasks[index]
+        return self.runtime.evaluate(
+            task.key,
+            task.thunk,
+            self.stage,
+            validate=task.validate,
+            to_payload=task.to_payload,
+            from_payload=task.from_payload,
+            retries=task.retries,
+        )
+
+
 class EvalRuntime:
     """Fault-tolerant wrapper around simulation-backed evaluations.
 
@@ -72,6 +130,11 @@ class EvalRuntime:
         journal: Optional sweep-checkpoint journal.
         failures: FailureLog to record into (a fresh one by default).
         clock: Monotonic clock, overridable for tests.
+        cache: Optional content-addressed evaluation cache
+            (:class:`~repro.runtime.evalcache.EvalCache`); call sites
+            read it via :attr:`cache` to route circuit evaluations
+            through :func:`~repro.runtime.evalcache
+            .evaluate_circuit_cached`.
     """
 
     def __init__(
@@ -80,11 +143,13 @@ class EvalRuntime:
         journal: SweepJournal | None = None,
         failures: FailureLog | None = None,
         clock: Callable[[], float] = time.monotonic,
+        cache: Any | None = None,
     ):
         self.policy = policy or RetryPolicy()
         self.journal = journal
         self.failures = failures if failures is not None else FailureLog()
         self.clock = clock
+        self.cache = cache
         self._stage_total: Counter = Counter()
         self._stage_failed: Counter = Counter()
         #: Evaluations answered from the journal without re-simulating.
@@ -149,6 +214,7 @@ class EvalRuntime:
             if entry["status"] == STATUS_OK:
                 self._finish_stage_eval(stage, failed=False)
                 payload = entry["payload"]
+                self._prime_cache(payload)
                 return from_payload(payload) if from_payload else payload
             self._finish_stage_eval(stage, failed=True)
             return None
@@ -207,3 +273,41 @@ class EvalRuntime:
         if self.journal is not None:
             self.journal.record_failure(key, recorded)
         return None
+
+    def _prime_cache(self, payload: Any) -> None:
+        """Re-enact a journaled evaluation's content-cache traffic.
+
+        Resuming replays journal entries without simulating, which would
+        leave the cache missing the entries the interrupted run had
+        stored — and later (non-journaled) evaluations would then
+        re-simulate content the original run answered from cache.
+        Replaying each journaled success against the cache (a hit for a
+        0-simulation payload, a store otherwise) reconstructs the
+        interrupted run's cache state and statistics exactly.
+        """
+        if self.cache is None or not isinstance(payload, dict):
+            return
+        key = payload.get("cache_key")
+        values = payload.get("values")
+        if key is None or not isinstance(values, dict):
+            return
+        simulations = int(payload.get("simulations", 0))
+        if simulations == 0:
+            self.cache.get(key)
+        else:
+            self.cache.put(
+                key, {k: float(v) for k, v in values.items()}, simulations
+            )
+
+    # -- batching ----------------------------------------------------------
+
+    def evaluate_batch(self, tasks: list[BatchTask], stage: str) -> EvalBatch:
+        """Prepare a batch of independent evaluations of one stage.
+
+        The caller must :meth:`~EvalBatch.consume` results in the same
+        order a serial loop would evaluate them, and may stop early.
+        The base runtime evaluates lazily at consumption; see
+        :class:`~repro.runtime.parallel.ParallelEvalRuntime` for the
+        process-pool override.
+        """
+        return EvalBatch(self, tasks, stage)

@@ -45,6 +45,37 @@ def test_bins_ordered_by_aspect():
     assert max(bins[0]) <= min(bins[1])
 
 
+def test_equal_aspects_never_split():
+    # Regression: the bin cap used to count raw options, so five
+    # identical aspect ratios with n_bins=3 cut at zero-width "gaps"
+    # and split equal-aspect options across bins.
+    bins = bin_by_aspect_ratio([2.0] * 5, 3, lambda x: x)
+    assert len(bins) == 1
+    assert bins[0] == [2.0] * 5
+
+
+def test_bin_count_capped_at_distinct_aspects():
+    values = [1.0, 1.0, 2.0, 2.0, 5.0]
+    bins = bin_by_aspect_ratio(values, 5, lambda x: x)
+    assert [sorted(b) for b in bins] == [[1.0, 1.0], [2.0, 2.0], [5.0]]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.05, max_value=20.0), min_size=1, max_size=10
+    ),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=4),
+)
+def test_ties_stay_in_one_bin_property(values, n_bins, repeats):
+    # Duplicating every value must never change which values share a bin:
+    # equal aspects land in the same bin regardless of multiplicity.
+    bins = bin_by_aspect_ratio(values * repeats, n_bins, lambda x: x)
+    for value in set(values):
+        holders = [i for i, b in enumerate(bins) if value in b]
+        assert len(holders) == 1
+
+
 @given(
     st.lists(st.floats(min_value=0.05, max_value=20.0), min_size=1, max_size=30),
     st.integers(min_value=1, max_value=5),

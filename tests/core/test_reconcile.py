@@ -1,12 +1,15 @@
 """Port-constraint reconciliation (Algorithm 2, step 2)."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.port_constraints import PortConstraint
-from repro.core.reconcile import intervals_overlap, reconcile_net
+from repro.core.reconcile import gap_range, intervals_overlap, reconcile_net
 from repro.core.tuning import SweepPoint
 from repro.errors import OptimizationError
+from repro.runtime.failures import BAD_METRIC, FailureLog
 
 
 def constraint(name, net, w_min, w_max, costs=None):
@@ -65,6 +68,53 @@ def test_single_constraint_passthrough():
 def test_no_constraints_raises():
     with pytest.raises(OptimizationError):
         reconcile_net("n", [])
+
+
+def test_reason_records_how_wires_were_chosen():
+    overlap = reconcile_net("n", [constraint("a", "n", 2, 5)])
+    assert overlap.reason == "overlap"
+    gap = reconcile_net(
+        "n",
+        [constraint("a", "n", 4, 5), constraint("b", "n", 1, 1)],
+        cost_at=lambda c, w: float(w),
+    )
+    assert gap.reason == "gap-min"
+
+
+def test_all_failed_gap_falls_back_to_max_wmin():
+    # Regression: disjoint constraints whose sweeps hold no usable
+    # points (every gap cost inf) used to let min() silently pick the
+    # first — i.e. an arbitrary failed — wire count.
+    a = constraint("a", "n", 4, 5)
+    b = constraint("b", "n", 1, 1)
+    failures = FailureLog()
+    result = reconcile_net("n", [a, b], failures=failures)
+    assert not result.overlapped
+    assert result.reason == "gap-failed"
+    assert result.wires == 4  # max(w_min): the congestion-friendly choice
+    assert all(not math.isfinite(c) for c in result.gap_costs.values())
+    # The degradation is recorded, not silent.
+    assert failures.count(code=BAD_METRIC, stage="reconcile") == 1
+    failure = failures.failures[0]
+    assert failure.key == "reconcile:n"
+    assert "fell back" in failure.message
+
+
+def test_all_failed_gap_without_failure_log():
+    a = constraint("a", "n", 3, 4)
+    b = constraint("b", "n", 1, 1)
+    result = reconcile_net(
+        "n", [a, b], cost_at=lambda c, w: float("inf")
+    )
+    assert result.reason == "gap-failed"
+    assert result.wires == 3
+
+
+def test_gap_range_orientation():
+    # min(w_max)=1 < max(w_min)=4 -> searched low-to-high either way.
+    assert gap_range(
+        [constraint("a", "n", 4, 5), constraint("b", "n", 1, 1)]
+    ) == (1, 4)
 
 
 def test_intervals_overlap_unbounded():

@@ -2,10 +2,17 @@
 
 import pytest
 
+from repro.cellgen.generator import WireConfig
 from repro.core.selection import evaluate_option
-from repro.core.tuning import choose_stop_point, tune_option
+from repro.core.tuning import _untuned_straps, choose_stop_point, tune_option
 from repro.devices.mosfet import MosGeometry
 from repro.errors import OptimizationError
+from repro.runtime.faults import FaultSpec, inject
+
+
+class _Terminal:
+    def __init__(self, nets):
+        self.nets = nets
 
 
 def test_stop_at_minimum():
@@ -60,6 +67,32 @@ def test_tuning_wire_config_applied(small_dp):
     result = tune_option(small_dp, option, max_wires=4)
     by_name = {s.terminal: s for s in result.sweeps}
     assert result.option.wires.straps("tail") == by_name["source"].chosen
+
+
+def test_untuned_straps_skips_netless_terminals():
+    # Regression: the failed-sweep fallback indexed ``nets[0]`` of the
+    # group's first terminal, an IndexError for placeholder terminals
+    # that touch no nets.
+    wires = WireConfig().with_straps("tail", 3)
+    assert _untuned_straps(wires, [_Terminal([])]) == 1
+    assert _untuned_straps(wires, [_Terminal([]), _Terminal(["tail"])]) == 3
+    assert _untuned_straps(wires, [_Terminal(["tail"])]) == 3
+    assert _untuned_straps(WireConfig(), [_Terminal(["tail"])]) == 1
+
+
+def test_fully_failed_sweep_keeps_untuned_wires(small_dp):
+    # Regression: a sweep whose every point failed used to report the
+    # TerminalSweep dataclass default (chosen=1) even when the option
+    # arrived pre-tuned with more straps.
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    option.wires = option.wires.with_straps("tail", 2)
+    with inject(FaultSpec(bad_metric_rate=1.0)):
+        result = tune_option(small_dp, option, max_wires=3)
+    by_name = {s.terminal: s for s in result.sweeps}
+    assert all(s.stopped_by == "failed" for s in result.sweeps)
+    assert by_name["source"].chosen == 2  # the pre-tuned strap count
+    # The untuned option survives as the result.
+    assert result.option is option
 
 
 def test_correlated_terminals_swept_jointly(tech):

@@ -1,0 +1,176 @@
+"""Content-addressed evaluation cache.
+
+ISSUE acceptance: evaluating the same circuit content twice hits the
+cache (0 simulations), while any sizing (nfin/nf/m), pattern or wire
+change produces a different content key and misses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import PrimitiveOptimizer, Technology
+from repro.cellgen.generator import WireConfig
+from repro.devices.mosfet import MosGeometry
+from repro.runtime import EvalCache, analysis_signature, evaluate_circuit_cached
+from repro.runtime.faults import FaultSpec, inject
+
+
+@pytest.fixture(scope="module")
+def prim():
+    from repro.primitives import DifferentialPair
+
+    return DifferentialPair(Technology.default(), base_fins=8, name="ec_dp")
+
+
+def _circuit(prim, geom=MosGeometry(8, 4, 3), pattern="ABAB", wires=None):
+    wires = wires or WireConfig()
+    layout = prim.generate(geom, pattern, wires, verify=False)
+    return prim.extract(layout, geom).build_circuit()
+
+
+# -- key stability -------------------------------------------------------
+
+
+def test_same_content_same_key(prim):
+    cache = EvalCache()
+    # Two independent generate/extract passes over identical inputs.
+    a = cache.key_for(prim, _circuit(prim))
+    b = cache.key_for(prim, _circuit(prim))
+    assert a == b
+
+
+def test_any_sizing_change_changes_key(prim):
+    cache = EvalCache()
+    base = cache.key_for(prim, _circuit(prim, MosGeometry(8, 4, 3)))
+    variants = [
+        _circuit(prim, MosGeometry(4, 4, 3)),  # nfin
+        _circuit(prim, MosGeometry(8, 2, 3)),  # nf
+        _circuit(prim, MosGeometry(8, 4, 1)),  # m
+        _circuit(prim, pattern="AABB"),  # pattern
+        _circuit(prim, wires=WireConfig().with_straps("tail", 2)),  # wires
+    ]
+    keys = [cache.key_for(prim, c) for c in variants]
+    assert base not in keys
+    assert len(set(keys)) == len(keys)
+
+
+def test_instance_name_excluded_from_key(prim):
+    from repro.primitives import DifferentialPair
+
+    other = DifferentialPair(Technology.default(), base_fins=8, name="ec_dp2")
+    assert analysis_signature(prim) == analysis_signature(other)
+    cache = EvalCache()
+    assert cache.key_for(prim, _circuit(prim)) == cache.key_for(
+        other, _circuit(other)
+    )
+
+
+def test_weight_override_changes_key(prim):
+    cache = EvalCache()
+    circuit = _circuit(prim)
+    plain = cache.key_for(prim, circuit)
+    weighted = cache.key_for(prim, circuit, weight_override={"gm": 2.0})
+    assert plain != weighted
+
+
+# -- hit/miss semantics --------------------------------------------------
+
+
+def test_repeat_evaluation_hits_and_skips_simulation(prim):
+    cache = EvalCache()
+    values1, sims1, key1 = evaluate_circuit_cached(prim, _circuit(prim), cache)
+    assert sims1 > 0
+    values2, sims2, key2 = evaluate_circuit_cached(prim, _circuit(prim), cache)
+    assert sims2 == 0
+    assert key1 == key2
+    assert values2 == values1
+    assert cache.stats.hits == 1
+    assert cache.stats.stored == 1
+
+
+def test_fault_injector_bypasses_cache(prim):
+    cache = EvalCache()
+    # Even an all-zero-rate injector bypasses: injected faults key on
+    # evaluation keys, so content hits would change which faults fire.
+    with inject(FaultSpec()):
+        values, sims, key = evaluate_circuit_cached(prim, _circuit(prim), cache)
+    assert sims > 0
+    assert key is None
+    assert len(cache) == 0
+    assert cache.stats.stored == 0
+
+
+def test_non_finite_values_never_stored():
+    cache = EvalCache()
+    cache.put("k", {"gm": float("nan"), "area": 1.0}, 3)
+    cache.put("k2", {"gm": float("inf")}, 1)
+    assert len(cache) == 0
+    assert cache.get("k") is None
+    assert cache.stats.stored == 0
+
+
+def test_lru_eviction():
+    cache = EvalCache(maxsize=2)
+    cache.put("a", {"x": 1.0}, 1)
+    cache.put("b", {"x": 2.0}, 1)
+    assert cache.get("a") is not None  # refresh "a": now "b" is LRU
+    cache.put("c", {"x": 3.0}, 1)
+    assert cache.stats.evicted == 1
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+
+
+# -- disk tier -----------------------------------------------------------
+
+
+def test_disk_tier_survives_process_boundary(tmp_path):
+    first = EvalCache(disk_dir=tmp_path)
+    first.put("k", {"gm": 1.5}, 4)
+    # A fresh cache (new "process") over the same directory.
+    second = EvalCache(disk_dir=tmp_path)
+    hit = second.get("k")
+    assert hit == {"values": {"gm": 1.5}, "simulations": 4}
+    assert second.stats.disk_hits == 1
+    # The promotion landed in the memory tier.
+    assert len(second) == 1
+
+
+def test_torn_disk_write_treated_as_miss(tmp_path):
+    (tmp_path / "bad.json").write_text("{\"values\": {\"gm\":")
+    (tmp_path / "shape.json").write_text(json.dumps({"nope": 1}))
+    cache = EvalCache(disk_dir=tmp_path)
+    assert cache.get("bad") is None
+    assert cache.get("shape") is None
+    assert cache.stats.hits == 0
+
+
+# -- end-to-end through the optimizer ------------------------------------
+
+
+def test_shared_cache_collapses_repeat_optimizations():
+    from repro.primitives import DifferentialPair
+
+    def fresh():
+        return DifferentialPair(Technology.default(), base_fins=8, name="ec_opt")
+
+    def optimizer(cache):
+        return PrimitiveOptimizer(n_bins=2, max_wires=3, jobs=1, cache=cache)
+
+    baseline = optimizer(cache=False).optimize(fresh())
+    cache = EvalCache()
+    first = optimizer(cache).optimize(fresh())
+    second = optimizer(cache).optimize(fresh())
+
+    # Caching never changes results, only the simulation bill.
+    assert first.best.cost == baseline.best.cost
+    assert second.best.cost == baseline.best.cost
+    # Within one run the tuning sweep re-builds the untuned selection
+    # point, so even the first cached run saves simulations ...
+    assert first.total_simulations < baseline.total_simulations
+    # ... and a repeat run over a warm cache simulates nothing.
+    assert second.total_simulations == 0
+    assert second.cache_stats["hits"] > 0

@@ -45,12 +45,19 @@ def _report_fingerprint(report) -> tuple:
 
 
 def _optimizer(run_dir, resume=False):
+    # jobs=1/cache=False keep this file about pure journal mechanics:
+    # the ``_count_evaluations`` instrumentation counts in-process
+    # simulator calls, which worker processes and content-cache hits
+    # would legitimately elide (see test_parallel.py / test_evalcache.py
+    # for the cache- and jobs-aware resume guarantees).
     return PrimitiveOptimizer(
         n_bins=2,
         max_wires=3,
         policy=RetryPolicy(max_retries=2),
         run_dir=run_dir,
         resume=resume,
+        jobs=1,
+        cache=False,
     )
 
 
