@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test faults bench bench-eval bench-light bench-heavy examples lint verify erc all
+.PHONY: install test faults bench bench-eval bench-spice bench-light bench-heavy examples lint verify erc all
 
 install:
 	pip install -e . --no-build-isolation
@@ -56,7 +56,16 @@ BENCH_EVAL_FLAGS ?=
 bench-eval:
 	python benchmarks/bench_eval.py --out $(BENCH_EVAL_OUT) $(BENCH_EVAL_FLAGS)
 
-bench: bench-eval
+# SPICE-kernel benchmark: fixed-dense (seed-equivalent) vs fixed-sparse
+# vs adaptive-sparse on the OTA / StrongARM / VCO testbenches, asserting
+# metric agreement and the >=2x VCO transient speedup.
+BENCH_SPICE_OUT ?= BENCH_spice.json
+BENCH_SPICE_FLAGS ?=
+
+bench-spice:
+	python benchmarks/bench_spice.py --out $(BENCH_SPICE_OUT) $(BENCH_SPICE_FLAGS)
+
+bench: bench-eval bench-spice
 	pytest benchmarks/ --benchmark-only -s
 
 bench-light:

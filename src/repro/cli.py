@@ -16,7 +16,17 @@ Commands:
   failure threshold, ``--waivers`` a lint baseline and ``--format
   json`` machine-readable output.  Exits nonzero when any unwaived
   violation at or above the threshold is found,
+* ``profile <target>`` — run a primitive optimization (or a circuit
+  flow) single-process and print the solver-kernel profile: per-phase
+  timings (device eval / stamp / factor / solve), Newton iteration and
+  factorization counts, LU reuses, and adaptive-vs-fixed transient step
+  counts,
 * ``list`` — list the primitive library and the benchmark circuits.
+
+``optimize``, ``flow`` and ``profile`` accept ``--solver
+{auto,dense,sparse}`` to pin the MNA linear-solver backend (overrides
+the ``REPRO_SOLVER`` environment variable; ``auto`` picks by system
+size).
 """
 
 from __future__ import annotations
@@ -81,8 +91,17 @@ def _jobs_from_args(args: argparse.Namespace) -> int:
     return resolve_jobs(args.jobs, default=os.cpu_count())
 
 
+def _apply_solver(args: argparse.Namespace) -> None:
+    """Pin the MNA solver backend for the process (``--solver``)."""
+    if getattr(args, "solver", None) is not None:
+        from repro.spice import kernel
+
+        kernel.set_default_solver(args.solver)
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     """Run Algorithm 1 on a library primitive and print the options."""
+    _apply_solver(args)
     tech = Technology.default()
     library = PrimitiveLibrary()
     primitive = library.create(args.primitive, tech, base_fins=args.fins)
@@ -131,6 +150,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 def cmd_flow(args: argparse.Namespace) -> int:
     """Run the hierarchical flow on a benchmark circuit."""
+    _apply_solver(args)
     tech = Technology.default()
     circuit = _build_circuit(args.circuit, tech)
     if args.resume and not args.run_dir:
@@ -157,6 +177,63 @@ def cmd_flow(args: argparse.Namespace) -> int:
               + ", ".join(f"{n}={r.wires}" for n, r in result.reconciled.items()))
     if result.failures:
         print(f"  absorbed: {result.failures.summary()}")
+    return 0
+
+
+def _render_profile(profile: dict, title: str) -> str:
+    """Solver-profile counter table (see ``SolverStats.as_dict``)."""
+    rows = [
+        ["device eval time", f"{profile.get('device_eval_s', 0.0):.3f} s"],
+        ["stamp time", f"{profile.get('stamp_s', 0.0):.3f} s"],
+        ["factor time", f"{profile.get('factor_s', 0.0):.3f} s"],
+        ["solve time", f"{profile.get('solve_s', 0.0):.3f} s"],
+        ["newton iterations", str(profile.get("newton_iterations", 0))],
+        ["linear solves", str(profile.get("solves", 0))],
+        ["factorizations", str(profile.get("factorizations", 0))],
+        ["LU reuses", str(profile.get("lu_reuses", 0))],
+        ["tran steps accepted", str(profile.get("tran_steps", 0))],
+        ["tran steps rejected", str(profile.get("tran_rejected", 0))],
+        ["tran fixed-grid steps", str(profile.get("tran_fixed_steps", 0))],
+    ]
+    for kind, count in profile.get("analyses", {}).items():
+        rows.append([f"{kind} analyses", str(count)])
+    for backend, count in profile.get("backends", {}).items():
+        rows.append([f"{backend} backend solves", str(count)])
+    return format_table(["counter", "value"], rows, title=title)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the solver kernel across one optimization or flow run.
+
+    Runs single-process (``jobs=1``) so every evaluation executes in
+    this process and the kernel counters cover the whole run.
+    """
+    _apply_solver(args)
+    tech = Technology.default()
+    if args.target in CIRCUITS:
+        circuit = _build_circuit(args.target, tech)
+        flow = HierarchicalFlow(
+            tech, n_bins=args.bins, max_wires=args.max_wires, jobs=1
+        )
+        result = flow.run(circuit, measure=args.target != "vco")
+        profile = result.solver_profile
+    else:
+        library = PrimitiveLibrary()
+        if args.target not in library:
+            raise SystemExit(
+                f"unknown target {args.target!r}; choose a primitive "
+                f"(see `repro list`) or a circuit ({', '.join(CIRCUITS)})"
+            )
+        primitive = library.create(args.target, tech, base_fins=args.fins)
+        optimizer = PrimitiveOptimizer(
+            n_bins=args.bins, max_wires=args.max_wires, jobs=1
+        )
+        report = optimizer.optimize(primitive)
+        profile = report.solver_profile
+    if not profile:
+        print(f"{args.target}: no solver activity recorded")
+        return 1
+    print(_render_profile(profile, title=f"solver profile: {args.target}"))
     return 0
 
 
@@ -328,6 +405,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="content-addressed evaluation cache (on-disk tier under "
             "--run-dir when set)",
         )
+        add_solver_arg(p)
+
+    def add_solver_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--solver",
+            default=None,
+            choices=["auto", "dense", "sparse"],
+            help="MNA linear-solver backend (default: the REPRO_SOLVER "
+            "environment variable, else auto-selection by system size)",
+        )
 
     p_opt = sub.add_parser("optimize", help="run Algorithm 1 on a primitive")
     p_opt.add_argument("primitive")
@@ -418,6 +505,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("--max-per-rule", type=int, default=5)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="run single-process and print the solver-kernel profile",
+    )
+    p_prof.add_argument(
+        "target",
+        help="primitive name or circuit name",
+    )
+    p_prof.add_argument("--fins", type=int, default=96)
+    p_prof.add_argument("--bins", type=int, default=2)
+    p_prof.add_argument("--max-wires", type=int, default=5)
+    add_solver_arg(p_prof)
+
     p_render = sub.add_parser("render", help="render a primitive layout")
     p_render.add_argument("primitive")
     p_render.add_argument("--fins", type=int, default=96)
@@ -434,6 +534,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "optimize": cmd_optimize,
         "flow": cmd_flow,
+        "profile": cmd_profile,
         "render": cmd_render,
         "verify": cmd_verify,
     }

@@ -73,6 +73,11 @@ class OptimizationReport:
             when an :class:`~repro.runtime.EvalCache` was active.  Only
             the order-independent fields are reported, so the stats are
             identical for any ``--jobs``.
+        solver_profile: Solver-kernel profiling counters accumulated by
+            the run's :class:`~repro.runtime.EvalRuntime` (see
+            :meth:`repro.spice.kernel.SolverStats.as_dict`).  A
+            profiling view only — wall-clock timings vary run to run and
+            the dict is excluded from determinism fingerprints.
     """
 
     primitive_name: str
@@ -84,6 +89,7 @@ class OptimizationReport:
     failures: FailureLog = field(default_factory=FailureLog)
     cached_evaluations: int = 0
     cache_stats: dict[str, int] = field(default_factory=dict)
+    solver_profile: dict = field(default_factory=dict)
 
     @property
     def best(self) -> LayoutOption:
@@ -321,6 +327,8 @@ class PrimitiveOptimizer:
                 "hits": runtime.cache.stats.hits,
                 "stored": runtime.cache.stats.stored,
             }
+        if runtime.solver_stats:
+            report.solver_profile = runtime.solver_stats.as_dict()
         return report
 
     def _erc_gate(self, primitive) -> None:

@@ -54,6 +54,7 @@ from repro.runtime import (
     RetryPolicy,
     SweepJournal,
 )
+from repro.spice import kernel
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.pdk import Technology
 from repro.verify import (
@@ -94,6 +95,11 @@ class FlowResult:
         wall_time: Actual wall-clock seconds of the run.
         modeled_runtime: Paper-style runtime model (10 s per parallel
             simulation batch plus P&R).
+        solver_profile: Aggregated solver-kernel counters across the
+            whole run — per-primitive optimization, port optimization,
+            bias calibration and the final top-level measurement (see
+            :meth:`repro.spice.kernel.SolverStats.as_dict`).  Profiling
+            only; excluded from determinism fingerprints.
     """
 
     circuit_name: str
@@ -110,6 +116,7 @@ class FlowResult:
     failures: FailureLog = field(default_factory=FailureLog)
     wall_time: float = 0.0
     modeled_runtime: float = 0.0
+    solver_profile: dict = field(default_factory=dict)
 
 
 class HierarchicalFlow:
@@ -193,9 +200,15 @@ class HierarchicalFlow:
             raise OptimizationError(f"unknown flow flavor {flavor!r}")
         start = time.perf_counter()
         result = FlowResult(circuit_name=circuit.name, flavor=flavor)
+        # Flow-level solver profiling: direct simulation work (bias
+        # calibration, the final measurement) is collected here; work
+        # routed through an EvalRuntime lands on that runtime's own
+        # collector and is merged in at the end.
+        flow_stats = kernel.SolverStats()
 
         if hasattr(circuit, "calibrate_biases"):
-            circuit.calibrate_biases()
+            with kernel.collect(flow_stats):
+                circuit.calibrate_biases()
 
         bindings = circuit.bindings()
         unique = self._unique_primitives(bindings)
@@ -220,14 +233,25 @@ class HierarchicalFlow:
                     route=route.to_route_info(self.tech), n_wires=1
                 )
         else:
-            self._port_optimization(result, circuit, bindings, routes)
+            self._port_optimization(
+                result, circuit, bindings, routes, stats=flow_stats
+            )
 
         if self.verify:
             self._verify_assembly(result, bindings)
 
         result.assembled = circuit.assembled(result.choices, result.route_budgets)
         if measure:
-            result.metrics = circuit.measure(result.assembled)
+            with kernel.collect(flow_stats):
+                result.metrics = circuit.measure(result.assembled)
+
+        for report in result.reports.values():
+            if report.solver_profile:
+                flow_stats.merge(
+                    kernel.SolverStats.from_dict(report.solver_profile)
+                )
+        if flow_stats:
+            result.solver_profile = flow_stats.as_dict()
 
         result.wall_time = time.perf_counter() - start
         result.modeled_runtime = self._model_runtime(result)
@@ -393,7 +417,12 @@ class HierarchicalFlow:
         return routes
 
     def _port_optimization(
-        self, result: FlowResult, circuit, bindings, routes: dict[str, GlobalRoute]
+        self,
+        result: FlowResult,
+        circuit,
+        bindings,
+        routes: dict[str, GlobalRoute],
+        stats: kernel.SolverStats | None = None,
     ) -> None:
         from repro.core.port_constraints import derive_port_constraint
 
@@ -506,6 +535,8 @@ class HierarchicalFlow:
         result.detailed_routes = realize_routes(
             routes, counts, self.tech, matched_pairs
         )
+        if stats is not None:
+            stats.merge(runtime.solver_stats)
 
     def _reconcile_resims(
         self,

@@ -76,6 +76,12 @@ def flow_result_to_dict(result: FlowResult) -> dict[str, Any]:
                 "deviations_pct": dict(report.best.breakdown.deviations),
             },
         }
+        if report.solver_profile:
+            doc["primitives"][name]["solver_profile"] = dict(
+                report.solver_profile
+            )
+    if result.solver_profile:
+        doc["solver_profile"] = dict(result.solver_profile)
     return doc
 
 

@@ -114,6 +114,10 @@ def run_transient(
     return transient(compiled, t_stop=t_stop, dt=dt, op=op)
 
 
+#: Offset-bisection resolution (V): results below this are reported 0.0.
+_OFFSET_TOL = 1e-7
+
+
 def dc_offset_bisection(
     build_tb,
     tech: Technology,
@@ -132,7 +136,8 @@ def dc_offset_bisection(
         lo, hi: Bisection bracket (V).
 
     Returns:
-        The input voltage nulling the response.
+        The input voltage nulling the response; magnitudes below the
+        bisection tolerance report as exactly ``0.0``.
     """
 
     def evaluate(x: float) -> float:
@@ -140,7 +145,14 @@ def dc_offset_bisection(
         op = dc_operating_point(compiled)
         return response(op)
 
-    return measure.find_dc_zero(evaluate, lo, hi, tolerance=1e-7)
+    offset = measure.find_dc_zero(evaluate, lo, hi, tolerance=_OFFSET_TOL)
+    # An offset below the bisection resolution is indistinguishable from
+    # zero.  Snap it so downstream consumers (the cost function's
+    # zero-schematic-reference branch) see a true zero: a perfectly
+    # symmetric circuit must measure 0.0 regardless of which LU backend
+    # solved it — pivoting-order noise at the 1e-16 level otherwise
+    # walks the bisection to an arbitrary sub-tolerance midpoint.
+    return 0.0 if abs(offset) < _OFFSET_TOL else offset
 
 
 def solve_gate_bias(

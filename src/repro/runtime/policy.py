@@ -39,6 +39,14 @@ from repro.runtime.failures import (
 )
 
 
+def _kernel():
+    # Deferred: repro.spice.dc imports repro.runtime at module scope, so
+    # the solver kernel must be resolved lazily to avoid an import cycle.
+    from repro.spice import kernel
+
+    return kernel
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded-retry and budget knobs for one run.
@@ -154,6 +162,12 @@ class EvalRuntime:
         self._stage_failed: Counter = Counter()
         #: Evaluations answered from the journal without re-simulating.
         self.cache_hits = 0
+        #: Solver-kernel counters accumulated across every evaluation
+        #: this runtime executes in-process.  A *profiling view*, not
+        #: part of the determinism contract: journal replays and cache
+        #: hits contribute nothing, and evaluations computed in worker
+        #: processes are counted there, not here.
+        self.solver_stats = _kernel().SolverStats()
 
     # -- stage accounting -------------------------------------------------
 
@@ -234,7 +248,8 @@ class EvalRuntime:
             start = self.clock()
             try:
                 with context.evaluation(ctx):
-                    result = thunk()
+                    with _kernel().collect(self.solver_stats):
+                        result = thunk()
                     injector = faults.active()
                     extra = injector.extra_elapsed() if injector else 0.0
                 elapsed = (self.clock() - start) + extra

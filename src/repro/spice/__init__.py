@@ -19,6 +19,14 @@ parasitic network), which is exactly the regime the paper exploits: each
 simulation costs milliseconds here, seconds in the paper.
 """
 
+from repro.spice import kernel
+from repro.spice.kernel import (
+    SolverStats,
+    SystemTemplate,
+    backend_for,
+    resolve_solver,
+    set_default_solver,
+)
 from repro.spice.netlist import Circuit
 from repro.spice.elements import (
     Capacitor,
@@ -40,6 +48,12 @@ from repro.spice.montecarlo import MonteCarloResult, run_monte_carlo
 from repro.spice.testbench import Testbench
 
 __all__ = [
+    "kernel",
+    "SolverStats",
+    "SystemTemplate",
+    "backend_for",
+    "resolve_solver",
+    "set_default_solver",
     "Circuit",
     "Resistor",
     "Capacitor",

@@ -5,6 +5,13 @@ their ``gm``/``gds`` as conductances and their Meyer capacitances to the
 susceptance matrix; inductors contribute ``jwL`` branch impedances.  The
 complex system ``(G + jwC) x = b`` is solved at each frequency of a
 logarithmic sweep.
+
+Both the conductance part ``G`` and the susceptance part (capacitances
+plus the ``-L`` inductor branch entries) are frequency independent, so
+they are assembled exactly once per sweep; each frequency point only
+forms the ``G + jω·S`` combination — a vectorized array expression on
+the dense backend, a data-vector combination on the shared CSC pattern
+on the sparse one — and solves.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import NetlistError, SimulationError, SingularMatrixError
+from repro.spice import kernel
 from repro.spice.dc import OperatingPoint
 from repro.spice.mna import CompiledCircuit, solve_mna
 
@@ -52,12 +60,55 @@ class AcResult:
         return self.v(plus) - self.v(minus)
 
 
+def _ac_template(compiled: CompiledCircuit) -> "kernel.SystemTemplate":
+    """The sparse AC system template (cached on the compiled circuit).
+
+    Static part: linear conductances and all branch topology rows.
+    Dynamic slots, in order: MOSFET small-signal conductances (fixed per
+    sweep, set by the operating point) and the susceptance pattern —
+    element capacitors, MOSFET capacitances, and the inductor branch
+    diagonal (scaled by ``jω`` per frequency point).
+    """
+
+    def build() -> "kernel.SystemTemplate":
+        mos_rows, mos_cols = compiled.mos_conductance_pattern()
+        cap_rows, cap_cols = compiled.capacitor_pattern()
+        mc_rows, mc_cols = compiled.mos_capacitance_pattern()
+        ind = compiled.inductor_branch_indices()
+        return kernel.SystemTemplate(
+            compiled.size,
+            compiled.static_conductance_triplets(),
+            np.concatenate([mos_rows, cap_rows, mc_rows, ind]),
+            np.concatenate([mos_cols, cap_cols, mc_cols, ind]),
+            dtype=complex,
+            backend=kernel.SPARSE,
+        )
+
+    return compiled.kernel_template(("ac", kernel.SPARSE), build)
+
+
+def _susceptance_values(
+    compiled: CompiledCircuit, op: OperatingPoint
+) -> np.ndarray:
+    """Frequency-independent susceptance values (multiply by ``jω``):
+    element capacitances, MOSFET capacitances at the bias point, and the
+    ``-L`` inductor branch entries (``a[br, br] -= jωL``)."""
+    return np.concatenate(
+        [
+            compiled.capacitor_values(),
+            compiled.mos_capacitance_values(op.mos_eval),
+            -compiled.inductor_inductances(),
+        ]
+    )
+
+
 def ac_analysis(
     compiled: CompiledCircuit,
     op: OperatingPoint,
     f_start: float = 1.0e3,
     f_stop: float = 1.0e11,
     points_per_decade: int = 10,
+    solver: str | None = None,
 ) -> AcResult:
     """Run a logarithmic AC sweep around the given operating point."""
     if f_start <= 0 or f_stop <= f_start:
@@ -69,36 +120,58 @@ def ac_analysis(
     n_points = max(2, int(np.ceil(decades * points_per_decade)) + 1)
     freqs = np.logspace(np.log10(f_start), np.log10(f_stop), n_points)
 
+    stats = kernel.active()
+    if stats is not None:
+        stats.count_analysis("ac")
+    backend = kernel.backend_for(compiled.size, solver)
     size = compiled.size
+    rhs = compiled.ac_source_rhs()
+    solutions = np.zeros((len(freqs), size), dtype=complex)
+
+    if backend == kernel.SPARSE:
+        template = _ac_template(compiled)
+        mos_vals = compiled.mos_conductance_values(op.mos_eval)
+        sus_vals = _susceptance_values(compiled, op)
+        # Two data vectors on the shared CSC pattern, built once: the
+        # full conductance part and the unscaled susceptance part.
+        g_data = template.static_data + template.dyn_data(
+            np.concatenate([mos_vals, np.zeros(len(sus_vals))])
+        )
+        sus_data = template.dyn_data(
+            np.concatenate([np.zeros(len(mos_vals)), sus_vals])
+        )
+        for k, freq in enumerate(freqs):
+            omega = 2.0 * np.pi * freq
+            try:
+                solutions[k], _recovered = template.solve_data(
+                    g_data + (1j * omega) * sus_data, rhs
+                )
+            except SingularMatrixError as exc:
+                raise SingularMatrixError(
+                    f"AC solve failed at {freq:.3g} Hz: {exc}"
+                ) from exc
+        return AcResult(compiled=compiled, freqs=freqs, solutions=solutions)
+
+    # Dense path: both parts assembled once, sliced to the core.
     g = compiled.conductance_linear().astype(complex)
     if op.mos_eval is not None:
         compiled.stamp_mosfets_ac(g, op.mos_eval)
+    compiled.stamp_inductors_dc(g)  # the constant topology rows
 
-    c = compiled.capacitance_linear().astype(complex)
-    c += compiled.mos_capacitance(op.mos_eval, dtype=complex)
+    sus = compiled.capacitance_linear().astype(complex)
+    sus += compiled.mos_capacitance(op.mos_eval, dtype=complex)
+    ind = compiled.inductor_branch_indices()
+    if len(ind):
+        sus[ind, ind] -= compiled.inductor_inductances()
 
-    rhs = compiled.ac_source_rhs()
-
-    # Inductor branch rows: v_a - v_b - jwL * i = 0 (the jwL part is
-    # frequency dependent; the topology entries are constant).
-    ind_rows: list[tuple[int, int, int, float]] = []
-    for ind in compiled.inductors:
-        br = compiled.branch_index[ind.name]
-        na, nb = compiled.index_of(ind.a), compiled.index_of(ind.b)
-        g[na, br] += 1.0
-        g[nb, br] -= 1.0
-        g[br, na] += 1.0
-        g[br, nb] -= 1.0
-        ind_rows.append((br, na, nb, ind.value))
-
-    solutions = np.zeros((len(freqs), size), dtype=complex)
+    g_core = g[:size, :size]
+    sus_core = sus[:size, :size]
     for k, freq in enumerate(freqs):
         omega = 2.0 * np.pi * freq
-        a = g + 1j * omega * c
-        for br, _na, _nb, value in ind_rows:
-            a[br, br] -= 1j * omega * value
         try:
-            solutions[k], _recovered = solve_mna(a[:size, :size], rhs[:size])
+            solutions[k], _recovered = solve_mna(
+                g_core + (1j * omega) * sus_core, rhs[:size]
+            )
         except SingularMatrixError as exc:
             raise SingularMatrixError(
                 f"AC solve failed at {freq:.3g} Hz: {exc}"

@@ -24,7 +24,8 @@ from repro.devices.mosfet import MosEval
 from repro.errors import ConvergenceError, NetlistError, SingularMatrixError
 from repro.runtime import context as eval_context
 from repro.runtime import faults
-from repro.spice.mna import CompiledCircuit, solve_mna
+from repro.spice import kernel
+from repro.spice.mna import CompiledCircuit
 
 #: Maximum node-voltage update per Newton iteration (V).
 VOLTAGE_LIMIT = 0.3
@@ -88,9 +89,35 @@ class OperatingPoint:
         return self.compiled.mos_eval_by_name(self.mos_eval, name)
 
 
+def _dc_template(
+    compiled: CompiledCircuit, backend: str
+) -> "kernel.SystemTemplate":
+    """The DC Newton system template (cached on the compiled circuit).
+
+    Static part: linear conductances plus all branch topology rows
+    (inductors are DC shorts, so their topology rows are the whole
+    stamp).  Dynamic slots: the node diagonal (gmin stepping and
+    ``force`` pins) followed by the MOSFET companion conductances.
+    """
+
+    def build() -> "kernel.SystemTemplate":
+        diag = compiled.node_diag_indices()
+        mos_rows, mos_cols = compiled.mos_conductance_pattern()
+        return kernel.SystemTemplate(
+            compiled.size,
+            compiled.static_conductance_triplets(),
+            np.concatenate([diag, mos_rows]),
+            np.concatenate([diag, mos_cols]),
+            dtype=float,
+            backend=backend,
+        )
+
+    return compiled.kernel_template(("dc", backend), build)
+
+
 def _newton_solve(
     compiled: CompiledCircuit,
-    g_linear: np.ndarray,
+    template: "kernel.SystemTemplate",
     x0: np.ndarray,
     gmin: float,
     source_scale: float,
@@ -103,42 +130,39 @@ def _newton_solve(
     ``recovery`` (when given) collects the tags of any singular-matrix
     fallbacks used along the way.
     """
-    size = compiled.size
     if max_iterations is None:
         # Large circuits under heavy damping need more iterations: the
         # voltage limiter advances at most VOLTAGE_LIMIT per step.
         max_iterations = max(120, 2 * compiled.num_nodes)
     x = x0.copy()
     rhs_src = compiled.source_rhs(t=None, scale=source_scale)
+    stats = kernel.active()
 
-    force_items: list[tuple[int, float]] = []
+    diag_vals = np.full(compiled.num_nodes, gmin + GMIN_FLOOR)
     if force:
         for node, value in force.items():
             idx = compiled.index_of(node)
             if idx != compiled.ghost:
-                force_items.append((idx, value))
+                diag_vals[idx] += FORCE_CONDUCTANCE
+                # Scale the pinned target with the sources so source
+                # stepping ramps a consistent bias.
+                rhs_src[idx] += FORCE_CONDUCTANCE * value * source_scale
 
     limit = VOLTAGE_LIMIT
     prev_dv: np.ndarray | None = None
     for _ in range(max_iterations):
-        a = g_linear.copy()
+        if stats is not None:
+            stats.newton_iterations += 1
         rhs = rhs_src.copy()
-
-        diag = np.arange(compiled.num_nodes)
-        a[diag, diag] += gmin + GMIN_FLOOR
-
-        for idx, value in force_items:
-            a[idx, idx] += FORCE_CONDUCTANCE
-            # Scale the pinned target with the sources so source stepping
-            # ramps a consistent bias.
-            rhs[idx] += FORCE_CONDUCTANCE * value * source_scale
-
         ev = compiled.eval_mosfets(x)
         if ev is not None:
-            compiled.stamp_mosfets(a, rhs, ev, x)
+            compiled.stamp_mos_rhs(rhs, ev, x)
 
         try:
-            x_new, recovered = solve_mna(a[:size, :size], rhs[:size])
+            x_new, recovered = template.solve(
+                np.concatenate([diag_vals, compiled.mos_conductance_values(ev)]),
+                rhs,
+            )
         except SingularMatrixError:
             # Truly unsolvable step: bail out so the gmin/source-stepping
             # homotopies (which regularize the physics, not the algebra)
@@ -174,6 +198,7 @@ def dc_operating_point(
     compiled: CompiledCircuit,
     x0: np.ndarray | None = None,
     force: dict[str, float] | None = None,
+    solver: str | None = None,
 ) -> OperatingPoint:
     """Compute the DC operating point.
 
@@ -183,6 +208,9 @@ def dc_operating_point(
         force: Optional nodeset, mapping node names to voltages that are
             softly pinned during the solve (used to bias oscillators off
             their metastable point).
+        solver: Optional solver-backend override (``"dense"``/
+            ``"sparse"``/``"auto"``); defaults to the process-wide
+            choice (``--solver`` / ``REPRO_SOLVER`` / auto by size).
 
     Raises:
         ConvergenceError: If Newton fails even after gmin and source
@@ -195,8 +223,11 @@ def dc_operating_point(
     if injector is not None:
         injector.check_dc(compiled.circuit.name)
 
-    g_linear = compiled.conductance_linear()
-    compiled.stamp_inductors_dc(g_linear)
+    stats = kernel.active()
+    if stats is not None:
+        stats.count_analysis("dc")
+    backend = kernel.backend_for(compiled.size, solver)
+    template = _dc_template(compiled, backend)
 
     x = x0.copy() if x0 is not None else np.zeros(compiled.size)
     x = _perturb_retry_guess(x)
@@ -204,7 +235,7 @@ def dc_operating_point(
 
     # Plain Newton first: cheap and usually sufficient with a warm start.
     solution = _newton_solve(
-        compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force,
+        compiled, template, x, gmin=0.0, source_scale=1.0, force=force,
         recovery=recovery,
     )
     if solution is not None:
@@ -215,7 +246,7 @@ def dc_operating_point(
     for exponent in range(3, 13):
         gmin = 10.0 ** (-exponent)
         solution = _newton_solve(
-            compiled, g_linear, x, gmin=gmin, source_scale=1.0, force=force,
+            compiled, template, x, gmin=gmin, source_scale=1.0, force=force,
             recovery=recovery,
         )
         if solution is None:
@@ -223,7 +254,7 @@ def dc_operating_point(
         x = solution
     else:
         solution = _newton_solve(
-            compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force,
+            compiled, template, x, gmin=0.0, source_scale=1.0, force=force,
             recovery=recovery,
         )
         if solution is not None:
@@ -236,7 +267,7 @@ def dc_operating_point(
     for scale in np.linspace(0.1, 1.0, 10):
         stepped = _newton_solve(
             compiled,
-            g_linear,
+            template,
             x,
             gmin=1e-9 * (1.0 - scale) + 1e-12,
             source_scale=float(scale),
@@ -251,7 +282,7 @@ def dc_operating_point(
             )
         x = stepped
     final = _newton_solve(
-        compiled, g_linear, x, gmin=0.0, source_scale=1.0, force=force,
+        compiled, template, x, gmin=0.0, source_scale=1.0, force=force,
         recovery=recovery,
     )
     if final is None:

@@ -14,10 +14,14 @@ keeps every stamp a branch-free vectorized ``np.add.at``.
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 import numpy as np
 
 from repro.devices.mosfet import MosEval, evaluate_mosfets, resolve_params
-from repro.errors import NetlistError, SingularMatrixError
+from repro.errors import NetlistError
+from repro.spice import kernel
 from repro.spice.elements import (
     Capacitor,
     CurrentSource,
@@ -28,50 +32,28 @@ from repro.spice.elements import (
     Vcvs,
     VoltageSource,
 )
+from repro.spice.kernel import (  # noqa: F401  (re-exported for back-compat)
+    RECOVERY_TIKHONOV,
+    TIKHONOV_LAMBDA,
+)
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.rules import DesignRules
-
-#: Relative Tikhonov regularization strength for singular-system recovery.
-TIKHONOV_LAMBDA = 1.0e-10
-
-#: Recovery-path tag for solves that needed the regularized fallback.
-RECOVERY_TIKHONOV = "tikhonov"
 
 
 def solve_mna(a: np.ndarray, rhs: np.ndarray) -> tuple[np.ndarray, str | None]:
     """Solve one dense MNA system with a singularity fallback.
 
-    A clean direct solve returns ``(x, None)``.  When the matrix is
-    singular (or the direct solve produces non-finite values), the
-    normal equations are re-solved with Tikhonov regularization —
-    ``(AᴴA + λI) x = Aᴴ b`` with λ scaled to the matrix magnitude —
-    which picks the minimum-norm least-squares solution; that path
-    returns ``(x, "tikhonov")`` so callers can annotate the recovery.
+    A clean direct solve returns ``(x, None)``; a singular (or
+    non-finite) system falls through to the Tikhonov-regularized rescue
+    shared with the sparse backend (:func:`repro.spice.kernel
+    .tikhonov_rescue`), returning ``(x, "tikhonov")`` so callers can
+    annotate the recovery.
 
     Raises:
         SingularMatrixError: When even the regularized solve yields a
             non-finite solution.
     """
-    try:
-        x = np.linalg.solve(a, rhs)
-        if np.all(np.isfinite(x)):
-            return x, None
-    except np.linalg.LinAlgError:
-        pass
-    scale = float(np.max(np.abs(a))) if a.size else 0.0
-    lam = TIKHONOV_LAMBDA * (scale if scale > 0.0 else 1.0)
-    ah = a.conj().T
-    try:
-        x = np.linalg.solve(
-            ah @ a + lam * np.eye(a.shape[0], dtype=a.dtype), ah @ rhs
-        )
-    except np.linalg.LinAlgError:
-        x = None
-    if x is None or not np.all(np.isfinite(x)):
-        raise SingularMatrixError(
-            "MNA system is singular even after Tikhonov regularization"
-        )
-    return x, RECOVERY_TIKHONOV
+    return kernel.solve_dense(a, rhs)
 
 
 class CompiledCircuit:
@@ -140,6 +122,10 @@ class CompiledCircuit:
 
         self._build_linear_arrays()
         self._build_mos_arrays()
+
+        #: Lazily built solver-kernel templates, keyed per (analysis,
+        #: backend) by the analyses (see :meth:`kernel_template`).
+        self._kernel_templates: dict = {}
 
     # -- indexing --------------------------------------------------------
 
@@ -306,12 +292,168 @@ class CompiledCircuit:
                 rhs[self.branch_index[src.name]] += phasor
         return rhs
 
+    # -- COO triplet providers (solver-kernel assembly) ---------------------
+
+    def kernel_template(self, key, builder: Callable[[], "kernel.SystemTemplate"]):
+        """A cached :class:`~repro.spice.kernel.SystemTemplate`.
+
+        Templates hold the symbolic work of an analysis — the static
+        matrix part and the sparse pattern — which depends only on the
+        circuit topology, so each (analysis, backend) pair is built once
+        per compiled circuit and reused across every Newton iteration,
+        time step and frequency point.
+        """
+        template = self._kernel_templates.get(key)
+        if template is None:
+            template = builder()
+            self._kernel_templates[key] = template
+        return template
+
+    def static_conductance_triplets(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO triplets of the constant conductance/topology part.
+
+        Resistors, VCCS gains, the topology rows of voltage sources,
+        VCVS elements **and inductors** — everything every analysis
+        stamps identically (the frequency-/step-dependent inductor
+        branch diagonal is a dynamic slot; see
+        :meth:`inductor_branch_indices`).  Indices may reference the
+        ghost ground index.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+
+        def put(i: int, j: int, g: float) -> None:
+            rows.append(i)
+            cols.append(j)
+            vals.append(g)
+
+        for na, nb, g in zip(self._res_a, self._res_b, self._res_g):
+            put(na, na, g)
+            put(nb, nb, g)
+            put(na, nb, -g)
+            put(nb, na, -g)
+
+        idx = self.index_of
+        for e in self.vccs_elements:
+            na, nb = idx(e.a), idx(e.b)
+            cp, cm = idx(e.ctrl_plus), idx(e.ctrl_minus)
+            put(na, cp, e.gain)
+            put(na, cm, -e.gain)
+            put(nb, cp, -e.gain)
+            put(nb, cm, e.gain)
+
+        for src in self.vsources:
+            br = self.branch_index[src.name]
+            p, n = idx(src.plus), idx(src.minus)
+            put(p, br, 1.0)
+            put(n, br, -1.0)
+            put(br, p, 1.0)
+            put(br, n, -1.0)
+
+        for e in self.vcvs_elements:
+            br = self.branch_index[e.name]
+            p, n = idx(e.plus), idx(e.minus)
+            cp, cm = idx(e.ctrl_plus), idx(e.ctrl_minus)
+            put(p, br, 1.0)
+            put(n, br, -1.0)
+            put(br, p, 1.0)
+            put(br, n, -1.0)
+            put(br, cp, -e.gain)
+            put(br, cm, e.gain)
+
+        for ind in self.inductors:
+            br = self.branch_index[ind.name]
+            na, nb = idx(ind.a), idx(ind.b)
+            put(na, br, 1.0)
+            put(nb, br, -1.0)
+            put(br, na, 1.0)
+            put(br, nb, -1.0)
+
+        return (
+            np.array(rows, dtype=np.intp),
+            np.array(cols, dtype=np.intp),
+            np.array(vals, dtype=float),
+        )
+
+    def node_diag_indices(self) -> np.ndarray:
+        """Node-voltage diagonal indices (gmin/force dynamic slots)."""
+        return np.arange(self.num_nodes, dtype=np.intp)
+
+    def mos_conductance_pattern(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rows, cols) of the MOSFET Newton-companion conductances."""
+        d, g, s = self._mos_d, self._mos_g, self._mos_s
+        return (
+            np.concatenate([d, d, d, s, s, s]),
+            np.concatenate([d, g, s, d, g, s]),
+        )
+
+    def mos_conductance_values(self, ev: MosEval | None) -> np.ndarray:
+        """Values matching :meth:`mos_conductance_pattern` at an eval."""
+        if ev is None:
+            return np.empty(0)
+        return np.concatenate(
+            [ev.gds, ev.gm, ev.gms, -ev.gds, -ev.gm, -ev.gms]
+        )
+
+    def capacitor_pattern(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rows, cols) of the fixed (element) capacitor stamps."""
+        return _two_terminal_pattern(self._cap_a, self._cap_b)
+
+    def capacitor_values(self) -> np.ndarray:
+        """Values matching :meth:`capacitor_pattern` (farads)."""
+        return _two_terminal_values(self._cap_c)
+
+    def mos_capacitance_pattern(self) -> tuple[np.ndarray, np.ndarray]:
+        """(rows, cols) of the MOSFET Meyer-capacitance stamps."""
+        d, g, s, b = self._mos_d, self._mos_g, self._mos_s, self._mos_b
+        rows = []
+        cols = []
+        for ia, ib in ((g, s), (g, d), (g, b), (d, b), (s, b)):
+            pr, pc = _two_terminal_pattern(ia, ib)
+            rows.append(pr)
+            cols.append(pc)
+        return np.concatenate(rows), np.concatenate(cols)
+
+    def mos_capacitance_values(self, ev: MosEval | None) -> np.ndarray:
+        """Values matching :meth:`mos_capacitance_pattern` at a bias."""
+        if ev is None:
+            return np.empty(0)
+        return np.concatenate(
+            [
+                _two_terminal_values(c)
+                for c in (ev.cgs, ev.cgd, ev.cgb, ev.cdb, ev.csb)
+            ]
+        )
+
+    def inductor_branch_indices(self) -> np.ndarray:
+        """Branch-diagonal indices of the inductors (dynamic slots: the
+        transient ``-L/dt`` / AC ``-jωL`` entries)."""
+        return np.array(
+            [self.branch_index[e.name] for e in self.inductors], dtype=np.intp
+        )
+
+    def inductor_inductances(self) -> np.ndarray:
+        """Inductances matching :meth:`inductor_branch_indices` (henry)."""
+        return np.array([e.value for e in self.inductors], dtype=float)
+
     # -- MOSFET evaluation and stamping ------------------------------------
 
     def eval_mosfets(self, x: np.ndarray) -> MosEval | None:
         """Evaluate all MOSFETs at the solution vector ``x``."""
         if not self.mos_elements:
             return None
+        stats = kernel.active()
+        if stats is not None:
+            t0 = time.perf_counter()
+            ev = self._eval_mosfets(x)
+            stats.device_eval_s += time.perf_counter() - t0
+            return ev
+        return self._eval_mosfets(x)
+
+    def _eval_mosfets(self, x: np.ndarray) -> MosEval:
         xg = np.append(x, 0.0)  # ghost ground entry
         vg = xg[self._mos_g]
         vd = xg[self._mos_d]
@@ -357,8 +499,20 @@ class CompiledCircuit:
         np.add.at(a, (s, g), -gm)
         np.add.at(a, (s, s), -gms)
 
+        self.stamp_mos_rhs(rhs, ev, x)
+
+    def stamp_mos_rhs(self, rhs: np.ndarray, ev: MosEval, x: np.ndarray) -> None:
+        """Stamp only the linearization-equivalent current sources.
+
+        The conductance half of the companion model goes through the
+        solver-kernel template (:meth:`mos_conductance_values`); this is
+        the right-hand-side half, shared with :meth:`stamp_mosfets`.
+        """
+        if ev is None:
+            return
+        d, g, s = self._mos_d, self._mos_g, self._mos_s
         xg = np.append(x, 0.0)
-        ieq = ev.ids - gm * xg[g] - gds * xg[d] - gms * xg[s]
+        ieq = ev.ids - ev.gm * xg[g] - ev.gds * xg[d] - ev.gms * xg[s]
         np.add.at(rhs, d, -ieq)
         np.add.at(rhs, s, ieq)
 
@@ -414,3 +568,20 @@ def _stamp_two_terminal(
     np.add.at(a, (ib, ib), values)
     np.add.at(a, (ia, ib), -values)
     np.add.at(a, (ib, ia), -values)
+
+
+def _two_terminal_pattern(
+    ia: np.ndarray, ib: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """COO (rows, cols) of two-terminal stamps — same entry order as
+    :func:`_stamp_two_terminal` so values pair up via
+    :func:`_two_terminal_values`."""
+    return (
+        np.concatenate([ia, ib, ia, ib]),
+        np.concatenate([ia, ib, ib, ia]),
+    )
+
+
+def _two_terminal_values(values: np.ndarray) -> np.ndarray:
+    """COO values matching :func:`_two_terminal_pattern`."""
+    return np.concatenate([values, values, -values, -values])

@@ -1,0 +1,239 @@
+"""The solver kernel: backend selection, pattern reuse, recovery, stats.
+
+ISSUE acceptance: the sparse and dense backends are interchangeable —
+same matrices, same solutions, same Tikhonov recovery tag — and the
+solver choice resolves per-call argument > CLI default > environment >
+auto-by-size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, SingularMatrixError
+from repro.spice import kernel
+from repro.spice.kernel import Factorization, SolverStats, SystemTemplate
+
+
+@pytest.fixture(autouse=True)
+def _clean_solver_config(monkeypatch):
+    """Isolate each test from the process-wide solver default."""
+    monkeypatch.delenv(kernel.SOLVER_ENV, raising=False)
+    kernel.set_default_solver(None)
+    yield
+    kernel.set_default_solver(None)
+
+
+# -- solver resolution ---------------------------------------------------
+
+
+def test_resolution_defaults_to_auto():
+    assert kernel.resolve_solver() == kernel.AUTO
+
+
+def test_resolution_precedence(monkeypatch):
+    monkeypatch.setenv(kernel.SOLVER_ENV, "sparse")
+    assert kernel.resolve_solver() == kernel.SPARSE
+    kernel.set_default_solver("dense")  # CLI beats env
+    assert kernel.resolve_solver() == kernel.DENSE
+    assert kernel.resolve_solver("sparse") == kernel.SPARSE  # arg beats CLI
+
+
+def test_invalid_choices_rejected(monkeypatch):
+    with pytest.raises(SimulationError, match="unknown solver"):
+        kernel.set_default_solver("cholesky")
+    with pytest.raises(SimulationError, match="solver argument"):
+        kernel.resolve_solver("qr")
+    monkeypatch.setenv(kernel.SOLVER_ENV, "banana")
+    with pytest.raises(SimulationError, match=kernel.SOLVER_ENV):
+        kernel.resolve_solver()
+
+
+def test_backend_auto_selects_by_size():
+    assert kernel.backend_for(kernel.SPARSE_MIN_SIZE - 1) == kernel.DENSE
+    assert kernel.backend_for(kernel.SPARSE_MIN_SIZE) == kernel.SPARSE
+    # An explicit choice wins at any size.
+    assert kernel.backend_for(2, "sparse") == kernel.SPARSE
+    assert kernel.backend_for(10_000, "dense") == kernel.DENSE
+
+
+# -- SystemTemplate ------------------------------------------------------
+
+
+def _random_system(n=7, seed=3, dtype=float):
+    """A well-conditioned random MNA-like triplet system.
+
+    Includes duplicate (row, col) entries (stamps accumulate) and ghost
+    entries at index ``n`` (the grounded terminal row/column every MNA
+    stamp writes and the solve discards).
+    """
+    rng = np.random.default_rng(seed)
+    m = 4 * n
+    rows = rng.integers(0, n + 1, size=m)
+    cols = rng.integers(0, n + 1, size=m)
+    static_vals = rng.normal(size=m)
+    if dtype is complex:
+        static_vals = static_vals + 1j * rng.normal(size=m)
+    # Diagonal dominance so the system is nonsingular.
+    diag = np.arange(n)
+    rows = np.concatenate([rows, diag])
+    cols = np.concatenate([cols, diag])
+    static_vals = np.concatenate([static_vals, np.full(n, 10.0, dtype=dtype)])
+    dyn_rows = rng.integers(0, n + 1, size=6)
+    dyn_cols = rng.integers(0, n + 1, size=6)
+    return n, (rows, cols, static_vals), dyn_rows, dyn_cols
+
+
+@pytest.mark.parametrize("dtype", [float, complex])
+def test_dense_and_sparse_assemble_identically(dtype):
+    n, static, dyn_rows, dyn_cols = _random_system(dtype=dtype)
+    dyn_vals = np.linspace(0.5, 1.5, len(dyn_rows)).astype(dtype)
+    dense = SystemTemplate(
+        n, static, dyn_rows, dyn_cols, dtype=dtype, backend=kernel.DENSE
+    )
+    sparse = SystemTemplate(
+        n, static, dyn_rows, dyn_cols, dtype=dtype, backend=kernel.SPARSE
+    )
+    a_dense = dense.dense_matrix(dyn_vals)
+    a_sparse = sparse.dense_matrix(dyn_vals)
+    np.testing.assert_allclose(a_sparse, a_dense, rtol=0, atol=0)
+
+
+@pytest.mark.parametrize("dtype", [float, complex])
+def test_dense_and_sparse_solve_identically(dtype):
+    n, static, dyn_rows, dyn_cols = _random_system(dtype=dtype)
+    dyn_vals = np.linspace(-1.0, 1.0, len(dyn_rows)).astype(dtype)
+    rhs = np.arange(1, n + 1, dtype=dtype)
+    results = {}
+    for backend in (kernel.DENSE, kernel.SPARSE):
+        template = SystemTemplate(
+            n, static, dyn_rows, dyn_cols, dtype=dtype, backend=backend
+        )
+        x, recovered = template.solve(dyn_vals, rhs)
+        assert recovered is None
+        results[backend] = x
+    np.testing.assert_allclose(
+        results[kernel.SPARSE], results[kernel.DENSE], rtol=1e-12, atol=1e-14
+    )
+
+
+def test_dynamic_values_overwrite_not_accumulate():
+    """Repeated solves on one template must not leak previous values."""
+    n, static, dyn_rows, dyn_cols = _random_system()
+    rhs = np.ones(n)
+    for backend in (kernel.DENSE, kernel.SPARSE):
+        template = SystemTemplate(
+            n, static, dyn_rows, dyn_cols, backend=backend
+        )
+        first, _ = template.solve(np.full(len(dyn_rows), 2.0), rhs)
+        template.solve(np.full(len(dyn_rows), 99.0), rhs)
+        again, _ = template.solve(np.full(len(dyn_rows), 2.0), rhs)
+        np.testing.assert_allclose(again, first, rtol=0, atol=0)
+
+
+@pytest.mark.parametrize("backend", [kernel.DENSE, kernel.SPARSE])
+def test_factorization_reuse_matches_fresh_solve(backend):
+    n, static, dyn_rows, dyn_cols = _random_system()
+    dyn_vals = np.full(len(dyn_rows), 0.25)
+    template = SystemTemplate(n, static, dyn_rows, dyn_cols, backend=backend)
+    factorization = template.factor(dyn_vals)
+    assert isinstance(factorization, Factorization)
+    for k in range(3):
+        rhs = np.roll(np.arange(1, n + 1, dtype=float), k)
+        direct, _ = template.solve(dyn_vals, rhs)
+        np.testing.assert_allclose(
+            factorization.solve(rhs), direct, rtol=1e-12, atol=1e-14
+        )
+
+
+@pytest.mark.parametrize("backend", [kernel.DENSE, kernel.SPARSE])
+def test_singular_system_recovers_with_tikhonov_tag(backend):
+    # A floating node: row/column 2 is all zeros -> structurally singular.
+    n = 3
+    rows = np.array([0, 1, 0, 1])
+    cols = np.array([0, 1, 1, 0])
+    vals = np.array([2.0, 3.0, 1.0, 1.0])
+    template = SystemTemplate(
+        n,
+        (rows, cols, vals),
+        np.array([], dtype=np.intp),
+        np.array([], dtype=np.intp),
+        backend=backend,
+    )
+    x, recovered = template.solve(np.array([]), np.array([1.0, 1.0, 0.0]))
+    assert recovered == kernel.RECOVERY_TIKHONOV
+    assert np.all(np.isfinite(x))
+    # The regularized solution still satisfies the nonsingular rows.
+    a = template.dense_matrix(np.array([]))
+    np.testing.assert_allclose((a @ x)[:2], [1.0, 1.0], atol=1e-6)
+
+
+def test_solve_dense_function_tags_recovery():
+    good = np.array([[2.0, 0.0], [0.0, 4.0]])
+    x, tag = kernel.solve_dense(good, np.array([2.0, 8.0]))
+    assert tag is None
+    np.testing.assert_allclose(x, [1.0, 2.0])
+    singular = np.array([[1.0, 1.0], [1.0, 1.0]])
+    x, tag = kernel.solve_dense(singular, np.array([1.0, 1.0]))
+    assert tag == kernel.RECOVERY_TIKHONOV
+    assert np.all(np.isfinite(x))
+
+
+def test_factorization_rejects_nonfinite_solutions():
+    # A singular matrix factors without error in dense LAPACK but its
+    # triangular solve produces inf/nan; the Factorization wrapper must
+    # surface that as SingularMatrixError, not return garbage.
+    n = 2
+    rows = np.array([0, 0, 1, 1])
+    cols = np.array([0, 1, 0, 1])
+    vals = np.array([1.0, 1.0, 1.0, 1.0])
+    template = SystemTemplate(
+        n,
+        (rows, cols, vals),
+        np.array([], dtype=np.intp),
+        np.array([], dtype=np.intp),
+        backend=kernel.DENSE,
+    )
+    factorization = template.factor(np.array([]))
+    with pytest.raises(SingularMatrixError):
+        factorization.solve(np.array([1.0, 2.0]))
+
+
+# -- profiling stats -----------------------------------------------------
+
+
+def test_stats_collects_only_inside_context():
+    n, static, dyn_rows, dyn_cols = _random_system()
+    template = SystemTemplate(
+        n, static, dyn_rows, dyn_cols, backend=kernel.SPARSE
+    )
+    rhs = np.ones(n)
+    dyn = np.zeros(len(dyn_rows))
+    template.solve(dyn, rhs)  # outside: not counted anywhere
+    stats = SolverStats()
+    assert not stats
+    with kernel.collect(stats):
+        assert kernel.active() is stats
+        template.solve(dyn, rhs)
+        template.solve(dyn, rhs)
+    assert kernel.active() is None
+    assert stats.solves == 2
+    assert stats.backends == {kernel.SPARSE: 2}
+    assert bool(stats)
+
+
+def test_stats_merge_and_dict_roundtrip():
+    a = SolverStats(solves=3, newton_iterations=7, tran_steps=11)
+    a.count_analysis("dc")
+    a.count_backend("dense")
+    b = SolverStats(solves=2, lu_reuses=5, tran_rejected=1)
+    b.count_analysis("dc")
+    b.count_analysis("tran")
+    b.count_backend("sparse")
+    a.merge(b)
+    assert a.solves == 5
+    assert a.analyses == {"dc": 2, "tran": 1}
+    assert a.backends == {"dense": 1, "sparse": 1}
+    rebuilt = SolverStats.from_dict(a.as_dict())
+    assert rebuilt.as_dict() == a.as_dict()
