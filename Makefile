@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test faults bench bench-eval bench-spice bench-light bench-heavy examples lint verify erc all
+.PHONY: install test faults bench bench-eval bench-spice bench-light bench-heavy examples lint verify erc ingest all
 
 install:
 	pip install -e . --no-build-isolation
@@ -29,13 +29,26 @@ lint:
 		echo "ruff not installed; skipping (pip install ruff)"; \
 	fi
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/verify src/repro/geometry src/repro/tech; \
+		mypy src/repro/verify src/repro/geometry src/repro/tech src/repro/ingest; \
 	else \
 		echo "mypy not installed; skipping (pip install mypy)"; \
 	fi
 
 verify:
 	python -m repro verify all
+
+# Raw-SPICE ingestion over the example corpus: recognize primitives,
+# emit constraints, write byte-deterministic JSON reports.  Fails on
+# unwaived TOPO/ERC/CONST errors in any corpus netlist.
+INGEST_OUT ?= out/ingest
+
+ingest:
+	@mkdir -p $(INGEST_OUT)
+	@for f in examples/netlists/*.sp; do \
+		name=$$(basename $$f .sp); \
+		python -m repro ingest $$f --format json > $(INGEST_OUT)/$$name.json || exit 1; \
+		echo "$$f -> $(INGEST_OUT)/$$name.json"; \
+	done
 
 # Full circuit lint over the library (ERC + DRC + connectivity +
 # constraints), machine-readable.  Fails on unwaived errors; the JSON

@@ -1,0 +1,22 @@
+* comparator
+* exercises: .subckt/X hierarchy, cross-coupled pairs, reset switches
+
+.subckt latch outp outn tail vdd!
+MXA outp outn tail 0 nfet nfin=8 nf=2 m=1
+MXB outn outp tail 0 nfet nfin=8 nf=2 m=1
+MPA outp outn vdd! vdd! pfet nfin=8 nf=2 m=1
+MPB outn outp vdd! vdd! pfet nfin=8 nf=2 m=1
+.ends
+
+.subckt comp clk vinp vinn voutp voutn vdd!
+MMA voutp vinp ncom 0 nfet nfin=8 nf=2 m=2
+MMB voutn vinn ncom 0 nfet nfin=8 nf=2
++ m=2
+MTAIL ncom clk 0 0 nfet nfin=8 nf=2 m=4
+Xlatch voutp voutn ncom vdd! latch
+MRSP voutp clk vdd! vdd! pfet nfin=8 nf=2 m=1
+MRSN voutn clk vdd! vdd! pfet nfin=8 nf=2 m=1
+CCP voutp 0 5f
+CCN voutn 0 5f
+.ends
+.end

@@ -1,0 +1,13 @@
+* diff_amp
+* ports: vinp vinn voutp voutn vdd!
+* exercises: flat netlists, ports comment, engineering suffixes
+RRP vdd! voutp 10k
+RRN vdd! voutn 10k
+MMA voutp vinp ntail 0 nfet nfin=8
++ nf=2 m=2
+MMB voutn vinn ntail 0 nfet nfin=8 nf=2 m=2
+MM5 ntail nbias 0 0 nfet nfin=8 nf=2 m=4
+MM6 nbias nbias 0 0 nfet nfin=8 nf=2 m=1
+CCL voutp voutn 150f
+RRB vdd! nbias 100meg
+.end

@@ -1,0 +1,17 @@
+* ota
+* exercises: .subckt/X hierarchy, + continuation lines, unit suffixes
+
+.subckt dp inp inn outp outn tail
+MMA outp inp tail 0 nfet nfin=8 nf=2 m=2
+MMB outn inn tail 0 nfet nfin=8 nf=2 m=2
+.ends
+
+.subckt ota5 vinp vinn vout vbn vdd!
+Xdp vinp vinn nx vout ntail dp
+MM3 nx nx vdd! vdd! pfet nfin=8 nf=2 m=2
+MM4 vout nx vdd! vdd! pfet nfin=8 nf=2 m=2
+MM5 ntail vbn 0 0 nfet nfin=8 nf=2
++ m=4
+CCL vout 0 200f
+.ends
+.end

@@ -21,7 +21,17 @@ Commands:
   timings (device eval / stamp / factor / solve), Newton iteration and
   factorization counts, LU reuses, and adaptive-vs-fixed transient step
   counts,
+* ``ingest <file.sp>`` — parse a raw SPICE netlist, recognize analog
+  primitives (diff pairs, mirrors, cascodes, cross-coupled pairs, ...)
+  by subgraph matching, emit matching/symmetry constraints and report
+  coverage/ambiguities as ``TOPO-*`` lint findings; ``--format json``
+  prints a byte-deterministic machine-readable summary,
 * ``list`` — list the primitive library and the benchmark circuits.
+
+``flow`` also accepts ``--netlist <file.sp>`` instead of a circuit
+name: the netlist is ingested and every recognized primitive with a
+library binding is optimized by the flow (no measurement testbench, so
+metrics are skipped).
 
 ``optimize``, ``flow`` and ``profile`` accept ``--solver
 {auto,dense,sparse}`` to pin the MNA linear-solver backend (overrides
@@ -149,10 +159,32 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_flow(args: argparse.Namespace) -> int:
-    """Run the hierarchical flow on a benchmark circuit."""
+    """Run the hierarchical flow on a benchmark circuit or a netlist."""
     _apply_solver(args)
     tech = Technology.default()
-    circuit = _build_circuit(args.circuit, tech)
+    if (args.circuit is None) == (args.netlist is None):
+        raise SystemExit("flow needs a circuit name or --netlist, not both")
+    if args.netlist is not None:
+        from repro.ingest import IngestedCircuit
+        from repro.ingest.pipeline import ingest_file
+
+        ingested = ingest_file(args.netlist, tech=tech, validate=False)
+        circuit = IngestedCircuit(ingested, tech)
+        if not circuit.bindings():
+            raise SystemExit(
+                f"{args.netlist}: no recognized primitive has a library "
+                f"binding; nothing to optimize (run `repro ingest` for "
+                f"details)"
+            )
+        if circuit.skipped:
+            print(f"skipped (no library binding): "
+                  f"{', '.join(circuit.skipped)}")
+        target = args.netlist
+        measure = False
+    else:
+        circuit = _build_circuit(args.circuit, tech)
+        target = args.circuit
+        measure = args.circuit != "vco"  # the VCO needs a control sweep
     if args.resume and not args.run_dir:
         raise SystemExit("--resume requires --run-dir")
     flow = HierarchicalFlow(
@@ -165,9 +197,8 @@ def cmd_flow(args: argparse.Namespace) -> int:
         jobs=_jobs_from_args(args),
         cache=args.cache,
     )
-    measure = args.circuit != "vco"  # the VCO needs a control sweep
     result = flow.run(circuit, flavor=args.flavor, measure=measure)
-    print(f"{args.circuit} / {args.flavor}: "
+    print(f"{target} / {args.flavor}: "
           f"modeled runtime {result.modeled_runtime:.0f}s, "
           f"wall {result.wall_time:.1f}s")
     for key, value in result.metrics.items():
@@ -359,6 +390,65 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest a raw SPICE netlist: recognize primitives, emit constraints.
+
+    Parses the netlist (``.subckt`` hierarchy, continuation lines and
+    engineering suffixes included), canonicalizes it into a device
+    graph, recognizes analog primitives by deterministic subgraph
+    matching, emits matching/symmetry constraints, validates them
+    against the cell generator, and reports coverage gaps and
+    ambiguities as ``TOPO-*`` findings (plus schematic ERC).  Output is
+    byte-deterministic: repeated runs — with any ``--jobs`` value — emit
+    identical text.  Exits 1 when any unwaived violation at or above
+    ``--severity`` is found.
+    """
+    import json
+
+    from repro.ingest.pipeline import ingest_file
+    from repro.verify import load_waivers
+
+    tech = Technology.default()
+    waivers = load_waivers(args.waivers)
+    result = ingest_file(
+        args.netlist, tech=tech, waivers=waivers,
+        validate=args.validate,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        summary = result.to_dict()
+        print(f"ingest: {result.source}")
+        print(f"  circuit {summary['circuit']}: "
+              f"{summary['n_elements']} elements "
+              f"({summary['n_mos']} MOS), {summary['n_nets']} nets, "
+              f"ports: {' '.join(summary['ports']) or '-'}")
+        print(f"  recognized {len(result.primitives)} primitives, "
+              f"coverage {100.0 * result.coverage:.1f}%")
+        for prim in result.primitives:
+            devices = ", ".join(name for _, name in prim.match.devices)
+            line = f"    {prim.name}: {devices}"
+            if prim.binding is not None:
+                line += (f" -> {prim.binding.family}"
+                         f"(base_fins={prim.binding.base_fins}"
+                         + (f", ratio={prim.binding.ratio}"
+                            if prim.binding.ratio != 1 else "")
+                         + ")")
+            print(line)
+            if prim.spec is not None and prim.spec.symmetric_pairs:
+                pairs = ", ".join(
+                    f"({a}, {b})" for a, b in prim.spec.symmetric_pairs
+                )
+                print(f"      symmetric: {pairs}")
+        if result.recognition.uncovered:
+            print("  uncovered: "
+                  + ", ".join(result.recognition.uncovered))
+        print(f"  {result.report.summary()}")
+        if result.report.violations:
+            print(result.report.render_text(max_per_rule=args.max_per_rule))
+    return 1 if result.report.fails(args.severity) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -424,7 +514,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_runtime_args(p_opt)
 
     p_flow = sub.add_parser("flow", help="run the hierarchical flow")
-    p_flow.add_argument("circuit", choices=sorted(CIRCUITS))
+    p_flow.add_argument(
+        "circuit", nargs="?", default=None, choices=sorted(CIRCUITS),
+        help="benchmark circuit (omit when using --netlist)",
+    )
+    p_flow.add_argument(
+        "--netlist",
+        default=None,
+        metavar="FILE.SP",
+        help="ingest a raw SPICE netlist and run the flow on its "
+        "recognized primitives (measurement is skipped)",
+    )
     p_flow.add_argument(
         "--flavor",
         default="this_work",
@@ -505,6 +605,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("--max-per-rule", type=int, default=5)
 
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="parse a raw SPICE netlist, recognize primitives and emit "
+        "lint constraints",
+    )
+    p_ingest.add_argument("netlist", help="path to a .sp netlist file")
+    p_ingest.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format (json is byte-deterministic)",
+    )
+    p_ingest.add_argument(
+        "--validate",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="generate each emitted constraint spec and run the CONST "
+        "checks against it",
+    )
+    p_ingest.add_argument(
+        "--severity",
+        default="error",
+        choices=["error", "warning"],
+        help="exit nonzero on unwaived violations at or above this "
+        "severity (default: error)",
+    )
+    p_ingest.add_argument(
+        "--waivers",
+        default=None,
+        metavar="PATH",
+        help="waiver baseline file (default: .reprolint.toml when present)",
+    )
+    p_ingest.add_argument("--max-per-rule", type=int, default=5)
+    p_ingest.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="accepted for interface symmetry with optimize/flow; "
+        "ingestion is a deterministic single pass, so the output is "
+        "identical for any value",
+    )
+
     p_prof = sub.add_parser(
         "profile",
         help="run single-process and print the solver-kernel profile",
@@ -537,6 +680,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "render": cmd_render,
         "verify": cmd_verify,
+        "ingest": cmd_ingest,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,39 @@
+"""Raw-SPICE ingestion: parse → device graph → recognize → emit constraints.
+
+This package is the static front door of the flow (ROADMAP item 3): it
+takes an arbitrary ``.sp`` file in the :mod:`repro.io.spice_writer`
+dialect (plus ``.subckt``/``X`` hierarchy, ``+`` continuation lines and
+engineering suffixes), canonicalizes it into a typed bipartite device
+graph, recognizes analog primitives (differential pairs, current
+mirrors, cascodes, cross-coupled pairs, tail sources, inverters) via
+deterministic subgraph matching, and emits the same matching/symmetry
+constraint objects (:class:`~repro.cellgen.generator.CellSpec`) that
+:mod:`repro.verify.constraints` checks and the optimizer consumes.
+
+Coverage gaps and ambiguities surface as ``TOPO-*`` diagnostics through
+the shared rule registry, so ingest results participate in the waiver
+baseline like every other static pass.  The whole pipeline is pure and
+byte-deterministic: the same netlist text always yields the same JSON.
+"""
+
+from repro.ingest.emit import EmittedPrimitive, LibraryBinding
+from repro.ingest.graph import DeviceGraph, DeviceNode, build_device_graph
+from repro.ingest.parser import parse_spice, parse_spice_file, parse_spice_value
+from repro.ingest.pipeline import IngestResult, IngestedCircuit, ingest_netlist
+from repro.ingest.recognize import TopologyMatch, recognize
+
+__all__ = [
+    "DeviceGraph",
+    "DeviceNode",
+    "EmittedPrimitive",
+    "IngestResult",
+    "IngestedCircuit",
+    "LibraryBinding",
+    "TopologyMatch",
+    "build_device_graph",
+    "ingest_netlist",
+    "parse_spice",
+    "parse_spice_file",
+    "parse_spice_value",
+    "recognize",
+]

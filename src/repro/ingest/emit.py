@@ -1,0 +1,309 @@
+"""Constraint emission: topology matches → `CellSpec` + library bindings.
+
+Each :class:`~repro.ingest.recognize.TopologyMatch` becomes an
+:class:`EmittedPrimitive` carrying
+
+* a :class:`~repro.cellgen.generator.CellSpec` built from the *parsed*
+  device sizings — the same matching/symmetry constraint object that
+  :func:`repro.verify.constraints.run_constraints` checks and the cell
+  generator consumes, and
+* optionally a :class:`LibraryBinding` naming the
+  :mod:`repro.primitives.library` family the match corresponds to, with
+  the port map translated to the netlist's real nets — the hook that
+  lets ``repro flow --netlist`` optimize a recognized structure exactly
+  like a hand-annotated one.
+
+Size consistency is enforced here: all devices of a matched group must
+share one unit sizing (nfin, nf); the multiplier ``m`` may differ only
+for ratioed patterns (mirrors).  Violations emit ``TOPO-ASYM-SIZE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cellgen.generator import CellDevice, CellSpec
+from repro.devices.mosfet import MosGeometry
+from repro.ingest.graph import DeviceGraph, is_supply
+from repro.ingest.recognize import TopologyMatch
+from repro.spice.elements import Mosfet
+from repro.verify.diagnostics import Report
+
+
+@dataclass(frozen=True)
+class LibraryBinding:
+    """Mapping of a recognized structure onto a primitive-library family.
+
+    Attributes:
+        family: Library family name (``"differential_pair"``, ...).
+        base_fins: Total fins of the unit device (``nfin * nf * m``).
+        ratio: Mirror output ratio (1 when not applicable).
+        port_map: Library port net → actual netlist net.
+    """
+
+    family: str
+    base_fins: int
+    ratio: int
+    port_map: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class EmittedPrimitive:
+    """One recognized primitive with its emitted constraints.
+
+    Attributes:
+        name: Deterministic instance name (``"u0_differential_pair"``).
+        match: The underlying topology match.
+        spec: Constraint object for the cell generator / CONST checks;
+            ``None`` when the match has no matched group (inverters).
+        binding: Library mapping, or ``None`` when no generator family
+            realizes this structure (reported as ``TOPO-NO-GENERATOR``).
+    """
+
+    name: str
+    match: TopologyMatch
+    spec: CellSpec | None
+    binding: LibraryBinding | None
+
+
+#: (pattern kind, polarity) → library family.
+_FAMILIES: dict[tuple[str, str], str] = {
+    ("differential_pair", "n"): "differential_pair",
+    ("differential_pair", "p"): "pmos_differential_pair",
+    ("cross_coupled_pair", "n"): "cross_coupled_pair",
+    ("cross_coupled_pair", "p"): "pmos_cross_coupled_pair",
+    ("current_mirror", "n"): "current_mirror",
+    ("current_mirror", "p"): "pmos_current_mirror",
+    ("cascode_current_mirror", "n"): "cascode_current_mirror",
+    ("cascode_stack", "n"): "cascode_current_source",
+    ("current_source", "n"): "current_source",
+    ("current_source", "p"): "pmos_current_source",
+    ("diode_device", "n"): "diode_load",
+}
+
+#: Library port net → pattern net variable, per (kind, polarity).
+_PORT_VARS: dict[tuple[str, str], dict[str, str]] = {
+    ("differential_pair", "n"): {
+        "outp": "outp", "outn": "outn", "inp": "inp", "inn": "inn",
+        "tail": "tail",
+    },
+    ("differential_pair", "p"): {
+        "outp": "outp", "outn": "outn", "inp": "inp", "inn": "inn",
+        "tail": "tail", "vdd!": "@bulk",
+    },
+    ("cross_coupled_pair", "n"): {
+        "outp": "outp", "outn": "outn", "tail": "tail",
+    },
+    ("cross_coupled_pair", "p"): {
+        "outp": "outp", "outn": "outn", "vdd!": "tail",
+    },
+    ("current_mirror", "n"): {"in": "in", "out": "out"},
+    ("current_mirror", "p"): {"in": "in", "out": "out", "vdd!": "rail"},
+    ("cascode_current_mirror", "n"): {"in": "in", "out": "out"},
+    ("cascode_stack", "n"): {"out": "out", "vb": "vb", "vc": "vc"},
+    ("current_source", "n"): {"out": "out", "vb": "vb"},
+    ("current_source", "p"): {"out": "out", "vb": "vb", "vdd!": "rail"},
+    ("diode_device", "n"): {"out": "out"},
+}
+
+
+def _unit_geometry(devices: list[Mosfet]) -> tuple[int, int] | None:
+    """Shared unit sizing (nfin, nf) of a group, or ``None`` if mixed."""
+    units = {(d.geometry.nfin, d.geometry.nf) for d in devices}
+    return units.pop() if len(units) == 1 else None
+
+
+def _mirror_ratio(match: TopologyMatch, mosfets: dict[str, Mosfet]) -> int:
+    """Output/reference multiplier ratio; 0 when not an integer ratio."""
+    ref = mosfets[match.device_of("MREF")]
+    outs = [mosfets[name] for role, name in match.devices
+            if role.startswith("MOUT")]
+    ratios = {out.geometry.m / ref.geometry.m for out in outs}
+    if len(ratios) != 1:
+        return 0
+    ratio = ratios.pop()
+    return int(ratio) if ratio >= 1 and ratio == int(ratio) else 0
+
+
+def emit_constraints(
+    match: TopologyMatch,
+    index: int,
+    graph: DeviceGraph,
+    report: Report,
+) -> EmittedPrimitive:
+    """Convert one match into constraints, flagging size inconsistencies.
+
+    Args:
+        match: The accepted topology match.
+        index: Canonical match index (names the emitted primitive).
+        graph: The device graph (for Mosfet lookup and port analysis).
+        report: Diagnostics sink for ``TOPO-ASYM-SIZE`` /
+            ``TOPO-NO-GENERATOR`` findings.
+    """
+    name = match.label(index)
+    mosfets: dict[str, Mosfet] = {}
+    for _, dev_name in match.devices:
+        element = graph.device(dev_name).element
+        assert isinstance(element, Mosfet)
+        mosfets[dev_name] = element
+
+    matched_names = tuple(
+        match.device_of(role) for role in match.matched_roles
+    )
+    group = [mosfets[n] for n in matched_names]
+    unit = _unit_geometry(group) if group else None
+    if group and unit is None:
+        report.flag(
+            "TOPO-ASYM-SIZE",
+            f"{match.kind} devices {', '.join(matched_names)} have "
+            f"mixed unit sizings "
+            f"{sorted((m.geometry.nfin, m.geometry.nf) for m in group)}",
+            subject=name,
+        )
+    if group and not match.ratioed and len(
+        {m.geometry.m for m in group}
+    ) > 1:
+        report.flag(
+            "TOPO-ASYM-SIZE",
+            f"{match.kind} devices {', '.join(matched_names)} have "
+            f"mixed multipliers "
+            f"{sorted(m.geometry.m for m in group)} but the pattern "
+            f"is not ratioed",
+            subject=name,
+        )
+        unit = None
+
+    spec = _build_spec(name, match, mosfets, graph) if group else None
+    binding = None
+    if unit is not None:
+        binding = _build_binding(match, mosfets, report, name)
+    elif group:
+        pass  # size errors already flagged; no binding is emitted
+    else:
+        report.flag(
+            "TOPO-NO-GENERATOR",
+            f"{match.kind} {name} has no matched group; recognized for "
+            f"coverage only",
+            subject=name,
+        )
+    return EmittedPrimitive(name=name, match=match, spec=spec,
+                            binding=binding)
+
+
+def _build_spec(
+    name: str,
+    match: TopologyMatch,
+    mosfets: dict[str, Mosfet],
+    graph: DeviceGraph,
+) -> CellSpec:
+    """The CellSpec for one match, from parsed geometry and real nets."""
+    members = frozenset(mosfets)
+    devices = []
+    for _, dev_name in match.devices:
+        mos = mosfets[dev_name]
+        terminals = {"d": mos.d, "g": mos.g, "s": mos.s, "b": mos.b}
+        devices.append(CellDevice(
+            name=dev_name,
+            polarity="n" if mos.card.polarity > 0 else "p",
+            geometry=MosGeometry(
+                mos.geometry.nfin, mos.geometry.nf, mos.geometry.m,
+            ),
+            terminals=terminals,
+        ))
+    port_nets = _external_nets(match, graph, members)
+    sym_pairs = tuple(
+        (a, b) for a, b in match.symmetric_nets if a != b
+    )
+    matched_names = tuple(
+        match.device_of(role) for role in match.matched_roles
+    )
+    return CellSpec(
+        name=name,
+        devices=tuple(devices),
+        matched_group=matched_names,
+        port_nets=tuple(port_nets),
+        symmetric_pairs=sym_pairs,
+    )
+
+
+def _external_nets(
+    match: TopologyMatch,
+    graph: DeviceGraph,
+    members: frozenset[str],
+) -> list[str]:
+    """Nets of a match visible outside it (ports of the sub-block).
+
+    Every net the pattern binds is a pin except ground and the
+    pattern's declared-internal nodes (a cascode's mid net).  Graph
+    attachment counts are deliberately not consulted: a differential
+    pair's drain is a port even when nothing else connects to it yet.
+    """
+    internal = set(match.internal_nets) - set(graph.ports)
+    external = []
+    for _, net in match.nets:
+        if net == "0" or net in internal or net in external:
+            continue
+        external.append(net)
+    return external
+
+
+def _build_binding(
+    match: TopologyMatch,
+    mosfets: dict[str, Mosfet],
+    report: Report,
+    name: str,
+) -> LibraryBinding | None:
+    """Map a size-consistent match onto a library family, if any."""
+    key = (match.kind, match.polarity)
+    family = _FAMILIES.get(key)
+    port_vars = _PORT_VARS.get(key)
+    if key == ("cross_coupled_pair", "p") and not is_supply(
+        match.net("tail")
+    ):
+        # The library PMOS pair hard-wires its sources to the supply; a
+        # p-type pair with a floating tail has no generator family.
+        family = None
+    if family is None or port_vars is None:
+        report.flag(
+            "TOPO-NO-GENERATOR",
+            f"no library generator for {match.kind} "
+            f"(polarity {match.polarity}); constraints emitted, flow "
+            f"will not optimize it",
+            subject=name,
+        )
+        return None
+    if match.kind in ("current_mirror", "cascode_current_mirror") and len(
+        [r for r, _ in match.devices if r.startswith("MOUT")]
+    ) > 1:
+        report.flag(
+            "TOPO-NO-GENERATOR",
+            f"multi-output mirror {name} exceeds the two-branch library "
+            f"family; constraints emitted, flow will not optimize it",
+            subject=name,
+        )
+        return None
+    ratio = 1
+    if match.ratioed:
+        ratio = _mirror_ratio(match, mosfets)
+        if ratio == 0:
+            report.flag(
+                "TOPO-ASYM-SIZE",
+                f"mirror {name} output/reference multiplier ratio is "
+                f"not a positive integer",
+                subject=name,
+            )
+            return None
+    ref_name = match.device_of(match.matched_roles[0])
+    base = mosfets[ref_name].geometry
+    base_fins = base.nfin * base.nf * base.m
+    port_map = []
+    bulk = next(iter(mosfets.values())).b
+    for lib_port, var in port_vars.items():
+        actual = bulk if var == "@bulk" else match.net(var)
+        port_map.append((lib_port, actual))
+    return LibraryBinding(
+        family=family,
+        base_fins=base_fins,
+        ratio=ratio,
+        port_map=tuple(port_map),
+    )

@@ -1,0 +1,221 @@
+"""Typed bipartite device graph with deterministic canonical ordering.
+
+The recognizer does not walk :class:`~repro.spice.netlist.Circuit`
+directly; it works on a :class:`DeviceGraph` — devices on one side,
+nets on the other, edges labeled by terminal (``d``/``g``/``s``/``b``
+for MOS, ``a``/``b``/``plus``/``minus``/... for the rest).  Ground
+spellings are folded to ``"0"`` so patterns need only one rail test.
+
+Canonicalization uses Weisfeiler–Leman color refinement: nodes start
+from a structural color (device kind + sizing class, or net rail kind +
+terminal-degree profile) and iteratively absorb the sorted multiset of
+``(edge label, neighbor color)`` pairs.  The final ordering sorts by
+``(color history, name)``, which makes every downstream pass — match
+enumeration, tie-breaking, JSON output — independent of the order in
+which elements were added to the circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit, is_ground
+
+
+def is_supply(net: str) -> bool:
+    """True for supply-rail spellings (the repo convention: ``...!``)."""
+    return net.endswith("!") and not is_ground(net)
+
+
+def canonical_net(net: str) -> str:
+    """Fold every ground spelling to ``"0"``; other nets pass through."""
+    return "0" if is_ground(net) else net
+
+
+def _terminals(elem: Element) -> tuple[tuple[str, str], ...]:
+    """Terminal-labeled connections of one element (label, net)."""
+    if isinstance(elem, Mosfet):
+        return (("d", elem.d), ("g", elem.g), ("s", elem.s), ("b", elem.b))
+    if isinstance(elem, (Resistor, Capacitor, Inductor, CurrentSource)):
+        return (("a", elem.a), ("b", elem.b))
+    if isinstance(elem, VoltageSource):
+        return (("plus", elem.plus), ("minus", elem.minus))
+    if isinstance(elem, Vcvs):
+        return (
+            ("plus", elem.plus), ("minus", elem.minus),
+            ("cp", elem.ctrl_plus), ("cm", elem.ctrl_minus),
+        )
+    return (
+        ("a", elem.a), ("b", elem.b),
+        ("cp", elem.ctrl_plus), ("cm", elem.ctrl_minus),
+    )
+
+
+_KINDS: tuple[tuple[type, str], ...] = (
+    (Mosfet, "mos"),
+    (Resistor, "res"),
+    (Capacitor, "cap"),
+    (Inductor, "ind"),
+    (VoltageSource, "vsrc"),
+    (CurrentSource, "isrc"),
+    (Vcvs, "vcvs"),
+    (Vccs, "vccs"),
+)
+
+
+@dataclass(frozen=True)
+class DeviceNode:
+    """One device in the graph.
+
+    Attributes:
+        name: Element name in the flattened circuit.
+        kind: ``"nmos"``/``"pmos"`` for MOS, else the element class tag.
+        terminals: ``(terminal, canonical net)`` pairs in fixed order.
+        sizing: Structural sizing class — ``(nfin, nf, m)`` for MOS,
+            ``()`` otherwise — used as part of the initial WL color so
+            identically sized devices are indistinguishable a priori.
+        element: The underlying circuit element.
+    """
+
+    name: str
+    kind: str
+    terminals: tuple[tuple[str, str], ...]
+    sizing: tuple[int, ...]
+    element: Element
+
+    def net(self, terminal: str) -> str:
+        """The canonical net on ``terminal``."""
+        for label, net in self.terminals:
+            if label == terminal:
+                return net
+        raise KeyError(f"device {self.name!r} has no terminal {terminal!r}")
+
+
+class DeviceGraph:
+    """The canonicalized bipartite device/net graph of one circuit.
+
+    Attributes:
+        devices: All devices in canonical order.
+        nets: All nets in canonical order.
+        ports: Declared circuit ports (canonical spelling).
+    """
+
+    def __init__(self, circuit: Circuit):
+        nodes = []
+        for elem in circuit.elements:
+            if isinstance(elem, Mosfet):
+                kind = "nmos" if elem.card.polarity > 0 else "pmos"
+                sizing: tuple[int, ...] = (
+                    elem.geometry.nfin, elem.geometry.nf, elem.geometry.m,
+                )
+            else:
+                kind = next(tag for cls, tag in _KINDS if isinstance(elem, cls))
+                sizing = ()
+            terms = tuple(
+                (label, canonical_net(net)) for label, net in _terminals(elem)
+            )
+            nodes.append(DeviceNode(elem.name, kind, terms, sizing, elem))
+        self._by_name = {n.name: n for n in nodes}
+        self.ports = tuple(canonical_net(p) for p in circuit.ports)
+        self._on_net: dict[str, list[tuple[str, str]]] = {}
+        for node in nodes:
+            for label, net in node.terminals:
+                self._on_net.setdefault(net, []).append((node.name, label))
+        order = _canonical_order(nodes, self._on_net, self.ports)
+        self.devices: tuple[DeviceNode, ...] = tuple(
+            self._by_name[name] for name in order
+        )
+        self._rank = {n.name: i for i, n in enumerate(self.devices)}
+        self.nets: tuple[str, ...] = tuple(
+            sorted(
+                self._on_net,
+                key=lambda net: min(
+                    (self._rank[d], t) for d, t in self._on_net[net]
+                ),
+            )
+        )
+
+    def device(self, name: str) -> DeviceNode:
+        """Look up a device by element name."""
+        return self._by_name[name]
+
+    def rank(self, name: str) -> int:
+        """Canonical index of a device (stable across input orderings)."""
+        return self._rank[name]
+
+    def on_net(self, net: str) -> tuple[tuple[str, str], ...]:
+        """All ``(device, terminal)`` attachments of ``net``."""
+        return tuple(sorted(self._on_net.get(net, ())))
+
+    def mos_devices(self) -> tuple[DeviceNode, ...]:
+        """MOS devices only, canonical order."""
+        return tuple(d for d in self.devices if d.kind in ("nmos", "pmos"))
+
+    def is_internal(self, net: str, members: frozenset[str]) -> bool:
+        """True if every attachment of ``net`` is a device in ``members``."""
+        attachments = self._on_net.get(net, [])
+        return bool(attachments) and all(
+            dev in members for dev, _ in attachments
+        )
+
+
+def _canonical_order(
+    nodes: list[DeviceNode],
+    on_net: dict[str, list[tuple[str, str]]],
+    ports: tuple[str, ...],
+) -> list[str]:
+    """WL refinement → total device order, independent of input order."""
+    by_name = {n.name: n for n in nodes}
+    # Initial colors: structure only, never input order or names.
+    dev_color: dict[str, tuple] = {
+        n.name: (n.kind, n.sizing) for n in nodes
+    }
+    net_color: dict[str, tuple] = {}
+    for net, attachments in on_net.items():
+        profile = tuple(sorted(
+            (by_name[dev].kind, label) for dev, label in attachments
+        ))
+        net_color[net] = (
+            is_ground(net), is_supply(net), net in ports, profile,
+        )
+    history: dict[str, tuple] = {name: (dev_color[name],) for name in dev_color}
+    for _ in range(max(len(nodes), 1)):
+        new_net: dict[str, tuple] = {}
+        for net, attachments in on_net.items():
+            signature = tuple(sorted(
+                (label, dev_color[dev]) for dev, label in attachments
+            ))
+            new_net[net] = (net_color[net], signature)
+        new_dev: dict[str, tuple] = {}
+        for node in nodes:
+            signature = tuple(
+                (label, new_net[net]) for label, net in node.terminals
+            )
+            new_dev[node.name] = (dev_color[node.name], signature)
+        # Compress to ranks so tuples stay small across iterations.
+        dev_rank = {c: i for i, c in enumerate(sorted(set(new_dev.values())))}
+        net_rank = {c: i for i, c in enumerate(sorted(set(new_net.values())))}
+        stabilized = len(dev_rank) == len(set(dev_color.values()))
+        dev_color = {name: (dev_rank[c],) for name, c in new_dev.items()}
+        net_color = {net: (net_rank[c],) for net, c in new_net.items()}
+        for name in history:
+            history[name] = history[name] + dev_color[name]
+        if stabilized:
+            break
+    return sorted(dev_color, key=lambda name: (history[name], name))
+
+
+def build_device_graph(circuit: Circuit) -> DeviceGraph:
+    """Canonicalize ``circuit`` into a :class:`DeviceGraph`."""
+    return DeviceGraph(circuit)

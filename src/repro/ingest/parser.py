@@ -1,0 +1,507 @@
+"""SPICE netlist parser: the exact inverse of :mod:`repro.io.spice_writer`.
+
+Accepts the writer's dialect — R/C/L/V/I/E/G/M cards, PULSE/SIN/PWL/DC
+waveforms, ``AC mag phase`` suffixes, ``nfin/nf/m`` FinFET sizing
+parameters and ``dvth``/``kmu`` LDE annotations — plus the standard
+structural extensions a hand-written netlist needs:
+
+* ``.subckt NAME port...`` / ``.ends`` definitions and ``X`` instance
+  cards, flattened through :meth:`~repro.spice.netlist.Circuit.instantiate`
+  (internal nets become ``instance.node``, matching the repo convention),
+* ``+`` continuation lines,
+* engineering suffixes (``f p n u m k meg g t``, case-insensitive, with
+  trailing unit letters tolerated: ``200f``, ``10k``, ``1.2meg``),
+* ``*`` full-line and ``;`` inline comments, and the writer's
+  ``* ports:`` / trailing ``* dvth=... kmu=...`` annotation comments,
+  which round-trip back into :attr:`Circuit.ports` and
+  :class:`~repro.devices.lde.LdeContext`.
+
+Every syntax error raises :class:`~repro.errors.NetlistError` with a
+``source:line:`` location so the message is actionable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devices.lde import LdeContext
+from repro.devices.mosfet import MosGeometry
+from repro.errors import NetlistError
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Dc, Pulse, Pwl, Sin, Waveform
+from repro.tech.pdk import Technology
+
+#: Engineering suffix multipliers (``meg`` is checked before ``m``).
+SUFFIXES: dict[str, float] = {
+    "t": 1e12,
+    "g": 1e9,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(
+    r"([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)([a-zA-Z]*)\Z"
+)
+_WAVEFORM_RE = re.compile(r"\A(PULSE|SIN|PWL)\s*\((.*)\)\Z", re.IGNORECASE)
+_LDE_RE = re.compile(
+    r"\*\s*dvth=(?P<dvth>\S+)\s+kmu=(?P<kmu>\S+)\s*\Z"
+)
+
+
+def parse_spice_value(token: str, where: str = "") -> float:
+    """Parse a SPICE number with optional engineering suffix.
+
+    ``1e-15``, ``200f``, ``10k``, ``1.2meg`` and ``2.5pF`` (trailing
+    unit letters after the suffix are ignored) all parse; anything else
+    raises :class:`NetlistError`.
+    """
+    match = _NUMBER_RE.match(token.strip())
+    if match is None:
+        raise NetlistError(f"{where}invalid numeric value {token!r}")
+    mantissa = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return mantissa
+    if suffix.startswith("meg"):
+        return mantissa * 1e6
+    if suffix[0] in SUFFIXES:
+        return mantissa * SUFFIXES[suffix[0]]
+    raise NetlistError(
+        f"{where}unknown engineering suffix {match.group(2)!r} "
+        f"in value {token!r}"
+    )
+
+
+@dataclass(frozen=True)
+class _Card:
+    """One logical netlist line after continuation joining.
+
+    Attributes:
+        lineno: 1-based number of the first physical line.
+        text: Joined card text with inline comments split off.
+        comment: Inline ``*`` annotation tail (used for LDE recovery).
+    """
+
+    lineno: int
+    text: str
+    comment: str
+
+
+@dataclass
+class _Subckt:
+    """A ``.subckt`` definition collected during the first pass."""
+
+    name: str
+    ports: list[str]
+    cards: list[_Card]
+    lineno: int
+
+
+class _Parser:
+    """Stateful single-file parser; one instance per :func:`parse_spice`."""
+
+    def __init__(self, text: str, source: str, tech: Technology):
+        self.source = source
+        self.tech = tech
+        self.cards = _logical_lines(text, source)
+        self.subckts: dict[str, _Subckt] = {}
+        self.top_cards: list[_Card] = []
+        self.title: str | None = None
+        self.top_ports: list[str] = []
+
+    def where(self, card: _Card) -> str:
+        """Location prefix for error messages."""
+        return f"{self.source}:{card.lineno}: "
+
+    # -- pass 1: structure ------------------------------------------------
+
+    def split_structure(self) -> None:
+        """Partition cards into subckt bodies and top-level cards."""
+        current: _Subckt | None = None
+        for card in self.cards:
+            tokens = card.text.split()
+            head = tokens[0].lower()
+            if head == ".subckt":
+                if current is not None:
+                    raise NetlistError(
+                        f"{self.where(card)}nested .subckt is not supported"
+                    )
+                if len(tokens) < 2:
+                    raise NetlistError(
+                        f"{self.where(card)}.subckt needs a name"
+                    )
+                name = tokens[1]
+                if name in self.subckts:
+                    raise NetlistError(
+                        f"{self.where(card)}duplicate .subckt {name!r}"
+                    )
+                current = _Subckt(name, tokens[2:], [], card.lineno)
+            elif head == ".ends":
+                if current is None:
+                    raise NetlistError(
+                        f"{self.where(card)}.ends without .subckt"
+                    )
+                self.subckts[current.name] = current
+                current = None
+            elif head == ".end":
+                break
+            elif head in (".global", ".option", ".options"):
+                continue  # accepted and ignored
+            elif head.startswith("."):
+                raise NetlistError(
+                    f"{self.where(card)}unsupported control card {tokens[0]!r}"
+                )
+            elif current is not None:
+                current.cards.append(card)
+            else:
+                self.top_cards.append(card)
+        if current is not None:
+            raise NetlistError(
+                f"{self.source}:{current.lineno}: .subckt {current.name!r} "
+                f"is never closed with .ends"
+            )
+
+    # -- pass 2: elaboration ----------------------------------------------
+
+    def elaborate(self) -> Circuit:
+        """Build the flattened top-level circuit."""
+        self.split_structure()
+        if self.top_cards:
+            top = self._build("top", self.top_ports, self.top_cards, set())
+            top.name = self.title or Path(self.source).stem or "top"
+            return top
+        if self.subckts:
+            # No top-level elements: elaborate the last-defined subckt
+            # as the design (the common convention for cell netlists).
+            main = list(self.subckts.values())[-1]
+            top = self._build(main.name, main.ports, main.cards, {main.name})
+            return top
+        raise NetlistError(f"{self.source}: netlist contains no elements")
+
+    def _build(
+        self,
+        name: str,
+        ports: list[str],
+        cards: list[_Card],
+        active: set[str],
+    ) -> Circuit:
+        """Build one (sub)circuit, recursively flattening X instances."""
+        circuit = Circuit(name)
+        circuit.ports = list(ports)
+        for card in cards:
+            kind = card.text[0].upper()
+            if kind == "X":
+                self._instance(circuit, card, active)
+            else:
+                self._element(circuit, card)
+        return circuit
+
+    def _instance(self, circuit: Circuit, card: _Card, active: set[str]) -> None:
+        """Flatten one ``X`` card via :meth:`Circuit.instantiate`."""
+        tokens = card.text.split()
+        inst = tokens[0][1:]
+        if not inst:
+            raise NetlistError(f"{self.where(card)}X card needs a name")
+        if len(tokens) < 2:
+            raise NetlistError(
+                f"{self.where(card)}X{inst}: missing subcircuit name"
+            )
+        sub_name = tokens[-1]
+        nets = tokens[1:-1]
+        sub = self.subckts.get(sub_name)
+        if sub is None:
+            raise NetlistError(
+                f"{self.where(card)}X{inst}: unknown subcircuit "
+                f"{sub_name!r} (defined: {sorted(self.subckts) or 'none'})"
+            )
+        if sub_name in active:
+            raise NetlistError(
+                f"{self.where(card)}X{inst}: recursive instantiation "
+                f"of {sub_name!r}"
+            )
+        if len(nets) != len(sub.ports):
+            raise NetlistError(
+                f"{self.where(card)}X{inst}: {sub_name!r} has "
+                f"{len(sub.ports)} ports ({' '.join(sub.ports)}) but "
+                f"{len(nets)} nets were given"
+            )
+        child = self._build(sub_name, sub.ports, sub.cards, active | {sub_name})
+        circuit.instantiate(child, inst, dict(zip(sub.ports, nets)))
+
+    def _element(self, circuit: Circuit, card: _Card) -> None:
+        """Parse one element card into ``circuit``."""
+        tokens = card.text.split()
+        kind = tokens[0][0].upper()
+        name = tokens[0][1:]
+        where = self.where(card)
+        if not name:
+            raise NetlistError(f"{where}element card needs a name")
+        handler = {
+            "R": self._two_terminal,
+            "C": self._two_terminal,
+            "L": self._two_terminal,
+            "V": self._source,
+            "I": self._source,
+            "E": self._controlled,
+            "G": self._controlled,
+            "M": self._mosfet,
+        }.get(kind)
+        if handler is None:
+            raise NetlistError(
+                f"{where}unsupported element card {tokens[0]!r} "
+                f"(expected R/C/L/V/I/E/G/M/X)"
+            )
+        handler(circuit, card, kind, name, tokens)
+
+    def _two_terminal(
+        self, circuit: Circuit, card: _Card, kind: str, name: str,
+        tokens: list[str],
+    ) -> None:
+        """R / C / L cards: ``Rname a b value``."""
+        where = self.where(card)
+        if len(tokens) != 4:
+            raise NetlistError(
+                f"{where}{kind}{name}: expected 'a b value', "
+                f"got {len(tokens) - 1} fields"
+            )
+        value = parse_spice_value(tokens[3], where)
+        adder = {
+            "R": circuit.add_resistor,
+            "C": circuit.add_capacitor,
+            "L": circuit.add_inductor,
+        }[kind]
+        adder(name, tokens[1], tokens[2], value)
+
+    def _source(
+        self, circuit: Circuit, card: _Card, kind: str, name: str,
+        tokens: list[str],
+    ) -> None:
+        """V / I cards: nodes, waveform, optional ``AC mag [phase]``."""
+        where = self.where(card)
+        if len(tokens) < 3:
+            raise NetlistError(f"{where}{kind}{name}: missing nodes")
+        tail = " ".join(tokens[3:])
+        waveform, ac_mag, ac_phase = _parse_source_tail(tail, where)
+        adder = circuit.add_vsource if kind == "V" else circuit.add_isource
+        adder(name, tokens[1], tokens[2], waveform, ac_mag, ac_phase)
+
+    def _controlled(
+        self, circuit: Circuit, card: _Card, kind: str, name: str,
+        tokens: list[str],
+    ) -> None:
+        """E (VCVS) / G (VCCS) cards: four nodes plus a gain."""
+        where = self.where(card)
+        if len(tokens) != 6:
+            raise NetlistError(
+                f"{where}{kind}{name}: expected 'n+ n- nc+ nc- gain'"
+            )
+        gain = parse_spice_value(tokens[5], where)
+        if kind == "E":
+            circuit.add_vcvs(name, tokens[1], tokens[2], tokens[3],
+                             tokens[4], gain)
+        else:
+            # The writer emits G cards as "b a cp cm": current flows
+            # a -> b for positive gain, so undo the swap here.
+            circuit.add_vccs(name, tokens[2], tokens[1], tokens[3],
+                             tokens[4], gain)
+
+    def _mosfet(
+        self, circuit: Circuit, card: _Card, kind: str, name: str,
+        tokens: list[str],
+    ) -> None:
+        """M cards: ``Mname d g s b model nfin=N nf=N m=N``."""
+        where = self.where(card)
+        if len(tokens) < 6:
+            raise NetlistError(
+                f"{where}M{name}: expected 'd g s b model nfin= nf= m='"
+            )
+        d, g, s, b, model = tokens[1:6]
+        model_card = self.tech.card(_polarity(model, where))
+        params = {"nfin": 0, "nf": 1, "m": 1}
+        for token in tokens[6:]:
+            if "=" not in token:
+                raise NetlistError(
+                    f"{where}M{name}: unexpected token {token!r} "
+                    f"(expected key=value)"
+                )
+            key, _, value = token.partition("=")
+            key = key.lower()
+            if key not in params:
+                raise NetlistError(
+                    f"{where}M{name}: unknown parameter {key!r} "
+                    f"(expected nfin/nf/m)"
+                )
+            params[key] = int(parse_spice_value(value, where))
+        if params["nfin"] < 1:
+            raise NetlistError(
+                f"{where}M{name}: missing or non-positive nfin parameter"
+            )
+        lde = _parse_lde(card.comment, where)
+        circuit.add_mosfet(
+            name, d, g, s, b, model_card,
+            MosGeometry(params["nfin"], params["nf"], params["m"]),
+            lde=lde,
+        )
+
+
+def _polarity(model: str, where: str) -> str:
+    """Map a model name to ``"n"``/``"p"`` for :meth:`Technology.card`."""
+    key = model.lower()
+    if key in ("nfet", "nmos", "n"):
+        return "n"
+    if key in ("pfet", "pmos", "p"):
+        return "p"
+    raise NetlistError(
+        f"{where}unknown MOS model {model!r} (expected nfet/pfet)"
+    )
+
+
+def _parse_lde(comment: str, where: str) -> LdeContext:
+    """Recover an LDE context from the writer's trailing annotation."""
+    if not comment:
+        return LdeContext()
+    match = _LDE_RE.match(comment)
+    if match is None:
+        return LdeContext()
+    return LdeContext(
+        vth_shift=parse_spice_value(match.group("dvth"), where),
+        mobility_factor=parse_spice_value(match.group("kmu"), where),
+    )
+
+
+def _parse_source_tail(
+    tail: str, where: str
+) -> tuple[Waveform, float, float]:
+    """Parse a source card's waveform + optional AC specification."""
+    ac_mag = 0.0
+    ac_phase = 0.0
+    match = re.search(r"\bAC\s+(\S+)(?:\s+(\S+))?\s*\Z", tail, re.IGNORECASE)
+    if match is not None:
+        ac_mag = parse_spice_value(match.group(1), where)
+        if match.group(2) is not None:
+            ac_phase = parse_spice_value(match.group(2), where)
+        tail = tail[: match.start()].strip()
+    if not tail:
+        return Dc(0.0), ac_mag, ac_phase
+    wave = _WAVEFORM_RE.match(tail.strip())
+    if wave is None:
+        tokens = tail.split()
+        if tokens[0].lower() == "dc":
+            tokens = tokens[1:]
+        if len(tokens) != 1:
+            raise NetlistError(
+                f"{where}cannot parse source value {tail!r}"
+            )
+        return Dc(parse_spice_value(tokens[0], where)), ac_mag, ac_phase
+    shape = wave.group(1).upper()
+    args = [parse_spice_value(t, where) for t in wave.group(2).split()]
+    if shape == "PULSE":
+        if not 2 <= len(args) <= 7:
+            raise NetlistError(f"{where}PULSE takes 2-7 arguments")
+        return Pulse(*args), ac_mag, ac_phase
+    if shape == "SIN":
+        if not 3 <= len(args) <= 5:
+            raise NetlistError(f"{where}SIN takes 3-5 arguments")
+        return Sin(*args), ac_mag, ac_phase
+    if len(args) < 2 or len(args) % 2:
+        raise NetlistError(
+            f"{where}PWL needs an even number of time/value arguments"
+        )
+    points = tuple(zip(args[0::2], args[1::2]))
+    return Pwl(points=points), ac_mag, ac_phase
+
+
+def _logical_lines(text: str, source: str) -> list[_Card]:
+    """Join continuations, strip comments, keep inline annotations.
+
+    The first ``*`` line becomes the title; a ``* ports:`` comment is
+    preserved as a pseudo-card so the parser can restore declared ports.
+    """
+    cards: list[_Card] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("*"):
+            cards.append(_Card(lineno, "", stripped))
+            continue
+        comment = ""
+        # Inline annotation: " * dvth=... kmu=..." (writer) or "; ...".
+        for marker in (" * ", ";", "$ "):
+            idx = line.find(marker)
+            if idx >= 0:
+                comment = line[idx:].lstrip("; $")
+                if marker == " * ":
+                    comment = line[idx + 1:]
+                line = line[:idx].rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("+"):
+            if not cards or not cards[-1].text:
+                raise NetlistError(
+                    f"{source}:{lineno}: continuation line with no "
+                    f"preceding card"
+                )
+            prev = cards[-1]
+            cards[-1] = _Card(
+                prev.lineno,
+                f"{prev.text} {stripped[1:].strip()}",
+                comment or prev.comment,
+            )
+        else:
+            cards.append(_Card(lineno, stripped, comment))
+    return cards
+
+
+def parse_spice(
+    text: str,
+    source: str = "<string>",
+    tech: Technology | None = None,
+) -> Circuit:
+    """Parse SPICE netlist text into a flattened :class:`Circuit`.
+
+    Args:
+        text: Netlist text in the writer's dialect (plus hierarchy).
+        source: Name used in error locations (``source:line:``).
+        tech: Technology providing MOS model cards; defaults to
+            :meth:`Technology.default`.
+
+    Returns:
+        The flattened top-level circuit.  When the file has top-level
+        element cards those form the circuit (with the first comment
+        line as title and a ``* ports:`` comment restoring declared
+        ports); otherwise the **last** ``.subckt`` is elaborated as the
+        design, with its ports.
+
+    Raises:
+        NetlistError: On any syntax or structural error, with a
+            ``source:line:`` location prefix.
+    """
+    parser = _Parser(text, source, tech or Technology.default())
+    comment_cards = [c for c in parser.cards if not c.text]
+    parser.cards = [c for c in parser.cards if c.text]
+    for card in comment_cards:
+        body = card.comment.lstrip("*").strip()
+        if body.lower().startswith("ports:"):
+            parser.top_ports = body[len("ports:"):].split()
+        elif parser.title is None and body:
+            parser.title = body
+    return parser.elaborate()
+
+
+def parse_spice_file(path: str | Path, tech: Technology | None = None) -> Circuit:
+    """Parse a netlist file; the path appears in error locations."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise NetlistError(f"cannot read netlist {path}: {exc}") from exc
+    return parse_spice(text, source=str(path), tech=tech)

@@ -1,0 +1,197 @@
+"""Declarative primitive-pattern library for topology recognition.
+
+Each :class:`TopoPattern` describes one analog primitive as a small
+device graph over *net variables*: every :class:`DeviceSlot` pins its
+terminals to variables, and pattern-level constraints say which
+variables must be distinct, which must sit on a rail (ground for NMOS,
+supply for PMOS), and which are internal to the match.  The recognizer
+(:mod:`repro.ingest.recognize`) solves these patterns against the
+canonical :class:`~repro.ingest.graph.DeviceGraph` by deterministic
+backtracking.
+
+Patterns are ordered by ``priority`` (lower wins): structure-rich
+patterns like the cascode mirror claim devices before the simple mirror
+or the bare tail source can, which is what makes recognition
+deterministic on nested structures.  ``symmetric_roles`` lists role
+groups whose permutation yields the same match (a differential pair
+seen as (MA, MB) or (MB, MA)); the recognizer canonicalizes these so
+each physical match is reported once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class DeviceSlot:
+    """One device role inside a pattern.
+
+    Attributes:
+        role: Role name (e.g. ``"MREF"``), unique within the pattern.
+        terminals: Terminal letter → net-variable name.  The ``b``
+            terminal is deliberately unconstrained: bulk wiring varies
+            by flavor and never changes the topology class.
+        polarity: ``"same"`` (the pattern's polarity variable, shared by
+            all such slots), ``"opp"`` (its complement), ``"n"`` or
+            ``"p"`` (fixed).
+    """
+
+    role: str
+    terminals: Mapping[str, str]
+    polarity: str = "same"
+
+
+@dataclass(frozen=True)
+class TopoPattern:
+    """One recognizable primitive topology.
+
+    Attributes:
+        kind: Stable pattern name (appears in reports and JSON).
+        priority: Claim order; lower numbers claim devices first.
+        slots: Device roles in assignment order.
+        distinct: Groups of net variables that must bind distinct nets.
+        rail: Net variable → rail requirement: ``"self"`` (ground for an
+            NMOS pattern instance, supply for PMOS), ``"ground"``,
+            ``"supply"``, or ``"off"`` (must *not* be a rail).
+        internal: Net variables whose every attachment must be a device
+            of the match (hidden nodes such as a cascode's mid net).
+        symmetric_roles: Role groups interchangeable by symmetry, used
+            for canonical dedup of automorphic assignments.
+        symmetric_nets: Net-variable pairs emitted as layout symmetry
+            constraints (``CellSpec.symmetric_pairs``).
+        matched_roles: Roles whose devices form the matched placement
+            group (``CellSpec.matched_group``).
+        ratioed: True when the multiplier ``m`` may legally differ
+            across the matched group (current mirrors).
+    """
+
+    kind: str
+    priority: int
+    slots: tuple[DeviceSlot, ...]
+    distinct: tuple[tuple[str, ...], ...] = ()
+    rail: Mapping[str, str] = field(default_factory=dict)
+    internal: tuple[str, ...] = ()
+    symmetric_roles: tuple[tuple[str, ...], ...] = ()
+    symmetric_nets: tuple[tuple[str, str], ...] = ()
+    matched_roles: tuple[str, ...] = ()
+    ratioed: bool = False
+
+    def role(self, name: str) -> DeviceSlot:
+        """Look up a slot by role name."""
+        for slot in self.slots:
+            if slot.role == name:
+                return slot
+        raise KeyError(f"pattern {self.kind!r} has no role {name!r}")
+
+
+#: The recognizer's pattern catalog, in claim-priority order.
+PATTERNS: tuple[TopoPattern, ...] = (
+    TopoPattern(
+        kind="cascode_current_mirror",
+        priority=10,
+        slots=(
+            DeviceSlot("MREF", {"d": "mid_ref", "g": "mid_ref", "s": "rail"}),
+            DeviceSlot("MCREF", {"d": "in", "g": "in", "s": "mid_ref"}),
+            DeviceSlot("MOUT", {"d": "mid_out", "g": "mid_ref", "s": "rail"}),
+            DeviceSlot("MCOUT", {"d": "out", "g": "in", "s": "mid_out"}),
+        ),
+        distinct=(("in", "out", "mid_ref", "mid_out", "rail"),),
+        rail={"rail": "self"},
+        internal=("mid_ref", "mid_out"),
+        symmetric_nets=(("in", "out"), ("mid_ref", "mid_out")),
+        matched_roles=("MREF", "MCREF", "MOUT", "MCOUT"),
+        ratioed=True,
+    ),
+    TopoPattern(
+        kind="current_mirror",
+        priority=20,
+        slots=(
+            DeviceSlot("MREF", {"d": "in", "g": "in", "s": "rail"}),
+            DeviceSlot("MOUT", {"d": "out", "g": "in", "s": "rail"}),
+        ),
+        distinct=(("in", "out", "rail"),),
+        rail={"rail": "self"},
+        symmetric_nets=(("in", "out"),),
+        matched_roles=("MREF", "MOUT"),
+        ratioed=True,
+    ),
+    TopoPattern(
+        kind="cross_coupled_pair",
+        priority=25,
+        slots=(
+            DeviceSlot("MA", {"d": "outp", "g": "outn", "s": "tail"}),
+            DeviceSlot("MB", {"d": "outn", "g": "outp", "s": "tail"}),
+        ),
+        distinct=(("outp", "outn"),),
+        symmetric_roles=(("MA", "MB"),),
+        symmetric_nets=(("outp", "outn"),),
+        matched_roles=("MA", "MB"),
+    ),
+    TopoPattern(
+        kind="differential_pair",
+        priority=30,
+        slots=(
+            DeviceSlot("MA", {"d": "outp", "g": "inp", "s": "tail"}),
+            DeviceSlot("MB", {"d": "outn", "g": "inn", "s": "tail"}),
+        ),
+        distinct=(
+            ("inp", "inn"),
+            ("outp", "outn"),
+            ("inp", "outp", "tail"),
+            ("inp", "outn"),
+            ("inn", "outp"),
+            ("inn", "outn", "tail"),
+        ),
+        rail={"tail": "off"},
+        symmetric_roles=(("MA", "MB"),),
+        symmetric_nets=(("outp", "outn"), ("inp", "inn")),
+        matched_roles=("MA", "MB"),
+    ),
+    TopoPattern(
+        kind="cascode_stack",
+        priority=40,
+        slots=(
+            DeviceSlot("M1", {"d": "mid", "g": "vb", "s": "rail"}),
+            DeviceSlot("MC", {"d": "out", "g": "vc", "s": "mid"}),
+        ),
+        distinct=(("mid", "out", "rail"), ("mid", "vb"), ("mid", "vc")),
+        rail={"rail": "self"},
+        internal=("mid",),
+        matched_roles=("M1", "MC"),
+    ),
+    TopoPattern(
+        kind="inverter",
+        priority=50,
+        slots=(
+            DeviceSlot("MP", {"d": "out", "g": "in", "s": "vddr"},
+                       polarity="p"),
+            DeviceSlot("MN", {"d": "out", "g": "in", "s": "gndr"},
+                       polarity="n"),
+        ),
+        distinct=(("out", "in", "vddr", "gndr"),),
+        rail={"vddr": "supply", "gndr": "ground"},
+        matched_roles=(),
+    ),
+    TopoPattern(
+        kind="diode_device",
+        priority=55,
+        slots=(
+            DeviceSlot("M1", {"d": "out", "g": "out", "s": "rail"}),
+        ),
+        distinct=(("out", "rail"),),
+        rail={"rail": "self"},
+        matched_roles=("M1",),
+    ),
+    TopoPattern(
+        kind="current_source",
+        priority=60,
+        slots=(
+            DeviceSlot("M1", {"d": "out", "g": "vb", "s": "rail"}),
+        ),
+        distinct=(("out", "vb"), ("out", "rail")),
+        rail={"rail": "self"},
+        matched_roles=("M1",),
+    ),
+)

@@ -1,0 +1,303 @@
+"""Deterministic subgraph matching of primitive patterns.
+
+The recognizer enumerates, for every :class:`TopoPattern` in priority
+order, all embeddings into the MOS part of a
+:class:`~repro.ingest.graph.DeviceGraph` by backtracking over device
+slots.  Determinism comes from three rules:
+
+1. candidate devices are tried in **canonical rank order** (the WL
+   ordering computed by the graph builder), so enumeration order is a
+   property of the topology, not of the input file;
+2. automorphic assignments (a differential pair found as (MA, MB) and
+   as (MB, MA)) are collapsed to one canonical representative via the
+   pattern's ``symmetric_roles`` — the symmetry-aware tie-break;
+3. devices are **claimed** greedily in (priority, canonical key) order:
+   a structure-rich pattern wins over a structural subset, and among
+   equal-priority candidates the canonically-first match wins while the
+   losers are reported as :class:`Ambiguity` records (rule
+   ``TOPO-AMBIGUOUS``).
+
+Multi-output current mirrors (one diode reference, several outputs
+sharing its gate and source rail) are merged into a single match with
+roles ``MOUT``, ``MOUT2``, ... instead of competing pairwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ingest.graph import DeviceGraph, DeviceNode, is_supply
+from repro.ingest.patterns import PATTERNS, TopoPattern
+
+#: One raw embedding: ((role, device)...), ((variable, net)...), polarity.
+Embedding = tuple[
+    tuple[tuple[str, str], ...], tuple[tuple[str, str], ...], str
+]
+
+
+@dataclass(frozen=True)
+class TopologyMatch:
+    """One accepted embedding of a pattern into the device graph.
+
+    Attributes:
+        kind: Pattern name (``"differential_pair"``, ...).
+        polarity: ``"n"``/``"p"`` for single-polarity patterns,
+            ``"cmos"`` for mixed ones (inverter).
+        devices: ``(role, device name)`` pairs in slot order (merged
+            mirror outputs append ``MOUT2``, ``MOUT3``, ...).
+        nets: ``(net variable, net)`` bindings, sorted by variable.
+        matched_roles: Roles forming the matched placement group.
+        symmetric_nets: Net pairs to keep symmetric in layout.
+        ratioed: Whether the multiplier may differ across the group.
+        internal_nets: Nets bound to the pattern's declared-internal
+            variables (hidden nodes like a cascode mid); every other
+            match net is a pin of the recognized structure.
+    """
+
+    kind: str
+    polarity: str
+    devices: tuple[tuple[str, str], ...]
+    nets: tuple[tuple[str, str], ...]
+    matched_roles: tuple[str, ...]
+    symmetric_nets: tuple[tuple[str, str], ...]
+    ratioed: bool
+    internal_nets: tuple[str, ...] = ()
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        """Names of all member devices, in slot order."""
+        return tuple(name for _, name in self.devices)
+
+    def device_of(self, role: str) -> str:
+        """The device bound to ``role``."""
+        for r, name in self.devices:
+            if r == role:
+                return name
+        raise KeyError(f"match {self.kind!r} has no role {role!r}")
+
+    def net(self, var: str) -> str:
+        """The net bound to pattern variable ``var``."""
+        for v, net in self.nets:
+            if v == var:
+                return net
+        raise KeyError(f"match {self.kind!r} has no net variable {var!r}")
+
+    def label(self, index: int) -> str:
+        """Deterministic instance label, e.g. ``"u3_current_mirror"``."""
+        return f"u{index}_{self.kind}"
+
+
+@dataclass(frozen=True)
+class Ambiguity:
+    """A valid candidate match discarded by same-priority claiming."""
+
+    kind: str
+    devices: tuple[str, ...]
+    conflicts: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Recognition:
+    """Output of :func:`recognize`: matches, losers, and residue."""
+
+    matches: tuple[TopologyMatch, ...]
+    ambiguities: tuple[Ambiguity, ...]
+    uncovered: tuple[str, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of MOS devices claimed by some match."""
+        claimed = sum(len(m.devices) for m in self.matches)
+        total = claimed + len(self.uncovered)
+        return claimed / total if total else 1.0
+
+
+def _slot_polarity(slot_pol: str, instance: str | None) -> str | None:
+    """Concrete polarity a slot requires, or ``None`` for unconstrained."""
+    if slot_pol in ("n", "p"):
+        return slot_pol
+    if instance is None:
+        return None
+    return instance if slot_pol == "same" else ("p" if instance == "n" else "n")
+
+
+def _rail_ok(req: str, net: str, polarity: str) -> bool:
+    """Check one rail requirement against a bound net."""
+    grounded = net == "0"
+    supplied = is_supply(net)
+    if req == "ground":
+        return grounded
+    if req == "supply":
+        return supplied
+    if req == "off":
+        return not grounded and not supplied
+    # "self": the rail a device of this polarity sits on.
+    return grounded if polarity == "n" else supplied
+
+
+def _embeddings(pattern: TopoPattern, graph: DeviceGraph) -> list[Embedding]:
+    """All canonical embeddings: (devices, nets, polarity) triples."""
+    mos = graph.mos_devices()
+    results: list[Embedding] = []
+    seen: set[tuple[tuple[str, ...], ...]] = set()
+
+    def norm_key(assign: dict[str, DeviceNode]) -> tuple[tuple[str, ...], ...]:
+        parts: list[tuple[str, ...]] = []
+        symmetric = {r for group in pattern.symmetric_roles for r in group}
+        for group in pattern.symmetric_roles:
+            parts.append(tuple(sorted(assign[r].name for r in group)))
+        for slot in pattern.slots:
+            if slot.role not in symmetric:
+                parts.append((slot.role, assign[slot.role].name))
+        return tuple(parts)
+
+    def check(assign: dict[str, DeviceNode], nets: dict[str, str]) -> bool:
+        polarity = assign[pattern.slots[0].role].kind[0]
+        for group in pattern.distinct:
+            bound = [nets[v] for v in group if v in nets]
+            if len(bound) != len(set(bound)):
+                return False
+        for var, req in pattern.rail.items():
+            if not _rail_ok(req, nets[var], polarity):
+                return False
+        members = frozenset(d.name for d in assign.values())
+        for var in pattern.internal:
+            if not graph.is_internal(nets[var], members):
+                return False
+        return True
+
+    def extend(index: int, assign: dict[str, DeviceNode],
+               nets: dict[str, str], instance_pol: str | None) -> None:
+        if index == len(pattern.slots):
+            if not check(assign, nets):
+                return
+            key = norm_key(assign)
+            if key in seen:
+                return
+            seen.add(key)
+            polarity = "cmos" if any(
+                s.polarity in ("n", "p") for s in pattern.slots
+            ) and len({d.kind for d in assign.values()}) > 1 else (
+                assign[pattern.slots[0].role].kind[0]
+            )
+            devices = tuple(
+                (slot.role, assign[slot.role].name) for slot in pattern.slots
+            )
+            net_items = tuple(sorted(nets.items()))
+            results.append((devices, net_items, polarity))
+            return
+        slot = pattern.slots[index]
+        want = _slot_polarity(slot.polarity, instance_pol)
+        used = {d.name for d in assign.values()}
+        for device in mos:
+            if device.name in used:
+                continue
+            pol = device.kind[0]
+            if want is not None and pol != want:
+                continue
+            new_nets = dict(nets)
+            ok = True
+            for terminal, var in slot.terminals.items():
+                net = device.net(terminal)
+                if new_nets.setdefault(var, net) != net:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            assign[slot.role] = device
+            next_pol = instance_pol
+            if slot.polarity == "same" and instance_pol is None:
+                next_pol = pol
+            elif slot.polarity == "opp" and instance_pol is None:
+                next_pol = "p" if pol == "n" else "n"
+            extend(index + 1, assign, new_nets, next_pol)
+            del assign[slot.role]
+
+    extend(0, {}, {}, None)
+    results.sort(key=lambda emb: tuple(
+        sorted(graph.rank(name) for _, name in emb[0])
+    ))
+    return results
+
+
+def _merge_mirrors(embeddings: list[Embedding]) -> list[Embedding]:
+    """Merge simple-mirror embeddings sharing one reference device."""
+    by_ref: dict[str, list[Embedding]] = {}
+    order: list[str] = []
+    for emb in embeddings:
+        ref = dict(emb[0])["MREF"]
+        if ref not in by_ref:
+            by_ref[ref] = []
+            order.append(ref)
+        by_ref[ref].append(emb)
+    merged: list[Embedding] = []
+    for ref in order:
+        group = by_ref[ref]
+        devices = list(group[0][0])
+        nets = dict(group[0][1])
+        for i, emb in enumerate(group[1:], start=2):
+            out_dev = dict(emb[0])["MOUT"]
+            devices.append((f"MOUT{i}", out_dev))
+            nets[f"out{i}"] = dict(emb[1])["out"]
+        merged.append((tuple(devices), tuple(sorted(nets.items())), group[0][2]))
+    return merged
+
+
+def recognize(graph: DeviceGraph) -> Recognition:
+    """Run the full pattern catalog over ``graph``.
+
+    Returns a :class:`Recognition` whose matches are disjoint (each MOS
+    device claimed at most once), ordered by (pattern priority,
+    canonical device key).
+    """
+    claimed: dict[str, str] = {}  # device name -> pattern kind
+    matches: list[TopologyMatch] = []
+    ambiguities: list[Ambiguity] = []
+    for pattern in PATTERNS:
+        embeddings = _embeddings(pattern, graph)
+        if pattern.kind == "current_mirror":
+            embeddings = _merge_mirrors(embeddings)
+        for devices, nets, polarity in embeddings:
+            names = tuple(name for _, name in devices)
+            conflicts = tuple(n for n in names if n in claimed)
+            if conflicts:
+                if any(claimed[n] == pattern.kind for n in conflicts):
+                    ambiguities.append(
+                        Ambiguity(pattern.kind, names, conflicts)
+                    )
+                continue
+            for name in names:
+                claimed[name] = pattern.kind
+            roles = dict(devices)
+            matched = tuple(r for r in roles if r in pattern.matched_roles
+                            or r.startswith("MOUT"))
+            if not pattern.matched_roles:
+                matched = ()
+            sym_nets = []
+            net_map = dict(nets)
+            for a, b in pattern.symmetric_nets:
+                if a in net_map and b in net_map:
+                    sym_nets.append((net_map[a], net_map[b]))
+            for var in sorted(net_map):
+                if var.startswith("out") and var[3:].isdigit():
+                    sym_nets.append((net_map["in"], net_map[var]))
+            matches.append(TopologyMatch(
+                kind=pattern.kind,
+                polarity=polarity,
+                devices=devices,
+                nets=nets,
+                matched_roles=matched,
+                symmetric_nets=tuple(sym_nets),
+                ratioed=pattern.ratioed,
+                internal_nets=tuple(
+                    net_map[v] for v in pattern.internal if v in net_map
+                ),
+            ))
+    uncovered = tuple(
+        d.name for d in graph.mos_devices() if d.name not in claimed
+    )
+    return Recognition(
+        matches=tuple(matches),
+        ambiguities=tuple(ambiguities),
+        uncovered=uncovered,
+    )

@@ -27,7 +27,20 @@ from repro.spice.waveforms import Dc, Pulse, Pwl, Sin
 
 
 def _fmt(value: float) -> str:
-    return f"{value:.6g}"
+    """Shortest decimal text that round-trips back to ``value`` exactly.
+
+    ``%.6g`` truncated device values, making write→parse lossy; instead
+    scan ``%g`` precisions and keep the shortest candidate for which
+    ``float(text) == value``, so every emitted number re-parses to the
+    identical float while goldens like ``1000`` or ``1e-15`` keep their
+    compact spelling.
+    """
+    best = None
+    for precision in range(1, 18):
+        text = f"{value:.{precision}g}"
+        if float(text) == value and (best is None or len(text) < len(best)):
+            best = text
+    return best if best is not None else repr(value)
 
 
 def _waveform(w) -> str:

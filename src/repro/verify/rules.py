@@ -51,6 +51,7 @@ CATEGORIES: Mapping[str, str] = {
     "CONN": "connectivity (LVS-lite)",
     "ERC": "electrical rules",
     "CONST": "constraint / symmetry",
+    "TOPO": "topology recognition",
 }
 
 
@@ -347,6 +348,45 @@ register_rule(
     "matched detailed routes realize equal parallel-wire counts "
     "consistent with the reconciled budgets",
     "re-run reconciliation so matched nets share one wire count",
+)
+
+# -- TOPO: netlist topology recognition (repro.ingest) ----------------------
+
+register_rule(
+    "TOPO-UNCOVERED", "warning",
+    "every MOS device belongs to a recognized primitive; unclaimed "
+    "devices receive no matching/symmetry constraints",
+    "add the structure to the pattern library or waive the residue",
+)
+register_rule(
+    "TOPO-AMBIGUOUS", "warning",
+    "pattern matches do not compete for the same device; overlapping "
+    "same-priority candidates are resolved by canonical order",
+    "check the reported alternative grouping; restructure or waive",
+)
+register_rule(
+    "TOPO-ASYM-SIZE", "error",
+    "devices recognized as a matched group share one unit sizing "
+    "(nfin, nf); only the multiplier m may differ, and only for "
+    "ratioed mirrors",
+    "equalize the unit device (nfin, nf) across the matched group",
+)
+register_rule(
+    "TOPO-NO-GENERATOR", "warning",
+    "each recognized primitive maps onto a primitives/library.py "
+    "generator so the flow can optimize it",
+    "add a library family for the structure or treat it as residue",
+)
+register_rule(
+    "TOPO-GEN-FAIL", "warning",
+    "emitted constraint specs are realizable by the cell generator "
+    "with the parsed device sizing",
+    "re-size the devices to an (nfin, nf, m) the generator supports",
+)
+register_rule(
+    "TOPO-NO-DEVICES", "warning",
+    "an ingested netlist contains at least one MOS device to recognize",
+    "check the netlist: only passives/sources were found",
 )
 
 

@@ -1,0 +1,167 @@
+"""Constraint emission: specs, bindings, size lint."""
+
+from repro.ingest import build_device_graph, parse_spice, recognize
+from repro.ingest.emit import emit_constraints
+from repro.verify.diagnostics import Report
+
+
+def _emit_all(tech, text):
+    graph = build_device_graph(parse_spice(text, tech=tech))
+    recognition = recognize(graph)
+    report = Report(target="test")
+    prims = [
+        emit_constraints(match, i, graph, report)
+        for i, match in enumerate(recognition.matches)
+    ]
+    return prims, report
+
+
+def _rules(report):
+    return [v.rule for v in report.violations]
+
+
+DP = (
+    "* t\n"
+    "MA outp inp tail 0 nfet nfin=8 nf=2 m=2\n"
+    "MB outn inn tail 0 nfet nfin=8 nf=2 m=2\n"
+    "MT tail vb 0 0 nfet nfin=8 nf=2 m=4\n"
+    ".end\n"
+)
+
+
+def test_dp_spec_and_binding(tech):
+    prims, report = _emit_all(tech, DP)
+    assert _rules(report) == []
+    dp = prims[0]
+    assert dp.name == "u0_differential_pair"
+    assert dp.spec is not None
+    assert set(dp.spec.matched_group) == {"A", "B"}
+    assert ("outp", "outn") in dp.spec.symmetric_pairs
+    assert ("inp", "inn") in dp.spec.symmetric_pairs
+    assert dp.binding is not None
+    assert dp.binding.family == "differential_pair"
+    assert dp.binding.base_fins == 8 * 2 * 2
+    assert dp.binding.ratio == 1
+    assert dict(dp.binding.port_map)["tail"] == "tail"
+    tail = prims[1]
+    assert tail.binding.family == "current_source"
+    assert tail.binding.base_fins == 8 * 2 * 4
+
+
+def test_mixed_unit_sizing_flags_asym(tech):
+    text = DP.replace("MB outn inn tail 0 nfet nfin=8",
+                      "MB outn inn tail 0 nfet nfin=10")
+    prims, report = _emit_all(tech, text)
+    assert "TOPO-ASYM-SIZE" in _rules(report)
+    dp = next(p for p in prims if p.match.kind == "differential_pair")
+    assert dp.binding is None
+
+
+def test_mixed_multiplier_on_unratioed_flags_asym(tech):
+    text = DP.replace("MB outn inn tail 0 nfet nfin=8 nf=2 m=2",
+                      "MB outn inn tail 0 nfet nfin=8 nf=2 m=3")
+    prims, report = _emit_all(tech, text)
+    assert "TOPO-ASYM-SIZE" in _rules(report)
+
+
+def test_integer_mirror_ratio(tech):
+    text = (
+        "* t\n"
+        "M1 nb nb 0 0 nfet nfin=8 nf=2 m=1\n"
+        "M2 out nb 0 0 nfet nfin=8 nf=2 m=4\n"
+        "Rb vdd! nb 100k\n"
+        ".end\n"
+    )
+    prims, report = _emit_all(tech, text)
+    assert _rules(report) == []
+    (mirror,) = prims
+    assert mirror.binding.family == "current_mirror"
+    assert mirror.binding.ratio == 4
+    assert mirror.binding.base_fins == 8 * 2 * 1
+
+
+def test_non_integer_mirror_ratio_rejected(tech):
+    text = (
+        "* t\n"
+        "M1 nb nb 0 0 nfet nfin=8 nf=2 m=2\n"
+        "M2 out nb 0 0 nfet nfin=8 nf=2 m=3\n"
+        "Rb vdd! nb 100k\n"
+        ".end\n"
+    )
+    prims, report = _emit_all(tech, text)
+    assert "TOPO-ASYM-SIZE" in _rules(report)
+    (mirror,) = prims
+    assert mirror.binding is None
+    assert mirror.spec is not None  # constraints still emitted
+
+
+def test_multi_output_mirror_has_no_binding(tech):
+    text = (
+        "* t\n"
+        "M1 nb nb 0 0 nfet nfin=8 nf=2\n"
+        "M2 o1 nb 0 0 nfet nfin=8 nf=2\n"
+        "M3 o2 nb 0 0 nfet nfin=8 nf=2\n"
+        "Rb vdd! nb 100k\n"
+        ".end\n"
+    )
+    prims, report = _emit_all(tech, text)
+    assert "TOPO-NO-GENERATOR" in _rules(report)
+    (mirror,) = prims
+    assert mirror.binding is None
+    # in/out symmetry constraints cover every output branch
+    pairs = set(mirror.spec.symmetric_pairs)
+    assert ("nb", "o1") in pairs and ("nb", "o2") in pairs
+
+
+def test_floating_tail_pmos_xcp_has_no_generator(tech):
+    text = (
+        "* t\n"
+        "MA op on x vdd! pfet nfin=8 nf=2\n"
+        "MB on op x vdd! pfet nfin=8 nf=2\n"
+        "MT x vb vdd! vdd! pfet nfin=8 nf=2\n"
+        "Rp op 0 10k\n"
+        "Rn on 0 10k\n"
+        ".end\n"
+    )
+    prims, report = _emit_all(tech, text)
+    xcp = next(p for p in prims if p.match.kind == "cross_coupled_pair")
+    assert xcp.binding is None
+    assert "TOPO-NO-GENERATOR" in _rules(report)
+    assert xcp.spec is not None
+
+
+def test_supply_tail_pmos_xcp_binds(tech):
+    text = (
+        "* t\n"
+        "MA op on vdd! vdd! pfet nfin=8 nf=2\n"
+        "MB on op vdd! vdd! pfet nfin=8 nf=2\n"
+        "Rp op 0 10k\n"
+        "Rn on 0 10k\n"
+        ".end\n"
+    )
+    prims, report = _emit_all(tech, text)
+    (xcp,) = prims
+    assert xcp.binding.family == "pmos_cross_coupled_pair"
+    assert dict(xcp.binding.port_map)["vdd!"] == "vdd!"
+
+
+def test_inverter_emits_no_spec(tech):
+    text = (
+        "* t\n"
+        "Mp out in vdd! vdd! pfet nfin=4 nf=1\n"
+        "Mn out in 0 0 nfet nfin=4 nf=1\n"
+        ".end\n"
+    )
+    prims, report = _emit_all(tech, text)
+    (inv,) = prims
+    assert inv.spec is None
+    assert inv.binding is None
+    assert "TOPO-NO-GENERATOR" in _rules(report)
+
+
+def test_port_nets_exclude_internal(tech):
+    # The DP tail is shared with the tail source, hence external to the
+    # pair; drains/gates are external too. No member-only net leaks in.
+    prims, _ = _emit_all(tech, DP)
+    dp = prims[0]
+    assert set(dp.spec.port_nets) == {"outp", "outn", "inp", "inn", "tail"}

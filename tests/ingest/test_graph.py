@@ -1,0 +1,96 @@
+"""Device-graph canonicalization: determinism and net folding."""
+
+import pytest
+
+from repro.devices.mosfet import MosGeometry
+from repro.ingest import build_device_graph, parse_spice
+from repro.ingest.graph import canonical_net, is_supply
+from repro.spice.netlist import Circuit
+
+
+def _dp_circuit(tech, order):
+    """A 5T OTA core with elements added in the given order."""
+    circuit = Circuit("dp")
+    circuit.ports = ["vinp", "vinn", "vout", "vbn", "vdd!"]
+    adders = {
+        "MA": lambda: circuit.add_mosfet(
+            "A", "nx", "vinp", "ntail", "0", tech.card("n"),
+            MosGeometry(8, 2, 2)),
+        "MB": lambda: circuit.add_mosfet(
+            "B", "vout", "vinn", "ntail", "0", tech.card("n"),
+            MosGeometry(8, 2, 2)),
+        "M3": lambda: circuit.add_mosfet(
+            "3", "nx", "nx", "vdd!", "vdd!", tech.card("p"),
+            MosGeometry(8, 2, 2)),
+        "M4": lambda: circuit.add_mosfet(
+            "4", "vout", "nx", "vdd!", "vdd!", tech.card("p"),
+            MosGeometry(8, 2, 2)),
+        "M5": lambda: circuit.add_mosfet(
+            "5", "ntail", "vbn", "0", "0", tech.card("n"),
+            MosGeometry(8, 2, 4)),
+    }
+    for key in order:
+        adders[key]()
+    return circuit
+
+
+def test_canonical_order_is_input_order_independent(tech):
+    g1 = build_device_graph(_dp_circuit(tech, ["MA", "MB", "M3", "M4", "M5"]))
+    g2 = build_device_graph(_dp_circuit(tech, ["M5", "M4", "M3", "MB", "MA"]))
+    assert [d.name for d in g1.devices] == [d.name for d in g2.devices]
+    assert g1.nets == g2.nets
+    for d in g1.devices:
+        assert g1.rank(d.name) == g2.rank(d.name)
+
+
+def test_ground_spellings_fold(tech):
+    assert canonical_net("0") == "0"
+    assert canonical_net("gnd") == "0"
+    assert canonical_net("vss!") == "0"
+    assert canonical_net("net1") == "net1"
+    text = "* t\nR1 a gnd 1k\nR2 a 0 1k\n.end\n"
+    graph = build_device_graph(parse_spice(text, tech=tech))
+    assert "0" in graph.nets
+    assert "gnd" not in graph.nets
+    assert len(graph.on_net("0")) == 2
+
+
+def test_is_supply():
+    assert is_supply("vdd!")
+    assert not is_supply("vss!")  # ground spelling wins
+    assert not is_supply("vdd")
+    assert not is_supply("0")
+
+
+def test_mos_kinds_and_terminals(tech):
+    graph = build_device_graph(
+        _dp_circuit(tech, ["MA", "MB", "M3", "M4", "M5"])
+    )
+    kinds = {d.name: d.kind for d in graph.mos_devices()}
+    assert kinds == {
+        "A": "nmos", "B": "nmos", "3": "pmos", "4": "pmos", "5": "nmos",
+    }
+    node = graph.device("A")
+    assert node.net("g") == "vinp"
+    assert node.net("s") == "ntail"
+    with pytest.raises(KeyError):
+        node.net("x")
+
+
+def test_is_internal(tech):
+    graph = build_device_graph(
+        _dp_circuit(tech, ["MA", "MB", "M3", "M4", "M5"])
+    )
+    # ntail touches MA, MB and M5: internal to all three, not to the pair.
+    assert graph.is_internal("ntail", frozenset({"A", "B", "5"}))
+    assert not graph.is_internal("ntail", frozenset({"A", "B"}))
+    assert not graph.is_internal("nosuch", frozenset({"A"}))
+
+
+def test_sizing_distinguishes_devices(tech):
+    graph = build_device_graph(
+        _dp_circuit(tech, ["MA", "MB", "M3", "M4", "M5"])
+    )
+    tail = graph.device("5")
+    assert tail.sizing == (8, 2, 4)
+    assert graph.device("A").sizing == (8, 2, 2)

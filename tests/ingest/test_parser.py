@@ -1,0 +1,252 @@
+"""The SPICE parser: values, structure, hierarchy, error locations."""
+
+import pytest
+
+from repro.devices.lde import LdeContext
+from repro.devices.mosfet import MosGeometry
+from repro.errors import NetlistError
+from repro.ingest import parse_spice, parse_spice_value
+from repro.io import write_spice
+from repro.spice.elements import (
+    Capacitor,
+    Mosfet,
+    Resistor,
+    Vccs,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Dc, Pulse, Pwl, Sin
+
+
+# -- numeric values ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("token", "expected"),
+    [
+        ("1e-15", 1e-15),
+        ("200f", 200e-15),
+        ("10k", 10e3),
+        ("1.2meg", 1.2e6),
+        ("100meg", 1e8),
+        ("2.5pF", 2.5e-12),
+        ("-3.3", -3.3),
+        ("4u", 4e-6),
+        ("7N", 7e-9),
+        ("0.5", 0.5),
+        (".25", 0.25),
+        ("2T", 2e12),
+        ("3g", 3e9),
+        ("5m", 5e-3),
+    ],
+)
+def test_value_suffixes(token, expected):
+    assert parse_spice_value(token) == pytest.approx(expected, rel=1e-12)
+
+
+@pytest.mark.parametrize("token", ["", "abc", "1..2", "--3", "1e", "k10"])
+def test_invalid_values_raise(token):
+    with pytest.raises(NetlistError):
+        parse_spice_value(token)
+
+
+def test_unknown_suffix_raises():
+    with pytest.raises(NetlistError, match="suffix"):
+        parse_spice_value("10q")
+
+
+# -- flat netlists ----------------------------------------------------------
+
+FLAT = """* my title
+* ports: a b vdd!
+Rload vdd! a 10k
+Cc a b 5f
+Vin b 0 0.5 AC 1 45
+.end
+"""
+
+
+def test_flat_netlist(tech):
+    circuit = parse_spice(FLAT, tech=tech)
+    assert circuit.name == "my title"
+    assert circuit.ports == ["a", "b", "vdd!"]
+    by_name = {e.name: e for e in circuit.elements}
+    assert isinstance(by_name["load"], Resistor)
+    assert by_name["load"].value == pytest.approx(10e3)
+    assert isinstance(by_name["c"], Capacitor)
+    assert by_name["c"].value == pytest.approx(5e-15)
+    vin = by_name["in"]
+    assert isinstance(vin, VoltageSource)
+    assert vin.waveform == Dc(0.5)
+    assert vin.ac_magnitude == 1.0
+    assert vin.ac_phase_deg == 45.0
+
+
+def test_continuation_lines(tech):
+    text = "* t\nR1 a 0\n+ 10k\n.end\n"
+    circuit = parse_spice(text, tech=tech)
+    (res,) = circuit.elements
+    assert res.value == pytest.approx(10e3)
+
+
+def test_dc_keyword_and_waveforms(tech):
+    text = (
+        "* t\n"
+        "V1 a 0 DC 1.2\n"
+        "V2 b 0 PULSE(0 1 1n 10p 10p 5n 10n)\n"
+        "V3 c 0 SIN(0.6 0.1 1meg)\n"
+        "I4 d 0 PWL(0 0 1n 1 2n 0.5)\n"
+        ".end\n"
+    )
+    circuit = parse_spice(text, tech=tech)
+    by_name = {e.name: e for e in circuit.elements}
+    assert by_name["1"].waveform == Dc(1.2)
+    pulse = by_name["2"].waveform
+    assert isinstance(pulse, Pulse)
+    assert pulse.v2 == 1.0
+    assert pulse.width == pytest.approx(5e-9)
+    sin = by_name["3"].waveform
+    assert isinstance(sin, Sin)
+    assert sin.frequency == pytest.approx(1e6)
+    pwl = circuit.elements[3].waveform
+    assert isinstance(pwl, Pwl)
+    assert pwl.points == ((0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5))
+
+
+def test_mosfet_card(tech):
+    text = "* t\nM1 d g s 0 nfet nfin=8 nf=2 m=3\n.end\n"
+    circuit = parse_spice(text, tech=tech)
+    (mos,) = circuit.elements
+    assert isinstance(mos, Mosfet)
+    assert mos.card.polarity > 0
+    assert mos.geometry == MosGeometry(nfin=8, nf=2, m=3)
+
+
+def test_mosfet_lde_annotation_roundtrip(tech):
+    circuit = Circuit("lde")
+    circuit.add_mosfet(
+        "1", "d", "g", "s", "0", tech.card("n"), MosGeometry(8, 2, 1),
+        lde=LdeContext(vth_shift=1.25e-3, mobility_factor=0.975),
+    )
+    parsed = parse_spice(write_spice(circuit), tech=tech)
+    (mos,) = parsed.elements
+    assert mos.lde.vth_shift == 1.25e-3
+    assert mos.lde.mobility_factor == 0.975
+
+
+def test_vccs_unswap_roundtrip(tech):
+    circuit = Circuit("gm")
+    circuit.add_vccs("1", "na", "nb", "cp", "cm", 2.5e-3)
+    circuit.add_resistor("l", "na", "0", 1e3)
+    parsed = parse_spice(write_spice(circuit), tech=tech)
+    gm = next(e for e in parsed.elements if isinstance(e, Vccs))
+    assert (gm.a, gm.b) == ("na", "nb")
+    assert gm.gain == 2.5e-3
+
+
+# -- hierarchy --------------------------------------------------------------
+
+HIER = """* hier
+.subckt inv in out vdd!
+Mp out in vdd! vdd! pfet nfin=4
+Mn out in 0 0 nfet nfin=4
+.ends
+.subckt top a y vdd!
+Xu1 a mid vdd! inv
+Xu2 mid y vdd! inv
+Cload y 0 1f
+.ends
+.end
+"""
+
+
+def test_subckt_flattening(tech):
+    circuit = parse_spice(HIER, tech=tech)
+    assert circuit.name == "top"
+    assert circuit.ports == ["a", "y", "vdd!"]
+    names = sorted(e.name for e in circuit.elements)
+    assert names == ["load", "u1.n", "u1.p", "u2.n", "u2.p"]
+    u1p = next(e for e in circuit.elements if e.name == "u1.p")
+    assert (u1p.d, u1p.g, u1p.s) == ("mid", "a", "vdd!")
+
+
+def test_last_subckt_is_top_and_internal_nets_prefixed(tech):
+    text = (
+        "* t\n"
+        ".subckt cell in out\n"
+        "Ra in x 1k\n"
+        "Rb x out 1k\n"
+        ".ends\n"
+        ".subckt wrap a b\n"
+        "Xc a b cell\n"
+        ".ends\n"
+        ".end\n"
+    )
+    circuit = parse_spice(text, tech=tech)
+    assert circuit.name == "wrap"
+    nets = {n for e in circuit.elements for n in (e.a, e.b)}
+    assert "c.x" in nets
+
+
+@pytest.mark.parametrize(
+    ("text", "match"),
+    [
+        ("* t\nX1 a b nosuch\n.end\n", "unknown subcircuit"),
+        (
+            "* t\n.subckt c a\nRr a 0 1k\n.ends\nX1 a b c\n.end\n",
+            "1 ports",
+        ),
+        (
+            "* t\n.subckt c a\nXs a c\n.ends\nX1 a c\n.end\n",
+            "recursive",
+        ),
+        ("* t\n.subckt c a\n.subckt d b\n.ends\n.end\n", "nested"),
+        ("* t\n.ends\n.end\n", ".ends without"),
+        ("* t\n.subckt c a\nRr a 0 1k\n.end\n", "never closed"),
+        (
+            "* t\n.subckt c a\nRr a 0 1k\n.ends\n"
+            ".subckt c a\nRr a 0 1k\n.ends\n.end\n",
+            "duplicate",
+        ),
+        ("* t\n.tran 1n 1u\n.end\n", "unsupported control"),
+        ("* empty\n.end\n", "no elements"),
+    ],
+)
+def test_structural_errors(tech, text, match):
+    with pytest.raises(NetlistError, match=match):
+        parse_spice(text, tech=tech)
+
+
+# -- error locations --------------------------------------------------------
+
+
+def test_errors_carry_source_and_line(tech):
+    text = "* t\nR1 a 0 1k\nQ2 a b c bjt\n.end\n"
+    with pytest.raises(NetlistError, match=r"demo\.sp:3: "):
+        parse_spice(text, source="demo.sp", tech=tech)
+
+
+def test_continuation_without_card_located(tech):
+    with pytest.raises(NetlistError, match=":2:"):
+        parse_spice("* t\n+ 10k\n.end\n", tech=tech)
+
+
+@pytest.mark.parametrize(
+    ("card", "match"),
+    [
+        ("M1 d g s 0 nfet nf=2", "nfin"),
+        ("M1 d g s 0 bjt nfin=8", "unknown MOS model"),
+        ("M1 d g s 0 nfet nfin=8 w=1u", "unknown parameter"),
+        ("M1 d g s 0 nfet nfin=8 junk", "key=value"),
+        ("M1 d g s nfet", "expected"),
+        ("R1 a 0", "fields"),
+        ("E1 a b c 2.0", "gain"),
+        ("V1 a 0 SIN(0.6)", "SIN takes"),
+        ("V1 a 0 PWL(0 1 2)", "even number"),
+        ("V1 a 0 PULSE(1)", "PULSE takes"),
+        ("V1 a 0 what ever", "cannot parse source"),
+    ],
+)
+def test_element_errors(tech, card, match):
+    with pytest.raises(NetlistError, match=match):
+        parse_spice(f"* t\n{card}\n.end\n", tech=tech)

@@ -1,0 +1,205 @@
+"""End-to-end ingestion over the example corpus and in-tree circuits."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import FiveTransistorOta
+from repro.ingest import IngestedCircuit, ingest_netlist
+from repro.ingest.pipeline import ingest_file
+from repro.io import write_spice
+
+CORPUS = Path(__file__).resolve().parents[2] / "examples" / "netlists"
+
+
+def _unwaived_errors(result):
+    return [
+        v for v in result.report.violations
+        if v.severity == "error" and not v.waived
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus(tech):
+    """Fully validated ingest results for all three corpus netlists."""
+    return {
+        p.stem: ingest_file(p, tech=tech, validate=True)
+        for p in sorted(CORPUS.glob("*.sp"))
+    }
+
+
+def test_corpus_is_complete():
+    assert sorted(p.stem for p in CORPUS.glob("*.sp")) == [
+        "comparator", "diff_amp", "ota",
+    ]
+
+
+def test_corpus_full_coverage_and_clean(corpus):
+    for name, result in corpus.items():
+        assert result.coverage == 1.0, name
+        assert result.recognition.uncovered == (), name
+        assert _unwaived_errors(result) == [], name
+
+
+def test_ota_recognition(corpus):
+    result = corpus["ota"]
+    assert result.circuit.name == "ota5"
+    assert result.graph.ports == ("vinp", "vinn", "vout", "vbn", "vdd!")
+    prims = {p.name: p for p in result.primitives}
+    assert set(prims) == {
+        "u0_current_mirror", "u1_differential_pair", "u2_current_source",
+    }
+    mirror = prims["u0_current_mirror"]
+    assert mirror.binding.family == "pmos_current_mirror"
+    assert mirror.binding.base_fins == 32
+    dp = prims["u1_differential_pair"]
+    assert set(dp.match.device_names) == {"dp.MA", "dp.MB"}
+    assert ("vinp", "vinn") in dp.match.symmetric_nets
+    tail = prims["u2_current_source"]
+    assert tail.binding.base_fins == 64
+
+
+def test_comparator_recognition(corpus):
+    result = corpus["comparator"]
+    prims = {p.name: p.binding.family for p in result.primitives}
+    assert prims == {
+        "u0_cross_coupled_pair": "cross_coupled_pair",
+        "u1_cross_coupled_pair": "pmos_cross_coupled_pair",
+        "u2_differential_pair": "differential_pair",
+        "u3_current_source": "current_source",
+        "u4_current_source": "pmos_current_source",
+        "u5_current_source": "pmos_current_source",
+    }
+    nxcp = next(p for p in result.primitives
+                if p.name == "u0_cross_coupled_pair")
+    assert set(nxcp.match.device_names) == {"latch.XA", "latch.XB"}
+
+
+def test_diff_amp_recognition(corpus):
+    result = corpus["diff_amp"]
+    assert result.circuit.name == "diff_amp"
+    assert result.graph.ports == (
+        "vinp", "vinn", "voutp", "voutn", "vdd!",
+    )
+    prims = {p.name: p for p in result.primitives}
+    mirror = prims["u0_current_mirror"]
+    assert mirror.binding.ratio == 4
+    assert mirror.binding.base_fins == 16
+    dp = prims["u1_differential_pair"]
+    assert dp.binding.family == "differential_pair"
+    assert ("voutp", "voutn") in dp.match.symmetric_nets
+
+
+def test_json_is_deterministic(corpus, tech):
+    for name, result in corpus.items():
+        text = (CORPUS / f"{name}.sp").read_text()
+        again = ingest_netlist(
+            text, source=result.source, tech=tech, validate=True,
+        )
+        first = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        second = json.dumps(again.to_dict(), indent=2, sort_keys=True)
+        assert first == second
+
+
+def test_in_tree_ota_recognized_from_its_own_spice(tech):
+    circuit = FiveTransistorOta(tech).schematic()
+    result = ingest_netlist(
+        write_spice(circuit), source="ota5t", tech=tech, validate=False,
+    )
+    kinds = sorted(p.match.kind for p in result.primitives)
+    assert kinds == [
+        "current_mirror", "current_source", "differential_pair",
+    ]
+    assert result.coverage == 1.0
+
+
+def test_no_devices_flagged(tech):
+    result = ingest_netlist(
+        "* t\nR1 a 0 1k\n.end\n", tech=tech, validate=False,
+    )
+    assert "TOPO-NO-DEVICES" in [v.rule for v in result.report.violations]
+
+
+def test_uncovered_and_ambiguous_flagged(tech):
+    text = (
+        "* t\n"
+        "MA oa ia tail 0 nfet nfin=8 nf=2\n"
+        "MB ob ib tail 0 nfet nfin=8 nf=2\n"
+        "MC oc ic tail 0 nfet nfin=8 nf=2\n"
+        "MT tail vb 0 0 nfet nfin=8 nf=2\n"
+        ".end\n"
+    )
+    result = ingest_netlist(text, tech=tech, validate=False)
+    rules = {v.rule for v in result.report.violations}
+    assert "TOPO-UNCOVERED" in rules
+    assert "TOPO-AMBIGUOUS" in rules
+
+
+def test_ingested_circuit_builds_flow_bindings(corpus, tech):
+    circuit = IngestedCircuit(corpus["diff_amp"], tech)
+    bindings = circuit.bindings()
+    assert [b.name for b in bindings] == [
+        "u0_current_mirror", "u1_differential_pair",
+    ]
+    mirror = bindings[0]
+    assert mirror.primitive.base_fins == 16
+    assert mirror.primitive.name == "u0_current_mirror"
+    assert mirror.port_map == {"in": "nbias", "out": "ntail"}
+    assert circuit.skipped == []
+
+
+def test_ingested_circuit_skips_unboundable(tech):
+    # A multi-output mirror has constraints but no library family.
+    text = (
+        "* t\n"
+        "M1 nb nb 0 0 nfet nfin=8 nf=2\n"
+        "M2 o1 nb 0 0 nfet nfin=8 nf=2\n"
+        "M3 o2 nb 0 0 nfet nfin=8 nf=2\n"
+        "Rb vdd! nb 100k\n"
+        ".end\n"
+    )
+    result = ingest_netlist(text, tech=tech, validate=False)
+    circuit = IngestedCircuit(result, tech)
+    assert circuit.bindings() == []
+    assert circuit.skipped == ["u0_current_mirror"]
+
+
+def test_ingested_circuit_testbench_and_measure(corpus, tech):
+    from repro.errors import OptimizationError
+    from repro.spice.netlist import Circuit
+
+    circuit = IngestedCircuit(corpus["ota"], tech)
+    tb = Circuit("tb")
+    circuit.finish_testbench(tb)
+    supplies = [e for e in tb.elements]
+    assert len(supplies) == 1
+    assert supplies[0].plus == "vdd!"
+    with pytest.raises(OptimizationError, match="measure=False"):
+        circuit.measure(Circuit("dut"))
+
+
+def test_gen_fail_is_reported_not_raised(tech, monkeypatch):
+    # When the cell generator cannot realize a spec, the pipeline
+    # degrades to a TOPO-GEN-FAIL warning instead of raising.
+    from repro.errors import LayoutError
+    from repro.ingest import pipeline
+
+    def boom(*args, **kwargs):
+        raise LayoutError("no legal placement")
+
+    monkeypatch.setattr(pipeline, "generate_layout", boom)
+    text = (
+        "* t\n"
+        "MA outp inp tail 0 nfet nfin=8 nf=2\n"
+        "MB outn inn tail 0 nfet nfin=8 nf=2\n"
+        "MT tail vb 0 0 nfet nfin=8 nf=2\n"
+        "Rp vdd! outp 10k\n"
+        "Rn vdd! outn 10k\n"
+        ".end\n"
+    )
+    result = ingest_netlist(text, tech=tech, validate=True)
+    flags = [v for v in result.report.violations
+             if v.rule == "TOPO-GEN-FAIL"]
+    assert flags
+    assert "no legal placement" in flags[0].message

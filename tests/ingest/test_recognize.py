@@ -1,0 +1,199 @@
+"""The subgraph recognizer: per-pattern matches, claiming, ambiguity."""
+
+from repro.ingest import build_device_graph, parse_spice, recognize
+
+
+def _recognize(tech, text):
+    return recognize(build_device_graph(parse_spice(text, tech=tech)))
+
+
+def _kinds(recognition):
+    return [m.kind for m in recognition.matches]
+
+
+def test_differential_pair(tech):
+    text = (
+        "* t\n"
+        "MA outp inp tail 0 nfet nfin=8 nf=2\n"
+        "MB outn inn tail 0 nfet nfin=8 nf=2\n"
+        "MT tail vb 0 0 nfet nfin=8 nf=2\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["differential_pair", "current_source"]
+    dp = rec.matches[0]
+    assert dp.polarity == "n"
+    assert set(dp.device_names) == {"A", "B"}
+    assert dict(dp.nets)["tail"] == "tail"
+    assert rec.uncovered == ()
+    assert rec.coverage == 1.0
+
+
+def test_pmos_differential_pair(tech):
+    text = (
+        "* t\n"
+        "MA outp inp tail vdd! pfet nfin=8 nf=2\n"
+        "MB outn inn tail vdd! pfet nfin=8 nf=2\n"
+        "MT tail vb vdd! vdd! pfet nfin=8 nf=2\n"
+        "Rp outp 0 10k\n"
+        "Rn outn 0 10k\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["differential_pair", "current_source"]
+    assert rec.matches[0].polarity == "p"
+
+
+def test_simple_mirror_and_ratio_roles(tech):
+    text = (
+        "* t\n"
+        "M1 nb nb 0 0 nfet nfin=8 nf=2 m=1\n"
+        "M2 out nb 0 0 nfet nfin=8 nf=2 m=4\n"
+        "Rb vdd! nb 100k\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["current_mirror"]
+    mirror = rec.matches[0]
+    assert mirror.device_of("MREF") == "1"
+    assert mirror.device_of("MOUT") == "2"
+    assert mirror.ratioed
+
+
+def test_multi_output_mirror_merges(tech):
+    text = (
+        "* t\n"
+        "M1 nb nb 0 0 nfet nfin=8 nf=2\n"
+        "M2 o1 nb 0 0 nfet nfin=8 nf=2\n"
+        "M3 o2 nb 0 0 nfet nfin=8 nf=2\n"
+        "Rb vdd! nb 100k\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["current_mirror"]
+    roles = [role for role, _ in rec.matches[0].devices]
+    assert roles == ["MREF", "MOUT", "MOUT2"]
+    assert rec.ambiguities == ()
+    assert rec.coverage == 1.0
+
+
+def test_cascode_mirror_shadows_simple_mirror(tech):
+    text = (
+        "* t\n"
+        "M1 mr mr 0 0 nfet nfin=8 nf=2\n"
+        "M2 in in mr 0 nfet nfin=8 nf=2\n"
+        "M3 mo mr 0 0 nfet nfin=8 nf=2\n"
+        "M4 out in mo 0 nfet nfin=8 nf=2\n"
+        "Rb vdd! in 100k\n"
+        "Rl vdd! out 10k\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["cascode_current_mirror"]
+    cm = rec.matches[0]
+    assert cm.device_of("MREF") == "1"
+    assert cm.device_of("MCOUT") == "4"
+    # The inner simple mirror (M1, M3) must not be reported as ambiguous:
+    # cross-kind overlap resolves silently by priority.
+    assert rec.ambiguities == ()
+
+
+def test_cross_coupled_pair_beats_diff_pair(tech):
+    text = (
+        "* t\n"
+        "MA outp outn tail 0 nfet nfin=8 nf=2\n"
+        "MB outn outp tail 0 nfet nfin=8 nf=2\n"
+        "MT tail vb 0 0 nfet nfin=8 nf=2\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["cross_coupled_pair", "current_source"]
+
+
+def test_inverter_is_cmos_coverage_only(tech):
+    text = (
+        "* t\n"
+        "Mp out in vdd! vdd! pfet nfin=4 nf=1\n"
+        "Mn out in 0 0 nfet nfin=4 nf=1\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["inverter"]
+    inv = rec.matches[0]
+    assert inv.polarity == "cmos"
+    assert inv.matched_roles == ()
+    assert rec.coverage == 1.0
+
+
+def test_diode_device(tech):
+    text = "* t\nM1 out out 0 0 nfet nfin=8 nf=2\nRb vdd! out 10k\n.end\n"
+    rec = _recognize(tech, text)
+    assert _kinds(rec) == ["diode_device"]
+
+
+def test_triple_shared_tail_flags_ambiguity(tech):
+    # Three common-source devices on one tail admit three valid
+    # differential-pair embeddings; the canonical one claims two
+    # devices, the same-kind losers are reported as ambiguities.
+    text = (
+        "* t\n"
+        "MA oa ia tail 0 nfet nfin=8 nf=2\n"
+        "MB ob ib tail 0 nfet nfin=8 nf=2\n"
+        "MC oc ic tail 0 nfet nfin=8 nf=2\n"
+        "MT tail vb 0 0 nfet nfin=8 nf=2\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec).count("differential_pair") == 1
+    assert len(rec.ambiguities) >= 1
+    assert all(a.kind == "differential_pair" for a in rec.ambiguities)
+    claimed = set(rec.matches[0].device_names)
+    for amb in rec.ambiguities:
+        assert set(amb.conflicts) & claimed
+
+
+def test_only_rail_valid_cascode_matches(tech):
+    # M2 sits between M1 and M3, but the (M2, M3) embedding is invalid —
+    # its bottom source is off-rail — so only (M1, M2) matches and no
+    # ambiguity is reported.
+    text = (
+        "* t\n"
+        "M1 a vin 0 0 nfet nfin=8 nf=2\n"
+        "M2 b vb1 a 0 nfet nfin=8 nf=2\n"
+        "M3 out vb2 b 0 nfet nfin=8 nf=2\n"
+        "Rl vdd! out 10k\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert _kinds(rec).count("cascode_stack") == 1
+    assert set(rec.matches[0].device_names) == {"1", "2"}
+    assert rec.ambiguities == ()
+    assert rec.uncovered == ("3",)
+
+
+def test_source_degenerated_device_is_uncovered(tech):
+    text = (
+        "* t\n"
+        "M1 out vb ns 0 nfet nfin=8 nf=2\n"
+        "Rs ns 0 1k\n"
+        "Rl vdd! out 10k\n"
+        ".end\n"
+    )
+    rec = _recognize(tech, text)
+    assert rec.matches == ()
+    assert rec.uncovered == ("1",)
+    assert rec.coverage == 0.0
+
+
+def test_match_order_is_input_order_independent(tech):
+    base = [
+        "MA outp inp tail 0 nfet nfin=8 nf=2",
+        "MB outn inn tail 0 nfet nfin=8 nf=2",
+        "MT tail vb 0 0 nfet nfin=8 nf=4",
+        "M1 vb vb 0 0 nfet nfin=8 nf=4",
+    ]
+    fwd = _recognize(tech, "* t\n" + "\n".join(base) + "\n.end\n")
+    rev = _recognize(tech, "* t\n" + "\n".join(reversed(base)) + "\n.end\n")
+    assert [(m.kind, m.device_names) for m in fwd.matches] == [
+        (m.kind, m.device_names) for m in rev.matches
+    ]

@@ -1,0 +1,217 @@
+"""Write→parse round-trip: property-based and over in-tree circuits.
+
+The writer emits shortest-round-trip decimals (``io.spice_writer._fmt``)
+and the parser accepts exactly the writer's dialect, so
+``parse_spice(write_spice(c))`` must reproduce every element — and a
+second ``write_spice`` must be a byte fixpoint.  LDE overrides set by
+primitive ``schematic_circuit()``s (``cdb``/``csb`` caps, Vth mismatch)
+are not serialized, so equality is defined over the serialized
+attributes: names, nets, values, waveforms, sizing and LDE annotations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CommonSourceAmpCircuit,
+    FiveTransistorOta,
+    RingOscillatorVco,
+    StrongArmComparator,
+)
+from repro.devices.lde import LdeContext
+from repro.devices.mosfet import MosGeometry
+from repro.ingest import parse_spice
+from repro.io import write_spice
+from repro.primitives import PrimitiveLibrary
+from repro.spice.elements import Mosfet
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Dc, Pulse, Pwl, Sin
+from repro.tech import Technology
+
+# -- equality helpers -------------------------------------------------------
+
+
+def _element_key(elem):
+    """The serialized identity of one element."""
+    if isinstance(elem, Mosfet):
+        return (
+            "M", elem.name, elem.d, elem.g, elem.s, elem.b,
+            elem.card.polarity,
+            (elem.geometry.nfin, elem.geometry.nf, elem.geometry.m),
+            (elem.lde.vth_shift, elem.lde.mobility_factor),
+        )
+    fields = {
+        "Resistor": ("a", "b", "value"),
+        "Capacitor": ("a", "b", "value"),
+        "Inductor": ("a", "b", "value"),
+        "VoltageSource": (
+            "plus", "minus", "waveform", "ac_magnitude", "ac_phase_deg",
+        ),
+        "CurrentSource": (
+            "a", "b", "waveform", "ac_magnitude", "ac_phase_deg",
+        ),
+        "Vcvs": ("plus", "minus", "ctrl_plus", "ctrl_minus", "gain"),
+        "Vccs": ("a", "b", "ctrl_plus", "ctrl_minus", "gain"),
+    }[type(elem).__name__]
+    return (type(elem).__name__, elem.name) + tuple(
+        getattr(elem, f) for f in fields
+    )
+
+
+def assert_roundtrip(circuit, tech):
+    """Element-for-element equality plus a byte fixpoint."""
+    text = write_spice(circuit)
+    parsed = parse_spice(text, tech=tech)
+    assert len(parsed.elements) == len(circuit.elements)
+    for orig, back in zip(circuit.elements, parsed.elements):
+        assert _element_key(orig) == _element_key(back)
+    assert parsed.ports == circuit.ports
+    assert write_spice(parsed) == text
+
+
+# -- property-based: random circuits ----------------------------------------
+
+NETS = ("0", "n1", "n2", "n3", "na", "nb", "vdd!", "out_p")
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False,
+)
+positive = st.floats(
+    min_value=1e-12, max_value=1e9, allow_nan=False, allow_infinity=False,
+)
+nonneg = st.one_of(st.just(0.0), positive)
+net = st.sampled_from(NETS)
+
+
+def _pwl(times, values):
+    points = tuple(zip(sorted(set(times)), values))
+    return Pwl(points=points)
+
+
+waveform = st.one_of(
+    st.builds(Dc, level=finite),
+    st.builds(
+        Pulse, v1=finite, v2=finite, delay=nonneg, rise=positive,
+        fall=positive, width=nonneg, period=nonneg,
+    ),
+    st.builds(
+        Sin, offset=finite, amplitude=finite, frequency=positive,
+        delay=nonneg, damping=nonneg,
+    ),
+    st.builds(
+        _pwl,
+        times=st.lists(nonneg, min_size=1, max_size=4, unique=True),
+        values=st.lists(finite, min_size=4, max_size=4),
+    ),
+)
+
+# ``AC 0`` is not serialized, so a phase without magnitude cannot
+# round-trip; generate either no AC spec or a full one.
+ac_spec = st.one_of(
+    st.just((0.0, 0.0)),
+    st.tuples(positive, finite),
+)
+
+geometry = st.builds(
+    MosGeometry,
+    nfin=st.integers(min_value=1, max_value=64),
+    nf=st.integers(min_value=1, max_value=32),
+    m=st.integers(min_value=1, max_value=8),
+)
+
+lde = st.one_of(
+    st.just(LdeContext()),
+    st.builds(
+        LdeContext,
+        vth_shift=st.floats(min_value=-0.1, max_value=0.1,
+                            allow_nan=False, allow_infinity=False),
+        mobility_factor=st.floats(min_value=0.5, max_value=1.5,
+                                  allow_nan=False, allow_infinity=False),
+    ),
+)
+
+
+@st.composite
+def circuits(draw):
+    tech = Technology.default()
+    circuit = Circuit(draw(st.sampled_from(("prop", "rt", "gen"))))
+    n = draw(st.integers(min_value=1, max_value=10))
+    for i in range(n):
+        kind = draw(st.sampled_from("RCLVIEGM"))
+        name = f"{kind.lower()}{i}"
+        a, b = draw(net), draw(net)
+        if kind == "R":
+            circuit.add_resistor(name, a, b, draw(positive))
+        elif kind == "C":
+            circuit.add_capacitor(name, a, b, draw(nonneg))
+        elif kind == "L":
+            circuit.add_inductor(name, a, b, draw(positive))
+        elif kind == "V":
+            mag, phase = draw(ac_spec)
+            circuit.add_vsource(name, a, b, draw(waveform), mag, phase)
+        elif kind == "I":
+            mag, phase = draw(ac_spec)
+            circuit.add_isource(name, a, b, draw(waveform), mag, phase)
+        elif kind == "E":
+            circuit.add_vcvs(name, a, b, draw(net), draw(net),
+                             draw(finite))
+        elif kind == "G":
+            circuit.add_vccs(name, a, b, draw(net), draw(net),
+                             draw(finite))
+        else:
+            circuit.add_mosfet(
+                name, a, draw(net), b, draw(net),
+                tech.card(draw(st.sampled_from("np"))),
+                draw(geometry), lde=draw(lde),
+            )
+    if draw(st.booleans()):
+        circuit.ports = list(dict.fromkeys(
+            draw(st.lists(net.filter(lambda x: x != "0"),
+                          min_size=1, max_size=3))
+        ))
+    return circuit
+
+
+@given(circuit=circuits())
+@settings(max_examples=60, deadline=None)
+def test_random_circuits_roundtrip(circuit):
+    assert_roundtrip(circuit, Technology.default())
+
+
+# -- in-tree circuits and primitives ----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [CommonSourceAmpCircuit, FiveTransistorOta, StrongArmComparator,
+     RingOscillatorVco],
+)
+def test_benchmark_schematics_roundtrip(tech, cls):
+    assert_roundtrip(cls(tech).schematic(), tech)
+
+
+def test_every_library_primitive_roundtrips(tech):
+    library = PrimitiveLibrary()
+    covered = 0
+    for name in library.names():
+        try:
+            primitive = library.create(name, tech, base_fins=48)
+        except TypeError:
+            continue  # families with extra mandatory arguments
+        schematic = primitive.schematic_circuit()
+        assert_roundtrip(schematic, tech)
+        covered += 1
+    assert covered >= 10
+
+
+def test_testbench_with_ac_sources_roundtrips(tech):
+    tb = Circuit("tb")
+    tb.add_vsource("sup", "vdd!", "0", 0.8)
+    tb.add_vsource("in", "nin", "0", Dc(0.4), 1.0, 0.0)
+    tb.add_vsource("clk", "nclk", "0",
+                   Pulse(0.0, 0.8, 1e-9, 1e-11, 1e-11, 5e-9, 10e-9))
+    tb.add_mosfet("1", "nout", "nin", "0", "0", tech.card("n"),
+                  MosGeometry(8, 2, 1))
+    tb.add_resistor("l", "vdd!", "nout", 10e3)
+    assert_roundtrip(tb, tech)
