@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test faults bench bench-eval bench-spice bench-light bench-heavy examples lint verify erc ingest all
+.PHONY: install test faults chaos bench bench-eval bench-spice bench-light bench-heavy examples lint verify erc ingest all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,14 @@ REPRO_FAULT_SEEDS ?= 0,1,2,3
 
 faults:
 	REPRO_FAULT_SEEDS=$(REPRO_FAULT_SEEDS) pytest tests/runtime/ -q $(TIMEOUT_FLAG)
+
+# Chaos drills: worker SIGKILLs, torn journal tails, corrupted cache
+# entries, full disks, and concurrent shared-cache access — under the
+# same deterministic seed matrix as `make faults`.  Set
+# REPRO_CHAOS_ARTIFACTS to keep each scenario's run dir (journals +
+# evalcache) for post-mortem; CI uploads it on failure.
+chaos:
+	REPRO_FAULT_SEEDS=$(REPRO_FAULT_SEEDS) pytest tests/runtime/test_chaos.py tests/runtime/test_supervise.py -q $(TIMEOUT_FLAG)
 
 # Static checks.  ruff/mypy are dev-only tools (installed in CI); when a
 # local environment lacks one, that half is skipped rather than failing.

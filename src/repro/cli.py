@@ -89,6 +89,7 @@ def _policy_from_args(args: argparse.Namespace):
             args.retries if args.retries is not None else defaults.max_retries
         ),
         deadline_s=args.deadline,
+        task_timeout_s=getattr(args, "task_timeout", None),
     )
 
 
@@ -125,8 +126,13 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         resume=args.resume,
         jobs=_jobs_from_args(args),
         cache=args.cache,
+        cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
     )
-    report = optimizer.optimize(primitive)
+    from repro.runtime import graceful_shutdown
+
+    with graceful_shutdown(run_dir=args.run_dir):
+        report = optimizer.optimize(primitive)
     rows = []
     for result in report.tuned:
         o = result.option
@@ -196,8 +202,13 @@ def cmd_flow(args: argparse.Namespace) -> int:
         resume=args.resume,
         jobs=_jobs_from_args(args),
         cache=args.cache,
+        cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
     )
-    result = flow.run(circuit, flavor=args.flavor, measure=measure)
+    from repro.runtime import graceful_shutdown
+
+    with graceful_shutdown(run_dir=args.run_dir):
+        result = flow.run(circuit, flavor=args.flavor, measure=measure)
     print(f"{target} / {args.flavor}: "
           f"modeled runtime {result.modeled_runtime:.0f}s, "
           f"wall {result.wall_time:.1f}s")
@@ -494,6 +505,31 @@ def build_parser() -> argparse.ArgumentParser:
             default=True,
             help="content-addressed evaluation cache (on-disk tier under "
             "--run-dir when set)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="shared disk directory for the evaluation cache "
+            "(overrides the <run-dir>/evalcache default; safe to share "
+            "between concurrent runs)",
+        )
+        p.add_argument(
+            "--cache-max-mb",
+            type=float,
+            default=None,
+            metavar="MB",
+            help="size cap for the on-disk cache tier in MiB (stalest "
+            "entries are evicted past the cap; default: unbounded)",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="per-task watchdog deadline (seconds): a worker whose "
+            "evaluation hangs past it is SIGKILLed and the task recorded "
+            "as EVAL-TIMEOUT (default: no watchdog)",
         )
         add_solver_arg(p)
 

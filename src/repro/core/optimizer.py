@@ -174,6 +174,13 @@ class PrimitiveOptimizer:
             checkpointing), ``False`` disables caching, or pass an
             :class:`~repro.runtime.EvalCache` to share across
             optimizers (as the flow does).
+        cache_dir: Explicit disk-tier directory for the content cache
+            (``--cache-dir``), overriding the ``<run_dir>/evalcache``
+            default — safe to share between concurrent runs (the tier
+            is checksummed and written atomically).
+        cache_max_mb: Size cap in MiB for the disk tier
+            (``--cache-max-mb``); stalest entries are evicted once the
+            tier exceeds it.  None leaves it unbounded.
     """
 
     def __init__(
@@ -187,6 +194,8 @@ class PrimitiveOptimizer:
         erc: bool = True,
         jobs: int | None = None,
         cache: "bool | EvalCache" = True,
+        cache_dir: str | os.PathLike | None = None,
+        cache_max_mb: float | None = None,
     ):
         self.n_bins = n_bins
         self.max_wires = max_wires
@@ -200,11 +209,18 @@ class PrimitiveOptimizer:
             self.cache: EvalCache | None = cache
         elif cache:
             disk = (
-                Path(self.run_dir) / "evalcache"
+                Path(cache_dir)
+                if cache_dir is not None
+                else Path(self.run_dir) / "evalcache"
                 if self.run_dir is not None
                 else None
             )
-            self.cache = EvalCache(disk_dir=disk)
+            max_bytes = (
+                int(cache_max_mb * 1024 * 1024)
+                if cache_max_mb is not None
+                else None
+            )
+            self.cache = EvalCache(disk_dir=disk, max_disk_bytes=max_bytes)
         else:
             self.cache = None
 
@@ -327,6 +343,11 @@ class PrimitiveOptimizer:
                 "hits": runtime.cache.stats.hits,
                 "stored": runtime.cache.stats.stored,
             }
+            # Surface a disk-tier downgrade (ENOSPC, permissions,
+            # corruption of the directory itself) on the report's
+            # failure ledger — once, with the first cause.
+            if runtime.cache.downgrade_reason is not None:
+                report.failures.mark_downgrade(runtime.cache.downgrade_reason)
         if runtime.solver_stats:
             report.solver_profile = runtime.solver_stats.as_dict()
         return report

@@ -151,6 +151,11 @@ class HierarchicalFlow:
             stage of the run (with an on-disk tier under
             ``<run_dir>/evalcache`` when checkpointing); ``False``
             disables it.
+        cache_dir: Explicit disk-tier directory (``--cache-dir``),
+            overriding the ``<run_dir>/evalcache`` default; safe to
+            share between concurrent flows.
+        cache_max_mb: Size cap in MiB for the disk tier
+            (``--cache-max-mb``); None leaves it unbounded.
     """
 
     def __init__(
@@ -168,6 +173,8 @@ class HierarchicalFlow:
         waivers: WaiverSet | None = None,
         jobs: int | None = None,
         cache: bool = True,
+        cache_dir: str | None = None,
+        cache_max_mb: float | None = None,
     ):
         self.tech = tech
         self.n_bins = n_bins
@@ -182,8 +189,21 @@ class HierarchicalFlow:
         self.waivers = waivers
         self.jobs = jobs
         if cache:
-            disk = Path(run_dir) / "evalcache" if run_dir is not None else None
-            self.cache: EvalCache | None = EvalCache(disk_dir=disk)
+            disk = (
+                Path(cache_dir)
+                if cache_dir is not None
+                else Path(run_dir) / "evalcache"
+                if run_dir is not None
+                else None
+            )
+            max_bytes = (
+                int(cache_max_mb * 1024 * 1024)
+                if cache_max_mb is not None
+                else None
+            )
+            self.cache: EvalCache | None = EvalCache(
+                disk_dir=disk, max_disk_bytes=max_bytes
+            )
         else:
             self.cache = None
 
@@ -252,6 +272,10 @@ class HierarchicalFlow:
                 )
         if flow_stats:
             result.solver_profile = flow_stats.as_dict()
+        if self.cache is not None and self.cache.downgrade_reason is not None:
+            # Flow-level surfacing of a disk-tier downgrade (per-stage
+            # ledgers already carry it when the optimizer saw it first).
+            result.failures.mark_downgrade(self.cache.downgrade_reason)
 
         result.wall_time = time.perf_counter() - start
         result.modeled_runtime = self._model_runtime(result)

@@ -4,7 +4,9 @@ Wraps every simulation-backed evaluation of the optimization flow with a
 structured failure taxonomy (:mod:`~repro.runtime.failures`), bounded
 retries and per-stage budgets (:mod:`~repro.runtime.policy`), sweep
 checkpointing for crash/resume (:mod:`~repro.runtime.checkpoint`), and a
-deterministic fault-injection harness (:mod:`~repro.runtime.faults`).
+deterministic fault-injection harness (:mod:`~repro.runtime.faults`),
+and worker supervision with graceful shutdown
+(:mod:`~repro.runtime.supervise`).
 
 See ``docs/robustness.md`` for the failure-code catalog and the
 degradation ladder.
@@ -24,6 +26,7 @@ from repro.runtime.failures import (
     EVAL_TIMEOUT,
     FAILURE_CODES,
     SINGULAR_MNA,
+    WORKER_LOST,
     EvalFailure,
     FailureLog,
     classify_failure,
@@ -32,6 +35,12 @@ from repro.runtime.failures import (
 from repro.runtime.faults import FaultInjector, FaultSpec, inject
 from repro.runtime.parallel import ParallelEvalRuntime, resolve_jobs
 from repro.runtime.policy import BatchTask, EvalBatch, EvalRuntime, RetryPolicy
+from repro.runtime.supervise import (
+    SupervisedPool,
+    flush_all,
+    graceful_shutdown,
+    register_flushable,
+)
 
 __all__ = [
     "BAD_METRIC",
@@ -40,6 +49,7 @@ __all__ = [
     "EVAL_TIMEOUT",
     "FAILURE_CODES",
     "SINGULAR_MNA",
+    "WORKER_LOST",
     "BatchTask",
     "EvalBatch",
     "EvalCache",
@@ -50,12 +60,16 @@ __all__ = [
     "FaultSpec",
     "ParallelEvalRuntime",
     "RetryPolicy",
+    "SupervisedPool",
     "SweepJournal",
     "analysis_signature",
     "classify_failure",
     "content_key",
     "evaluate_circuit_cached",
+    "flush_all",
+    "graceful_shutdown",
     "inject",
     "is_eval_failure",
+    "register_flushable",
     "resolve_jobs",
 ]

@@ -14,6 +14,15 @@ journal is replayed into a key -> entry map; the runtime answers cached
 keys without re-simulating and re-records journaled failures into the
 live :class:`~repro.runtime.failures.FailureLog` so resumed reports
 account for every failure of the whole logical run.
+
+A crash mid-append leaves a *torn tail*: a final line that is not valid
+JSON.  Resume **truncates** the torn tail (recording how many bytes were
+cut on :attr:`SweepJournal.truncated_tail`) before reopening the file
+for append, so the resumed journal is clean JSONL end-to-end — a second
+crash/resume cycle sees no artifact of the first.  An unreadable
+*interior* line is different: it means the file was corrupted some other
+way, and silently dropping completed work would be worse than stopping,
+so it raises :class:`~repro.errors.CheckpointError`.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import os
 from pathlib import Path
 
 from repro.errors import CheckpointError
+from repro.runtime import supervise
 from repro.runtime.failures import EvalFailure
 
 STATUS_OK = "ok"
@@ -42,40 +52,58 @@ class SweepJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._entries: dict[str, dict] = {}
+        #: Bytes cut off the journal tail on resume (0 for a clean file).
+        self.truncated_tail = 0
         if resume and self.path.exists():
             self._replay()
         elif not resume:
             self.path.write_text("")
         self._file = self.path.open("a", encoding="utf-8")
+        supervise.register_flushable(self)
 
     def _replay(self) -> None:
-        for lineno, line in enumerate(
-            self.path.read_text(encoding="utf-8").splitlines(), start=1
-        ):
-            line = line.strip()
-            if not line:
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        nonempty = [i for i, chunk in enumerate(lines) if chunk.strip()]
+        last = nonempty[-1] if nonempty else -1
+        offset = 0
+        good_end = 0  # byte offset just past the last well-formed line
+        for i, chunk in enumerate(lines):
+            end = offset + len(chunk) + (1 if i < len(lines) - 1 else 0)
+            stripped = chunk.strip()
+            if not stripped:
+                offset = end
                 continue
             try:
-                entry = json.loads(line)
+                entry = json.loads(stripped.decode("utf-8"))
                 key = entry["key"]
                 status = entry["status"]
-            except (json.JSONDecodeError, KeyError, TypeError):
-                # A torn final line is the expected crash artifact; a torn
-                # *interior* line means the file was corrupted some other
-                # way and silently skipping it would drop completed work.
-                if lineno == self._line_count():
-                    continue
+            except (
+                UnicodeDecodeError,
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+            ):
+                # A torn *final* line is the expected crash artifact:
+                # truncate it so the resumed journal appends to clean
+                # JSONL.  A torn *interior* line means some other
+                # corruption; skipping it would drop completed work.
+                if i == last:
+                    self.truncated_tail = len(raw) - good_end
+                    break
                 raise CheckpointError(
-                    f"{self.path}:{lineno}: unreadable journal entry"
+                    f"{self.path}:{i + 1}: unreadable journal entry"
                 ) from None
             if status not in (STATUS_OK, STATUS_FAILED):
                 raise CheckpointError(
-                    f"{self.path}:{lineno}: unknown status {status!r}"
+                    f"{self.path}:{i + 1}: unknown status {status!r}"
                 )
             self._entries[key] = entry
-
-    def _line_count(self) -> int:
-        return len(self.path.read_text(encoding="utf-8").splitlines())
+            offset = end
+            good_end = end
+        if self.truncated_tail:
+            with self.path.open("rb+") as handle:
+                handle.truncate(good_end)
 
     # -- queries ---------------------------------------------------------
 
@@ -127,6 +155,18 @@ class SweepJournal:
                 "failures": [f.to_dict() for f in failures],
             }
         )
+
+    def flush(self) -> None:
+        """Force buffered appends to disk (signal-handler durability hook).
+
+        Every :meth:`_append` already flushes and fsyncs, so this is
+        normally a no-op — it exists so
+        :func:`repro.runtime.supervise.graceful_shutdown` can flush all
+        registered sinks without knowing their types.
+        """
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         self._file.close()

@@ -17,11 +17,18 @@ Code                      Meaning
 ``EVAL-TIMEOUT``          One evaluation exceeded its wall-clock deadline.
 ``BAD-METRIC``            A measured metric came back NaN/inf (or a metric
                           testbench raised a measurement error).
+``WORKER-LOST``           An evaluation worker process died (SIGKILL, OOM,
+                          segfault) and the task was quarantined after
+                          killing a replacement worker too.
 ========================  ====================================================
 
 Failures are accumulated on a per-run :class:`FailureLog` that the
 optimizer attaches to its report; it serializes to plain dicts so the
-checkpoint journal can replay it across a resume.
+checkpoint journal can replay it across a resume.  The log also carries
+the run's *downgrade ledger* — one entry per graceful-degradation step
+taken (parallel pool replaced or abandoned for serial execution, disk
+cache fallen back to memory-only, journal tail truncated), recorded once
+each and surfaced through ``summary()``.
 """
 
 from __future__ import annotations
@@ -36,9 +43,17 @@ CONV_TRAN = "CONV-TRAN"
 SINGULAR_MNA = "SINGULAR-MNA"
 EVAL_TIMEOUT = "EVAL-TIMEOUT"
 BAD_METRIC = "BAD-METRIC"
+WORKER_LOST = "WORKER-LOST"
 
 #: Every stable failure code, in documentation order.
-FAILURE_CODES = (CONV_DC, CONV_TRAN, SINGULAR_MNA, EVAL_TIMEOUT, BAD_METRIC)
+FAILURE_CODES = (
+    CONV_DC,
+    CONV_TRAN,
+    SINGULAR_MNA,
+    EVAL_TIMEOUT,
+    BAD_METRIC,
+    WORKER_LOST,
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +129,10 @@ class FailureLog:
     failures: list[EvalFailure] = field(default_factory=list)
     #: Stages whose failure fraction crossed the policy ceiling.
     degraded_stages: list[str] = field(default_factory=list)
+    #: Graceful-degradation steps the run took (each recorded once):
+    #: pool replacement / serial fallback, disk-cache memory-only
+    #: fallback, journal tail truncation.
+    downgrades: list[str] = field(default_factory=list)
 
     def record(self, failure: EvalFailure) -> None:
         self.failures.append(failure)
@@ -122,16 +141,23 @@ class FailureLog:
         if stage not in self.degraded_stages:
             self.degraded_stages.append(stage)
 
+    def mark_downgrade(self, event: str) -> None:
+        """Record one graceful-degradation step, deduplicated by text."""
+        if event not in self.downgrades:
+            self.downgrades.append(event)
+
     def extend(self, other: "FailureLog") -> None:
         self.failures.extend(other.failures)
         for stage in other.degraded_stages:
             self.mark_degraded(stage)
+        for event in other.downgrades:
+            self.mark_downgrade(event)
 
     def __len__(self) -> int:
         return len(self.failures)
 
     def __bool__(self) -> bool:
-        return bool(self.failures)
+        return bool(self.failures) or bool(self.downgrades)
 
     def count(self, code: str | None = None, stage: str | None = None) -> int:
         """Number of recorded failures, optionally filtered."""
@@ -156,18 +182,26 @@ class FailureLog:
 
     def summary(self) -> str:
         """One-line human summary, e.g. ``"3 failures: CONV-DC=2, BAD-METRIC=1"``."""
-        if not self.failures:
+        if not self.failures and not self.downgrades:
             return "no failures"
-        parts = ", ".join(f"{c}={n}" for c, n in sorted(self.by_code().items()))
-        text = f"{len(self.failures)} failures: {parts}"
+        if self.failures:
+            parts = ", ".join(
+                f"{c}={n}" for c, n in sorted(self.by_code().items())
+            )
+            text = f"{len(self.failures)} failures: {parts}"
+        else:
+            text = "no failures"
         if self.degraded_stages:
             text += f" (degraded stages: {', '.join(self.degraded_stages)})"
+        if self.downgrades:
+            text += f" (downgraded: {'; '.join(self.downgrades)})"
         return text
 
     def to_dict(self) -> dict:
         return {
             "failures": [f.to_dict() for f in self.failures],
             "degraded_stages": list(self.degraded_stages),
+            "downgrades": list(self.downgrades),
         }
 
     @classmethod
@@ -177,4 +211,6 @@ class FailureLog:
             log.record(EvalFailure.from_dict(item))
         for stage in data.get("degraded_stages", ()):
             log.mark_degraded(stage)
+        for event in data.get("downgrades", ()):
+            log.mark_downgrade(event)
         return log

@@ -32,18 +32,26 @@ Workers are forked per batch *after* the tasks are registered in module
 state, so closures (primitives, schematic references, the journal-less
 runtime policy) are inherited by memory snapshot and never pickled; only
 plain-data outcomes cross the process boundary.
+
+Dispatch runs under a :class:`~repro.runtime.supervise.SupervisedPool`:
+workers drop heartbeat markers per task, a wall-clock watchdog SIGKILLs
+hung workers (``RetryPolicy.task_timeout_s``), broken pools are rebuilt
+with the unfinished tasks re-dispatched, poison tasks are quarantined as
+recorded ``WORKER-LOST`` failures, and a pool that keeps dying degrades
+the runtime to serial execution — every downgrade recorded once on the
+run's :class:`~repro.runtime.failures.FailureLog`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import EvalTimeoutError, MeasureError
-from repro.runtime import context, faults
+from repro.runtime import context, faults, supervise
 from repro.runtime.failures import (
     EvalFailure,
     classify_failure,
@@ -51,16 +59,21 @@ from repro.runtime.failures import (
 )
 from repro.runtime.policy import BatchTask, EvalBatch, EvalRuntime
 
+_warned_bad_jobs_env = False
+
 
 def resolve_jobs(jobs: int | None = None, default: int | None = 1) -> int:
     """Resolve a worker count: explicit arg, then ``REPRO_JOBS``, then
-    ``default`` (clamped to >= 1).
+    ``default`` (all clamped to >= 1).
 
     The CLI passes ``default=os.cpu_count()``; library entry points
     default to 1 so programmatic users opt in explicitly.  The
     environment hook lets CI run the whole test suite under ``--jobs 2``
-    without threading a flag through every fixture.
+    without threading a flag through every fixture.  ``REPRO_JOBS=0`` or
+    a negative value clamps to 1 (serial); an unparseable value is
+    ignored with a one-time warning instead of silently.
     """
+    global _warned_bad_jobs_env
     if jobs is not None:
         return max(1, int(jobs))
     env = os.environ.get("REPRO_JOBS", "").strip()
@@ -68,7 +81,13 @@ def resolve_jobs(jobs: int | None = None, default: int | None = 1) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            if not _warned_bad_jobs_env:
+                _warned_bad_jobs_env = True
+                warnings.warn(
+                    f"REPRO_JOBS={env!r} is not an integer; ignoring it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return max(1, int(default or 1))
 
 
@@ -114,12 +133,15 @@ class _BatchState:
     stage: str
     policy: Any
     clock: Any
+    #: Heartbeat scratch directory of the supervising pool (None when
+    #: dispatch runs unsupervised, e.g. in unit tests).
+    hb_dir: Any = None
 
 
 _STATE: _BatchState | None = None
 
 
-def _worker_run(index: int) -> TaskOutcome:
+def _worker_run(index: int, dispatch_attempt: int = 0) -> TaskOutcome:
     """Run one task to completion in a worker process.
 
     Mirrors the attempt loop of :meth:`EvalRuntime.evaluate` with two
@@ -127,13 +149,31 @@ def _worker_run(index: int) -> TaskOutcome:
     (the parent truncates at replay if its stage degraded first), and
     every attempt runs under a fresh injector clone so its fault events
     can be reported per attempt.
+
+    ``dispatch_attempt`` counts prior pool generations that died while
+    this task was in flight; the supervisor passes it so the chaos
+    harness can kill a task's worker a bounded number of times.  The
+    heartbeat marker is written before the chaos kill hook runs, so a
+    killed worker is always attributable to its task.
     """
     assert _STATE is not None, "worker forked without batch state"
     task = _STATE.tasks[index]
+    supervise.heartbeat_start(_STATE.hb_dir, index)
+    try:
+        return _worker_attempts(task, dispatch_attempt)
+    finally:
+        supervise.heartbeat_finish(_STATE.hb_dir, index)
+
+
+def _worker_attempts(task: BatchTask, dispatch_attempt: int) -> TaskOutcome:
+    """The attempt loop of one worker-side task (see :func:`_worker_run`)."""
+    assert _STATE is not None, "worker forked without batch state"
     stage = _STATE.stage
     policy = _STATE.policy
     clock = _STATE.clock
     parent_injector = faults.active()
+    if parent_injector is not None:
+        parent_injector.maybe_kill_worker(task.key, dispatch_attempt)
 
     budget = task.retries if task.retries is not None else policy.max_retries
     attempts = 1 + max(0, budget)
@@ -292,28 +332,63 @@ class ParallelEvalRuntime(EvalRuntime):
     def _dispatch(
         self, tasks: list[BatchTask], pending: list[int], stage: str
     ) -> dict[int, TaskOutcome] | None:
-        """Fan ``pending`` task indices out to a fresh fork pool.
+        """Fan ``pending`` task indices out to a supervised fork pool.
 
         Returns None when fork is unavailable (non-POSIX platforms) so
-        the caller degrades to the serial batch.
+        the caller degrades to the serial batch.  Worker crashes, hangs
+        and kills never raise: the supervisor replaces the pool,
+        re-dispatches survivors, and quarantined tasks come back as
+        synthesized ``WORKER-LOST``/``EVAL-TIMEOUT`` failure outcomes.
+        Indices the supervisor gave up on (pool-replacement budget
+        exhausted) are simply absent from the returned map — the batch
+        answers them through the serial path at consumption — and the
+        runtime drops to ``jobs=1`` for the rest of the run, the bottom
+        rung of the degradation ladder.
         """
         global _STATE
         try:
             mp_context = multiprocessing.get_context("fork")
         except ValueError:
             return None
+        supervisor = supervise.SupervisedPool(
+            _worker_run,
+            pending,
+            keys={i: tasks[i].key for i in pending},
+            jobs=min(self.jobs, len(pending)),
+            mp_context=mp_context,
+            task_timeout_s=self.policy.task_timeout_s,
+        )
         _STATE = _BatchState(
-            tasks=tasks, stage=stage, policy=self.policy, clock=self.clock
+            tasks=tasks,
+            stage=stage,
+            policy=self.policy,
+            clock=self.clock,
+            hb_dir=supervisor.heartbeat_dir,
         )
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)),
-                mp_context=mp_context,
-            ) as pool:
-                results = list(pool.map(_worker_run, pending))
+            supervised = supervisor.run()
         finally:
             _STATE = None
-        return dict(zip(pending, results))
+        for event in supervised.events:
+            self.failures.mark_downgrade(event)
+        outcomes = supervised.outcomes
+        for index, lost in supervised.lost.items():
+            failure = EvalFailure(
+                code=lost.code,
+                stage=stage,
+                key=tasks[index].key,
+                message=lost.message,
+                attempt=0,
+            )
+            outcomes[index] = TaskOutcome(
+                kind="eval",
+                attempts=[
+                    AttemptRecord(ok=False, failure=failure.to_dict())
+                ],
+            )
+        if supervised.serial_fallback:
+            self.jobs = 1
+        return outcomes
 
     # -- replay ------------------------------------------------------------
 

@@ -64,12 +64,20 @@ class RetryPolicy:
             spending retries (it still absorbs failures and keeps going).
         retry_perturbation: Relative initial-guess perturbation amplitude
             per retry attempt.
+        task_timeout_s: Per-task wall-clock watchdog deadline for
+            supervised worker pools (``--task-timeout``): a worker whose
+            heartbeat exceeds this age is SIGKILLed, the pool replaced,
+            and the task recorded as ``EVAL-TIMEOUT``.  Unlike
+            ``deadline_s`` (measured *inside* the evaluation), this
+            catches evaluations that hang and never return.  None
+            disables the watchdog.
     """
 
     max_retries: int = 1
     deadline_s: float | None = None
     stage_failure_ceiling: float = 0.5
     retry_perturbation: float = 1e-3
+    task_timeout_s: float | None = None
 
 
 @dataclass

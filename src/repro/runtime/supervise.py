@@ -1,0 +1,429 @@
+"""Worker supervision and graceful shutdown for the evaluation engine.
+
+The fork-pool engine (:mod:`repro.runtime.parallel`) originally trusted
+its workers: a SIGKILLed worker (OOM killer, operator, chaos drill) broke
+the whole ``ProcessPoolExecutor`` and took the run down with it, and a
+hung SPICE solve wedged the pool forever.  This module supplies the
+missing supervision layer:
+
+* **Heartbeats** — each worker drops a small JSON marker
+  (``<index>.hb``: pid + monotonic start time) into a scratch directory
+  when it picks up a task and removes it when done.  The parent reads
+  the markers to attribute pool breakage to the task(s) that were
+  in flight, and to measure how long a running task has been silent.
+* **Watchdog** — with a ``task_timeout_s`` deadline, a task whose
+  heartbeat outlives the deadline is presumed hung: its worker is
+  SIGKILLed, the pool replaced, and the task recorded as an
+  ``EVAL-TIMEOUT`` failure (the in-evaluation ``deadline_s`` cannot
+  catch a solve that never returns).
+* **Pool replacement & quarantine** — a broken pool is rebuilt and the
+  unfinished tasks re-dispatched.  A task that kills
+  ``max_task_deaths`` fresh workers is a *poison task*: it degrades to
+  a recorded ``WORKER-LOST`` failure instead of ever raising.  A run
+  whose pool keeps dying (``max_pool_replacements`` exceeded) falls
+  back to serial in-process execution — the bottom rung of the
+  degradation ladder.
+* **Graceful shutdown** — :func:`graceful_shutdown` installs
+  SIGINT/SIGTERM handlers that flush every registered journal/cache
+  (:func:`register_flushable`) and exit with the conventional
+  ``128 + signum`` code, leaving a resumable ``--run-dir`` behind.
+
+Everything here is deliberately *attribution-conservative*: when a pool
+breaks with several tasks in flight, every in-flight task's death count
+rises (the parent cannot know which one was fatal), so a poison task is
+quarantined within two pool generations while innocent bystanders are
+simply re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import time
+import weakref
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.runtime.failures import EVAL_TIMEOUT, WORKER_LOST
+
+#: Downgrade-ledger texts (stable: tests and dedup key on them).
+DOWNGRADE_POOL_REPLACED = "worker pool: worker lost; pool replaced"
+DOWNGRADE_WATCHDOG_KILL = "worker pool: hung evaluation SIGKILLed by watchdog"
+DOWNGRADE_SERIAL_FALLBACK = (
+    "worker pool: replacement budget exhausted; remaining evaluations "
+    "degraded to serial execution"
+)
+DOWNGRADE_POOL_UNAVAILABLE = (
+    "worker pool: could not start; evaluations degraded to serial execution"
+)
+
+
+# -- heartbeats ----------------------------------------------------------
+
+
+def heartbeat_start(hb_dir: str | os.PathLike | None, index: int) -> None:
+    """Worker-side: mark task ``index`` as started (atomic tmp+rename).
+
+    Written *before* any evaluation work — including the chaos
+    kill hook — so the parent can always attribute a worker death to
+    the task it was running.
+    """
+    if hb_dir is None:
+        return
+    path = Path(hb_dir) / f"{index}.hb"
+    tmp = path.with_name(f".{index}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(
+            json.dumps({"pid": os.getpid(), "start": time.monotonic()}),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+    except OSError:
+        # A heartbeat is advisory; a worker that cannot write one still
+        # evaluates (attribution just degrades to "no suspects").
+        pass
+
+
+def heartbeat_finish(hb_dir: str | os.PathLike | None, index: int) -> None:
+    """Worker-side: clear task ``index``'s started marker."""
+    if hb_dir is None:
+        return
+    try:
+        (Path(hb_dir) / f"{index}.hb").unlink()
+    except OSError:
+        pass
+
+
+def read_heartbeat(hb_dir: str | os.PathLike, index: int) -> dict | None:
+    """Parent-side: the ``{"pid", "start"}`` marker of a started task."""
+    path = Path(hb_dir) / f"{index}.hb"
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return {"pid": int(data["pid"]), "start": float(data["start"])}
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+# -- supervision ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LostTask:
+    """Why one task was written off by the supervisor.
+
+    Attributes:
+        code: ``EVAL-TIMEOUT`` (watchdog kill) or ``WORKER-LOST``
+            (poison-task quarantine) — stable failure-taxonomy codes.
+        message: Human-readable detail for the failure record.
+    """
+
+    code: str
+    message: str
+
+
+@dataclass
+class SupervisionResult:
+    """Everything one supervised dispatch produced.
+
+    Attributes:
+        outcomes: Task index -> the worker function's return value.
+        lost: Task index -> :class:`LostTask` for quarantined tasks
+            (watchdog-killed or poison); disjoint from ``outcomes``.
+        serial_fallback: Indices never completed because pool
+            supervision gave up; the caller must run them serially.
+        events: Downgrade-ledger lines (stable texts, deduplicated by
+            the caller's :meth:`FailureLog.mark_downgrade`).
+    """
+
+    outcomes: dict[int, Any] = field(default_factory=dict)
+    lost: dict[int, LostTask] = field(default_factory=dict)
+    serial_fallback: list[int] = field(default_factory=list)
+    events: list[str] = field(default_factory=list)
+
+
+class SupervisedPool:
+    """Run indexed tasks through a replaceable fork pool under a watchdog.
+
+    Args:
+        worker: Picklable ``(index, dispatch_attempt) -> outcome``
+            callable executed in worker processes.  ``dispatch_attempt``
+            counts prior pool generations that died while the task was
+            in flight (0 on first dispatch).
+        indices: Task indices to run, dispatched in the given order.
+        keys: Optional ``index -> evaluation key`` map used only for
+            failure messages.
+        jobs: Worker-pool size (bounded by the number of unfinished
+            tasks each generation).
+        mp_context: Multiprocessing context (the engine passes the fork
+            context so workers inherit the task registry).
+        task_timeout_s: Wall-clock watchdog deadline per task; None
+            disables the watchdog.
+        poll_s: Parent poll interval for futures and heartbeats.
+        max_task_deaths: Pool deaths a task may be implicated in before
+            it is quarantined as ``WORKER-LOST``.
+        max_pool_replacements: Pool rebuilds before the supervisor gives
+            up and returns the remainder for serial execution.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[int, int], Any],
+        indices: list[int],
+        keys: dict[int, str] | None = None,
+        *,
+        jobs: int,
+        mp_context,
+        task_timeout_s: float | None = None,
+        poll_s: float = 0.05,
+        max_task_deaths: int = 2,
+        max_pool_replacements: int = 3,
+    ):
+        self.worker = worker
+        self.indices = list(indices)
+        self.keys = dict(keys or {})
+        self.jobs = max(1, jobs)
+        self.mp_context = mp_context
+        self.task_timeout_s = task_timeout_s
+        self.poll_s = poll_s
+        self.max_task_deaths = max_task_deaths
+        self.max_pool_replacements = max_pool_replacements
+        #: Scratch directory for heartbeat markers; the engine exposes
+        #: it to workers through the fork-inherited batch state.
+        self.heartbeat_dir = Path(tempfile.mkdtemp(prefix="repro-hb-"))
+
+    def run(self) -> SupervisionResult:
+        """Dispatch until every task completed, was quarantined, or the
+        pool-replacement budget ran out.
+
+        A pool breakage implicates every in-flight task (the parent
+        cannot know which one was fatal), so implicated tasks are
+        re-dispatched *in isolation* — one task per single-worker pool
+        generation — before the clean remainder fans out again.  Only a
+        task that dies alone twice is quarantined; innocent bystanders
+        are re-run without ever reaching the death threshold, keeping
+        quarantine decisions independent of scheduling races.
+        """
+        result = SupervisionResult()
+        deaths = {i: 0 for i in self.indices}
+        timed_out: set[int] = set()
+        unfinished = list(self.indices)
+        replacements = 0
+        try:
+            while unfinished:
+                if replacements > self.max_pool_replacements:
+                    result.events.append(DOWNGRADE_SERIAL_FALLBACK)
+                    result.serial_fallback = unfinished
+                    return result
+                suspects = [i for i in unfinished if deaths[i] > 0]
+                batch = suspects[:1] if suspects else unfinished
+                broken = self._run_generation(batch, deaths, timed_out, result)
+                if broken is None:  # pool could not start at all
+                    result.events.append(DOWNGRADE_POOL_UNAVAILABLE)
+                    result.serial_fallback = unfinished
+                    return result
+                if broken:
+                    if not suspects:
+                        replacements += 1
+                    self._attribute_deaths(batch, deaths, timed_out, result)
+                unfinished = [
+                    i
+                    for i in unfinished
+                    if i not in result.outcomes and i not in result.lost
+                ]
+            return result
+        finally:
+            shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
+
+    # -- one pool generation --------------------------------------------
+
+    def _run_generation(
+        self,
+        unfinished: list[int],
+        deaths: dict[int, int],
+        timed_out: set[int],
+        result: SupervisionResult,
+    ) -> bool | None:
+        """Run one pool over ``unfinished``; True = pool broke, None =
+        pool never started."""
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(unfinished)),
+                mp_context=self.mp_context,
+            )
+            futures = {
+                pool.submit(self.worker, i, deaths[i]): i for i in unfinished
+            }
+        except (OSError, RuntimeError, BrokenProcessPool):
+            return None
+        broken = False
+        pending = set(futures)
+        while pending:
+            done, pending = wait(
+                pending, timeout=self.poll_s, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                index = futures[future]
+                try:
+                    result.outcomes[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                except Exception:
+                    # Executor infrastructure failure (a worker died
+                    # while unpickling, the result queue tore): treat
+                    # like a broken pool, not a task result.
+                    broken = True
+            if broken:
+                break
+            if self.task_timeout_s is not None and pending:
+                self._kill_overdue(
+                    {futures[f] for f in pending}, timed_out, result
+                )
+        if broken and pending:
+            # Salvage results that finished before the pool broke —
+            # anything already delivered is real; the rest re-dispatches.
+            done, _ = wait(pending, timeout=0)
+            for future in done:
+                try:
+                    result.outcomes[futures[future]] = future.result()
+                except Exception:
+                    pass
+        pool.shutdown(wait=not broken, cancel_futures=True)
+        return broken
+
+    def _kill_overdue(
+        self,
+        in_flight: set[int],
+        timed_out: set[int],
+        result: SupervisionResult,
+    ) -> None:
+        """SIGKILL workers whose heartbeat outlived the task deadline.
+
+        The kill breaks the pool; the main loop then attributes the
+        death and records the task as ``EVAL-TIMEOUT`` (``timed_out``
+        marks it so attribution picks the right code).
+        """
+        now = time.monotonic()
+        for index in in_flight:
+            if index in timed_out:
+                continue
+            beat = read_heartbeat(self.heartbeat_dir, index)
+            if beat is None:
+                continue
+            if now - beat["start"] <= self.task_timeout_s:
+                continue
+            try:
+                os.kill(beat["pid"], signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                continue  # finished (or reaped) between read and kill
+            timed_out.add(index)
+            if DOWNGRADE_WATCHDOG_KILL not in result.events:
+                result.events.append(DOWNGRADE_WATCHDOG_KILL)
+
+    def _attribute_deaths(
+        self,
+        unfinished: list[int],
+        deaths: dict[int, int],
+        timed_out: set[int],
+        result: SupervisionResult,
+    ) -> None:
+        """Charge a pool breakage to the tasks that were in flight."""
+        if DOWNGRADE_POOL_REPLACED not in result.events:
+            result.events.append(DOWNGRADE_POOL_REPLACED)
+        for index in unfinished:
+            if index in result.outcomes or index in result.lost:
+                continue
+            started = read_heartbeat(self.heartbeat_dir, index) is not None
+            if not started and index not in timed_out:
+                continue
+            heartbeat_finish(self.heartbeat_dir, index)
+            deaths[index] += 1
+            key = self.keys.get(index, f"task {index}")
+            if index in timed_out:
+                result.lost[index] = LostTask(
+                    EVAL_TIMEOUT,
+                    f"{key}: no result within {self.task_timeout_s:.3g}s; "
+                    f"worker SIGKILLed by watchdog",
+                )
+            elif deaths[index] >= self.max_task_deaths:
+                result.lost[index] = LostTask(
+                    WORKER_LOST,
+                    f"{key}: implicated in {deaths[index]} worker deaths; "
+                    f"quarantined as a poison task",
+                )
+
+
+# -- graceful shutdown ---------------------------------------------------
+
+_FLUSHABLES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_flushable(obj: Any) -> None:
+    """Register an object with a ``flush()`` method for signal flushing.
+
+    Journals and caches self-register on construction; the weak set
+    never keeps them alive, so a closed/collected journal simply drops
+    out.
+    """
+    _FLUSHABLES.add(obj)
+
+
+def flush_all() -> int:
+    """Flush every registered journal/cache; returns how many flushed.
+
+    Individual failures are swallowed — a shutdown handler must never
+    raise past the signal frame.
+    """
+    flushed = 0
+    for obj in list(_FLUSHABLES):
+        try:
+            obj.flush()
+            flushed += 1
+        except Exception:
+            pass
+    return flushed
+
+
+@contextmanager
+def graceful_shutdown(
+    run_dir: str | os.PathLike | None = None,
+    signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+):
+    """Install SIGINT/SIGTERM handlers that flush and exit resumable.
+
+    On signal, every registered journal/cache is flushed, a resume hint
+    naming ``run_dir`` is printed to stderr, and the process exits with
+    the conventional ``128 + signum`` code via :class:`SystemExit`
+    (so ``finally`` blocks and context managers still unwind).  Outside
+    the main thread — or on platforms without these signals — the
+    context is a transparent no-op.
+    """
+
+    def _handler(signum, frame):
+        flush_all()
+        if run_dir is not None:
+            print(
+                f"\ninterrupted by signal {signum}: run state flushed; "
+                f"resume with --run-dir {run_dir} --resume",
+                file=sys.stderr,
+            )
+        raise SystemExit(128 + signum)
+
+    previous: dict[int, Any] = {}
+    for sig in signals:
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):
+            break  # not the main thread / unsupported signal
+    try:
+        yield
+    finally:
+        for sig, prev in previous.items():
+            signal.signal(sig, prev)

@@ -91,16 +91,33 @@ def test_repeat_evaluation_hits_and_skips_simulation(prim):
     assert cache.stats.stored == 1
 
 
-def test_fault_injector_bypasses_cache(prim):
+def test_value_affecting_injector_bypasses_cache(prim):
     cache = EvalCache()
-    # Even an all-zero-rate injector bypasses: injected faults key on
+    # A value-affecting injector bypasses: injected faults key on
     # evaluation keys, so content hits would change which faults fire.
-    with inject(FaultSpec()):
+    with inject(FaultSpec(dc_fail_rate=1e-9)):
         values, sims, key = evaluate_circuit_cached(prim, _circuit(prim), cache)
     assert sims > 0
     assert key is None
     assert len(cache) == 0
     assert cache.stats.stored == 0
+
+
+def test_kill_only_injector_keeps_cache(prim):
+    # Worker-kill chaos never changes evaluation values, so kill-only
+    # specs keep the cache enabled — chaos runs stay byte-comparable to
+    # clean runs (same cache_stats).
+    assert not FaultSpec(worker_kill_rate=1.0, worker_kill_keys=("k",)).affects_values
+    assert FaultSpec(bad_metric_rate=0.1).affects_values
+    cache = EvalCache()
+    with inject(FaultSpec(worker_kill_keys=("some-task",))):
+        values, sims, key = evaluate_circuit_cached(prim, _circuit(prim), cache)
+    assert sims > 0
+    assert key is not None
+    assert cache.stats.stored == 1
+    with inject(FaultSpec(worker_kill_keys=("some-task",))):
+        values2, sims2, key2 = evaluate_circuit_cached(prim, _circuit(prim), cache)
+    assert sims2 == 0 and key2 == key and values2 == values
 
 
 def test_non_finite_values_never_stored():
@@ -146,6 +163,104 @@ def test_torn_disk_write_treated_as_miss(tmp_path):
     assert cache.get("bad") is None
     assert cache.get("shape") is None
     assert cache.stats.hits == 0
+
+
+# -- disk-tier durability ------------------------------------------------
+
+
+def test_disk_dir_created_once_in_init(tmp_path):
+    target = tmp_path / "nested" / "evalcache"
+    cache = EvalCache(disk_dir=target)
+    assert target.is_dir()  # created eagerly, not on every put
+    cache.put("k", {"gm": 1.0}, 1)
+    assert (target / "k.json").exists()
+
+
+def test_entries_are_checksummed_and_corruption_quarantined(tmp_path):
+    first = EvalCache(disk_dir=tmp_path)
+    first.put("k", {"gm": 1.5, "area": 2.0}, 4)
+    entry = tmp_path / "k.json"
+    raw = bytearray(entry.read_bytes())
+    raw[raw.index(b"1.5") + 1] = ord("7")  # bit-flip a metric value
+    entry.write_bytes(bytes(raw))
+
+    second = EvalCache(disk_dir=tmp_path)
+    # __contains__ must not report what the checksum pass would reject.
+    assert "k" not in second
+    assert second.get("k") is None
+    assert second.stats.corrupt == 1
+    assert not entry.exists()  # moved aside, not served and not left
+    assert (tmp_path / "quarantine" / "k.json").exists()
+
+
+def test_pre_checksum_entries_are_quarantined(tmp_path):
+    # Entries from the pre-checksum format carry no checksum field.
+    (tmp_path / "old.json").write_text(
+        json.dumps({"values": {"gm": 1.0}, "simulations": 2})
+    )
+    cache = EvalCache(disk_dir=tmp_path)
+    assert cache.get("old") is None
+    assert cache.stats.corrupt == 1
+
+
+def test_concurrent_writers_use_distinct_tmp_names(tmp_path):
+    a = EvalCache(disk_dir=tmp_path)
+    b = EvalCache(disk_dir=tmp_path)
+    a.put("k", {"gm": 1.0}, 1)
+    b.put("k", {"gm": 1.0}, 1)
+    b.put("j", {"gm": 2.0}, 1)
+    assert not list(tmp_path.glob("*.tmp"))  # no leftovers either way
+    fresh = EvalCache(disk_dir=tmp_path)
+    assert fresh.get("k") is not None
+    assert fresh.get("j") is not None
+    assert fresh.stats.corrupt == 0
+
+
+def test_unwritable_disk_dir_downgrades_to_memory_only(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")  # a *file* where the cache dir should go
+    cache = EvalCache(disk_dir=blocker / "sub")
+    assert cache.disk_dir is None
+    assert cache.downgrade_reason is not None
+    assert "memory-only" in cache.downgrade_reason
+    # The memory tier still works.
+    cache.put("k", {"gm": 1.0}, 1)
+    assert cache.get("k") is not None
+
+
+def test_write_failure_downgrades_to_memory_only(tmp_path, monkeypatch):
+    import errno
+    from pathlib import Path
+
+    cache = EvalCache(disk_dir=tmp_path)
+    real = Path.write_text
+
+    def enospc(self, *args, **kwargs):
+        if str(self).startswith(str(tmp_path)):
+            raise OSError(errno.ENOSPC, "No space left on device")
+        return real(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "write_text", enospc)
+    cache.put("k", {"gm": 1.0}, 1)  # must absorb, not raise
+    assert cache.disk_dir is None
+    assert "No space left" in cache.downgrade_reason
+    assert cache.get("k") is not None  # memory tier unaffected
+    cache.put("j", {"gm": 2.0}, 1)  # further puts stay memory-only
+
+
+def test_disk_size_cap_evicts_stalest_entries(tmp_path):
+    import time as _time
+
+    cache = EvalCache(disk_dir=tmp_path, max_disk_bytes=600)
+    for i in range(8):
+        cache.put(f"k{i}", {"gm": float(i), "pad": 1.0}, 1)
+        _time.sleep(0.01)  # distinct mtimes -> deterministic LRU order
+    total = sum(p.stat().st_size for p in tmp_path.glob("*.json"))
+    assert total <= 600
+    assert cache.stats.disk_evicted > 0
+    # The newest entries survive; the stalest were deleted.
+    assert (tmp_path / "k7.json").exists()
+    assert not (tmp_path / "k0.json").exists()
 
 
 # -- end-to-end through the optimizer ------------------------------------

@@ -36,6 +36,7 @@ def test_failure_codes_are_stable():
         "SINGULAR-MNA",
         "EVAL-TIMEOUT",
         "BAD-METRIC",
+        "WORKER-LOST",
     )
 
 

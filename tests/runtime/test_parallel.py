@@ -8,6 +8,7 @@ fault injection — and speculative work never consumed leaves no trace.
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -19,6 +20,7 @@ from repro.runtime import (
     RetryPolicy,
     resolve_jobs,
 )
+from repro.runtime import parallel
 from repro.runtime.faults import FaultSpec, inject
 from repro.runtime.parallel import ParallelBatch
 
@@ -70,8 +72,20 @@ def test_resolve_jobs_precedence(monkeypatch):
     assert resolve_jobs(None) == 5
     assert resolve_jobs(None, default=2) == 5  # env beats default
     assert resolve_jobs(2) == 2  # explicit beats env
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert resolve_jobs(None, default=4) == 1  # env 0 clamps to serial
+    monkeypatch.setenv("REPRO_JOBS", "-3")
+    assert resolve_jobs(None, default=4) == 1
+
+
+def test_resolve_jobs_warns_once_on_garbage_env(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "not-a-number")
-    assert resolve_jobs(None, default=2) == 2
+    monkeypatch.setattr(parallel, "_warned_bad_jobs_env", False)
+    with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+        assert resolve_jobs(None, default=2) == 2
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second call must stay silent
+        assert resolve_jobs(None, default=3) == 3
 
 
 # -- determinism: jobs=N == jobs=1 ---------------------------------------

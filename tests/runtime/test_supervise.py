@@ -1,0 +1,170 @@
+"""Worker supervision: heartbeats, watchdog, quarantine, graceful exit.
+
+ISSUE acceptance: a SIGKILLed worker never takes the run down — the pool
+is replaced and the task re-dispatched; a task that keeps killing fresh
+workers degrades to a recorded failure; a hung task is SIGKILLed by the
+watchdog; SIGINT/SIGTERM flush every registered journal/cache and exit
+``128 + signum``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.runtime import supervise
+from repro.runtime.failures import EVAL_TIMEOUT, WORKER_LOST
+from repro.runtime.supervise import (
+    DOWNGRADE_POOL_REPLACED,
+    DOWNGRADE_SERIAL_FALLBACK,
+    DOWNGRADE_WATCHDOG_KILL,
+    SupervisedPool,
+)
+
+# Fork-inherited by workers (set before each pool starts).
+_HB_DIR = None
+_KILL_INDEX = None
+_KILL_TIMES = 0
+_HANG_INDEX = None
+
+
+def _worker(index: int, dispatch_attempt: int):
+    """Picklable test worker: heartbeat, optional chaos, echo result."""
+    supervise.heartbeat_start(_HB_DIR, index)
+    try:
+        if index == _KILL_INDEX and dispatch_attempt < _KILL_TIMES:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if index == _HANG_INDEX:
+            time.sleep(600)
+        return index * 10 + dispatch_attempt
+    finally:
+        supervise.heartbeat_finish(_HB_DIR, index)
+
+
+def _pool(indices, **kwargs):
+    defaults = dict(
+        jobs=2,
+        mp_context=multiprocessing.get_context("fork"),
+        poll_s=0.02,
+    )
+    defaults.update(kwargs)
+    pool = SupervisedPool(
+        _worker,
+        indices,
+        keys={i: f"task-{i}" for i in indices},
+        **defaults,
+    )
+    global _HB_DIR
+    _HB_DIR = pool.heartbeat_dir
+    return pool
+
+
+def _chaos(kill_index=None, kill_times=0, hang_index=None):
+    global _KILL_INDEX, _KILL_TIMES, _HANG_INDEX
+    _KILL_INDEX = kill_index
+    _KILL_TIMES = kill_times
+    _HANG_INDEX = hang_index
+
+
+def test_happy_path_returns_all_outcomes():
+    _chaos()
+    result = _pool([0, 1, 2, 3]).run()
+    assert result.outcomes == {0: 0, 1: 10, 2: 20, 3: 30}
+    assert not result.lost
+    assert not result.serial_fallback
+    assert not result.events
+
+
+def test_killed_worker_is_replaced_and_task_redispatched():
+    _chaos(kill_index=1, kill_times=1)
+    result = _pool([0, 1, 2]).run()
+    # The doomed task recovers on its second dispatch (attempt index 1).
+    assert result.outcomes[1] == 11
+    assert set(result.outcomes) == {0, 1, 2}
+    assert not result.lost
+    assert DOWNGRADE_POOL_REPLACED in result.events
+
+
+def test_poison_task_is_quarantined_not_raised():
+    _chaos(kill_index=1, kill_times=99)
+    result = _pool([0, 1, 2]).run()
+    # The poison task killed two fresh workers -> recorded, never raised.
+    assert 1 in result.lost
+    assert result.lost[1].code == WORKER_LOST
+    assert "task-1" in result.lost[1].message
+    # Innocent bystanders all completed.
+    assert set(result.outcomes) == {0, 2}
+    assert not result.serial_fallback
+
+
+def test_watchdog_kills_hung_task():
+    _chaos(hang_index=1)
+    result = _pool([0, 1, 2], task_timeout_s=0.3).run()
+    assert 1 in result.lost
+    assert result.lost[1].code == EVAL_TIMEOUT
+    assert DOWNGRADE_WATCHDOG_KILL in result.events
+    assert set(result.outcomes) == {0, 2}
+
+
+def test_replacement_budget_exhaustion_falls_back_to_serial():
+    # Every dispatch of task 1 dies and the budget allows zero rebuilds:
+    # the supervisor hands the remainder back for serial execution.
+    _chaos(kill_index=1, kill_times=99)
+    result = _pool([0, 1, 2], max_pool_replacements=0, max_task_deaths=99).run()
+    assert DOWNGRADE_SERIAL_FALLBACK in result.events
+    assert 1 in result.serial_fallback
+    assert not result.lost
+
+
+def test_heartbeat_roundtrip(tmp_path):
+    assert supervise.read_heartbeat(tmp_path, 7) is None
+    supervise.heartbeat_start(tmp_path, 7)
+    beat = supervise.read_heartbeat(tmp_path, 7)
+    assert beat is not None and beat["pid"] == os.getpid()
+    supervise.heartbeat_finish(tmp_path, 7)
+    assert supervise.read_heartbeat(tmp_path, 7) is None
+    # None hb_dir (serial mode) is a silent no-op.
+    supervise.heartbeat_start(None, 7)
+    supervise.heartbeat_finish(None, 7)
+
+
+class _Sink:
+    """Flushable stand-in for a journal/cache."""
+
+    def __init__(self):
+        self.flushed = 0
+
+    def flush(self):
+        self.flushed += 1
+
+
+def test_graceful_shutdown_flushes_and_exits(tmp_path, capsys):
+    sink = _Sink()
+    supervise.register_flushable(sink)
+    before = signal.getsignal(signal.SIGTERM)
+    with pytest.raises(SystemExit) as excinfo:
+        with supervise.graceful_shutdown(run_dir=tmp_path):
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(5)  # the handler fires long before this returns
+    assert excinfo.value.code == 128 + signal.SIGTERM
+    assert sink.flushed == 1
+    # Handlers restored on exit; the resume hint names the run dir.
+    assert signal.getsignal(signal.SIGTERM) is before
+    assert str(tmp_path) in capsys.readouterr().err
+
+
+def test_flush_all_swallows_failures():
+    class Bad:
+        def flush(self):
+            raise RuntimeError("broken sink")
+
+    bad = Bad()
+    good = _Sink()
+    supervise.register_flushable(bad)
+    supervise.register_flushable(good)
+    supervise.flush_all()  # must not raise past a signal handler
+    assert good.flushed == 1
