@@ -1,6 +1,6 @@
 # Convenience targets for the repro project.
 
-.PHONY: install test faults chaos bench bench-eval bench-spice bench-light bench-heavy examples lint verify erc ingest all
+.PHONY: install test faults chaos bench bench-eval bench-spice bench-light bench-heavy examples lint devlint verify erc ingest all
 
 install:
 	pip install -e . --no-build-isolation
@@ -41,6 +41,11 @@ lint:
 	else \
 		echo "mypy not installed; skipping (pip install mypy)"; \
 	fi
+
+# Determinism-hazard self-lint (stdlib AST walk, no deps): unseeded
+# random.*, wall-clock in cache/journal paths, bare set iteration.
+devlint:
+	python tools/devlint.py src/repro tools
 
 verify:
 	python -m repro verify all

@@ -11,11 +11,14 @@ Commands:
 * ``render <primitive>`` — generate a layout variant and write SVG +
   extracted SPICE to disk,
 * ``verify <target>`` — statically verify layouts and netlists (DRC +
-  connectivity + ERC + constraint/symmetry lint); target is a
-  primitive, ``all``, or a benchmark circuit.  ``--severity`` picks the
-  failure threshold, ``--waivers`` a lint baseline and ``--format
-  json`` machine-readable output.  Exits nonzero when any unwaived
-  violation at or above the threshold is found,
+  connectivity + ERC + constraint/symmetry lint + the electrical
+  audit); target is a primitive, ``all``, or a benchmark circuit.
+  ``--severity`` picks the failure threshold, ``--waivers`` a lint
+  baseline and ``--format json`` machine-readable output; ``--emag``,
+  ``--antenna`` and ``--symmetry-geo`` toggle the static EM/IR,
+  antenna/density and geometric-symmetry audits (all default on).
+  Exits nonzero when any unwaived violation at or above the threshold
+  is found,
 * ``profile <target>`` — run a primitive optimization (or a circuit
   flow) single-process and print the solver-kernel profile: per-phase
   timings (device eval / stamp / factor / solve), Newton iteration and
@@ -377,6 +380,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
                         spec=primitive.cell_spec(base),
                         constraints=args.constraints,
                         waivers=waivers,
+                        emag=args.emag,
+                        antenna=args.antenna,
+                        symmetry_geo=args.symmetry_geo,
                     )
                     report.target = (
                         f"{name} ({base.nfin}x{base.nf}x{base.m}, {pattern})"
@@ -604,6 +610,24 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="run the constraint/symmetry analyzer on layouts",
+    )
+    p_verify.add_argument(
+        "--emag",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the static EM / IR-drop audit on layouts",
+    )
+    p_verify.add_argument(
+        "--antenna",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the antenna-ratio / metal-density audit on layouts",
+    )
+    p_verify.add_argument(
+        "--symmetry-geo",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the geometric symmetry-realization audit on layouts",
     )
     p_verify.add_argument(
         "--severity",

@@ -43,7 +43,7 @@ from repro.core.reconcile import (
     reconcile_net,
 )
 from repro.errors import OptimizationError
-from repro.geometry.layout import Instance
+from repro.geometry.layout import Instance, Layout
 from repro.geometry.shapes import Point
 from repro.pnr.global_router import GlobalRoute, GlobalRouter
 from repro.pnr.placer import Block, Placement, SaPlacer
@@ -58,8 +58,11 @@ from repro.spice import kernel
 from repro.spice.netlist import Circuit, is_ground
 from repro.tech.pdk import Technology
 from repro.verify import (
+    AuditTech,
     Report,
     WaiverSet,
+    budget_net_currents,
+    check_route_currents,
     check_route_parallelism,
     verify_assembly,
     verify_circuit,
@@ -633,12 +636,16 @@ class HierarchicalFlow:
         placed instances are then checked for overlaps and flattened
         for a structural pass over the merged geometry (shorts,
         floating vias).  Realized parallel-wire routes are checked
-        against their budgets and matched partners.  The merged report
-        (with waivers applied) lands on ``FlowResult.verification``; in
-        strict mode any unwaived error raises.
+        against their budgets and matched partners, and against the
+        static EM limits: each top net's worst-case current is the sum
+        of the declared budgets its connected primitives could push
+        through their ports, and the realized bundle must carry it
+        (``EM-ROUTE-DENSITY``).  The merged report (with waivers
+        applied) lands on ``FlowResult.verification``; in strict mode
+        any unwaived error raises.
         """
         merged = Report(target=f"{result.circuit_name}:{result.flavor}")
-        layouts: dict[str, object] = {}
+        layouts: dict[str, Layout] = {}
         seen: set[tuple] = set()
         erc_seen: set[str] = set()
         for binding in bindings:
@@ -685,6 +692,23 @@ class HierarchicalFlow:
                 check_route_parallelism(
                     result.detailed_routes,
                     budgets,
+                    target=f"{result.circuit_name}_routes",
+                )
+            )
+            audit = AuditTech.for_technology(self.tech)
+            currents: dict[str, float] = {}
+            for binding in bindings:
+                local = budget_net_currents(layouts[binding.name], audit)
+                for port, top_net in sorted(binding.port_map.items()):
+                    amps = local.get(port, 0.0)
+                    if amps > 0.0:
+                        currents[top_net] = currents.get(top_net, 0.0) + amps
+            merged.merge(
+                check_route_currents(
+                    result.detailed_routes,
+                    currents,
+                    self.tech,
+                    audit=audit,
                     target=f"{result.circuit_name}_routes",
                 )
             )

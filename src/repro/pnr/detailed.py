@@ -13,6 +13,7 @@ per net, which the flow's final assembly uses.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.errors import RoutingError
@@ -41,6 +42,27 @@ class DetailedRoute:
     resistance: float = 0.0
     capacitance: float = 0.0
     matched_with: str | None = None
+
+    def current_capacity_ma(
+        self, limits_ma_per_um: Mapping[str, float]
+    ) -> float:
+        """Worst-case DC current (mA) the whole bundle can carry.
+
+        Each of the ``n_parallel`` copies carries an equal share of the
+        net's current, so the bundle capacity is ``n_parallel x width x
+        limit`` minimized over the bundle's wires.  Wires on layers
+        absent from ``limits_ma_per_um`` are skipped; returns ``inf``
+        when no wire is covered.
+        """
+        worst = float("inf")
+        for wire in self.wires:
+            limit = limits_ma_per_um.get(wire.layer)
+            if limit is None:
+                continue
+            worst = min(
+                worst, self.n_parallel * wire.width * 1e-3 * limit
+            )
+        return worst
 
 
 def _bundle_wires(

@@ -88,6 +88,37 @@ class OperatingPoint:
             raise NetlistError("circuit has no MOSFETs")
         return self.compiled.mos_eval_by_name(self.mos_eval, name)
 
+    def net_currents(self) -> dict[str, float]:
+        """Worst-case DC current each net must carry (A), per net.
+
+        Folds every MOSFET's drain current onto its drain and source
+        nets (``id > 0`` flows drain -> source inside the device, so it
+        leaves the net at the drain and enters it at the source) and
+        returns ``max(total inflow, total outflow)`` per net — the
+        static bound on the current the net's metal mesh must carry,
+        however the flow actually closes (through a port, a supply or
+        another device).  Gates and bulks carry no DC current.
+
+        This is the branch-current source the static EM/IR audit
+        (:mod:`repro.verify.emag`) consumes when an operating point is
+        available; nets are sorted so the result is deterministic.
+        """
+        if self.mos_eval is None:
+            return {}
+        inflow: dict[str, float] = {}
+        outflow: dict[str, float] = {}
+        for elem in self.compiled.mos_elements:
+            drain_amps = self.mos(elem.name)["id"]
+            for net, flow in ((elem.d, -drain_amps), (elem.s, drain_amps)):
+                if flow >= 0.0:
+                    inflow[net] = inflow.get(net, 0.0) + flow
+                else:
+                    outflow[net] = outflow.get(net, 0.0) - flow
+        return {
+            net: max(inflow.get(net, 0.0), outflow.get(net, 0.0))
+            for net in sorted(set(inflow) | set(outflow))
+        }
+
 
 def _dc_template(
     compiled: CompiledCircuit, backend: str

@@ -39,10 +39,16 @@ from repro.errors import VerificationError
 from repro.geometry.layout import Instance, Layout, flatten_instances
 from repro.spice.netlist import Circuit
 from repro.tech.pdk import Technology
+from repro.verify.antenna import run_antenna
 from repro.verify.connectivity import NetGraph, run_connectivity
 from repro.verify.constraints import check_route_parallelism, run_constraints
 from repro.verify.diagnostics import Report, Violation
 from repro.verify.drc import check_instance_overlaps, run_drc
+from repro.verify.emag import (
+    budget_net_currents,
+    check_route_currents,
+    run_emag,
+)
 from repro.verify.erc import run_erc
 from repro.verify.rules import (
     RuleDef,
@@ -53,6 +59,8 @@ from repro.verify.rules import (
     rule,
     rules_in_category,
 )
+from repro.verify.symmetry_geo import run_symmetry_geo
+from repro.verify.tech import AuditTech, LayerAudit
 
 __all__ = [
     "Report",
@@ -61,6 +69,8 @@ __all__ = [
     "RuleDef",
     "Waiver",
     "WaiverSet",
+    "AuditTech",
+    "LayerAudit",
     "VerificationError",
     "all_rules",
     "register_rule",
@@ -70,6 +80,11 @@ __all__ = [
     "run_connectivity",
     "run_erc",
     "run_constraints",
+    "run_emag",
+    "run_antenna",
+    "run_symmetry_geo",
+    "budget_net_currents",
+    "check_route_currents",
     "check_route_parallelism",
     "load_waivers",
     "verify_layout",
@@ -105,15 +120,20 @@ def verify_layout(
     absolute_grid: bool = True,
     constraints: bool = True,
     waivers: WaiverSet | None = None,
+    emag: bool = True,
+    antenna: bool = True,
+    symmetry_geo: bool = True,
+    audit: AuditTech | None = None,
+    currents: dict[str, float] | None = None,
 ) -> Report:
-    """Run DRC + connectivity (+ constraints, given a spec) on one layout.
+    """Run DRC + connectivity + the electrical/symmetry audit on a layout.
 
     Args:
         layout: The layout to verify.
         tech: Technology whose rules apply.
         spec: Optional :class:`~repro.cellgen.generator.CellSpec`; when
             given, terminal wiring is checked against the schematic and
-            the constraint/symmetry analyzer runs.
+            the constraint/symmetry analyzers run.
         strict: Raise :class:`VerificationError` when unwaived errors
             are found instead of returning the report.
         absolute_grid: Forwarded to :func:`~repro.verify.drc.run_drc`;
@@ -122,6 +142,18 @@ def verify_layout(
         constraints: Run the constraint analyzer (requires ``spec``).
         waivers: Optional baseline; matching violations are marked
             waived before the strict check.
+        emag: Run the static EM/IR audit
+            (:func:`~repro.verify.emag.run_emag`).
+        antenna: Run the antenna-ratio / density-window audit
+            (:func:`~repro.verify.antenna.run_antenna`).
+        symmetry_geo: Run the geometric symmetry-realization audit
+            (:func:`~repro.verify.symmetry_geo.run_symmetry_geo`;
+            requires ``spec``).
+        audit: Electrical-audit table; defaults to
+            :meth:`~repro.verify.tech.AuditTech.for_technology`.
+        currents: Explicit worst-case net currents (A) for the EM/IR
+            audit; defaults to the declared budget (or pass the result
+            of :meth:`~repro.spice.dc.OperatingPoint.net_currents`).
 
     Returns:
         The merged report (always returned when ``strict`` is false).
@@ -134,6 +166,17 @@ def verify_layout(
     report.merge(run_connectivity(layout, tech, spec=spec))
     if constraints and spec is not None:
         report.merge(run_constraints(layout, spec, tech))
+    if emag or antenna:
+        if audit is None:
+            audit = AuditTech.for_technology(tech)
+        if emag:
+            report.merge(
+                run_emag(layout, tech, audit=audit, currents=currents)
+            )
+        if antenna:
+            report.merge(run_antenna(layout, tech, audit=audit))
+    if symmetry_geo and spec is not None:
+        report.merge(run_symmetry_geo(layout, spec, tech))
     report.apply_waivers(waivers)
     if strict:
         report.raise_if_errors()

@@ -1,0 +1,184 @@
+"""Antenna-ratio and metal-density-window checks.
+
+Two manufacturability audits that neither DRC nor connectivity covers:
+
+* ``ANT-RATIO`` — *antenna* (plasma-induced gate damage) check.  During
+  fabrication each metal layer is patterned while the layers above it
+  do not exist yet, so all metal of a net on one layer collects plasma
+  charge that discharges through whatever gates the net already
+  contacts.  The classic static bound is the **antenna ratio**: the
+  net's metal area on the layer divided by its connected gate area,
+  which must stay below ``AuditTech.antenna_max_ratio``.  Nets
+  contacting no gate (supply rails, source/drain-only nets) cannot
+  damage anything and are skipped.
+
+* ``DEN-WINDOW-MAX`` / ``DEN-WINDOW-MIN`` — metal density.  CMP
+  planarity needs each ``density_window_nm`` x ``density_window_nm``
+  window of a used routing layer to stay below the layer's
+  ``max_density`` ceiling (dishing risk the mesh must fix — an error),
+  and the layer's density over the whole cell to stay above
+  ``min_density`` (erosion risk).  The floor is checked cell-wide
+  rather than per window — primitive cells legitimately concentrate
+  each layer near the rows or the rail region, so empty windows are
+  the norm, not a defect — and it fires as a warning: dummy fill is a
+  tapeout step outside this generator's scope, so the audit points at
+  the gap without failing the cell.
+
+Gate area is estimated from the placed units: ``nfin x nf`` fins per
+unit, each contributing ``fin_pitch x gate_length_nm`` of effective
+gate oxide — the same first-order footprint the LDE extractor uses.
+Overlapping same-net shapes (stub/strap crossings) are double-counted;
+that overestimates both metal area and window density slightly, which
+keeps the audit conservative and the implementation total.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.layout import Layout
+from repro.geometry.shapes import Rect
+from repro.tech.pdk import Technology
+from repro.verify.diagnostics import Report
+from repro.verify.tech import AuditTech
+
+__all__ = ["run_antenna", "gate_areas"]
+
+
+def _overlap_area(a: Rect, b: Rect) -> int:
+    """Intersection area of two rectangles (0 when disjoint)."""
+    w = min(a.x1, b.x1) - max(a.x0, b.x0)
+    h = min(a.y1, b.y1) - max(a.y0, b.y0)
+    if w <= 0 or h <= 0:
+        return 0
+    return w * h
+
+
+def gate_areas(layout: Layout, tech: Technology, audit: AuditTech) -> dict[str, float]:
+    """Connected gate area (nm^2) per net, from placements + stub owners.
+
+    The gate net of each device is recovered from its ``"<dev>.g"``
+    finger-stub owner tags, so the estimate works on any layout the
+    generator (or a flattening of it) produced, without a netlist.
+    """
+    gate_net: dict[str, str] = {}
+    for wire in layout.wires:
+        if wire.role == "finger_stub" and wire.owner.endswith(".g"):
+            gate_net[wire.owner[: -len(".g")]] = wire.net
+    per_fin = float(tech.rules.fin_pitch * audit.gate_length_nm)
+    areas: dict[str, float] = {}
+    for placement in layout.devices:
+        net = gate_net.get(placement.device)
+        if net is None:
+            continue
+        areas[net] = areas.get(net, 0.0) + placement.nfin * placement.nf * per_fin
+    return areas
+
+
+def _check_antenna(
+    layout: Layout,
+    tech: Technology,
+    audit: AuditTech,
+    report: Report,
+) -> None:
+    """ANT-RATIO per (net with gates, metal layer)."""
+    gates = gate_areas(layout, tech, audit)
+    metal: dict[tuple[str, str], float] = {}
+    for wire in layout.wires:
+        key = (wire.net, wire.layer)
+        metal[key] = metal.get(key, 0.0) + wire.rect.area
+    for (net, layer), area in sorted(metal.items()):
+        gate = gates.get(net, 0.0)
+        if gate <= 0.0:
+            continue
+        ratio = area / gate
+        if ratio > audit.antenna_max_ratio:
+            report.flag(
+                "ANT-RATIO",
+                f"{layer} metal of the net collects "
+                f"{area / 1e6:.3f} um^2 against {gate / 1e6:.4f} um^2 "
+                f"of gate (ratio {ratio:.0f}); the limit is "
+                f"{audit.antenna_max_ratio:.0f}",
+                layout=layout.name,
+                subject=net,
+            )
+
+
+def _check_density(
+    layout: Layout,
+    audit: AuditTech,
+    report: Report,
+) -> None:
+    """DEN-WINDOW-MAX per window / DEN-WINDOW-MIN per layer."""
+    if not layout.wires:
+        return
+    box = layout.bbox()
+    if box.width <= 0 or box.height <= 0:
+        return
+    window = audit.density_window_nm
+    by_layer: dict[str, list[Rect]] = {}
+    for wire in layout.wires:
+        by_layer.setdefault(wire.layer, []).append(wire.rect)
+    nx = max(1, -(-box.width // window))
+    ny = max(1, -(-box.height // window))
+    for layer in sorted(by_layer):
+        limits = audit.layer(layer)
+        if limits is None:
+            continue
+        rects = by_layer[layer]
+        total_covered = 0
+        for iy in range(ny):
+            for ix in range(nx):
+                win = Rect(
+                    box.x0 + ix * window,
+                    box.y0 + iy * window,
+                    min(box.x0 + (ix + 1) * window, box.x1),
+                    min(box.y0 + (iy + 1) * window, box.y1),
+                )
+                if win.area <= 0:
+                    continue
+                covered = sum(_overlap_area(r, win) for r in rects)
+                total_covered += covered
+                density = covered / win.area
+                if density > limits.max_density:
+                    report.flag(
+                        "DEN-WINDOW-MAX",
+                        f"{layer} window ({ix}, {iy}) is {density:.1%} "
+                        f"dense; the ceiling is {limits.max_density:.0%}",
+                        layout=layout.name,
+                        subject=layer,
+                        rect=win,
+                    )
+        cell_density = total_covered / box.area
+        if cell_density < limits.min_density:
+            report.flag(
+                "DEN-WINDOW-MIN",
+                f"{layer} covers {cell_density:.2%} of the cell; the "
+                f"fill floor is {limits.min_density:.1%} — dummy fill "
+                f"is needed at tapeout",
+                layout=layout.name,
+                subject=layer,
+            )
+
+
+def run_antenna(
+    layout: Layout,
+    tech: Technology,
+    audit: AuditTech | None = None,
+) -> Report:
+    """Run the antenna-ratio and density-window audit on one layout.
+
+    Args:
+        layout: The layout to audit (primitive or flattened assembly).
+        tech: Technology the layout was generated for.
+        audit: Audit table; defaults to
+            :meth:`AuditTech.for_technology`.
+
+    Returns:
+        A report of ``ANT-*`` / ``DEN-*`` findings.
+    """
+    if audit is None:
+        audit = AuditTech.for_technology(tech)
+    report = Report(target=layout.name)
+    report.checked_shapes = len(layout.wires) + len(layout.devices)
+    _check_antenna(layout, tech, audit, report)
+    _check_density(layout, audit, report)
+    return report

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
+from datetime import date
 from typing import Any
 
 from repro.errors import VerificationError
@@ -213,25 +214,51 @@ class Report:
         self.violations.sort(key=Violation.sort_key)
         return self
 
-    def apply_waivers(self, waivers: WaiverSet | None) -> int:
+    def apply_waivers(
+        self, waivers: WaiverSet | None, today: date | None = None
+    ) -> int:
         """Mark violations covered by the baseline as waived.
 
         Returns the number of newly waived violations.  Waived
         violations stay in the report (and render flagged) but no
         longer count toward :attr:`errors` / :attr:`warnings`.
+
+        Waivers carrying an ``expires`` date are honoured only until
+        that date (inclusive, relative to ``today``, defaulting to the
+        current date); an expired waiver stops suppressing and is
+        itself reported once per report as a ``LINT-WAIVER-EXPIRED``
+        warning so stale baselines surface instead of rotting.
         """
         if waivers is None or not len(waivers):
             return 0
+        if today is None:
+            today = date.today()
         waived = 0
         for i, violation in enumerate(self.violations):
             if violation.waived:
                 continue
-            waiver = waivers.find(violation)
-            if waiver is not None:
-                self.violations[i] = replace(
-                    violation, waived=True, waive_reason=waiver.reason
+            for waiver in waivers:
+                if waiver.matches(violation) and not waiver.is_expired(today):
+                    self.violations[i] = replace(
+                        violation, waived=True, waive_reason=waiver.reason
+                    )
+                    waived += 1
+                    break
+        for waiver in waivers:
+            if not waiver.is_expired(today):
+                continue
+            message = (
+                f"waiver for {waiver.rule} (layout {waiver.layout!r}, "
+                f"subject {waiver.subject!r}) expired {waiver.expires}"
+            )
+            already = any(
+                v.rule == "LINT-WAIVER-EXPIRED" and v.message == message
+                for v in self.violations
+            )
+            if not already:
+                self.flag(
+                    "LINT-WAIVER-EXPIRED", message, subject=waiver.rule
                 )
-                waived += 1
         return waived
 
     @property

@@ -1,0 +1,418 @@
+"""Static electromigration (EM) and supply IR-drop analysis.
+
+The generator emits real metal: finger stubs, row straps, trunk rails
+and routes, all of which must carry the cell's DC currents forever.
+This module audits that claim without a transient simulation, walking
+:class:`~repro.geometry.layout.Layout` nets against the per-layer
+current-density limits tabulated in :class:`~repro.verify.tech
+.AuditTech`:
+
+* ``EM-WIRE-DENSITY`` — a wire group's worst-case DC current per
+  micrometre of width exceeds its layer's electromigration limit,
+* ``EM-VIA-DENSITY`` — a via group's worst-case current per cut exceeds
+  the via layer's per-cut limit,
+* ``EM-ROUTE-DENSITY`` — a detailed route bundles too few parallel
+  wires for its net's current (flow-level,
+  :func:`check_route_currents`),
+* ``IR-DROP`` — the worst-case resistive drop along a supply net's
+  mesh (rail -> strap -> stub, through the via ladders) exceeds
+  ``ir_drop_frac x vdd``.
+
+Current model
+-------------
+
+Worst-case net currents come from one of three sources, in order of
+preference:
+
+1. An explicit ``currents`` mapping (net -> amps) supplied by the
+   caller,
+2. a solved DC operating point
+   (:meth:`repro.spice.dc.OperatingPoint.net_currents` — the drain
+   current of every MOSFET, folded per net as ``max(inflow,
+   outflow)``),
+3. the *declared budget*: every device conducts
+   ``AuditTech.current_per_fin_a`` per fin through drain and source
+   (:func:`budget_net_currents`), recovered entirely from the layout's
+   device placements and finger-stub ownership tags — no netlist
+   needed, which is what lets the audit run default-on inside
+   ``generate_layout`` and over flattened assemblies.
+
+Within a net the current is assumed to split equally over the parallel
+members of each (layer, role) wire group and over the total cuts of
+each via ladder — the design intent of the generator's mesh, and the
+conservative static reading once the worst-case net current is already
+an upper bound.
+
+All checks are total: a corrupted layout yields violations, never an
+exception.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import TechnologyError
+from repro.geometry.layout import Layout, Via, Wire
+from repro.spice.netlist import is_ground
+from repro.tech.pdk import Technology
+from repro.verify.diagnostics import Report
+from repro.verify.tech import AuditTech
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pnr.detailed import DetailedRoute
+    from repro.spice.dc import OperatingPoint
+
+__all__ = [
+    "run_emag",
+    "budget_net_currents",
+    "check_route_currents",
+]
+
+#: Wire role emitted for device contact columns.
+_STUB_ROLE = "finger_stub"
+
+#: Series order of mesh roles from the port into the devices, for the
+#: IR path model: current enters on the trunk rails, crosses the row
+#: straps (and their jumpers across the rail region) and descends the
+#: finger stubs.
+_IR_PATH_ROLES = ("rail", "route", "strap_jumper", "strap", _STUB_ROLE)
+
+#: Roles whose taps are distributed along the wire (straps tap the rail
+#: at every row, stubs tap the strap at every column).  A uniformly
+#: loaded feeder fed at one end drops ``I x R / 2`` at its far end, so
+#: these stages take half their end-to-end resistance.
+_DISTRIBUTED_ROLES = frozenset({"rail", "strap"})
+
+
+def _amps_to_ma(amps: float) -> float:
+    return amps * 1e3
+
+
+def _density_ma_per_um(amps: float, width_nm: int) -> float:
+    """DC current density in mA/um for ``amps`` through ``width_nm``."""
+    if width_nm <= 0:
+        return float("inf")
+    return amps * 1e3 / (width_nm * 1e-3)
+
+
+def _terminal_nets(layout: Layout) -> dict[tuple[str, str], str]:
+    """(device, terminal) -> net, recovered from finger-stub owners."""
+    out: dict[tuple[str, str], str] = {}
+    for wire in layout.wires:
+        if wire.role == _STUB_ROLE and "." in wire.owner:
+            device, _, terminal = wire.owner.rpartition(".")
+            out[(device, terminal)] = wire.net
+    return out
+
+
+def budget_net_currents(
+    layout: Layout, audit: AuditTech
+) -> dict[str, float]:
+    """Declared-budget worst-case current (A) per net, from the layout.
+
+    Every device is assumed to conduct ``current_per_fin_a`` per fin of
+    channel (summed over its placed units) through drain and source;
+    gates and bulks carry no DC current.  A net's worst-case current is
+    ``max(total inflow, total outflow)`` over the device terminals it
+    touches — the bound on what its mesh must carry regardless of where
+    the current actually leaves (a port, a supply, another device).
+    """
+    device_amps: dict[str, float] = {}
+    for placement in layout.devices:
+        device_amps[placement.device] = (
+            device_amps.get(placement.device, 0.0)
+            + placement.nfin * placement.nf * audit.current_per_fin_a
+        )
+    inflow: dict[str, float] = {}
+    outflow: dict[str, float] = {}
+    for (device, terminal), net in sorted(_terminal_nets(layout).items()):
+        amps = device_amps.get(device, 0.0)
+        if terminal == "s":
+            inflow[net] = inflow.get(net, 0.0) + amps
+        elif terminal == "d":
+            outflow[net] = outflow.get(net, 0.0) + amps
+    return {
+        net: max(inflow.get(net, 0.0), outflow.get(net, 0.0))
+        for net in sorted(set(inflow) | set(outflow))
+    }
+
+
+def _wire_groups(
+    layout: Layout,
+) -> dict[tuple[str, str, str], list[Wire]]:
+    """Wires grouped by (net, layer, role), insertion-ordered."""
+    groups: dict[tuple[str, str, str], list[Wire]] = {}
+    for wire in layout.wires:
+        groups.setdefault((wire.net, wire.layer, wire.role), []).append(wire)
+    return groups
+
+
+def _via_groups(
+    layout: Layout,
+) -> dict[tuple[str, str, str], list[Via]]:
+    """Vias grouped by (net, lower layer, upper layer)."""
+    groups: dict[tuple[str, str, str], list[Via]] = {}
+    for via in layout.vias:
+        key = (via.net, via.lower_layer, via.upper_layer)
+        groups.setdefault(key, []).append(via)
+    return groups
+
+
+def _check_wire_em(
+    layout: Layout,
+    currents: Mapping[str, float],
+    audit: AuditTech,
+    report: Report,
+) -> None:
+    """EM-WIRE-DENSITY over every (net, layer, role) wire group."""
+    for (net, layer, role), wires in sorted(_wire_groups(layout).items()):
+        amps = currents.get(net, 0.0)
+        if amps <= 0.0:
+            continue
+        limits = audit.layer(layer)
+        if limits is None:
+            continue
+        share = amps / len(wires)
+        worst = min(wires, key=lambda w: (w.width, w.rect.x0, w.rect.y0))
+        density = _density_ma_per_um(share, worst.width)
+        if density > limits.em_limit_ma_um:
+            report.flag(
+                "EM-WIRE-DENSITY",
+                f"{role} group on {layer} ({len(wires)} wire(s), "
+                f"narrowest {worst.width} nm) carries "
+                f"{_amps_to_ma(share):.3f} mA per wire = "
+                f"{density:.2f} mA/um; the {layer} limit is "
+                f"{limits.em_limit_ma_um:.2f} mA/um",
+                layout=layout.name,
+                subject=net,
+                rect=worst.rect,
+            )
+
+
+def _check_via_em(
+    layout: Layout,
+    tech: Technology,
+    currents: Mapping[str, float],
+    audit: AuditTech,
+    report: Report,
+) -> None:
+    """EM-VIA-DENSITY over every (net, layer-pair) via ladder."""
+    for (net, lower, upper), vias in sorted(_via_groups(layout).items()):
+        amps = currents.get(net, 0.0)
+        if amps <= 0.0:
+            continue
+        try:
+            via_layer = tech.stack.via_between(lower, upper)
+        except TechnologyError:
+            continue  # DRC-VIA-STACK owns non-adjacent via reporting
+        limit = audit.via_limit(via_layer.name)
+        if limit is None:
+            continue
+        cuts = sum(v.cuts for v in vias)
+        per_cut_ma = _amps_to_ma(amps / cuts)
+        if per_cut_ma > limit:
+            worst = min(vias, key=lambda v: (v.position.x, v.position.y))
+            report.flag(
+                "EM-VIA-DENSITY",
+                f"{via_layer.name} ladder {lower}->{upper} ({cuts} "
+                f"cut(s)) carries {per_cut_ma:.3f} mA per cut; the "
+                f"per-cut limit is {limit:.3f} mA",
+                layout=layout.name,
+                subject=net,
+                location=worst.position,
+            )
+
+
+def _group_series_resistance(
+    wires: list[Wire], tech: Technology
+) -> float:
+    """Effective resistance of one parallel wire group (ohm).
+
+    The longest member's end-to-end sheet resistance divided by the
+    group size: the equal-split assumption again, taken at the worst
+    single span so taper along the wire is absorbed conservatively.
+    """
+    worst = 0.0
+    for wire in wires:
+        metal = tech.stack.metal(wire.layer)
+        worst = max(
+            worst, metal.wire_resistance(float(wire.length), float(wire.width))
+        )
+    return worst / len(wires)
+
+
+def _check_ir_drop(
+    layout: Layout,
+    tech: Technology,
+    currents: Mapping[str, float],
+    audit: AuditTech,
+    report: Report,
+) -> None:
+    """IR-DROP over every supply (power/ground) net."""
+    wire_groups = _wire_groups(layout)
+    via_groups = _via_groups(layout)
+    budget_v = audit.ir_drop_frac * tech.vdd
+    for net in sorted({w.net for w in layout.wires}):
+        if not (is_ground(net) or net.endswith("!")):
+            continue
+        amps = currents.get(net, 0.0)
+        if amps <= 0.0:
+            continue
+        path_ohm = 0.0
+        stages: list[str] = []
+        for role in _IR_PATH_ROLES:
+            members: list[Wire] = []
+            for (g_net, _layer, g_role), wires in wire_groups.items():
+                if g_net == net and g_role == role:
+                    members.extend(wires)
+            if not members:
+                continue
+            stage = _group_series_resistance(members, tech)
+            if role in _DISTRIBUTED_ROLES:
+                stage *= 0.5
+            path_ohm += stage
+            stages.append(f"{role}={stage:.1f}")
+        for (g_net, lower, upper), vias in sorted(via_groups.items()):
+            if g_net != net:
+                continue
+            try:
+                via_layer = tech.stack.via_between(lower, upper)
+            except TechnologyError:
+                continue
+            cuts = sum(v.cuts for v in vias)
+            stage = via_layer.array_resistance(cuts)
+            path_ohm += stage
+            stages.append(f"{via_layer.name}={stage:.1f}")
+        if not stages:
+            continue
+        drop = amps * path_ohm
+        if drop > budget_v:
+            report.flag(
+                "IR-DROP",
+                f"supply mesh drops {drop * 1e3:.2f} mV at "
+                f"{_amps_to_ma(amps):.3f} mA (path "
+                f"{path_ohm:.1f} ohm: {', '.join(stages)}); the budget "
+                f"is {budget_v * 1e3:.1f} mV "
+                f"({audit.ir_drop_frac:.0%} of vdd)",
+                layout=layout.name,
+                subject=net,
+            )
+
+
+def run_emag(
+    layout: Layout,
+    tech: Technology,
+    audit: AuditTech | None = None,
+    op: "OperatingPoint | None" = None,
+    currents: Mapping[str, float] | None = None,
+) -> Report:
+    """Run the static EM/IR audit on one layout.
+
+    Args:
+        layout: The layout to audit (primitive or flattened assembly).
+        tech: Technology the layout was generated for.
+        audit: Audit table; defaults to
+            :meth:`AuditTech.for_technology`.
+        op: Optional solved DC operating point whose device names and
+            nets match the layout; its
+            :meth:`~repro.spice.dc.OperatingPoint.net_currents` replace
+            the declared budget.
+        currents: Explicit worst-case net currents (A); overrides both
+            ``op`` and the budget.
+
+    Returns:
+        A report of ``EM-*`` / ``IR-*`` findings; empty when every
+        wire, via and supply mesh is within its limits.
+    """
+    if audit is None:
+        audit = AuditTech.for_technology(tech)
+    report = Report(target=layout.name)
+    report.checked_shapes = len(layout.wires) + len(layout.vias)
+    if currents is None:
+        if op is not None:
+            currents = op.net_currents()
+        else:
+            currents = budget_net_currents(layout, audit)
+    _check_wire_em(layout, currents, audit, report)
+    _check_via_em(layout, tech, currents, audit, report)
+    _check_ir_drop(layout, tech, currents, audit, report)
+    return report
+
+
+def check_route_currents(
+    routes: Mapping[str, "DetailedRoute"],
+    currents: Mapping[str, float],
+    tech: Technology,
+    audit: AuditTech | None = None,
+    target: str = "routes",
+) -> Report:
+    """EM-ROUTE-DENSITY: detailed routes carry their net's current.
+
+    Flow-level companion to :func:`run_emag`: each realized route's
+    current splits over its ``n_parallel`` copies, and every bundled
+    wire must stay below its layer's EM limit.
+
+    Args:
+        routes: Detailed routes keyed by net
+            (:func:`repro.pnr.detailed.realize_routes` output).
+        currents: Worst-case net currents (A), e.g. from
+            :func:`budget_net_currents` over the flattened assembly.
+        tech: Technology the routes were realized in.
+        audit: Audit table; defaults to
+            :meth:`AuditTech.for_technology`.
+        target: Report target name.
+
+    Returns:
+        A report of ``EM-ROUTE-DENSITY`` findings.
+    """
+    if audit is None:
+        audit = AuditTech.for_technology(tech)
+    report = Report(target=target)
+    report.checked_shapes = len(routes)
+    for net in sorted(routes):
+        route = routes[net]
+        amps = currents.get(net, 0.0)
+        if amps <= 0.0 or not route.wires:
+            continue
+        limits_map = {
+            wire.layer: limits.em_limit_ma_um
+            for wire in route.wires
+            if (limits := audit.layer(wire.layer)) is not None
+        }
+        capacity_ma = route.current_capacity_ma(limits_map)
+        ma = _amps_to_ma(amps)
+        if ma <= capacity_ma:
+            continue
+        share = amps / max(1, route.n_parallel)
+        worst_density = 0.0
+        worst_wire: Wire | None = None
+        worst_limit = 0.0
+        for wire in route.wires:
+            limit = limits_map.get(wire.layer)
+            if limit is None:
+                continue
+            density = _density_ma_per_um(share, wire.width)
+            if density - limit > worst_density - worst_limit:
+                worst_density, worst_limit, worst_wire = (
+                    density, limit, wire,
+                )
+        if worst_wire is not None:
+            needed = max(
+                route.n_parallel + 1,
+                -int(-ma * route.n_parallel // capacity_ma)
+                if capacity_ma > 0.0
+                else route.n_parallel + 1,
+            )
+            report.flag(
+                "EM-ROUTE-DENSITY",
+                f"route bundles {route.n_parallel} wire(s) with "
+                f"{capacity_ma:.3f} mA capacity; {worst_wire.layer} "
+                f"segment ({worst_wire.width} nm) carries "
+                f"{worst_density:.2f} mA/um against a "
+                f"{worst_limit:.2f} mA/um limit — needs >= {needed} "
+                f"parallel wires",
+                layout=target,
+                subject=net,
+                rect=worst_wire.rect,
+            )
+    return report

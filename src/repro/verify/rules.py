@@ -36,9 +36,10 @@ unregistered rule is an error: baselines must not rot silently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from datetime import date
 from fnmatch import fnmatchcase
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.errors import VerificationError
 
@@ -52,6 +53,12 @@ CATEGORIES: Mapping[str, str] = {
     "ERC": "electrical rules",
     "CONST": "constraint / symmetry",
     "TOPO": "topology recognition",
+    "SYMG": "geometric symmetry realization",
+    "EM": "electromigration (static)",
+    "IR": "supply IR drop (static)",
+    "ANT": "antenna / charge collection",
+    "DEN": "metal density",
+    "LINT": "lint meta-diagnostics",
 }
 
 
@@ -389,6 +396,95 @@ register_rule(
     "check the netlist: only passives/sources were found",
 )
 
+# -- SYMG: geometric constraint realization (repro.verify.symmetry_geo) -----
+register_rule(
+    "SYMG-PLACE", "error",
+    "each mirrored device pair's placements reflect about the detected "
+    "mirror axis within placement tolerance",
+    "re-place the offending units symmetrically about the pair axis",
+)
+register_rule(
+    "SYMG-AXIS", "error",
+    "all mirrored pairs of one matched group agree on a single "
+    "cell-wide mirror axis",
+    "align the per-row mirror axes (equalize row unit counts/order)",
+)
+register_rule(
+    "SYMG-WIRE-LEN", "error",
+    "symmetric net pairs carry matching total wire length per layer "
+    "in the routing mesh (straps, jumpers, rails, routes)",
+    "equalize the strap/rail spans of the two nets (same WireConfig)",
+)
+register_rule(
+    "SYMG-VIA-COUNT", "error",
+    "symmetric net pairs carry identical via counts per via layer pair",
+    "equalize the via ladders of the two nets",
+)
+register_rule(
+    "SYMG-ORIENT", "error",
+    "mirrored device pairs realize one consistent orientation relation "
+    "(both flipped or both unflipped across every pair)",
+    "flip the offending placement to match its mirror partner",
+)
+
+# -- EM: static electromigration (repro.verify.emag) ------------------------
+register_rule(
+    "EM-WIRE-DENSITY", "error",
+    "every wire's worst-case DC current per unit width stays below its "
+    "layer's electromigration limit (verify/tech.py AuditTech)",
+    "widen the wire, add parallel straps, or lower the current budget",
+)
+register_rule(
+    "EM-VIA-DENSITY", "error",
+    "every via's worst-case DC current per cut stays below the via "
+    "layer's per-cut limit",
+    "add redundant via cuts or spread the current over more vias",
+)
+register_rule(
+    "EM-ROUTE-DENSITY", "error",
+    "detailed routes bundle enough parallel wires for their net's "
+    "worst-case current at the layer EM limit",
+    "raise the route's parallel-wire count (WireConfig/reconciler)",
+)
+
+# -- IR: static supply IR drop (repro.verify.emag) --------------------------
+register_rule(
+    "IR-DROP", "error",
+    "worst-case resistive drop from a supply port to the farthest "
+    "device terminal stays below ir_drop_frac x vdd",
+    "add rail straps / via cuts on the supply mesh or widen the rails",
+)
+
+# -- ANT: antenna (charge collection) (repro.verify.antenna) ----------------
+register_rule(
+    "ANT-RATIO", "error",
+    "per metal layer, the charge-collecting metal area of a net stays "
+    "below antenna_max_ratio x the connected gate area",
+    "break the antenna with a jumper to a higher layer or add gate area",
+)
+
+# -- DEN: metal density windows (repro.verify.antenna) ----------------------
+register_rule(
+    "DEN-WINDOW-MAX", "error",
+    "no density window on a routing layer exceeds the layer's "
+    "max_density ceiling (CMP dishing risk)",
+    "spread the mesh or thin the straps inside the dense window",
+)
+register_rule(
+    "DEN-WINDOW-MIN", "warning",
+    "density windows on layers the cell uses stay above the layer's "
+    "min_density floor (fill would be required at tapeout)",
+    "accept (fill is a tapeout step) or extend the mesh into the window",
+)
+
+# -- LINT: meta-diagnostics about the lint configuration itself -------------
+register_rule(
+    "LINT-WAIVER-EXPIRED", "warning",
+    "waivers with an 'expires' date are renewed before they lapse; an "
+    "expired waiver no longer suppresses its violations",
+    "re-justify and extend the waiver's expires date, or fix the cause",
+)
+
 
 # ---------------------------------------------------------------------------
 # waivers
@@ -405,12 +501,17 @@ class Waiver:
         subject: fnmatch pattern on the violation's subject.
         reason: Why the deviation is acceptable (required — a waiver
             without a reason is a silenced rule, not a baseline).
+        expires: Optional ``YYYY-MM-DD`` date after which the waiver no
+            longer suppresses anything; an expired waiver is itself
+            reported as a ``LINT-WAIVER-EXPIRED`` warning so baselines
+            cannot rot silently.  Empty means the waiver never expires.
     """
 
     rule: str
     layout: str = "*"
     subject: str = "*"
     reason: str = ""
+    expires: str = ""
 
     def __post_init__(self) -> None:
         if not is_registered(self.rule):
@@ -423,9 +524,23 @@ class Waiver:
                 f"waiver for {self.rule!r} has no reason; explain why "
                 f"the deviation is acceptable"
             )
+        if self.expires:
+            try:
+                date.fromisoformat(self.expires)
+            except ValueError as exc:
+                raise VerificationError(
+                    f"waiver for {self.rule!r} has malformed expires "
+                    f"date {self.expires!r}; use YYYY-MM-DD"
+                ) from exc
+
+    def is_expired(self, today: date) -> bool:
+        """True when this waiver has an ``expires`` date before ``today``."""
+        if not self.expires:
+            return False
+        return date.fromisoformat(self.expires) < today
 
     def matches(self, violation: "Violation") -> bool:
-        """True when this waiver covers ``violation``."""
+        """True when this waiver covers ``violation`` (ignoring expiry)."""
         return (
             violation.rule == self.rule
             and fnmatchcase(violation.layout, self.layout)
@@ -458,8 +573,9 @@ class WaiverSet:
         """Parse a ``.reprolint.toml`` baseline file.
 
         The file holds ``[[waive]]`` tables with ``rule`` (required),
-        ``reason`` (required) and optional ``layout``/``subject``
-        fnmatch patterns.  Unknown keys and unregistered rules raise.
+        ``reason`` (required), optional ``layout``/``subject`` fnmatch
+        patterns and an optional ``expires = "YYYY-MM-DD"`` date.
+        Unknown keys and unregistered rules raise.
         """
         path = Path(path)
         try:
@@ -480,7 +596,9 @@ class WaiverSet:
                 raise VerificationError(
                     f"{path}: waive entry {i} is not a table"
                 )
-            unknown = set(entry) - {"rule", "layout", "subject", "reason"}
+            unknown = set(entry) - {
+                "rule", "layout", "subject", "reason", "expires",
+            }
             if unknown:
                 raise VerificationError(
                     f"{path}: waive entry {i} has unknown keys "
@@ -490,18 +608,22 @@ class WaiverSet:
                 raise VerificationError(
                     f"{path}: waive entry {i} is missing 'rule'"
                 )
+            expires = entry.get("expires", "")
+            if isinstance(expires, date):  # tomllib parses bare dates
+                expires = expires.isoformat()
             waivers.append(
                 Waiver(
                     rule=str(entry["rule"]),
                     layout=str(entry.get("layout", "*")),
                     subject=str(entry.get("subject", "*")),
                     reason=str(entry.get("reason", "")),
+                    expires=str(expires),
                 )
             )
         return cls(waivers=waivers, source=str(path))
 
 
-def _parse_toml(text: str, source: str) -> dict[str, list[dict[str, str]]]:
+def _parse_toml(text: str, source: str) -> dict[str, list[dict[str, Any]]]:
     """Parse the waiver TOML; stdlib on 3.11+, minimal fallback on 3.10."""
     try:
         import tomllib
@@ -511,7 +633,7 @@ def _parse_toml(text: str, source: str) -> dict[str, list[dict[str, str]]]:
         raw = tomllib.loads(text)
     except tomllib.TOMLDecodeError as exc:
         raise VerificationError(f"{source}: invalid TOML: {exc}") from exc
-    out: dict[str, list[dict[str, str]]] = {}
+    out: dict[str, list[dict[str, Any]]] = {}
     waive = raw.get("waive", [])
     if isinstance(waive, list):
         out["waive"] = [e for e in waive if isinstance(e, dict)]
@@ -520,7 +642,7 @@ def _parse_toml(text: str, source: str) -> dict[str, list[dict[str, str]]]:
     return out
 
 
-def _parse_waiver_lines(text: str) -> dict[str, list[dict[str, str]]]:
+def _parse_waiver_lines(text: str) -> dict[str, list[dict[str, Any]]]:
     """Line-based subset parser: [[waive]] tables of key = "value"."""
     entries: list[dict[str, str]] = []
     current: dict[str, str] | None = None

@@ -1,0 +1,153 @@
+"""Electrical-audit technology table: EM, IR, antenna and density limits.
+
+The static electrical audit (:mod:`repro.verify.emag`,
+:mod:`repro.verify.antenna`) needs numbers the functional
+:class:`~repro.tech.pdk.Technology` does not carry: per-layer DC
+current-density limits, via current limits per cut, the tolerable supply
+IR drop, antenna (charge-collection) ratios and metal-density window
+bounds.  :class:`AuditTech` bundles them.
+
+The defaults (:meth:`AuditTech.for_technology`) encode the same FinFET
+reality the BEOL stack does: thin lower metals are not just resistive
+but electromigration-fragile (their limit is ~1 mA per um of width),
+while thick upper metals carry several times more.  Via limits follow
+cut area.  All limits are *DC worst-case* numbers — the audit is static
+and assumes every branch carries its worst-case current forever, which
+is the conservative reading a signoff check wants.
+
+Current budgets
+---------------
+
+When no DC operating point is available the audit falls back to a
+*declared budget*: every MOS device is assumed to carry
+``current_per_fin_a`` per fin of channel (drain and source), a bound a
+few times above the bias currents the primitive testbenches actually
+apply.  An :class:`~repro.spice.dc.OperatingPoint` replaces the budget
+with the solved branch currents (see
+:func:`repro.verify.emag.net_currents_from_op`).
+
+All fields are plain floats/ints so a table can be overridden per call
+site (``AuditTech.for_technology(tech, current_per_fin_a=1e-6)``) or in
+tests without touching the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import VerificationError
+from repro.tech.pdk import Technology
+
+__all__ = ["LayerAudit", "AuditTech"]
+
+
+@dataclass(frozen=True)
+class LayerAudit:
+    """Audit limits for one metal layer.
+
+    Attributes:
+        em_limit_ma_um: Maximum sustained DC current per micrometre of
+            wire width (mA/um).  The EM check compares each wire's
+            worst-case current density against this.
+        max_density: Metal-density window ceiling (0..1).  Windows
+            denser than this flag ``DEN-WINDOW-MAX`` (dishing/CMP risk).
+        min_density: Metal-density window floor (0..1).  Windows on a
+            *used* layer sparser than this flag ``DEN-WINDOW-MIN`` as a
+            warning (fill would be required at tapeout).
+    """
+
+    em_limit_ma_um: float
+    max_density: float = 0.85
+    min_density: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.em_limit_ma_um <= 0:
+            raise VerificationError("em_limit_ma_um must be > 0")
+        if not 0.0 <= self.min_density <= self.max_density <= 1.0:
+            raise VerificationError(
+                "need 0 <= min_density <= max_density <= 1"
+            )
+
+
+@dataclass(frozen=True)
+class AuditTech:
+    """The full static electrical-audit table for one technology.
+
+    Attributes:
+        layers: Per-metal audit limits, keyed by layer name.
+        via_limit_ma_per_cut: Maximum sustained DC current per via cut
+            (mA), keyed by via layer name (``"V1"``...).
+        ir_drop_frac: Tolerable supply-rail IR drop as a fraction of
+            ``tech.vdd``; the worst-case drop from a power port to the
+            farthest device terminal must stay below it.
+        current_per_fin_a: Declared worst-case branch-current budget per
+            fin (A) used when no operating point is available.  Each MOS
+            device is assumed to conduct ``nfin * nf * m *
+            current_per_fin_a`` through its drain and source.
+        antenna_max_ratio: Maximum antenna ratio — the net's metal area
+            on one charge-collecting layer divided by the connected gate
+            area — before ``ANT-RATIO`` fires.
+        gate_length_nm: Effective electrical gate length (nm) used to
+            estimate gate area for the antenna ratio.
+        density_window_nm: Edge length (nm) of the metal-density window
+            grid; layouts smaller than one window are checked as a
+            single window.
+    """
+
+    layers: Mapping[str, LayerAudit]
+    via_limit_ma_per_cut: Mapping[str, float]
+    ir_drop_frac: float = 0.05
+    current_per_fin_a: float = 2.0e-7
+    antenna_max_ratio: float = 400.0
+    gate_length_nm: int = 20
+    density_window_nm: int = 5000
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ir_drop_frac < 1.0:
+            raise VerificationError("ir_drop_frac must be in (0, 1)")
+        if self.current_per_fin_a <= 0:
+            raise VerificationError("current_per_fin_a must be > 0")
+        if self.antenna_max_ratio <= 0:
+            raise VerificationError("antenna_max_ratio must be > 0")
+        if self.gate_length_nm <= 0 or self.density_window_nm <= 0:
+            raise VerificationError(
+                "gate_length_nm and density_window_nm must be > 0"
+            )
+
+    def layer(self, name: str) -> LayerAudit | None:
+        """Audit limits for a metal layer; None when the table has none."""
+        return self.layers.get(name)
+
+    def via_limit(self, name: str) -> float | None:
+        """Per-cut current limit (mA) for a via layer, if tabulated."""
+        return self.via_limit_ma_per_cut.get(name)
+
+    def with_overrides(self, **kwargs: Any) -> "AuditTech":
+        """A copy with selected fields replaced (test convenience)."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def for_technology(cls, tech: Technology, **overrides: Any) -> "AuditTech":
+        """Default audit table for a technology's metal stack.
+
+        EM limits scale with the layer's conductance class: the limit
+        grows as sheet resistance falls (thicker copper sustains more
+        current per unit width).  The mapping is calibrated so the
+        14nm-class FF14 stack lands on the familiar 1 mA/um for M1/M2
+        and ~10 mA/um for the top metal.  Via limits follow cut area.
+        """
+        layers: dict[str, LayerAudit] = {}
+        for metal in tech.stack.metals:
+            # sheet_res 12 -> 1.0 mA/um ... sheet_res 1 -> 12 mA/um.
+            limit = max(0.5, 12.0 / metal.sheet_res)
+            layers[metal.name] = LayerAudit(em_limit_ma_um=limit)
+        vias: dict[str, float] = {}
+        for via in tech.stack.vias:
+            # 32nm cuts carry ~0.1 mA each; limit scales with cut area.
+            vias[via.name] = 0.1 * (via.size / 32.0) ** 2
+        table = cls(layers=layers, via_limit_ma_per_cut=vias)
+        if overrides:
+            table = replace(table, **overrides)
+        return table

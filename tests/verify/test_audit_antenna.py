@@ -1,0 +1,94 @@
+"""Seeded-violation tests for the antenna / density audit (ANT-*, DEN-*)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.antenna import gate_areas, run_antenna
+from repro.verify.tech import AuditTech, LayerAudit
+
+
+@pytest.fixture
+def audit(tech):
+    return AuditTech.for_technology(tech)
+
+
+def test_clean_layout_passes_default_limits(dp_layout, tech):
+    report = run_antenna(dp_layout, tech)
+    assert report.ok
+    assert not report.violations
+
+
+def test_gate_areas_recovered_from_stub_owners(dp_layout, tech, audit):
+    areas = gate_areas(dp_layout, tech, audit)
+    # Only the two gate nets collect gate area, and symmetrically so:
+    # 96 fins x fin_pitch x gate_length each.
+    expected = 96 * tech.rules.fin_pitch * audit.gate_length_nm
+    assert areas == {"inp": pytest.approx(expected),
+                     "inn": pytest.approx(expected)}
+
+
+def test_ant_ratio_on_tight_limit(dp_layout, tech, audit):
+    report = run_antenna(
+        dp_layout, tech, audit.with_overrides(antenna_max_ratio=1.0)
+    )
+    assert report.count("ANT-RATIO") >= 1
+    # Only nets that reach a gate can damage one.
+    assert {v.subject for v in report.violations} <= {"inp", "inn"}
+    assert not report.ok
+
+
+def test_ant_ratio_ignores_gateless_nets(dp_layout, tech, audit):
+    # outp/outn/tail carry plenty of metal but connect no gate, so even
+    # an absurdly tight ratio never flags them.
+    report = run_antenna(
+        dp_layout, tech, audit.with_overrides(antenna_max_ratio=1e-9)
+    )
+    flagged = {v.subject for v in report.violations}
+    assert "outp" not in flagged and "tail" not in flagged
+
+
+def test_den_window_max_on_tight_ceiling(dp_layout, tech, audit):
+    layers = dict(audit.layers)
+    layers["M1"] = LayerAudit(
+        em_limit_ma_um=1.0, max_density=0.0005, min_density=0.0
+    )
+    report = run_antenna(
+        dp_layout, tech, audit.with_overrides(layers=layers)
+    )
+    assert report.count("DEN-WINDOW-MAX") >= 1
+    flagged = [v for v in report.violations if v.rule == "DEN-WINDOW-MAX"]
+    assert all(v.subject == "M1" and v.is_error for v in flagged)
+
+
+def test_den_window_min_is_one_warning_per_layer(dp_layout, tech, audit):
+    layers = dict(audit.layers)
+    layers["M3"] = LayerAudit(
+        em_limit_ma_um=1.5, max_density=1.0, min_density=0.9
+    )
+    report = run_antenna(
+        dp_layout, tech, audit.with_overrides(layers=layers)
+    )
+    # Sparse-but-used metal is a tapeout fill concern, not a design
+    # error: exactly one warning per layer, never one per window.
+    assert report.count("DEN-WINDOW-MIN") == 1
+    (finding,) = [v for v in report.violations if v.rule == "DEN-WINDOW-MIN"]
+    assert finding.subject == "M3"
+    assert not finding.is_error
+    assert report.ok  # warnings do not fail the audit
+
+
+def test_density_skips_layers_without_limits(dp_layout, tech, audit):
+    # A layer absent from the audit table is not density-checked.
+    layers = {"M2": audit.layers["M2"]}
+    report = run_antenna(
+        dp_layout, tech, audit.with_overrides(layers=layers)
+    )
+    assert {v.subject for v in report.violations} <= {"M2"}
+
+
+def test_empty_layout_is_clean(tech):
+    from repro.geometry.layout import Layout
+
+    report = run_antenna(Layout(name="empty"), tech)
+    assert report.ok and not report.violations

@@ -1,0 +1,39 @@
+"""The audit through the CLI: flags, default-on wiring, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+_TARGET = ["verify", "differential_pair", "--fins", "96",
+           "--variants", "1"]
+
+
+def test_cli_audit_flags_parse_and_disable(capsys):
+    assert main(_TARGET + ["--no-emag", "--no-antenna",
+                           "--no-symmetry-geo"]) == 0
+    out = capsys.readouterr().out
+    assert "error(s)" in out or "CLEAN" in out
+
+
+def test_cli_audit_default_on_counts_audit_shapes(capsys):
+    # The audit re-counts every wire and via, so disabling it must
+    # strictly shrink the checked-shape tally for the same target.
+    assert main(_TARGET + ["--format", "json"]) == 0
+    with_audit = json.loads(capsys.readouterr().out)
+    assert main(_TARGET + ["--format", "json", "--no-emag",
+                           "--no-antenna", "--no-symmetry-geo"]) == 0
+    without_audit = json.loads(capsys.readouterr().out)
+    assert sum(d["checked_shapes"] for d in with_audit) > sum(
+        d["checked_shapes"] for d in without_audit
+    )
+
+
+def test_cli_audit_json_is_byte_deterministic(capsys):
+    assert main(_TARGET + ["--format", "json"]) == 0
+    first = capsys.readouterr().out
+    assert main(_TARGET + ["--format", "json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert json.loads(first)  # and it is well-formed JSON

@@ -1,0 +1,98 @@
+"""Seeded-violation tests for the geometric symmetry audit (SYMG-*).
+
+Each test copies the clean differential pair, breaks exactly one aspect
+of its mirror realization and asserts the matching rule fires — and
+that the clean layout stays clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.geometry.layout import Via, Wire
+from repro.geometry.shapes import Point, Rect
+from repro.verify.symmetry_geo import run_symmetry_geo
+
+
+def test_clean_layout_has_no_symg_findings(dp_layout, dp_spec, tech):
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert report.ok
+    assert not report.violations
+    assert report.checked_shapes == len(dp_layout.devices)
+
+
+def test_non_mirror_pattern_is_not_audited(dp_layout, dp_spec, tech):
+    # Corrupt a placement, then declare a pattern that promises no
+    # mirror: the audit must not punish it.
+    dev = dp_layout.devices[0]
+    dp_layout.devices[0] = replace(dev, rect=dev.rect.translated(500, 0))
+    dp_layout.metadata["pattern"] = "AABB"
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert not report.violations
+
+
+def test_symg_place_on_off_mirror_unit(dp_layout, dp_spec, tech):
+    # Shrink one MB unit from the left: its center moves 10 nm off the
+    # mirror image of its MA partner while the row extent (and so the
+    # detected axis) stays put.
+    for i, dev in enumerate(dp_layout.devices):
+        if dev.device == "MB":
+            r = dev.rect
+            dp_layout.devices[i] = replace(
+                dev, rect=Rect(r.x0 + 20, r.y0, r.x1, r.y1)
+            )
+            break
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert report.count("SYMG-PLACE") == 1
+    assert not report.ok
+
+
+def test_symg_axis_on_staggered_row(dp_layout, dp_spec, tech):
+    # Shift every unit of one row sideways: the row's internal mirror
+    # survives (the axis moves with it) but the cell-wide axes disagree.
+    y0 = min(dev.rect.y0 for dev in dp_layout.devices)
+    for i, dev in enumerate(dp_layout.devices):
+        if dev.rect.y0 == y0:
+            dp_layout.devices[i] = replace(
+                dev, rect=dev.rect.translated(8, 0)
+            )
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert report.count("SYMG-AXIS") == 1
+    assert report.count("SYMG-PLACE") == 0
+
+
+def test_symg_orient_on_inconsistent_flip(dp_layout, dp_spec, tech):
+    # Flip one MB unit in place: one mirrored pair now opposes its
+    # partner's orientation while the others share it.
+    for i, dev in enumerate(dp_layout.devices):
+        if dev.device == "MB":
+            dp_layout.devices[i] = replace(dev, flipped=not dev.flipped)
+            break
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert report.count("SYMG-ORIENT") == 1
+    assert report.count("SYMG-PLACE") == 0
+
+
+def test_symg_wire_len_on_one_sided_trunk_metal(dp_layout, dp_spec, tech):
+    # Give outp 5 um of extra trunk routing that outn does not have.
+    dp_layout.wires.append(
+        Wire("outp", "M2", Rect(0, 21000, 5000, 21032), role="route")
+    )
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert report.count("SYMG-WIRE-LEN") == 1
+    assert "outp/outn" in {v.subject for v in report.violations}
+
+
+def test_symg_via_count_on_unbalanced_ladder(dp_layout, dp_spec, tech):
+    # Add cuts to outp's M2->M3 ladder only.
+    dp_layout.vias.append(Via("outp", "M2", "M3", Point(100, 100), cuts=4))
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert report.count("SYMG-VIA-COUNT") == 1
+
+
+def test_symg_via_count_skips_device_metal_ladders(dp_layout, dp_spec, tech):
+    # Stub-contact ladders follow diffusion parity by construction, so
+    # an M1-touching imbalance must not fire.
+    dp_layout.vias.append(Via("outp", "M1", "M2", Point(100, 100), cuts=4))
+    report = run_symmetry_geo(dp_layout, dp_spec, tech)
+    assert report.count("SYMG-VIA-COUNT") == 0

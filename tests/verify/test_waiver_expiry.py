@@ -1,0 +1,108 @@
+"""Waiver expiry: dated baselines surface instead of rotting."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify import Report, Waiver, WaiverSet
+
+
+def _report_with(rule: str, n: int = 1) -> Report:
+    report = Report(target="t")
+    for i in range(n):
+        report.flag(rule, f"seeded finding {i}", layout="cell", subject="M2")
+    return report
+
+
+def test_malformed_expires_date_raises():
+    with pytest.raises(VerificationError) as excinfo:
+        Waiver(rule="EM-WIRE-DENSITY", reason="r", expires="next tuesday")
+    assert "YYYY-MM-DD" in str(excinfo.value)
+
+
+def test_undated_waiver_never_expires():
+    waiver = Waiver(rule="EM-WIRE-DENSITY", reason="r")
+    assert not waiver.is_expired(date(2999, 1, 1))
+
+
+def test_dated_waiver_suppresses_until_its_date():
+    waiver = Waiver(
+        rule="EM-WIRE-DENSITY", reason="r", expires="2026-06-30"
+    )
+    assert not waiver.is_expired(date(2026, 6, 29))
+    # The expiry date itself is inclusive.
+    assert not waiver.is_expired(date(2026, 6, 30))
+    assert waiver.is_expired(date(2026, 7, 1))
+
+
+def test_live_waiver_still_suppresses():
+    report = _report_with("EM-WIRE-DENSITY")
+    waivers = WaiverSet(
+        [Waiver(rule="EM-WIRE-DENSITY", reason="r", expires="2026-06-30")]
+    )
+    assert report.apply_waivers(waivers, today=date(2026, 1, 1)) == 1
+    assert report.ok
+    assert not report.errors
+
+
+def test_expired_waiver_stops_suppressing_and_is_flagged():
+    report = _report_with("EM-WIRE-DENSITY")
+    waivers = WaiverSet(
+        [Waiver(rule="EM-WIRE-DENSITY", reason="r", expires="2026-06-30")]
+    )
+    assert report.apply_waivers(waivers, today=date(2026, 7, 1)) == 0
+    # The original error is back in force...
+    assert [v.rule for v in report.errors] == ["EM-WIRE-DENSITY"]
+    # ...and the stale baseline entry is itself reported, as a warning.
+    assert report.count("LINT-WAIVER-EXPIRED") == 1
+    (stale,) = [
+        v for v in report.violations if v.rule == "LINT-WAIVER-EXPIRED"
+    ]
+    assert not stale.is_error
+    assert "2026-06-30" in stale.message
+
+
+def test_expired_waiver_flagged_once_per_report():
+    report = _report_with("EM-WIRE-DENSITY", n=3)
+    waivers = WaiverSet(
+        [Waiver(rule="EM-WIRE-DENSITY", reason="r", expires="2026-06-30")]
+    )
+    report.apply_waivers(waivers, today=date(2026, 7, 1))
+    # Re-applying (flow code paths may fold waivers in more than once)
+    # must not duplicate the notice either.
+    report.apply_waivers(waivers, today=date(2026, 7, 1))
+    assert report.count("LINT-WAIVER-EXPIRED") == 1
+    assert len(report.errors) == 3
+
+
+def test_waiverset_load_parses_expires(tmp_path):
+    # tomllib parses an unquoted date as datetime.date; a quoted one
+    # stays a string — both must normalize to the ISO string.
+    baseline = tmp_path / "w.toml"
+    baseline.write_text(
+        "[[waive]]\n"
+        'rule = "EM-WIRE-DENSITY"\n'
+        'reason = "bare toml date"\n'
+        "expires = 2026-06-30\n"
+        "[[waive]]\n"
+        'rule = "IR-DROP"\n'
+        'reason = "quoted date"\n'
+        'expires = "2026-12-31"\n'
+    )
+    waivers = WaiverSet.load(baseline)
+    assert [w.expires for w in waivers] == ["2026-06-30", "2026-12-31"]
+
+
+def test_waiverset_load_rejects_malformed_expires(tmp_path):
+    baseline = tmp_path / "w.toml"
+    baseline.write_text(
+        "[[waive]]\n"
+        'rule = "EM-WIRE-DENSITY"\n'
+        'reason = "r"\n'
+        'expires = "30/06/2026"\n'
+    )
+    with pytest.raises(VerificationError):
+        WaiverSet.load(baseline)
