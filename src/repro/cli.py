@@ -128,6 +128,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         run_dir=args.run_dir,
         resume=args.resume,
         jobs=_jobs_from_args(args),
+        batch=args.batch,
         cache=args.cache,
         cache_dir=args.cache_dir,
         cache_max_mb=args.cache_max_mb,
@@ -204,6 +205,7 @@ def cmd_flow(args: argparse.Namespace) -> int:
         run_dir=args.run_dir,
         resume=args.resume,
         jobs=_jobs_from_args(args),
+        batch=args.batch,
         cache=args.cache,
         cache_dir=args.cache_dir,
         cache_max_mb=args.cache_max_mb,
@@ -239,6 +241,9 @@ def _render_profile(profile: dict, title: str) -> str:
         ["tran steps accepted", str(profile.get("tran_steps", 0))],
         ["tran steps rejected", str(profile.get("tran_rejected", 0))],
         ["tran fixed-grid steps", str(profile.get("tran_fixed_steps", 0))],
+        ["stacked solve calls", str(profile.get("batched_solves", 0))],
+        ["stacked solve members", str(profile.get("batch_members", 0))],
+        ["stacked solve fallbacks", str(profile.get("batch_fallbacks", 0))],
     ]
     for kind, count in profile.get("analyses", {}).items():
         rows.append([f"{kind} analyses", str(count)])
@@ -258,7 +263,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.target in CIRCUITS:
         circuit = _build_circuit(args.target, tech)
         flow = HierarchicalFlow(
-            tech, n_bins=args.bins, max_wires=args.max_wires, jobs=1
+            tech,
+            n_bins=args.bins,
+            max_wires=args.max_wires,
+            jobs=1,
+            batch=getattr(args, "batch", None),
         )
         result = flow.run(circuit, measure=args.target != "vco")
         profile = result.solver_profile
@@ -271,7 +280,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
             )
         primitive = library.create(args.target, tech, base_fins=args.fins)
         optimizer = PrimitiveOptimizer(
-            n_bins=args.bins, max_wires=args.max_wires, jobs=1
+            n_bins=args.bins,
+            max_wires=args.max_wires,
+            jobs=1,
+            batch=getattr(args, "batch", None),
         )
         report = optimizer.optimize(primitive)
         profile = report.solver_profile
@@ -506,6 +518,15 @@ def build_parser() -> argparse.ArgumentParser:
             "any value)",
         )
         p.add_argument(
+            "--batch",
+            type=int,
+            default=None,
+            metavar="K",
+            help="vectorized-sweep width: same-pattern variants per "
+            "stacked solver call (default: REPRO_BATCH, else 1; results "
+            "are identical for any value; engages when --jobs is 1)",
+        )
+        p.add_argument(
             "--cache",
             action=argparse.BooleanOptionalAction,
             default=True,
@@ -717,6 +738,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="primitive name or circuit name",
     )
     p_prof.add_argument("--fins", type=int, default=96)
+    p_prof.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="K",
+        help="vectorized-sweep width (default: REPRO_BATCH, else 1)",
+    )
     p_prof.add_argument("--bins", type=int, default=2)
     p_prof.add_argument("--max-wires", type=int, default=5)
     add_solver_arg(p_prof)

@@ -169,6 +169,11 @@ class PrimitiveOptimizer:
         jobs: Worker processes for batched evaluations (None reads
             ``REPRO_JOBS``, else 1).  Any value produces byte-identical
             reports; >1 adds wall-clock parallelism only.
+        batch: Vectorized-sweep width — how many same-pattern variants
+            one stacked solver call covers (None reads ``REPRO_BATCH``,
+            else 1).  Like ``jobs``, any value is byte-identical; >1
+            trades peak memory for wall-clock.  Engages only on the
+            in-process path (``jobs <= 1``).
         cache: Content-addressed evaluation cache: ``True`` builds one
             (with an on-disk tier under ``<run_dir>/evalcache`` when
             checkpointing), ``False`` disables caching, or pass an
@@ -193,6 +198,7 @@ class PrimitiveOptimizer:
         resume: bool = False,
         erc: bool = True,
         jobs: int | None = None,
+        batch: int | None = None,
         cache: "bool | EvalCache" = True,
         cache_dir: str | os.PathLike | None = None,
         cache_max_mb: float | None = None,
@@ -205,6 +211,7 @@ class PrimitiveOptimizer:
         self.resume = resume
         self.erc = erc
         self.jobs = jobs
+        self.batch = batch
         if isinstance(cache, EvalCache):
             self.cache: EvalCache | None = cache
         elif cache:
@@ -236,6 +243,7 @@ class PrimitiveOptimizer:
             journal=journal,
             cache=self.cache,
             jobs=self.jobs,
+            batch=self.batch,
         )
 
     def optimize(

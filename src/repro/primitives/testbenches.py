@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import MeasureError
+from repro.errors import ConvergenceError, MeasureError, SingularMatrixError
 from repro.spice import measure
-from repro.spice.ac import ac_analysis
-from repro.spice.dc import dc_operating_point
+from repro.spice.ac import ac_analysis, ac_analysis_many
+from repro.spice.dc import (
+    dc_operating_point,
+    dc_operating_points,
+    newton_operating_points,
+)
 from repro.spice.mna import CompiledCircuit
 from repro.spice.netlist import Circuit
 from repro.spice.tran import transient
@@ -101,6 +105,112 @@ def transfer_current(
     return ac.freqs, total
 
 
+# -- batched variants ---------------------------------------------------------
+#
+# Each ``*_many`` helper measures K testbenches at once through the
+# stacked solver paths (:func:`~repro.spice.dc.dc_operating_points`,
+# :func:`~repro.spice.ac.ac_analysis_many`), with failures *captured per
+# member*: the returned list holds the serial helper's value or the
+# exception it would have raised, so one diverging member never hides
+# the rest of the batch.  Values are bitwise identical to calling the
+# serial helper per member.
+
+
+def run_op_many(tbs: list[Circuit], tech: Technology) -> list:
+    """Batched :func:`run_op`: operating point (or exception) per member."""
+    compileds = [CompiledCircuit(tb, tech.rules) for tb in tbs]
+    return dc_operating_points(compileds)
+
+
+def run_ac_many(tbs: list[Circuit], tech: Technology) -> list:
+    """Batched :func:`run_ac`: ``(op, ac)`` (or exception) per member."""
+    compileds = [CompiledCircuit(tb, tech.rules) for tb in tbs]
+    ops = dc_operating_points(compileds)
+    out: list = [op if isinstance(op, Exception) else None for op in ops]
+    live = [i for i in range(len(tbs)) if out[i] is None]
+    acs = ac_analysis_many(
+        [compileds[i] for i in live],
+        [ops[i] for i in live],
+        AC_START,
+        AC_STOP,
+        AC_PPD,
+    )
+    for i, ac in zip(live, acs):
+        out[i] = ac if isinstance(ac, Exception) else (ops[i], ac)
+    return out
+
+
+def port_admittance_many(
+    tbs: list[Circuit], tech: Technology, source_name: str
+) -> list:
+    """Batched :func:`port_admittance`: ``(freqs, y)`` or exception."""
+    out: list = []
+    for res in run_ac_many(tbs, tech):
+        if isinstance(res, Exception):
+            out.append(res)
+        else:
+            _op, ac = res
+            out.append((ac.freqs, -ac.i(source_name) / 1.0))
+    return out
+
+
+def port_capacitance_many(
+    tbs: list[Circuit], tech: Technology, source_name: str
+) -> list:
+    """Batched :func:`port_capacitance`: float or exception per member."""
+    out: list = []
+    for res in port_admittance_many(tbs, tech, source_name):
+        if isinstance(res, Exception):
+            out.append(res)
+            continue
+        freqs, y = res
+        k = freq_index(freqs, CAP_PROBE_FREQUENCY)
+        out.append(
+            abs(float(np.imag(y[k]))) / (2.0 * np.pi * float(freqs[k]))
+        )
+    return out
+
+
+def port_resistance_many(
+    tbs: list[Circuit], tech: Technology, source_name: str
+) -> list:
+    """Batched :func:`port_resistance`: float or exception per member."""
+    out: list = []
+    for res in port_admittance_many(tbs, tech, source_name):
+        if isinstance(res, Exception):
+            out.append(res)
+            continue
+        freqs, y = res
+        real = float(np.real(y[0]))
+        if real < 0.0:
+            real = abs(real)
+        if real == 0.0:
+            out.append(MeasureError(f"zero real admittance at {source_name!r}"))
+            continue
+        out.append(1.0 / real)
+    return out
+
+
+def transfer_current_many(
+    tbs: list[Circuit],
+    tech: Technology,
+    out_sources: list[str],
+    signs: list[float],
+) -> list:
+    """Batched :func:`transfer_current`: ``(freqs, current)`` or exception."""
+    out: list = []
+    for res in run_ac_many(tbs, tech):
+        if isinstance(res, Exception):
+            out.append(res)
+            continue
+        _op, ac = res
+        total = np.zeros(len(ac.freqs), dtype=complex)
+        for name, sign in zip(out_sources, signs):
+            total = total + sign * ac.i(name)
+        out.append((ac.freqs, total))
+    return out
+
+
 def run_transient(
     tb: Circuit,
     tech: Technology,
@@ -153,6 +263,90 @@ def dc_offset_bisection(
     # solved it — pivoting-order noise at the 1e-16 level otherwise
     # walks the bisection to an arbitrary sub-tolerance midpoint.
     return 0.0 if abs(offset) < _OFFSET_TOL else offset
+
+
+def dc_offset_bisection_many(
+    build_tbs: list,
+    tech: Technology,
+    response,
+    lo: float = -0.05,
+    hi: float = 0.05,
+) -> list:
+    """Batched :func:`dc_offset_bisection`: K bisections in lock-step.
+
+    Each bisection round solves every live member's testbench through
+    one stacked Newton call, and — since successive bisection inputs
+    change only independent-source values — each member's system is
+    *compiled once*: later rounds rebuild the (cheap) netlist, verify it
+    is :meth:`~repro.spice.mna.CompiledCircuit.structurally_like` the
+    compiled one, and restamp only the right-hand side.  A member the
+    fast path cannot serve (structure drift, plain-Newton divergence
+    where the serial solver would climb its homotopy ladder) drops to a
+    per-evaluation serial solve with identical results.
+
+    Returns one entry per member: the offset (snapped to 0.0 below the
+    bisection resolution, exactly like the serial helper), or the
+    captured exception the serial helper would have raised
+    (:class:`~repro.errors.MeasureError` on a bracket without a sign
+    change, solver errors otherwise).
+    """
+    count = len(build_tbs)
+    compileds: list[CompiledCircuit | None] = [None] * count
+    serial_member = [False] * count
+
+    def serial_eval(tb: Circuit):
+        try:
+            op = dc_operating_point(CompiledCircuit(tb, tech.rules))
+        except (ConvergenceError, SingularMatrixError) as exc:
+            return exc
+        return response(op)
+
+    def evaluate_many(indices: list[int], xs: list[float]) -> list:
+        out: list = [None] * len(indices)
+        stacked_js: list[int] = []
+        stacked_compileds: list[CompiledCircuit] = []
+        stacked_rhs: list[np.ndarray] = []
+        for j, (i, x) in enumerate(zip(indices, xs)):
+            tb = build_tbs[i](x)
+            if serial_member[i]:
+                out[j] = serial_eval(tb)
+                continue
+            compiled = compileds[i]
+            if compiled is None:
+                compiled = CompiledCircuit(tb, tech.rules)
+                compileds[i] = compiled
+                rhs = compiled.source_rhs(t=None, scale=1.0)
+            elif compiled.structurally_like(tb):
+                rhs = compiled.source_rhs_like(tb)
+            else:
+                serial_member[i] = True
+                out[j] = serial_eval(tb)
+                continue
+            stacked_js.append(j)
+            stacked_compileds.append(compiled)
+            stacked_rhs.append(rhs)
+        if stacked_js:
+            ops = newton_operating_points(
+                stacked_compileds, rhs_srcs=stacked_rhs
+            )
+            for j, op in zip(stacked_js, ops):
+                if op is None:
+                    # Plain Newton diverged; the serial path would climb
+                    # the gmin/source-stepping ladder from here.
+                    out[j] = serial_eval(build_tbs[indices[j]](xs[j]))
+                else:
+                    out[j] = response(op)
+        return out
+
+    roots = measure.find_dc_zero_many(
+        evaluate_many, count, lo, hi, tolerance=_OFFSET_TOL
+    )
+    return [
+        root
+        if isinstance(root, Exception)
+        else (0.0 if abs(root) < _OFFSET_TOL else root)
+        for root in roots
+    ]
 
 
 def solve_gate_bias(

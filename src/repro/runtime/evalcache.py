@@ -170,8 +170,15 @@ class CacheStats:
     ``--jobs``); ``misses`` additionally counts lookups whose evaluation
     later failed, so it may differ between worker counts and is reported
     for diagnostics only.
+
+    Every :meth:`EvalCache.get` call counts exactly one ``lookups`` and
+    exactly one of ``hits``/``misses`` — a quarantined corrupt disk
+    entry is one miss (plus one ``corrupt``), never double-counted — so
+    ``hits + misses == lookups`` always holds.  Containment peeks
+    (``key in cache``) take no statistics and are not lookups.
     """
 
+    lookups: int = 0
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
@@ -479,8 +486,9 @@ class EvalCache:
 
         A memory hit refreshes the entry's LRU position; a disk hit
         promotes the entry into the memory tier.  A corrupt disk entry
-        is quarantined and counts as a miss.
+        is quarantined and counts as exactly one miss.
         """
+        self.stats.lookups += 1
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)

@@ -314,7 +314,9 @@ class ParallelEvalRuntime(EvalRuntime):
 
     def evaluate_batch(self, tasks: list[BatchTask], stage: str) -> EvalBatch:
         if self.jobs <= 1:
-            return EvalBatch(self, tasks, stage)
+            # Serial worker-wise, but the vectorized --batch fast path
+            # (EvalRuntime.evaluate_batch) may still engage.
+            return super().evaluate_batch(tasks, stage)
         pending = [
             i
             for i, task in enumerate(tasks)
@@ -323,10 +325,10 @@ class ParallelEvalRuntime(EvalRuntime):
         if len(pending) <= 1:
             # Zero or one live evaluation: the pool's fork cost buys
             # nothing.
-            return EvalBatch(self, tasks, stage)
+            return super().evaluate_batch(tasks, stage)
         outcomes = self._dispatch(tasks, pending, stage)
         if outcomes is None:
-            return EvalBatch(self, tasks, stage)
+            return super().evaluate_batch(tasks, stage)
         return ParallelBatch(self, tasks, stage, outcomes)
 
     def _dispatch(

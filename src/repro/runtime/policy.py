@@ -71,6 +71,13 @@ class RetryPolicy:
             ``deadline_s`` (measured *inside* the evaluation), this
             catches evaluations that hang and never return.  None
             disables the watchdog.
+        newton_max_iterations: Explicit per-solve Newton iteration
+            budget for deadline-driven runs.  Honored *exactly* by the
+            DC solver — including 0 and values below its
+            ``max(120, 2*num_nodes)`` size heuristic, which used to be
+            an unconditional floor — so a shrunk budget actually fails
+            fast instead of being silently clamped back up.  None keeps
+            the heuristic (see docs/robustness.md).
     """
 
     max_retries: int = 1
@@ -78,6 +85,7 @@ class RetryPolicy:
     stage_failure_ceiling: float = 0.5
     retry_perturbation: float = 1e-3
     task_timeout_s: float | None = None
+    newton_max_iterations: int | None = None
 
 
 @dataclass
@@ -89,6 +97,12 @@ class BatchTask:
     evaluation (e.g. ``LayoutError`` during selection): a worker process
     returns them for deterministic re-raise at consumption instead of
     treating them as evaluation failures.
+
+    ``batch_spec`` (a :class:`~repro.runtime.batched.BatchSpec`, when the
+    call site can describe the evaluation as build-circuit + simulate +
+    finish) opts the task into the vectorized multi-variant fast path of
+    :mod:`repro.runtime.batched`; tasks without one always run their
+    ``thunk`` serially.
     """
 
     key: str
@@ -98,6 +112,7 @@ class BatchTask:
     from_payload: Callable[[dict], Any] | None = None
     retries: int | None = None
     absorb: tuple[type, ...] = ()
+    batch_spec: Any | None = None
 
 
 class EvalBatch:
@@ -160,12 +175,19 @@ class EvalRuntime:
         failures: FailureLog | None = None,
         clock: Callable[[], float] = time.monotonic,
         cache: Any | None = None,
+        batch: int | None = None,
     ):
+        from repro.runtime.batched import resolve_batch  # deferred: cycle
+
         self.policy = policy or RetryPolicy()
         self.journal = journal
         self.failures = failures if failures is not None else FailureLog()
         self.clock = clock
         self.cache = cache
+        #: Vectorized-sweep width: how many same-pattern variants one
+        #: stacked solve covers (``--batch`` / ``REPRO_BATCH``; 1
+        #: disables the fast path).
+        self.batch = resolve_batch(batch)
         self._stage_total: Counter = Counter()
         self._stage_failed: Counter = Counter()
         #: Evaluations answered from the journal without re-simulating.
@@ -252,6 +274,7 @@ class EvalRuntime:
                 stage=stage,
                 attempt=attempt,
                 perturbation=self.policy.retry_perturbation * attempt,
+                newton_max_iterations=self.policy.newton_max_iterations,
             )
             start = self.clock()
             try:
@@ -329,8 +352,16 @@ class EvalRuntime:
 
         The caller must :meth:`~EvalBatch.consume` results in the same
         order a serial loop would evaluate them, and may stop early.
-        The base runtime evaluates lazily at consumption; see
+        The base runtime evaluates lazily at consumption — unless
+        :attr:`batch` > 1 and the tasks carry batch specs, in which case
+        the vectorized fast path of :mod:`repro.runtime.batched` engages
+        (byte-identical results; see docs/performance.md).  See
         :class:`~repro.runtime.parallel.ParallelEvalRuntime` for the
         process-pool override.
         """
+        from repro.runtime.batched import maybe_batched  # deferred: cycle
+
+        fast = maybe_batched(self, tasks, stage)
+        if fast is not None:
+            return fast
         return EvalBatch(self, tasks, stage)

@@ -56,11 +56,23 @@ def low_frequency_gain_db(h: np.ndarray) -> float:
 def _log_interp_crossing(
     freqs: np.ndarray, values: np.ndarray, target: float
 ) -> float:
-    """Frequency where ``values`` first crosses ``target`` (log-f interp)."""
+    """Frequency where ``values`` first crosses down through ``target``
+    (log-f interpolation).
+
+    The search starts at the first point at-or-above the target, so a
+    response that *starts below* the target (a coarse sweep catching the
+    rising edge of a band-pass shape, or a gain curve whose first point
+    sits a hair under unity) still reports its downward crossing instead
+    of failing on the first sample.  A response that never reaches the
+    target at all is a measurement error, as is one that reaches it but
+    never comes back down.
+    """
     above = values >= target
-    if not above[0]:
-        raise MeasureError("response starts below the target level")
-    for k in range(1, len(freqs)):
+    above_idx = np.flatnonzero(above)
+    if not len(above_idx):
+        raise MeasureError("response never reaches the target level")
+    start = int(above_idx[0])
+    for k in range(start + 1, len(freqs)):
         if not above[k]:
             f0, f1 = freqs[k - 1], freqs[k]
             v0, v1 = values[k - 1], values[k]
@@ -86,11 +98,30 @@ def bandwidth_3db(freqs: np.ndarray, h: np.ndarray) -> float:
 
 
 def phase_margin(freqs: np.ndarray, h: np.ndarray) -> float:
-    """Phase margin in degrees: ``180 + phase`` at the unity-gain frequency."""
+    """Phase margin in degrees: ``180 + phase`` at the unity-gain frequency.
+
+    The phase is unwrapped before interpolation, but unwrapping assumes
+    less than a half-turn between adjacent sweep points; when the *raw*
+    phase gap between the two samples bracketing the unity-gain crossing
+    exceeds 180°, the unwrap correction applied right where the margin
+    is read is guesswork (the true trajectory could have gone around
+    either way), so the interpolated value is an artifact of sweep
+    resolution, not a measurement — that case raises instead of
+    returning a plausible wrong number.
+    """
     freqs = np.asarray(freqs)
     fu = unity_gain_frequency(freqs, h)
     phase = phase_deg(h)
-    ph_u = float(np.interp(np.log10(fu), np.log10(freqs), phase))
+    logf = np.log10(freqs)
+    k = int(np.searchsorted(logf, np.log10(fu)))
+    k = min(max(k, 1), len(phase) - 1)
+    raw = np.rad2deg(np.angle(h))
+    if abs(float(raw[k] - raw[k - 1])) > 180.0:
+        raise MeasureError(
+            "phase wraps between the sweep points bracketing the "
+            "unity-gain crossing; increase points_per_decade"
+        )
+    ph_u = float(np.interp(np.log10(fu), logf, phase))
     return _finite(180.0 + ph_u, "phase margin")
 
 
@@ -257,3 +288,74 @@ def find_dc_zero(
         else:
             lo, f_lo = mid, f_mid
     return 0.5 * (lo + hi)
+
+
+def find_dc_zero_many(
+    evaluate_many,
+    count: int,
+    lo: float,
+    hi: float,
+    tolerance: float = 1e-7,
+    max_iterations: int = 60,
+) -> list:
+    """Lock-step bisection across many members (see :func:`find_dc_zero`).
+
+    ``evaluate_many(indices, xs)`` evaluates member ``indices[j]`` at
+    input ``xs[j]`` for all entries at once — the hook where the batched
+    solver stack earns its keep — and returns, per entry, the float
+    response or a captured exception.  Each member's bracket updates
+    replay :func:`find_dc_zero`'s arithmetic exactly (including the
+    order of the endpoint evaluations and the zero/tolerance early
+    exits), so the returned roots are bitwise identical to ``count``
+    independent serial calls.  A member whose evaluation raised — or
+    whose bracket holds no sign change — carries the exception in the
+    returned list instead of a root.
+    """
+    results: list = [None] * count
+    los = [lo] * count
+    his = [hi] * count
+    f_los = [0.0] * count
+
+    live = list(range(count))
+    for i, fv in zip(live, evaluate_many(live, [lo] * len(live))):
+        if isinstance(fv, Exception):
+            results[i] = fv
+        else:
+            f_los[i] = fv
+    live = [i for i in live if results[i] is None]
+    for i, fv in zip(live, evaluate_many(live, [hi] * len(live))):
+        if isinstance(fv, Exception):
+            results[i] = fv
+        elif f_los[i] == 0.0:
+            results[i] = lo
+        elif fv == 0.0:
+            results[i] = hi
+        elif f_los[i] * fv > 0:
+            results[i] = MeasureError(
+                f"no sign change in [{lo:.4g}, {hi:.4g}] "
+                f"(f={f_los[i]:.4g} .. {fv:.4g})"
+            )
+    live = [i for i in live if results[i] is None]
+
+    for _ in range(max_iterations):
+        if not live:
+            break
+        mids = [0.5 * (los[i] + his[i]) for i in live]
+        responses = evaluate_many(live, mids)
+        survivors = []
+        for i, mid, fv in zip(live, mids, responses):
+            if isinstance(fv, Exception):
+                results[i] = fv
+                continue
+            if fv == 0.0 or (his[i] - los[i]) < tolerance:
+                results[i] = mid
+                continue
+            if f_los[i] * fv < 0:
+                his[i] = mid
+            else:
+                los[i], f_los[i] = mid, fv
+            survivors.append(i)
+        live = survivors
+    for i in live:
+        results[i] = 0.5 * (los[i] + his[i])
+    return results

@@ -273,6 +273,73 @@ class CompiledCircuit:
             rhs[self.branch_index[src.name]] += value * scale
         return rhs
 
+    def structurally_like(self, other: Circuit) -> bool:
+        """Whether ``other`` would compile to this exact MNA structure.
+
+        True when every element matches this compiled circuit's —
+        independent sources may differ in their (DC) waveform values,
+        everything else must be equal — so a solve against ``other`` can
+        reuse this compiled system with only the right-hand side rebuilt
+        (:meth:`source_rhs_like`).  Matrix stamps of independent sources
+        are pure topology (±1 entries), so differing source *values*
+        cannot change the system matrix.
+        """
+        mine = self.circuit.elements
+        theirs = other.elements
+        if len(mine) != len(theirs):
+            return False
+        for a, b in zip(mine, theirs):
+            if type(a) is not type(b):
+                return False
+            if isinstance(a, VoltageSource):
+                if (
+                    a.name != b.name
+                    or a.plus != b.plus
+                    or a.minus != b.minus
+                    or a.ac_magnitude != b.ac_magnitude
+                    or a.ac_phase_deg != b.ac_phase_deg
+                    or type(a.waveform) is not type(b.waveform)
+                ):
+                    return False
+            elif isinstance(a, CurrentSource):
+                if (
+                    a.name != b.name
+                    or a.a != b.a
+                    or a.b != b.b
+                    or a.ac_magnitude != b.ac_magnitude
+                    or a.ac_phase_deg != b.ac_phase_deg
+                    or type(a.waveform) is not type(b.waveform)
+                ):
+                    return False
+            elif a != b:
+                return False
+        return self.nodes == other.nodes()
+
+    def source_rhs_like(self, other: Circuit) -> np.ndarray:
+        """DC source vector of ``other`` stamped with *this* circuit's
+        indices.
+
+        The compile-once path of batched bisection sweeps: successive
+        sweep inputs rebuild the (cheap) netlist but change only
+        independent-source values, so the expensive compile is reused
+        and only the right-hand side is restamped.  Callers must have
+        established :meth:`structurally_like` first.
+        """
+        values = {
+            e.name: e.waveform.dc_value
+            for e in other.elements
+            if isinstance(e, (VoltageSource, CurrentSource))
+        }
+        rhs = self._empty_vector()
+        idx = self.index_of
+        for src in self.isources:
+            value = values[src.name]
+            rhs[idx(src.a)] -= value
+            rhs[idx(src.b)] += value
+        for src in self.vsources:
+            rhs[self.branch_index[src.name]] += values[src.name]
+        return rhs
+
     def ac_source_rhs(self) -> np.ndarray:
         """Complex RHS from the AC magnitudes/phases of all sources."""
         rhs = self._empty_vector(dtype=complex)

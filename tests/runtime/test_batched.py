@@ -1,0 +1,282 @@
+"""Batched (vectorized multi-variant) solves: byte-identical to serial.
+
+ISSUE acceptance: a run with ``--batch K`` produces bitwise-identical
+metrics, journals, cache traffic and reports to ``--batch 1`` — for any
+batch width, any variant order, and under the fault-injection seed
+matrix (where batching disengages but output must not move).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import PrimitiveOptimizer, Technology
+from repro.devices.mosfet import MosGeometry
+from repro.errors import ConvergenceError, MeasureError
+from repro.runtime import EvalRuntime, RetryPolicy, resolve_batch
+from repro.runtime import context as eval_context
+from repro.runtime.evalcache import EvalCache
+from repro.runtime.faults import FaultSpec, inject
+from repro.spice import Circuit, CompiledCircuit
+from repro.spice import measure
+from repro.spice.ac import ac_analysis, ac_analysis_many
+from repro.spice.dc import dc_operating_point, dc_operating_points
+
+BATCH = 8
+
+
+def _compiled(circuit, tech):
+    return CompiledCircuit(circuit, tech.rules)
+
+
+def _divider(v_in, r2):
+    c = Circuit("div")
+    c.add_vsource("v1", "in", "0", v_in)
+    c.add_resistor("r1", "in", "mid", 1000.0)
+    c.add_resistor("r2", "mid", "0", r2)
+    return c
+
+
+def _diode_nmos(tech, bias, nf):
+    c = Circuit("dio")
+    c.add_isource("i1", "0", "d", bias)
+    c.add_mosfet("m1", "d", "d", "0", "0", tech.nmos, MosGeometry(8, nf, 1))
+    return c
+
+
+def _fresh_dp(name="batch_dp"):
+    from repro.primitives import DifferentialPair
+
+    return DifferentialPair(Technology.default(), base_fins=8, name=name)
+
+
+def _optimizer(batch, run_dir=None, resume=False):
+    return PrimitiveOptimizer(
+        n_bins=2,
+        max_wires=3,
+        policy=RetryPolicy(max_retries=2),
+        batch=batch,
+        run_dir=run_dir,
+        resume=resume,
+    )
+
+
+def _fingerprint(report) -> tuple:
+    return (
+        [(o.describe(), o.cost) for o in report.options],
+        [(o.describe(), o.cost) for o in report.selected],
+        [(t.option.describe(), t.option.cost) for t in report.tuned],
+        [(s.name, s.simulations) for s in report.stages],
+        report.total_simulations,
+        report.best.cost,
+        [f.to_dict() for f in report.failures.failures],
+        report.cache_stats,
+    )
+
+
+# -- resolve_batch -------------------------------------------------------
+
+
+def test_resolve_batch_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    assert resolve_batch(None) == 1
+    assert resolve_batch(4) == 4
+    assert resolve_batch(0) == 1  # clamped
+    assert resolve_batch(-2) == 1
+    monkeypatch.setenv("REPRO_BATCH", "6")
+    assert resolve_batch(None) == 6
+    assert resolve_batch(3) == 3  # explicit beats env
+    monkeypatch.setenv("REPRO_BATCH", "0")
+    assert resolve_batch(None) == 1  # env 0 clamps to off
+
+
+# -- DC: stacked lockstep Newton vs per-circuit serial -------------------
+
+
+def test_dc_operating_points_bitwise(tech):
+    circuits = [_divider(0.5 + 0.25 * k, 1000.0 * (k + 1)) for k in range(4)]
+    circuits += [_diode_nmos(tech, 50e-6 * (k + 1), 2) for k in range(4)]
+    compileds = [_compiled(c, tech) for c in circuits]
+    serial = [dc_operating_point(c) for c in compileds]
+    batched = dc_operating_points(compileds)
+    assert len(batched) == len(serial)
+    for got, ref in zip(batched, serial):
+        # Bitwise: the lockstep kernel replays the serial float ops.
+        assert np.array_equal(got.x, ref.x)
+        assert got.recovery == ref.recovery
+
+
+def test_dc_operating_points_mixed_convergence_captures_failures(tech):
+    # An explicit zero Newton budget makes every member fail serially;
+    # the batched wrapper must disengage (the lockstep kernel does not
+    # consult per-evaluation context) and capture the same exceptions
+    # per member instead of raising on the first.
+    compileds = [
+        _compiled(_divider(1.0, 2000.0), tech),
+        _compiled(_diode_nmos(tech, 100e-6, 4), tech),
+    ]
+    ctx = eval_context.EvalContext(newton_max_iterations=0)
+    with eval_context.evaluation(ctx):
+        serial_errs = []
+        for c in compileds:
+            with pytest.raises(ConvergenceError) as err:
+                dc_operating_point(c)
+            serial_errs.append(str(err.value))
+        batched = dc_operating_points(compileds)
+    for got, ref in zip(batched, serial_errs):
+        assert isinstance(got, ConvergenceError)
+        assert str(got) == ref
+
+
+def test_newton_budget_honored_exactly(tech):
+    # Satellite: an explicit RetryPolicy budget must override the
+    # max(120, 2*nodes) heuristic verbatim — even 0 — instead of being
+    # silently clamped back up to the floor.
+    compiled = _compiled(_diode_nmos(tech, 100e-6, 4), tech)
+    baseline = dc_operating_point(compiled)
+    with eval_context.evaluation(eval_context.EvalContext(newton_max_iterations=0)):
+        with pytest.raises(ConvergenceError):
+            dc_operating_point(compiled)
+    # A budget at/above what the solve needs reproduces the default.
+    with eval_context.evaluation(
+        eval_context.EvalContext(newton_max_iterations=200)
+    ):
+        op = dc_operating_point(compiled)
+    assert np.array_equal(op.x, baseline.x)
+    # None keeps the heuristic.
+    with eval_context.evaluation(eval_context.EvalContext()):
+        op = dc_operating_point(compiled)
+    assert np.array_equal(op.x, baseline.x)
+
+
+# -- AC: stacked frequency sweeps ----------------------------------------
+
+
+def test_ac_analysis_many_bitwise(tech):
+    circuits = []
+    for k in range(4):
+        c = Circuit(f"rc{k}")
+        c.add_vsource("vin", "in", "0", 0.0, ac_magnitude=1.0)
+        c.add_resistor("r1", "in", "out", 1e3 * (k + 1))
+        c.add_capacitor("c1", "out", "0", 1e-12)
+        circuits.append(c)
+    compileds = [_compiled(c, tech) for c in circuits]
+    ops = [dc_operating_point(c) for c in compileds]
+    kw = dict(f_start=1e3, f_stop=1e10, points_per_decade=5)
+    serial = [ac_analysis(c, op, **kw) for c, op in zip(compileds, ops)]
+    batched = ac_analysis_many(compileds, ops, **kw)
+    for got, ref in zip(batched, serial):
+        assert np.array_equal(got.freqs, ref.freqs)
+        assert np.array_equal(got.solutions, ref.solutions)
+
+
+# -- lockstep bisection --------------------------------------------------
+
+
+def test_find_dc_zero_many_bitwise():
+    roots = [0.013, -0.4, 0.2499, 0.0]
+
+    def evaluate_many(indices, xs):
+        return [xs[j] - roots[i] for j, i in enumerate(indices)]
+
+    serial = [
+        measure.find_dc_zero(lambda x, r=r: x - r, -0.5, 0.5) for r in roots
+    ]
+    batched = measure.find_dc_zero_many(evaluate_many, len(roots), -0.5, 0.5)
+    assert batched == serial  # bitwise: same bisection arithmetic
+
+
+def test_find_dc_zero_many_captures_member_failures():
+    # Member 1 has no sign change, member 2 raises mid-bisection; both
+    # are captured in place while member 0 still converges.
+    def evaluate_many(indices, xs):
+        out = []
+        for j, i in enumerate(indices):
+            if i == 1:
+                out.append(xs[j] + 10.0)
+            elif i == 2:
+                out.append(ValueError("boom"))
+            else:
+                out.append(xs[j] - 0.1)
+        return out
+
+    results = measure.find_dc_zero_many(evaluate_many, 3, -0.5, 0.5)
+    with pytest.raises(MeasureError) as serial_err:
+        measure.find_dc_zero(lambda x: x + 10.0, -0.5, 0.5)
+    assert results[0] == measure.find_dc_zero(lambda x: x - 0.1, -0.5, 0.5)
+    assert isinstance(results[1], MeasureError)
+    assert str(results[1]) == str(serial_err.value)
+    assert isinstance(results[2], ValueError)
+
+
+# -- property: shuffled selection sweeps, batched vs serial --------------
+
+
+@pytest.mark.parametrize("shuffle_seed", [0, 1, 2])
+def test_shuffled_selection_batch_matches_serial(shuffle_seed):
+    prim = _fresh_dp()
+    variants = prim.variants()
+    random.Random(shuffle_seed).shuffle(variants)
+
+    def run(width):
+        from repro.core.selection import evaluate_options
+
+        runtime = EvalRuntime(cache=EvalCache(), batch=width)
+        options = evaluate_options(
+            _fresh_dp(), variants=variants, runtime=runtime
+        )
+        return runtime, options
+
+    serial_rt, serial = run(1)
+    batch_rt, batched = run(BATCH)
+    assert len(batched) == len(serial)
+    for got, ref in zip(batched, serial):
+        assert (got.base, got.pattern) == (ref.base, ref.pattern)
+        assert got.values == ref.values  # bitwise: dict equality on floats
+        assert got.simulations == ref.simulations
+        assert got.cache_key == ref.cache_key
+        assert got.breakdown.cost == ref.breakdown.cost
+    # Cache traffic replays identically (keys, hit/miss/store sequence).
+    assert batch_rt.cache.stats == serial_rt.cache.stats
+    assert sorted(batch_rt.cache._entries) == sorted(serial_rt.cache._entries)
+    # The fast path actually engaged — this is not serial-vs-serial.
+    assert batch_rt.solver_stats.batched_solves > 0
+    assert serial_rt.solver_stats.batched_solves == 0
+
+
+def test_batched_report_identical_to_serial():
+    serial = _optimizer(batch=1).optimize(_fresh_dp())
+    batched = _optimizer(batch=BATCH).optimize(_fresh_dp())
+    assert _fingerprint(batched) == _fingerprint(serial)
+
+
+def test_batched_journal_byte_identical(tmp_path):
+    _optimizer(batch=1, run_dir=tmp_path / "serial").optimize(_fresh_dp())
+    _optimizer(batch=BATCH, run_dir=tmp_path / "batched").optimize(_fresh_dp())
+    serial = (tmp_path / "serial" / "batch_dp.jsonl").read_bytes()
+    batched = (tmp_path / "batched" / "batch_dp.jsonl").read_bytes()
+    assert batched == serial
+
+
+def test_batched_report_identical_under_faults(fault_seed):
+    # Injection disengages the fast path member-by-member; the output
+    # must not move by a byte either way.
+    spec = FaultSpec(dc_fail_rate=0.3)
+    with inject(spec, seed=fault_seed) as serial_injector:
+        serial = _optimizer(batch=1).optimize(_fresh_dp())
+    with inject(spec, seed=fault_seed) as batched_injector:
+        batched = _optimizer(batch=BATCH).optimize(_fresh_dp())
+    assert _fingerprint(batched) == _fingerprint(serial)
+    assert batched_injector.counters == serial_injector.counters
+    assert batched_injector.fired == serial_injector.fired
+
+
+def test_batch_env_knob_is_safe(monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH", str(BATCH))
+    batched = _optimizer(batch=None).optimize(_fresh_dp())
+    monkeypatch.delenv("REPRO_BATCH")
+    serial = _optimizer(batch=None).optimize(_fresh_dp())
+    assert _fingerprint(batched) == _fingerprint(serial)

@@ -193,6 +193,32 @@ def test_entries_are_checksummed_and_corruption_quarantined(tmp_path):
     assert (tmp_path / "quarantine" / "k.json").exists()
 
 
+def test_stats_lookup_invariant_counts_corrupt_once(tmp_path):
+    writer = EvalCache(disk_dir=tmp_path)
+    writer.put("good", {"gm": 1.5}, 1)
+    writer.put("bad", {"gm": 2.0}, 1)
+    entry = tmp_path / "bad.json"
+    raw = bytearray(entry.read_bytes())
+    raw[raw.index(b"2.0") + 1] = ord("9")  # bit-flip a metric value
+    entry.write_bytes(bytes(raw))
+
+    cache = EvalCache(disk_dir=tmp_path)
+    assert cache.get("absent") is None  # plain miss
+    assert cache.get("good") is not None  # disk hit (promotes)
+    assert cache.get("good") is not None  # memory hit
+    assert cache.get("bad") is None  # corrupt: quarantined, ONE miss
+    stats = cache.stats
+    assert stats.lookups == 4
+    assert stats.hits == 2
+    assert stats.misses == 2
+    assert stats.corrupt == 1
+    assert stats.hits + stats.misses == stats.lookups
+    # A containment peek is not a lookup and takes no statistics.
+    assert "good" in cache
+    assert stats.lookups == 4
+    assert stats.hits + stats.misses == stats.lookups
+
+
 def test_pre_checksum_entries_are_quarantined(tmp_path):
     # Entries from the pre-checksum format carry no checksum field.
     (tmp_path / "old.json").write_text(

@@ -187,3 +187,64 @@ def test_crossing_count_even_for_periodic(level):
     # Periodic signal: rising and falling counts differ by at most one.
     assert abs(len(rises) - len(falls)) <= 1
     assert len(rises) >= 4
+
+
+def two_pole_bandpass(freqs, fz=1e4, p1=1e6, p2=1e8):
+    """Band-pass-ish two-pole: |h| starts below 1, peaks, falls back."""
+    return (1j * freqs / fz) / ((1 + 1j * freqs / p1) * (1 + 1j * freqs / p2))
+
+
+def test_crossing_when_response_starts_below_target(freqs):
+    # Regression: _log_interp_crossing used to fail (or pick the wrong
+    # bracket) when the first sweep point sat below the target — it must
+    # skip to the first at-or-above point and report the *downward*
+    # crossing past the peak.
+    h = two_pole_bandpass(freqs)
+    assert abs(h[0]) < 1.0
+    fu = measure.unity_gain_frequency(freqs, h)
+    f_peak = freqs[np.argmax(np.abs(h))]
+    assert fu > f_peak
+    # The reported frequency really is a unity point of the response.
+    assert abs(two_pole_bandpass(np.array([fu]))[0]) == pytest.approx(1.0, rel=0.05)
+
+
+def test_crossing_in_first_interval_uses_first_bracket():
+    # Downward crossing between the first two sweep points must
+    # interpolate inside [f0, f1], not a later bracket.
+    freqs = np.array([1e3, 1e4, 1e5, 1e6])
+    values = np.array([2.0, 0.5, 0.4, 0.3])
+    fx = measure._log_interp_crossing(freqs, values, 1.0)
+    assert 1e3 < fx < 1e4
+
+
+def test_crossing_never_reaches_target_raises():
+    freqs = np.array([1e3, 1e4, 1e5])
+    with pytest.raises(MeasureError, match="never reaches"):
+        measure._log_interp_crossing(freqs, np.array([0.2, 0.8, 0.5]), 1.0)
+
+
+def test_crossing_never_descends_raises():
+    freqs = np.array([1e3, 1e4, 1e5])
+    with pytest.raises(MeasureError, match="never crosses"):
+        measure._log_interp_crossing(freqs, np.array([0.5, 1.5, 2.5]), 1.0)
+
+
+def test_phase_margin_wrap_at_crossing_raises():
+    # Under-resolved sweep: the raw phase jumps across the ±180° branch
+    # cut inside the interval bracketing the unity-gain crossing, so the
+    # unwrap correction there is guesswork — phase_margin must refuse
+    # rather than interpolate a plausible wrong number.
+    freqs = np.array([1e5, 1e6, 1e7, 1e8])
+    mags = np.array([8.0, 3.0, 1.5, 0.5])
+    raw_deg = np.array([-20.0, -90.0, -170.0, 170.0])
+    h = mags * np.exp(1j * np.deg2rad(raw_deg))
+    with pytest.raises(MeasureError, match="phase wraps"):
+        measure.phase_margin(freqs, h)
+
+
+def test_phase_margin_fine_two_pole_unaffected_by_guard(freqs):
+    # The same two-pole shape on a fine sweep stays below a half-turn
+    # per interval everywhere and must keep measuring normally.
+    h = single_pole(freqs) / (1 + 1j * freqs / 1e8)
+    pm = measure.phase_margin(freqs, h)
+    assert 40.0 < pm < 60.0
