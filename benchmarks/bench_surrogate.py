@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Benchmark the surrogate-guided sweep pruning.
+
+Two passes of Algorithm 1 over the primitive library, sharing one
+surrogate corpus:
+
+* **cold** — the corpus starts empty, so the guide falls back to the
+  full sweep everywhere while recording (features -> measured cost)
+  rows.  This pass doubles as the unpruned baseline.
+* **warm** — the corpus now covers every family, so selection sweeps
+  keep only the predicted frontier and tuning sweeps truncate at the
+  predicted minimum.
+
+The honesty checks are the whole point: the warm pass must land on
+**exactly** the cold pass's best-variant cost for every family (pruning
+may skip losers, never change winners), a warm run must journal
+byte-identically across ``--jobs`` values, and the aggregate simulation
+reduction must clear the ISSUE's 40% floor (full mode).
+
+Run via ``make bench-surrogate``, or directly::
+
+    python benchmarks/bench_surrogate.py --out BENCH_surrogate.json
+
+``--smoke`` shrinks the family set for CI smoke runs (the JSON still
+carries every field, just from a smaller workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import PrimitiveOptimizer, Technology  # noqa: E402
+from repro.primitives import MosPrimitive, PrimitiveLibrary  # noqa: E402
+
+#: The library survey's family set (benchmarks/test_library_survey.py).
+FAMILIES = [
+    "differential_pair",
+    "pmos_differential_pair",
+    "cascode_differential_pair",
+    "switched_differential_pair",
+    "current_mirror",
+    "pmos_current_mirror",
+    "active_current_mirror",
+    "cascode_current_mirror",
+    "lv_cascode_current_mirror",
+    "common_source_amplifier",
+    "common_gate_amplifier",
+    "common_drain_amplifier",
+    "current_source",
+    "pmos_current_source",
+    "cascode_current_source",
+    "diode_load",
+    "cascode_diode_load",
+    "current_starved_inverter",
+    "cross_coupled_pair",
+    "pmos_cross_coupled_pair",
+    "cross_coupled_inverters",
+    "regenerative_pair",
+    "switch",
+    "pmos_switch",
+]
+
+SMOKE_FAMILIES = ["differential_pair", "current_mirror", "diode_load"]
+
+#: Acceptance floor on the aggregate simulation reduction (full mode).
+REDUCTION_FLOOR = 0.40
+
+
+@contextmanager
+def count_simulations():
+    """Count every evaluation that actually reaches the simulator.
+
+    Wraps :meth:`MosPrimitive.evaluate` at the class level (the
+    ``bench_eval`` idiom) so pruned candidates — which are never
+    dispatched — can never count.
+    """
+    counts = {"evaluations": 0, "simulations": 0}
+    original = MosPrimitive.evaluate
+
+    def counting(self, dut):
+        values, sims = original(self, dut)
+        counts["evaluations"] += 1
+        counts["simulations"] += sims
+        return values, sims
+
+    MosPrimitive.evaluate = counting
+    try:
+        yield counts
+    finally:
+        MosPrimitive.evaluate = original
+
+
+def _optimizer(corpus, jobs=1, run_dir=None):
+    return PrimitiveOptimizer(
+        n_bins=2,
+        max_wires=3,
+        jobs=jobs,
+        cache=False,  # every elision below is pruning, not cache hits
+        surrogate=True,
+        surrogate_corpus=corpus,
+        run_dir=run_dir,
+    )
+
+
+def _run_pass(tech, families, corpus):
+    """One library pass; returns (per-family rows, counts, wall_s)."""
+    library = PrimitiveLibrary()
+    rows = {}
+    start = time.perf_counter()
+    with count_simulations() as counts:
+        for family in families:
+            primitive = library.create(family, tech, base_fins=48)
+            report = _optimizer(corpus).optimize(primitive)
+            rows[family] = {
+                "simulations": report.total_simulations,
+                "best_cost": report.best.cost,
+                "sel_pruned": report.surrogate_stats["sel_pruned"],
+                "tune_pruned": report.surrogate_stats["tune_pruned"],
+            }
+    return rows, counts, time.perf_counter() - start
+
+
+def _journal_determinism(tech, corpus, workdir) -> bool:
+    """Warm runs must journal byte-identically for any --jobs value."""
+    library = PrimitiveLibrary()
+    journals = []
+    for label, jobs in (("j1", 1), ("j2", 2)):
+        run_dir = workdir / f"journal_{label}"
+        primitive = library.create(
+            "differential_pair", tech, base_fins=48
+        )
+        _optimizer(corpus, jobs=jobs, run_dir=run_dir).optimize(primitive)
+        journals.append((run_dir / f"{primitive.name}.jsonl").read_bytes())
+    return journals[0] == journals[1]
+
+
+def bench_surrogate(tech, families, workdir) -> dict:
+    corpus = workdir / "corpus.jsonl"
+    cold_rows, cold_counts, cold_wall = _run_pass(tech, families, corpus)
+    warm_rows, warm_counts, warm_wall = _run_pass(tech, families, corpus)
+
+    for family in families:
+        cold, warm = cold_rows[family], warm_rows[family]
+        assert warm["best_cost"] == cold["best_cost"], (
+            f"{family}: surrogate moved the chosen cost "
+            f"({cold['best_cost']} -> {warm['best_cost']})"
+        )
+
+    cold_sims = cold_counts["simulations"]
+    warm_sims = warm_counts["simulations"]
+    reduction = 1.0 - warm_sims / max(cold_sims, 1)
+    # The warm pass reuses the cold pass's corpus copy on disk; journal
+    # determinism gets its own corpus state via the shared file too.
+    journal_identical = _journal_determinism(tech, corpus, workdir)
+    assert journal_identical, (
+        "determinism violation: warm journals diverged across --jobs"
+    )
+    return {
+        "families": {
+            family: {
+                "cold_simulations": cold_rows[family]["simulations"],
+                "warm_simulations": warm_rows[family]["simulations"],
+                "best_cost": cold_rows[family]["best_cost"],
+                "sel_pruned": warm_rows[family]["sel_pruned"],
+                "tune_pruned": warm_rows[family]["tune_pruned"],
+            }
+            for family in families
+        },
+        "cold": {
+            "wall_s": round(cold_wall, 4),
+            "simulations": cold_sims,
+            "evaluations": cold_counts["evaluations"],
+        },
+        "warm": {
+            "wall_s": round(warm_wall, 4),
+            "simulations": warm_sims,
+            "evaluations": warm_counts["evaluations"],
+        },
+        "sim_reduction": round(reduction, 4),
+        "equal_best_cost": True,
+        "journal_identical": journal_identical,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_surrogate.json",
+        help="output JSON path (default: BENCH_surrogate.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the family set for CI smoke runs",
+    )
+    args = parser.parse_args()
+
+    tech = Technology.default()
+    families = SMOKE_FAMILIES if args.smoke else FAMILIES
+    with tempfile.TemporaryDirectory(prefix="bench_surrogate_") as tmp:
+        results = bench_surrogate(tech, families, Path(tmp))
+    if not args.smoke:
+        assert results["sim_reduction"] >= REDUCTION_FLOOR, (
+            f"simulation reduction {results['sim_reduction']:.1%} below "
+            f"the {REDUCTION_FLOOR:.0%} acceptance floor"
+        )
+    report = {
+        "benchmark": "surrogate",
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "family_count": len(families),
+        **results,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"surrogate: {report['cold']['simulations']} -> "
+        f"{report['warm']['simulations']} simulations "
+        f"({report['sim_reduction']:.1%} reduction) across "
+        f"{len(families)} families -> {args.out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,191 @@
+"""Persistent training corpus for the surrogate: one JSONL row per
+really-simulated candidate.
+
+The corpus lives next to the evalcache disk tier by default
+(``<cache-dir>/corpus.jsonl``) so it accumulates across runs the same
+way cached evaluations do.  Each row is self-contained::
+
+    {"family": "DifferentialPair:96:ab12cd34", "stage": "sel",
+     "key": "sel:8x4x3:ABAB:-", "features": [...], "cost": 12.3,
+     "version": 1}
+
+Rows record **measured** costs only — surrogate predictions never enter
+the corpus (they would self-reinforce).  The loader is forgiving the
+same way the sweep journal is: unparseable lines (torn tails from a
+killed run, foreign garbage) are skipped, rows from a different feature
+version are ignored, and duplicate ``(family, stage, key)`` rows keep
+the first occurrence so replays cannot shift the training set.
+
+Writes are batched: rows recorded during a run stay in a pending list
+until :meth:`CorpusStore.flush` — called at optimizer run boundaries,
+never from signal handlers — so a killed run leaves the on-disk corpus
+exactly as it started and a resumed run makes identical decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.surrogate.features import FEATURES_VERSION
+
+#: Loader cap: families are small, so this bounds pathological files,
+#: not normal growth.
+MAX_ROWS = 100_000
+
+
+@dataclass(frozen=True)
+class CorpusRow:
+    """One (candidate features -> measured cost) training example."""
+
+    family: str
+    stage: str
+    key: str
+    features: tuple[float, ...]
+    cost: float
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (adds the feature version)."""
+        return {
+            "family": self.family,
+            "stage": self.stage,
+            "key": self.key,
+            "features": list(self.features),
+            "cost": self.cost,
+            "version": FEATURES_VERSION,
+        }
+
+
+def _parse_row(line: str) -> CorpusRow | None:
+    """One corpus line -> row, or None for anything unusable."""
+    try:
+        raw = json.loads(line)
+        if raw.get("version") != FEATURES_VERSION:
+            return None
+        row = CorpusRow(
+            family=str(raw["family"]),
+            stage=str(raw["stage"]),
+            key=str(raw["key"]),
+            features=tuple(float(x) for x in raw["features"]),
+            cost=float(raw["cost"]),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
+    if not math.isfinite(row.cost):
+        return None
+    if not all(math.isfinite(x) for x in row.features):
+        return None
+    return row
+
+
+class CorpusStore:
+    """Loads, accumulates and appends surrogate training rows.
+
+    Args:
+        path: Corpus JSONL file (created on first flush).  None keeps
+            the corpus in-memory only — recording still works, but
+            nothing persists and nothing is pre-loaded.
+        max_rows: Hard cap on loaded rows (oldest-first, file order).
+    """
+
+    def __init__(self, path: str | os.PathLike | None,
+                 max_rows: int = MAX_ROWS):
+        self.path = Path(path) if path is not None else None
+        self.max_rows = max_rows
+        self._rows: dict[tuple[str, str], list[CorpusRow]] = {}
+        self._seen: set[tuple[str, str, str]] = set()
+        self._pending: list[CorpusRow] = []
+        self.skipped_lines = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        loaded = 0
+        with self.path.open("r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                if loaded >= self.max_rows:
+                    break
+                row = _parse_row(line)
+                if row is None:
+                    self.skipped_lines += 1
+                    continue
+                if self._remember(row):
+                    loaded += 1
+
+    def _remember(self, row: CorpusRow) -> bool:
+        ident = (row.family, row.stage, row.key)
+        if ident in self._seen:
+            return False
+        self._seen.add(ident)
+        self._rows.setdefault((row.family, row.stage), []).append(row)
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def rows(self, family: str, stage: str) -> list[CorpusRow]:
+        """All known rows for one (family, stage), file/record order."""
+        return list(self._rows.get((family, stage), ()))
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def stats(self) -> dict:
+        """Order-independent corpus accounting for ``repro cache stats``."""
+        families = sorted({family for family, _ in self._rows})
+        per_family = {
+            family: sum(
+                len(rows)
+                for (f, _), rows in self._rows.items()
+                if f == family
+            )
+            for family in families
+        }
+        return {
+            "rows": len(self),
+            "families": per_family,
+            "pending": len(self._pending),
+            "skipped_lines": self.skipped_lines,
+            "path": str(self.path) if self.path is not None else None,
+        }
+
+    def export_rows(self) -> list[dict]:
+        """Every loaded row as a JSON-ready dict, deterministic order."""
+        rows = [
+            row
+            for key in sorted(self._rows)
+            for row in self._rows[key]
+        ]
+        return [row.to_dict() for row in rows]
+
+    # -- writes ----------------------------------------------------------
+
+    def record(self, row: CorpusRow) -> bool:
+        """Remember a new measured row; returns False for duplicates."""
+        if not self._remember(row):
+            return False
+        self._pending.append(row)
+        return True
+
+    def flush(self) -> int:
+        """Append pending rows to the corpus file; returns rows written.
+
+        Called at run boundaries only (never from signal handlers), so
+        an interrupted run leaves the file untouched and a resumed run
+        trains on the same corpus the original did.
+        """
+        pending, self._pending = self._pending, []
+        if self.path is None or not pending:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            for row in pending:
+                fh.write(json.dumps(row.to_dict(), sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return len(pending)

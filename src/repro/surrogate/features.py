@@ -1,0 +1,127 @@
+"""Simulation-free feature engineering for the surrogate ranker.
+
+Every feature is derivable from the candidate *description* — sizing,
+placement pattern, wire configuration — plus the generated (but never
+simulated) layout geometry.  Computing a feature vector costs one
+`primitive.generate(..., verify=False)` call at most, which is orders of
+magnitude cheaper than the extraction + SPICE evaluation it may spare.
+
+Features must be deterministic across processes: no salted ``hash()``,
+no set iteration, no wall clock.  Pattern strings are summarized with
+order statistics (length, adjacency, alternations, symmetry) instead of
+hashes so the same pattern always maps to the same numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.cellgen.generator import WireConfig
+from repro.devices.mosfet import MosGeometry
+from repro.runtime.evalcache import analysis_signature
+
+#: Bumped whenever the feature vector changes meaning; corpus rows with
+#: a different version are ignored by the loader.
+FEATURES_VERSION = 1
+
+#: Names of the feature-vector entries, index-aligned with the output
+#: of :func:`option_features`.
+FEATURE_NAMES = (
+    "nfin",
+    "nf",
+    "m",
+    "unit_fins",
+    "total_fingers",
+    "total_fins",
+    "pattern_len",
+    "pattern_symbols",
+    "pattern_adjacent_pairs",
+    "pattern_alternations",
+    "pattern_palindrome",
+    "wire_total_straps",
+    "wire_max_straps",
+    "wire_tuned_nets",
+    "wire_dummies",
+    "layout_width_um",
+    "layout_height_um",
+    "layout_aspect",
+    "layout_area_um2",
+)
+
+
+def pattern_features(pattern: str) -> list[float]:
+    """Order statistics of a placement pattern string.
+
+    Returns ``[length, distinct symbols, adjacent-equal pairs,
+    alternations, palindrome flag]`` — enough to separate ABAB from ABBA
+    without hashing the string.
+    """
+    n = len(pattern)
+    distinct = len(dict.fromkeys(pattern))
+    adjacent = sum(1 for a, b in zip(pattern, pattern[1:]) if a == b)
+    alternations = sum(1 for a, b in zip(pattern, pattern[1:]) if a != b)
+    palindrome = 1.0 if pattern == pattern[::-1] else 0.0
+    return [float(n), float(distinct), float(adjacent),
+            float(alternations), palindrome]
+
+
+def wire_features(wires: WireConfig) -> list[float]:
+    """Summary of a wire configuration: total/max straps, tuned nets,
+    dummy flag."""
+    counts = [wires.parallel[net] for net in sorted(wires.parallel)]
+    total = float(sum(counts)) if counts else 0.0
+    peak = float(max(counts)) if counts else 0.0
+    return [total, peak, float(len(counts)), 1.0 if wires.dummies else 0.0]
+
+
+def option_features(
+    primitive,
+    base: MosGeometry,
+    pattern: str,
+    wires: WireConfig,
+    layout=None,
+) -> list[float]:
+    """Feature vector for one (sizing, pattern, wires) candidate.
+
+    ``layout`` may be passed when the caller already generated it (the
+    recorder reuses the evaluated option's layout); otherwise the layout
+    is generated here without verification.  Raises
+    :class:`~repro.errors.LayoutError` when the candidate is infeasible
+    — callers treat such candidates as unprunable.
+    """
+    if layout is None:
+        layout = primitive.generate(base, pattern, wires, verify=False)
+    sizing = [
+        float(base.nfin),
+        float(base.nf),
+        float(base.m),
+        float(base.nfin * base.nf),
+        float(base.nf * base.m),
+        float(base.nfin * base.nf * base.m),
+    ]
+    geometry = [
+        layout.width / 1000.0,
+        layout.height / 1000.0,
+        layout.aspect_ratio,
+        (layout.width / 1000.0) * (layout.height / 1000.0),
+    ]
+    return sizing + pattern_features(pattern) + wire_features(wires) + geometry
+
+
+def family_key(primitive, weight_override: dict[str, float] | None) -> str:
+    """Stable corpus-family identifier for one primitive configuration.
+
+    Costs are only comparable within a family: the same primitive class,
+    fin budget, analysis configuration and metric weights.  The key is
+    the class qualname and fin budget plus a short content hash of the
+    analysis signature and weights, so a tech or weight change silently
+    starts a fresh family instead of poisoning an old one.
+    """
+    signature = {
+        "analyses": analysis_signature(primitive),
+        "weights": weight_override or {},
+    }
+    blob = json.dumps(signature, sort_keys=True, default=str)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:8]
+    return f"{type(primitive).__qualname__}:{primitive.base_fins}:{digest}"

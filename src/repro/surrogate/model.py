@@ -1,0 +1,174 @@
+"""Deterministic gradient-boosted stump ensemble (numpy only).
+
+A tiny regressor good enough to *rank* layout candidates: gradient
+boosting over depth-1 regression trees ("stumps"), bagged into a small
+ensemble whose spread doubles as an uncertainty estimate.  Everything is
+deterministic for a fixed training set:
+
+* splits scan features in index order and thresholds in ascending order,
+  accepting a new best only on a strict improvement, so ties resolve to
+  the lowest (feature, threshold) pair;
+* bootstrap resampling uses :class:`numpy.random.default_rng` seeded
+  from a caller-supplied integer (derived from the corpus family name,
+  never from process state);
+* no wall clock, no global RNG, no set iteration.
+
+The ensemble disagreement (per-row standard deviation across boosters,
+normalized by the training-target spread) is the fallback signal: when
+the boosters cannot agree, the guide refuses to prune.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def stable_seed(*parts: str) -> int:
+    """A 64-bit seed derived from strings via SHA-256 (never from
+    process state), so model training is reproducible everywhere."""
+    blob = ":".join(parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+class _Stump:
+    """One depth-1 regression tree: feature, threshold, two leaves."""
+
+    __slots__ = ("feature", "threshold", "left", "right")
+
+    def __init__(self, feature: int, threshold: float,
+                 left: float, right: float):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf value per row of ``X``."""
+        go_left = X[:, self.feature] <= self.threshold
+        return np.where(go_left, self.left, self.right)
+
+
+def _fit_stump(X: np.ndarray, residual: np.ndarray) -> _Stump | None:
+    """The SSE-minimizing stump over all (feature, threshold) splits.
+
+    Returns None when every feature is constant (nothing to split on).
+    Ties break toward the lowest feature index, then lowest threshold,
+    via strict-improvement comparison in scan order.
+    """
+    n, d = X.shape
+    best: tuple[float, _Stump] | None = None
+    total = float(residual.sum())
+    for j in range(d):
+        order = np.argsort(X[:, j], kind="stable")
+        xs = X[order, j]
+        rs = residual[order]
+        prefix = np.cumsum(rs)
+        # Candidate split after position i (0-based): left = rows 0..i.
+        boundaries = np.nonzero(xs[:-1] < xs[1:])[0]
+        if boundaries.size == 0:
+            continue
+        n_left = boundaries + 1
+        n_right = n - n_left
+        sum_left = prefix[boundaries]
+        sum_right = total - sum_left
+        # Maximizing sum^2/n per side == minimizing SSE.
+        gain = sum_left**2 / n_left + sum_right**2 / n_right
+        for pos in range(len(boundaries)):
+            score = float(gain[pos])
+            if best is None or score > best[0] + 1e-12:
+                i = boundaries[pos]
+                stump = _Stump(
+                    feature=j,
+                    threshold=float((xs[i] + xs[i + 1]) / 2.0),
+                    left=float(sum_left[pos] / n_left[pos]),
+                    right=float(sum_right[pos] / n_right[pos]),
+                )
+                best = (score, stump)
+    return best[1] if best is not None else None
+
+
+class StumpBooster:
+    """One gradient-boosted stump chain fit on (a resample of) the data."""
+
+    def __init__(self, n_rounds: int = 40, learning_rate: float = 0.3):
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.base = 0.0
+        self.stumps: list[_Stump] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "StumpBooster":
+        """Fit boosted stumps to ``(X, y)``; returns self."""
+        self.base = float(y.mean())
+        pred = np.full(len(y), self.base)
+        self.stumps = []
+        for _ in range(self.n_rounds):
+            stump = _fit_stump(X, y - pred)
+            if stump is None:
+                break
+            pred = pred + self.learning_rate * stump.predict(X)
+            self.stumps.append(stump)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted target per row of ``X``."""
+        pred = np.full(len(X), self.base)
+        for stump in self.stumps:
+            pred = pred + self.learning_rate * stump.predict(X)
+        return pred
+
+
+class StumpEnsemble:
+    """Bagged boosted stumps with a disagreement-based uncertainty.
+
+    Args:
+        n_boosters: Ensemble size (each on its own seeded bootstrap).
+        n_rounds: Boosting rounds per booster.
+        learning_rate: Shrinkage per round.
+        seed: Base seed; booster ``b`` uses ``seed + b``.
+    """
+
+    def __init__(
+        self,
+        n_boosters: int = 4,
+        n_rounds: int = 40,
+        learning_rate: float = 0.3,
+        seed: int = 0,
+    ):
+        self.n_boosters = n_boosters
+        self.n_rounds = n_rounds
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.boosters: list[StumpBooster] = []
+        self.y_scale = 1.0
+
+    def fit(self, X, y) -> "StumpEnsemble":
+        """Fit the ensemble; the first booster sees the full data, the
+        rest seeded bootstrap resamples.  Returns self."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self.y_scale = float(y.std()) or 1.0
+        self.boosters = []
+        n = len(y)
+        for b in range(self.n_boosters):
+            booster = StumpBooster(self.n_rounds, self.learning_rate)
+            if b == 0:
+                booster.fit(X, y)
+            else:
+                rng = np.random.default_rng(self.seed + b)
+                idx = np.sort(rng.integers(0, n, size=n))
+                booster.fit(X[idx], y[idx])
+            self.boosters.append(booster)
+        return self
+
+    def predict(self, X) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row ``(mean, normalized disagreement)`` over the ensemble.
+
+        The disagreement is the standard deviation across boosters
+        divided by the training-target spread, so "1.0" means the
+        boosters disagree by a full target standard deviation.
+        """
+        X = np.asarray(X, dtype=float)
+        preds = np.stack([b.predict(X) for b in self.boosters])
+        return preds.mean(axis=0), preds.std(axis=0) / self.y_scale

@@ -104,3 +104,26 @@ def test_quality_gate_keeps_global_best_always(small_dp):
     options = [SimpleNamespace(cost=100.0, aspect_ratio=1.0)]
     kept = select_best_per_bin(options, 3)
     assert len(kept) == 1
+
+
+def test_quality_allowance_is_a_parameter():
+    """The absolute allowance (historically hard-coded at +5.0) is a
+    knob; the default threshold 1.5*best + 5.0 is unchanged."""
+    from types import SimpleNamespace
+
+    def fake(cost, aspect):
+        return SimpleNamespace(cost=cost, aspect_ratio=aspect)
+
+    options = [
+        fake(2.0, 0.2),   # bin 1: global best; threshold = 1.5*2 + abs
+        fake(7.5, 1.0),   # bin 2: inside the default 8.0 threshold
+        fake(9.0, 5.0),   # bin 3: outside it
+    ]
+    default = select_best_per_bin(options, 3)
+    assert sorted(o.cost for o in default) == [2.0, 7.5]
+    explicit = select_best_per_bin(options, 3, quality_abs=5.0)
+    assert sorted(o.cost for o in explicit) == [2.0, 7.5]
+    strict = select_best_per_bin(options, 3, quality_abs=0.0)
+    assert sorted(o.cost for o in strict) == [2.0]
+    lenient = select_best_per_bin(options, 3, quality_abs=10.0)
+    assert sorted(o.cost for o in lenient) == [2.0, 7.5, 9.0]

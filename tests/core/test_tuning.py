@@ -4,9 +4,15 @@ import pytest
 
 from repro.cellgen.generator import WireConfig
 from repro.core.selection import evaluate_option
-from repro.core.tuning import _untuned_straps, choose_stop_point, tune_option
+from repro.core.tuning import (
+    TUNE_CHUNK,
+    _untuned_straps,
+    choose_stop_point,
+    tune_option,
+)
 from repro.devices.mosfet import MosGeometry
 from repro.errors import OptimizationError
+from repro.runtime import EvalRuntime
 from repro.runtime.faults import FaultSpec, inject
 
 
@@ -93,6 +99,44 @@ def test_fully_failed_sweep_keeps_untuned_wires(small_dp):
     assert by_name["source"].chosen == 2  # the pre-tuned strap count
     # The untuned option survives as the result.
     assert result.option is option
+
+
+class _RecordingRuntime(EvalRuntime):
+    """EvalRuntime that logs the width of every tuning dispatch."""
+
+    def __init__(self):
+        super().__init__()
+        self.widths: list[int] = []
+
+    def evaluate_batch(self, tasks, stage):
+        if stage == "tuning":
+            self.widths.append(len(tasks))
+        return super().evaluate_batch(tasks, stage)
+
+
+def test_singleton_sweeps_dispatch_in_chunks(small_dp):
+    # Eager runtimes (--batch, worker pools) evaluate a whole dispatch
+    # up front, so the sweep must never hand them wire counts the
+    # early-stop break would leave unconsumed: dispatches are chunked,
+    # bounding overshoot to the current chunk.
+    option = evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB")
+    runtime = _RecordingRuntime()
+    result = tune_option(small_dp, option, max_wires=8, runtime=runtime)
+    assert runtime.widths
+    assert all(width <= TUNE_CHUNK for width in runtime.widths)
+    consumed = sum(len(s.points) for s in result.sweeps)
+    dispatched = sum(runtime.widths)
+    assert dispatched <= consumed + (TUNE_CHUNK - 1) * len(result.sweeps)
+    # Chunking must not move the outcome: chosen wires match the
+    # single-batch reference run.
+    reference = tune_option(
+        small_dp,
+        evaluate_option(small_dp, MosGeometry(8, 4, 3), "ABAB"),
+        max_wires=8,
+    )
+    assert [s.chosen for s in result.sweeps] == [
+        s.chosen for s in reference.sweeps
+    ]
 
 
 def test_correlated_terminals_swept_jointly(tech):

@@ -1,0 +1,91 @@
+"""The persistent surrogate corpus: forgiving loads, batched writes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.surrogate import CorpusRow, CorpusStore, FEATURES_VERSION
+
+
+def _row(key="k1", family="Fam:8:abcd1234", stage="sel", cost=2.5):
+    return CorpusRow(
+        family=family, stage=stage, key=key, features=(1.0, 2.0), cost=cost
+    )
+
+
+def test_record_flush_load_roundtrip(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    store = CorpusStore(path)
+    assert store.record(_row("a"))
+    assert store.record(_row("b", stage="tune"))
+    assert store.flush() == 2
+    assert store.flush() == 0  # pending drained
+
+    loaded = CorpusStore(path)
+    assert len(loaded) == 2
+    assert [r.key for r in loaded.rows("Fam:8:abcd1234", "sel")] == ["a"]
+    assert [r.key for r in loaded.rows("Fam:8:abcd1234", "tune")] == ["b"]
+
+
+def test_duplicate_keys_keep_first(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    store = CorpusStore(path)
+    assert store.record(_row("a", cost=1.0))
+    assert not store.record(_row("a", cost=9.0))  # replay: ignored
+    store.flush()
+    loaded = CorpusStore(path)
+    rows = loaded.rows("Fam:8:abcd1234", "sel")
+    assert [r.cost for r in rows] == [1.0]
+
+
+def test_torn_and_foreign_lines_are_skipped(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    good = _row("good").to_dict()
+    stale = dict(good, key="stale", version=FEATURES_VERSION - 1)
+    path.write_text(
+        json.dumps(good) + "\n"
+        + json.dumps(stale) + "\n"
+        + "{\"family\": \"torn tail\n"
+        + "not json at all\n"
+        + json.dumps(dict(good, key="inf", cost=float("inf"))).replace(
+            "Infinity", "1e999"
+        ) + "\n"
+    )
+    store = CorpusStore(path)
+    assert [r.key for r in store.rows("Fam:8:abcd1234", "sel")] == ["good"]
+    assert store.skipped_lines == 4
+
+
+def test_unflushed_rows_never_touch_disk(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    store = CorpusStore(path)
+    store.record(_row("a"))
+    # A killed run never reaches flush(): the file must not exist.
+    assert not path.exists()
+    assert store.stats()["pending"] == 1
+
+
+def test_in_memory_store_records_without_persisting():
+    store = CorpusStore(None)
+    assert store.record(_row("a"))
+    assert store.flush() == 0
+    assert store.stats()["path"] is None
+    assert len(store) == 1
+
+
+def test_stats_and_export_are_deterministic(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    store = CorpusStore(path)
+    store.record(_row("b", family="Zed:4:ffffffff"))
+    store.record(_row("a"))
+    store.record(_row("c", stage="tune"))
+    store.flush()
+    loaded = CorpusStore(path)
+    stats = loaded.stats()
+    assert stats["rows"] == 3
+    assert stats["families"] == {"Fam:8:abcd1234": 2, "Zed:4:ffffffff": 1}
+    exported = loaded.export_rows()
+    assert [r["key"] for r in exported] == ["a", "c", "b"]
+    assert all(r["version"] == FEATURES_VERSION for r in exported)
+    # Export order is independent of record order.
+    assert exported == CorpusStore(path).export_rows()

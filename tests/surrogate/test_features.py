@@ -1,0 +1,72 @@
+"""Simulation-free surrogate features: deterministic and well-shaped."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellgen.generator import WireConfig
+from repro.devices.mosfet import MosGeometry
+from repro.errors import LayoutError
+from repro.surrogate import FEATURE_NAMES, family_key, option_features
+from repro.surrogate.features import pattern_features, wire_features
+
+
+def test_pattern_features_separate_abab_from_abba():
+    abab = pattern_features("ABAB")
+    abba = pattern_features("ABBA")
+    assert abab != abba
+    # length, distinct, adjacent-equal, alternations, palindrome
+    assert abab == [4.0, 2.0, 0.0, 3.0, 0.0]
+    assert abba == [4.0, 2.0, 1.0, 2.0, 1.0]
+
+
+def test_wire_features_summarize_straps():
+    wires = WireConfig().with_straps("tail", 3).with_straps("out", 1)
+    total, peak, nets, dummies = wire_features(wires)
+    assert (total, peak, nets) == (4.0, 3.0, 2.0)
+    assert dummies in (0.0, 1.0)
+
+
+def test_option_features_deterministic_and_named(small_dp):
+    base = MosGeometry(8, 4, 3)
+    a = option_features(small_dp, base, "ABAB", WireConfig())
+    b = option_features(small_dp, base, "ABAB", WireConfig())
+    assert a == b
+    assert len(a) == len(FEATURE_NAMES)
+    assert all(isinstance(x, float) for x in a)
+    # Geometry features are real, positive dimensions.
+    named = dict(zip(FEATURE_NAMES, a))
+    assert named["layout_width_um"] > 0
+    assert named["layout_height_um"] > 0
+    assert named["layout_area_um2"] == pytest.approx(
+        named["layout_width_um"] * named["layout_height_um"]
+    )
+
+
+def test_option_features_reuses_provided_layout(small_dp):
+    base = MosGeometry(8, 4, 3)
+    layout = small_dp.generate(base, "ABAB", WireConfig(), verify=False)
+    direct = option_features(small_dp, base, "ABAB", WireConfig(), layout=layout)
+    generated = option_features(small_dp, base, "ABAB", WireConfig())
+    assert direct == generated
+
+
+def test_option_features_raise_for_infeasible_candidates(small_dp):
+    # A pattern referencing more devices than the sizing provides must
+    # surface as LayoutError (the guide treats such candidates as
+    # unprunable), never as a silent feature vector.
+    with pytest.raises(LayoutError):
+        option_features(
+            small_dp, MosGeometry(8, 1, 1), "ABABABAB", WireConfig()
+        )
+
+
+def test_family_key_stable_and_weight_sensitive(small_dp):
+    plain = family_key(small_dp, None)
+    again = family_key(small_dp, None)
+    weighted = family_key(small_dp, {"area": 2.0})
+    assert plain == again
+    assert plain != weighted
+    prefix = f"{type(small_dp).__qualname__}:{small_dp.base_fins}:"
+    assert plain.startswith(prefix)
+    assert weighted.startswith(prefix)
